@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each figure benchmark rebuilds its figure's content from the public API
+inside the timed section and asserts the *shape* reported by the paper
+(same objects, same typed dependencies, same retained/retracted sets).
+The performance benchmarks (Perf-1 ... Perf-5) sweep the parameters of
+the efficiency questions the paper raises in sections 3.1, 3.3.3 and 4.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.scenario import MeetingScenario
+
+
+@pytest.fixture
+def scenario_factory():
+    """A fresh scenario builder (figure benches need clean state)."""
+    return MeetingScenario
+
+
+@pytest.fixture(scope="module")
+def completed_scenario():
+    """The fig 2-4 end state, shared by read-only benches."""
+    return MeetingScenario().run_all()

@@ -1,0 +1,53 @@
+"""Fig 2-1 — browsing design objects and focusing on an IsA hierarchy.
+
+"The developer has employed a hierarchical text browser tool to
+determine unmapped TaxisDL objects.  He has further decided to focus on
+the mapping of entity structures in a document data model, in
+particular, invitations and their generalization, papers.  This
+selection causes the display of a menu with applicable decision classes
+and tools."
+"""
+
+from repro.models.display.text_dag import TextDAGBrowser
+from repro.scenario import MeetingScenario
+
+
+def browse_and_focus():
+    scenario = MeetingScenario().setup()
+    gkbms = scenario.gkbms
+
+    unmapped = scenario.browse_unmapped()
+    browser = TextDAGBrowser(
+        children=lambda name: sorted(
+            gkbms.processor.specializations(name, strict=True)
+        ) if gkbms.processor.exists(name) else [],
+        depth=3,
+    )
+    tree = browser.render("Papers")
+
+    interactive = gkbms.navigator().browser()
+    interactive.focus_on("Invitations")
+    menu = interactive.render_menu()
+    matches = scenario.menu_for("Invitations")
+    return scenario, unmapped, tree, menu, matches
+
+
+def test_fig_2_1_browsing(benchmark):
+    scenario, unmapped, tree, menu, matches = benchmark(browse_and_focus)
+
+    # unmapped objects include the document hierarchy
+    assert {"Papers", "Invitations"} <= set(unmapped)
+
+    # the text DAG browser shows the IsA hierarchy under Papers
+    assert "Papers" in tree and "Invitations" in tree
+
+    # the menu offers both mapping strategies of the paper, most
+    # specific decision classes first
+    names = [dc.name for dc, _roles, _tools in matches]
+    assert "DecMoveDown" in names and "DecDistribute" in names
+    assert names.index("DecMoveDown") < names.index("TDL_MappingDec")
+    assert "DecMoveDown" in menu and "MoveDownMapper" in menu
+
+    print("\nFig 2-1 browser tree:")
+    print(tree)
+    print(menu)

@@ -1,0 +1,51 @@
+"""Fig 2-5 — levels of the design object knowledge base.
+
+"design objects are classified by a hierarchy of design object classes
+[...]  tokens of the GKBMS only represent characteristic features of
+sources recorded outside the GKB in the DAIDA sub-environments."
+
+The figure stacks: metaclasses for design objects / design object
+classes / design object instances / the external world of sources.
+This bench rebuilds all four levels and asserts each instantiation step.
+"""
+
+from repro.scenario import MeetingScenario
+
+
+def build_levels():
+    scenario = MeetingScenario().run_to_fig_2_2()
+    gkbms = scenario.gkbms
+    token = gkbms.register_source("InvitationRel", "dbpl/meetings.dbpl")
+    return scenario, token
+
+
+def test_fig_2_5_levels(benchmark):
+    scenario, token = benchmark(build_levels)
+    proc = scenario.gkbms.processor
+
+    # level 1: the metaclass for design objects
+    assert proc.exists("DesignObject")
+    assert proc.is_instance_of("DesignObject", "MetaClass")
+
+    # level 2: design object classes instantiate the metaclass and
+    # follow the abstract syntax of the DAIDA languages
+    for cls in ("TDL_EntityClass", "DBPL_Rel", "DBPL_Constructor"):
+        assert proc.is_instance_of(cls, "DesignObject")
+
+    # level 3: design object instances instantiate the classes
+    assert proc.is_instance_of("Invitations", "TDL_EntityClass")
+    assert proc.is_instance_of("InvitationRel", "DBPL_Rel")
+
+    # level 4: instances abstract sources recorded *outside* the GKB
+    assert proc.is_instance_of(token, "ExternalSource")
+    sources = proc.attributes_of("InvitationRel", label="source")
+    assert [p.destination for p in sources] == [token]
+
+    # the uniform representation covers all life-cycle stages
+    levels = {scenario.gkbms.level_of(n)
+              for n in ("Meeting", "Papers", "InvitationRel")}
+    assert levels == {"requirements", "design", "implementation"}
+
+    print("\nFig 2-5 instantiation chain:")
+    print(f"  MetaClass <- DesignObject <- DBPL_Rel <- InvitationRel "
+          f"<- {token}")

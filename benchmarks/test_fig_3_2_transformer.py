@@ -1,0 +1,69 @@
+"""Fig 3-2 — propositional representation of Invitation.
+
+"Consider, for example, a class TDL_EntityClass called Invitation,
+which relates invitations to persons by an attribute sender.  The
+Object Transformer transforms this class into a set of propositions as
+shown in Fig 3-2."
+
+The figure's network: ``Invitation instanceof TDL_EntityClass``,
+``TDL_EntityClass instanceof CLASS``, ``Invitation --sender--> Person``
+with the sender link an instance of the ``attribute`` proposition, plus
+the paper's temporal stamps (``version17``, ``21-Sep-1987+``).
+"""
+
+from repro.objects import ObjectProcessor
+from repro.propositions import Pattern
+from repro.timecalc import Interval, parse_time
+
+
+def transform_invitation():
+    op = ObjectProcessor()
+    proc = op.propositions
+    proc.define_class("TDL_EntityClass", level="MetaClass")
+    op.tell("TELL Paper IN TDL_EntityClass END")
+    op.tell("TELL Person IN TDL_EntityClass END")
+    created = op.tell(
+        """
+        TELL Invitation IN TDL_EntityClass ISA Paper WITH
+          attribute sender : Person
+        END
+        """,
+        time=Interval.from_ticks(17, 18, label="version17"),
+    )
+    frame = op.ask("Invitation")
+    return op, created, frame
+
+
+def test_fig_3_2_transformer(benchmark):
+    op, created, frame = benchmark(transform_invitation)
+    proc = op.propositions
+
+    # the generated proposition set matches the figure
+    kinds = sorted(
+        "instanceof" if p.is_instanceof else "isa" if p.is_isa
+        else "individual" if p.is_individual else p.label
+        for p in created
+    )
+    assert kinds == ["individual", "instanceof", "isa", "sender"]
+
+    # PI = <Invitation, instanceof, CLASS/TDL_EntityClass, version17>
+    instanceof_links = [p for p in created if p.is_instanceof]
+    assert instanceof_links[0].destination == "TDL_EntityClass"
+    assert instanceof_links[0].time.contains_point(17)
+    assert not instanceof_links[0].time.contains_point(18)
+
+    # the belief-time notation of the paper parses
+    known_since = parse_time("21-Sep-1987+")
+    assert known_since.contains_point(19880607)
+
+    # the sender link is itself classified (attribute proposition)
+    sender = [p for p in created if p.label == "sender"][0]
+    assert "Attribute" in proc.classification_of_link(sender.pid)
+    assert sender.source == "Invitation" and sender.destination == "Person"
+
+    # and the transformation inverts: ask() reconstructs the frame
+    assert op.transformer.roundtrip_equal(frame)
+
+    print("\nFig 3-2 propositions:")
+    for prop in created:
+        print(f"  {prop!r}")

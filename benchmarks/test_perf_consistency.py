@@ -1,0 +1,108 @@
+"""Perf-2 — set-oriented consistency checking (sections 3.1, 4).
+
+"Since a whole set of operations is passed to the proposition
+processor, set-oriented optimization of the consistency check is being
+studied."
+
+Workload: a batch of attribute updates all touching the same small set
+of instances, checked (a) per proposition (naive) and (b) set-oriented
+over the whole batch.  Expected shape: the set-oriented check evaluates
+each (constraint, instance) pair once regardless of batch size, so its
+evaluation count — and time — stays flat while the naive mode grows
+linearly with the batch.
+"""
+
+import pytest
+
+from repro.consistency import ConsistencyChecker
+from repro.propositions import PropositionProcessor
+
+INSTANCES = 10
+BATCH_SIZES = [10, 40, 160]
+
+
+def build_kb():
+    proc = PropositionProcessor()
+    proc.define_class("Doc")
+    proc.define_class("Person")
+    proc.tell_link("Doc", "owner", "Person", pid="Doc.owner",
+                   of_class="Attribute")
+    proc.tell_individual("alice", in_class="Person")
+    for index in range(INSTANCES):
+        proc.tell_individual(f"doc{index}", in_class="Doc")
+        proc.tell_link(f"doc{index}", "owner", "alice",
+                       of_class="Doc.owner")
+    return proc
+
+
+def make_batch(proc, size):
+    """A batch of updates cycling over the same instances."""
+    batch = []
+    for index in range(size):
+        doc = f"doc{index % INSTANCES}"
+        links = proc.attributes_of(doc, label="owner")
+        batch.append(links[0])
+    return batch
+
+
+@pytest.fixture(scope="module")
+def kb():
+    proc = build_kb()
+    return proc, {size: make_batch(proc, size) for size in BATCH_SIZES}
+
+
+@pytest.mark.parametrize("size", BATCH_SIZES)
+@pytest.mark.parametrize("set_oriented", [False, True],
+                         ids=["per-proposition", "set-oriented"])
+def test_perf_consistency(benchmark, kb, set_oriented, size):
+    proc, batches = kb
+
+    def check():
+        checker = ConsistencyChecker(proc, set_oriented=set_oriented)
+        checker.attach_constraint("Doc", f"Owned_{set_oriented}_{size}",
+                                  "Known(self.owner)", document=False)
+        violations = checker.check_batch(batches[size])
+        return checker.stats.evaluations, violations
+
+    evaluations, violations = benchmark(check)
+    assert violations == []
+    if set_oriented:
+        # one evaluation per touched instance, independent of batch size
+        assert evaluations <= INSTANCES + 1
+    else:
+        assert evaluations >= size
+
+
+@pytest.mark.parametrize("axioms", [True, False], ids=["axioms-on", "axioms-off"])
+def test_perf_axiom_checking(benchmark, axioms):
+    """Ablation (DESIGN.md §5): the cost of validating every create
+    against the CML axiom base."""
+
+    def create_batch():
+        proc = PropositionProcessor()
+        if not axioms:
+            for name in proc.axioms.names():
+                proc.axioms.disable(name)
+        proc.define_class("Doc")
+        for index in range(80):
+            proc.tell_individual(f"d{index}", in_class="Doc")
+            if index:
+                proc.tell_link(f"d{index - 1}", "next", f"d{index}")
+        return proc
+
+    proc = benchmark(create_batch)
+    assert len(proc.store) > 160
+
+
+def test_set_oriented_evaluation_counts(kb):
+    proc, batches = kb
+    counts = {}
+    for mode in (False, True):
+        checker = ConsistencyChecker(proc, set_oriented=mode)
+        checker.attach_constraint("Doc", f"C_{mode}", "Known(self.owner)",
+                                  document=False)
+        checker.check_batch(batches[max(BATCH_SIZES)])
+        counts[mode] = checker.stats.evaluations
+    assert counts[True] * 4 <= counts[False]
+    print(f"\nPerf-2 evaluations over a batch of {max(BATCH_SIZES)}: "
+          f"set-oriented={counts[True]}, per-proposition={counts[False]}")

@@ -1,0 +1,81 @@
+"""Perf-1 — lemma generation in the inference engines (section 3.1).
+
+"The inference engines may enhance their performance by lemma
+generation; this capability is, e.g., used in creating dependency graph
+objects of the GKBMS."
+
+Workload: a parent-chain knowledge base and a recursive ancestor rule;
+the dependency-graph-style access pattern asks the same reachability
+goals repeatedly.  Expected shape: with the lemma cache on, repeated
+question answering is faster and prover call counts collapse; both
+modes return identical answers.
+"""
+
+import pytest
+
+from repro.deduction import RuleEngine, parse_literal
+from repro.propositions import PropositionProcessor
+
+CHAIN = 40
+REPEATS = 5
+
+
+def build_kb(chain: int) -> RuleEngine:
+    proc = PropositionProcessor()
+    proc.define_class("Node")
+    previous = None
+    for index in range(chain):
+        name = f"n{index}"
+        proc.tell_individual(name, in_class="Node")
+        if previous is not None:
+            proc.tell_link(previous, "parent", name)
+        previous = name
+    engine = RuleEngine(proc)
+    engine.add_rule(
+        "attr(?x, anc, ?y) :- attr(?x, parent, ?y).",
+        name="base", document=False,
+    )
+    engine.add_rule(
+        "attr(?x, anc, ?z) :- attr(?x, parent, ?y), attr(?y, anc, ?z).",
+        name="step", document=False,
+    )
+    return engine
+
+
+def query_workload(engine: RuleEngine, lemmas: bool):
+    prover = engine.prover(lemmas=lemmas, max_depth=4 * CHAIN)
+    goal = parse_literal("attr(n0, anc, ?y)")
+    answers = None
+    for _round in range(REPEATS):
+        answers = prover.answers(goal)
+    return answers, prover.stats
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return build_kb(CHAIN)
+
+
+@pytest.mark.parametrize("lemmas", [False, True], ids=["lemmas-off", "lemmas-on"])
+def test_perf_lemma_generation(benchmark, engine, lemmas):
+    answers, stats = benchmark(query_workload, engine, lemmas)
+    assert len(answers) == CHAIN - 1  # n0 reaches every later node
+    if lemmas:
+        assert stats["lemma_hits"] > 0
+    else:
+        assert stats["lemma_hits"] == 0
+
+
+def test_lemma_answers_identical(engine):
+    with_lemmas, _ = query_workload(engine, True)
+    without, _ = query_workload(engine, False)
+    assert sorted(with_lemmas) == sorted(without)
+
+
+def test_lemma_call_counts_collapse(engine):
+    _, stats_on = query_workload(engine, True)
+    _, stats_off = query_workload(engine, False)
+    # repeated proofs hit the cache: far fewer resolution calls
+    assert stats_on["calls"] < stats_off["calls"] / 2
+    print(f"\nPerf-1 prover calls: lemmas-on={stats_on['calls']} "
+          f"lemmas-off={stats_off['calls']}")

@@ -1,0 +1,86 @@
+"""Perf-4 — physical proposition-base representations (section 3.1).
+
+"Several physical representations (e.g. Prolog workspaces, external
+databases) of propositions can be managed by the proposition base."
+
+Workload: an insert-then-query mix over the three stores.  Expected
+shape: the memory store is the fastest baseline; the log store pays a
+journal append per write but reads at memory speed; the workspace store
+pays a partition lookup per read.  All three must return identical
+results (also asserted property-style in the unit tests).
+"""
+
+import pytest
+
+from repro.propositions import (
+    LogStore,
+    MemoryStore,
+    Pattern,
+    WorkspaceStore,
+    individual,
+    link,
+)
+
+N_OBJECTS = 150
+QUERY_ROUNDS = 3
+
+STORES = {
+    "memory": MemoryStore,
+    "log": LogStore,
+    "workspace": WorkspaceStore,
+}
+
+
+def workload(store_cls):
+    store = store_cls()
+    for index in range(N_OBJECTS):
+        store.create(individual(f"obj{index}"))
+    for index in range(1, N_OBJECTS):
+        store.create(
+            link(f"l{index}", f"obj{index - 1}", "next", f"obj{index}")
+        )
+        if index % 3 == 0:
+            store.create(
+                link(f"c{index}", f"obj{index}", "instanceof", "obj0")
+            )
+    hits = 0
+    for _round in range(QUERY_ROUNDS):
+        for index in range(0, N_OBJECTS, 5):
+            hits += sum(
+                1 for _p in store.retrieve(Pattern(source=f"obj{index}"))
+            )
+        hits += sum(
+            1 for _p in store.retrieve(Pattern(label="instanceof"))
+        )
+    for index in range(0, N_OBJECTS // 2):
+        store.delete(f"l{index + 1}")
+    return store, hits
+
+
+@pytest.mark.parametrize("kind", list(STORES), ids=list(STORES))
+def test_perf_stores(benchmark, kind):
+    store, hits = benchmark(workload, STORES[kind])
+    assert hits > 0
+    assert len(store) == N_OBJECTS + (N_OBJECTS - 1) - N_OBJECTS // 2 + (
+        (N_OBJECTS - 1) // 3
+    )
+
+
+def test_stores_return_identical_results():
+    results = {}
+    for kind, store_cls in STORES.items():
+        _store, hits = workload(store_cls)
+        results[kind] = hits
+    assert len(set(results.values())) == 1
+
+
+def test_log_store_replay_and_compaction():
+    store, _hits = workload(LogStore)
+    journal_before = len(store.journal)
+    replayed = store.replay()
+    assert {p.pid for p in replayed} == {p.pid for p in store}
+    removed = store.compact()
+    assert removed > 0
+    assert len(store.journal) == journal_before - removed
+    print(f"\nPerf-4 log store: journal {journal_before} -> "
+          f"{len(store.journal)} entries after compaction")

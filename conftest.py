@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Makes ``src/`` importable even when the package has not been installed
+(useful in offline environments where ``pip install -e .`` cannot fetch
+build dependencies; ``python setup.py develop`` is the offline
+equivalent).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

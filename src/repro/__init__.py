@@ -1,0 +1,25 @@
+"""repro — reproduction of Jarke & Rose (SIGMOD 1988), "Managing
+Knowledge about Information System Evolution".
+
+Top-level entry points:
+
+- :class:`repro.ConceptBase` — the conceptual model base management
+  system (proposition/object/model processors, inference engines,
+  consistency checker; fig 3-1);
+- :class:`repro.GKBMS` — the Global Knowledge Base Management System:
+  decision-based documentation of information system evolution built on
+  the ConceptBase kernel (sections 2 and 3.2/3.3);
+- :mod:`repro.scenario` — the paper's meeting-organisation running
+  example.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.conceptbase import ConceptBase
+from repro.core.gkbms import GKBMS
+from repro.queries import QueryCatalog, QueryClass
+
+__version__ = "1.0.0"
+
+__all__ = ["ConceptBase", "GKBMS", "QueryCatalog", "QueryClass",
+           "__version__"]

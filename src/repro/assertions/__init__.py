@@ -1,0 +1,62 @@
+"""The CML assertion language (S4).
+
+Section 3.1: "Queries are built using (open or closed) first-order logic
+expressions over CML objects.  Since the same assertion language is used
+in rules [...] the inference engines are also capable of evaluating
+rules" and "Constraints [...] point to objects representing first-order
+logic expressions."
+
+The language implemented here:
+
+.. code-block:: text
+
+    forall i/Invitation (In(i.sender, Person))
+    exists d/DesignDecision (A(d, from, i) and d.by = MappingTool)
+    forall r/DBPL_Rel (Known(r.key) ==> not Isa(r, View))
+
+- quantifiers range over class extents;
+- ``t.label`` traverses attribute links (explicit *and* deduced) and
+  evaluates to a value set, which is how set-valued attributes — the
+  trigger of the paper's normalisation decision — are handled;
+- ``In``/``Isa``/``A``/``Known`` are the membership, specialization,
+  link and definedness atoms; comparisons use existential semantics
+  over value sets, ``In`` uses universal semantics (typing reads
+  naturally), ``Known`` tests non-emptiness.
+"""
+
+from repro.assertions.ast import (
+    Atom,
+    AttributeAtom,
+    BinaryOp,
+    Comparison,
+    Expression,
+    InAtom,
+    IsaAtom,
+    KnownAtom,
+    Not,
+    PathTerm,
+    Quantifier,
+    SimpleTerm,
+    Term,
+)
+from repro.assertions.parser import parse_assertion
+from repro.assertions.evaluator import Bindings, Evaluator
+
+__all__ = [
+    "Atom",
+    "AttributeAtom",
+    "BinaryOp",
+    "Comparison",
+    "Expression",
+    "InAtom",
+    "IsaAtom",
+    "KnownAtom",
+    "Not",
+    "PathTerm",
+    "Quantifier",
+    "SimpleTerm",
+    "Term",
+    "parse_assertion",
+    "Bindings",
+    "Evaluator",
+]

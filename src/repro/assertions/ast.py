@@ -1,0 +1,182 @@
+"""Abstract syntax of the assertion language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class Expression:
+    """Base class for all assertion expressions."""
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        raise NotImplementedError
+
+
+class Term:
+    """Base class for terms (things that evaluate to value sets)."""
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SimpleTerm(Term):
+    """An identifier (a variable if bound, else a constant name), a
+    quoted string, or a number."""
+
+    value: object
+    is_name: bool = True  # False for quoted strings / numbers
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return frozenset({self.value}) if self.is_name else frozenset()
+
+    def __repr__(self) -> str:
+        return str(self.value) if self.is_name else repr(self.value)
+
+
+@dataclass(frozen=True)
+class PathTerm(Term):
+    """Attribute traversal ``base.label`` — evaluates to the set of
+    destinations of matching attribute links (explicit and deduced)."""
+
+    base: Term
+    label: str
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.base.free_variables()
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}.{self.label}"
+
+
+class Atom(Expression):
+    """Base class for atomic formulas."""
+
+
+@dataclass(frozen=True)
+class InAtom(Atom):
+    """``In(t, C)`` — every value of ``t`` is an instance of class C."""
+
+    term: Term
+    class_name: str
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.term.free_variables()
+
+    def __repr__(self) -> str:
+        return f"In({self.term!r}, {self.class_name})"
+
+
+@dataclass(frozen=True)
+class IsaAtom(Atom):
+    """``Isa(c, d)`` — some value of c specialises some value of d."""
+
+    sub: Term
+    sup: Term
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.sub.free_variables() | self.sup.free_variables()
+
+    def __repr__(self) -> str:
+        return f"Isa({self.sub!r}, {self.sup!r})"
+
+
+@dataclass(frozen=True)
+class AttributeAtom(Atom):
+    """``A(x, l, y)`` — an attribute link labelled l connects values of
+    x and y."""
+
+    source: Term
+    label: str
+    destination: Term
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.source.free_variables() | self.destination.free_variables()
+
+    def __repr__(self) -> str:
+        return f"A({self.source!r}, {self.label}, {self.destination!r})"
+
+
+@dataclass(frozen=True)
+class KnownAtom(Atom):
+    """``Known(t)`` — the term evaluates to a non-empty value set."""
+
+    term: Term
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.term.free_variables()
+
+    def __repr__(self) -> str:
+        return f"Known({self.term!r})"
+
+
+@dataclass(frozen=True)
+class Comparison(Atom):
+    """``t1 op t2`` with existential semantics over value sets."""
+
+    op: str  # '=', '!=', '<', '<=', '>', '>='
+    left: Term
+    right: Term
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation of an expression."""
+    operand: Expression
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.operand.free_variables()
+
+    def __repr__(self) -> str:
+        return f"not {self.operand!r}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """``and`` / ``or`` / ``==>`` between two expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        return self.left.free_variables() | self.right.free_variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Quantifier(Expression):
+    """``forall``/``exists`` over bindings ``var/Class``."""
+
+    kind: str  # 'forall' | 'exists'
+    bindings: Tuple[Tuple[str, str], ...]  # (variable, class) pairs
+    body: Expression
+
+    def free_variables(self) -> frozenset:
+        """The free (unbound) identifiers of this node."""
+        bound = frozenset(var for var, _cls in self.bindings)
+        return self.body.free_variables() - bound
+
+    def __repr__(self) -> str:
+        binds = ", ".join(f"{v}/{c}" for v, c in self.bindings)
+        return f"{self.kind} {binds} ({self.body!r})"

@@ -1,0 +1,259 @@
+"""Evaluator for assertion expressions against a proposition processor.
+
+Semantics:
+
+- a :class:`~repro.assertions.ast.SimpleTerm` identifier evaluates to
+  the bound value when the identifier is a bound variable, else to the
+  constant name itself (so class names and individuals can be written
+  bare);
+- a :class:`~repro.assertions.ast.PathTerm` ``t.label`` evaluates to the
+  *set* of destinations of attribute links labelled ``label`` leaving
+  any value of ``t`` — including deduced links, so rule conclusions
+  participate in constraint checking;
+- comparisons hold when *some* pair of values satisfies them
+  (existential reading, the useful one for set-valued attributes);
+- ``In(t, C)`` holds when *every* value of ``t`` is an instance of C
+  (universal reading: typing constraints such as
+  ``In(i.receiver, Person)`` mean all receivers);
+- quantifiers range over class extents (``instances_of``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable
+
+from repro.errors import EvaluationError
+from repro.assertions.ast import (
+    AttributeAtom,
+    BinaryOp,
+    Comparison,
+    Expression,
+    InAtom,
+    IsaAtom,
+    KnownAtom,
+    Not,
+    PathTerm,
+    Quantifier,
+    SimpleTerm,
+    Term,
+)
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Pattern
+
+Bindings = Dict[str, Any]
+
+
+def _comparable(left: Any, right: Any) -> tuple:
+    """Coerce a pair for ordering: numbers compare numerically when both
+    parse, otherwise both compare as strings."""
+    def as_number(value: Any):
+        if isinstance(value, (int, float)):
+            return value
+        try:
+            text = str(value)
+            return float(text) if "." in text else int(text)
+        except (TypeError, ValueError):
+            return None
+
+    lnum, rnum = as_number(left), as_number(right)
+    if lnum is not None and rnum is not None:
+        return (lnum, rnum)
+    return (str(left), str(right))
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Evaluator:
+    """Evaluates assertion expressions over a proposition processor."""
+
+    def __init__(self, processor: PropositionProcessor,
+                 include_deduced: bool = True) -> None:
+        self.processor = processor
+        self.include_deduced = include_deduced
+
+    # -- terms -------------------------------------------------------------
+
+    def eval_term(self, term: Term, env: Bindings) -> FrozenSet[Any]:
+        """The value set of a term under an environment."""
+        if isinstance(term, SimpleTerm):
+            if term.is_name and term.value in env:
+                return frozenset({env[term.value]})
+            return frozenset({term.value})
+        if isinstance(term, PathTerm):
+            values = set()
+            for base in self.eval_term(term.base, env):
+                if not isinstance(base, str):
+                    continue  # numbers have no attributes
+                pattern = Pattern(source=base, label=term.label)
+                for prop in self.processor.retrieve_proposition(
+                    pattern, include_deduced=self.include_deduced
+                ):
+                    if prop.is_link and not prop.is_instanceof and not prop.is_isa:
+                        values.add(prop.destination)
+            return frozenset(values)
+        raise EvaluationError(f"unknown term type {term!r}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def evaluate(self, expr: Expression, env: Bindings | None = None) -> bool:
+        """Truth of an expression under an environment."""
+        return self._eval(expr, dict(env or {}))
+
+    def _eval(self, expr: Expression, env: Bindings) -> bool:
+        if isinstance(expr, Quantifier):
+            return self._eval_quantifier(expr, env)
+        if isinstance(expr, BinaryOp):
+            if expr.op == "and":
+                return self._eval(expr.left, env) and self._eval(expr.right, env)
+            if expr.op == "or":
+                return self._eval(expr.left, env) or self._eval(expr.right, env)
+            if expr.op == "==>":
+                return (not self._eval(expr.left, env)) or self._eval(expr.right, env)
+            raise EvaluationError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, Not):
+            return not self._eval(expr.operand, env)
+        if isinstance(expr, InAtom):
+            values = self.eval_term(expr.term, env)
+            return all(
+                isinstance(v, str) and self.processor.is_instance_of(v, expr.class_name)
+                for v in values
+            )
+        if isinstance(expr, IsaAtom):
+            subs = self.eval_term(expr.sub, env)
+            sups = self.eval_term(expr.sup, env)
+            for sub in subs:
+                if not isinstance(sub, str):
+                    continue
+                ancestors = self.processor.generalizations(sub)
+                if any(sup in ancestors for sup in sups):
+                    return True
+            return False
+        if isinstance(expr, AttributeAtom):
+            sources = self.eval_term(expr.source, env)
+            destinations = self.eval_term(expr.destination, env)
+            for source in sources:
+                if not isinstance(source, str):
+                    continue
+                pattern = Pattern(source=source, label=expr.label)
+                for prop in self.processor.retrieve_proposition(
+                    pattern, include_deduced=self.include_deduced
+                ):
+                    if prop.is_instanceof or prop.is_isa or not prop.is_link:
+                        continue
+                    if prop.destination in destinations:
+                        return True
+            return False
+        if isinstance(expr, KnownAtom):
+            return bool(self.eval_term(expr.term, env))
+        if isinstance(expr, Comparison):
+            op = _OPS[expr.op]
+            lefts = self.eval_term(expr.left, env)
+            rights = self.eval_term(expr.right, env)
+            for left in lefts:
+                for right in rights:
+                    a, b = _comparable(left, right)
+                    try:
+                        if op(a, b):
+                            return True
+                    except TypeError:
+                        continue
+            return False
+        raise EvaluationError(f"unknown expression type {expr!r}")
+
+    def _eval_quantifier(self, expr: Quantifier, env: Bindings) -> bool:
+        def recurse(bindings: tuple, env: Bindings) -> bool:
+            if not bindings:
+                return self._eval(expr.body, env)
+            (var, cls), rest = bindings[0], bindings[1:]
+            extent = sorted(self.processor.instances_of(cls))
+            if expr.kind == "forall":
+                return all(
+                    recurse(rest, {**env, var: value}) for value in extent
+                )
+            return any(recurse(rest, {**env, var: value}) for value in extent)
+
+        return recurse(expr.bindings, env)
+
+    # -- explanation -------------------------------------------------------
+
+    def explain(self, expr: Expression, env: Bindings | None = None,
+                _depth: int = 0) -> str:
+        """An evaluation trace: each sub-expression with its truth value,
+        and for quantifiers the witnesses/counterexamples.
+
+        This is the assertion half of the paper's design explanation
+        facility (§3.3.3): constraints point at first-order expressions,
+        so explaining a violation means showing which sub-formula failed
+        for which binding.
+        """
+        env = dict(env or {})
+        indent = "  " * _depth
+        value = self._eval(expr, env)
+        mark = "✓" if value else "✗"
+        lines = [f"{indent}{mark} {expr!r}"]
+        if isinstance(expr, Quantifier):
+            # show the decisive bindings: counterexamples for forall,
+            # witnesses for exists (at most three of each)
+            shown = 0
+            def bindings_stream(bindings, env):
+                if not bindings:
+                    yield dict(env)
+                    return
+                (var, cls), rest = bindings[0], bindings[1:]
+                for candidate in sorted(self.processor.instances_of(cls)):
+                    yield from bindings_stream(rest, {**env, var: candidate})
+            for candidate_env in bindings_stream(expr.bindings, env):
+                body_value = self._eval(expr.body, candidate_env)
+                decisive = (
+                    not body_value if expr.kind == "forall" else body_value
+                )
+                if decisive and shown < 3:
+                    shown += 1
+                    kind = ("counterexample" if expr.kind == "forall"
+                            else "witness")
+                    bound = {k: v for k, v in candidate_env.items()
+                             if k not in env or env[k] != v}
+                    lines.append(f"{indent}  {kind}: {bound}")
+                    lines.append(
+                        self.explain(expr.body, candidate_env, _depth + 2)
+                    )
+        elif isinstance(expr, BinaryOp):
+            lines.append(self.explain(expr.left, env, _depth + 1))
+            lines.append(self.explain(expr.right, env, _depth + 1))
+        elif isinstance(expr, Not):
+            lines.append(self.explain(expr.operand, env, _depth + 1))
+        elif isinstance(expr, (InAtom, KnownAtom)):
+            values = sorted(map(str, self.eval_term(expr.term, env)))
+            lines.append(f"{indent}  term values: {values}")
+        elif isinstance(expr, Comparison):
+            lefts = sorted(map(str, self.eval_term(expr.left, env)))
+            rights = sorted(map(str, self.eval_term(expr.right, env)))
+            lines.append(f"{indent}  left: {lefts}  right: {rights}")
+        return "\n".join(lines)
+
+    # -- answers ---------------------------------------------------------------
+
+    def satisfying(self, expr: Quantifier, env: Bindings | None = None) -> Iterable[Bindings]:
+        """For an ``exists`` expression, yield the witnessing bindings."""
+        if not isinstance(expr, Quantifier) or expr.kind != "exists":
+            raise EvaluationError("satisfying() requires an exists-quantified expression")
+        env = dict(env or {})
+
+        def recurse(bindings: tuple, env: Bindings):
+            if not bindings:
+                if self._eval(expr.body, env):
+                    yield dict(env)
+                return
+            (var, cls), rest = bindings[0], bindings[1:]
+            for value in sorted(self.processor.instances_of(cls)):
+                yield from recurse(rest, {**env, var: value})
+
+        yield from recurse(expr.bindings, env)

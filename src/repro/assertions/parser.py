@@ -1,0 +1,263 @@
+"""Recursive-descent parser for the assertion language.
+
+Grammar::
+
+    expr        := quantified | implication
+    quantified  := ("forall" | "exists") binding ("," binding)* "(" expr ")"
+    binding     := IDENT "/" IDENT
+    implication := disjunction ("==>" disjunction)?
+    disjunction := conjunction ("or" conjunction)*
+    conjunction := negation ("and" negation)*
+    negation    := "not" negation | primary
+    primary     := "(" expr ")" | atom
+    atom        := "In" "(" term "," IDENT ")"
+                 | "Isa" "(" term "," term ")"
+                 | "A" "(" term "," IDENT "," term ")"
+                 | "Known" "(" term ")"
+                 | term OP term
+    term        := (IDENT | STRING | NUMBER) ("." IDENT)*
+    OP          := "=" | "!=" | "<" | "<=" | ">" | ">="
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import AssertionSyntaxError
+from repro.assertions.ast import (
+    AttributeAtom,
+    BinaryOp,
+    Comparison,
+    Expression,
+    InAtom,
+    IsaAtom,
+    KnownAtom,
+    Not,
+    PathTerm,
+    Quantifier,
+    SimpleTerm,
+    Term,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<implies>==>)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),./])
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"forall", "exists", "and", "or", "not", "true", "false"}
+_ATOM_HEADS = {"In", "Isa", "A", "Known"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise AssertionSyntaxError(
+                f"unexpected character {text[pos]!r}", position=pos
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(("eof", "", pos))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def _peek(self, ahead: int = 0) -> Tuple[str, str, int]:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._tokens[self._index]
+        if token[0] != "eof":
+            self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text, pos = self._advance()
+        if text != value:
+            raise AssertionSyntaxError(
+                f"expected {value!r}, got {text or 'end of input'!r}", position=pos
+            )
+
+    def parse(self) -> Expression:
+        """Parse a complete expression; reject trailing input."""
+        expr = self.expression()
+        kind, text, pos = self._peek()
+        if kind != "eof":
+            raise AssertionSyntaxError(f"trailing input {text!r}", position=pos)
+        return expr
+
+    # -- grammar ---------------------------------------------------------
+
+    def expression(self) -> Expression:
+        """expr := quantified | implication."""
+        kind, text, _pos = self._peek()
+        if kind == "ident" and text in ("forall", "exists"):
+            return self.quantified()
+        return self.implication()
+
+    def quantified(self) -> Expression:
+        """forall/exists with bindings and a body."""
+        _kind, quantifier, _pos = self._advance()
+        bindings = [self.binding()]
+        while self._peek()[1] == ",":
+            self._advance()
+            bindings.append(self.binding())
+        self._expect("(")
+        body = self.expression()
+        self._expect(")")
+        return Quantifier(quantifier, tuple(bindings), body)
+
+    def binding(self) -> Tuple[str, str]:
+        """One ``var/Class`` pair."""
+        kind, var, pos = self._advance()
+        if kind != "ident" or var in _KEYWORDS:
+            raise AssertionSyntaxError(f"expected a variable, got {var!r}", position=pos)
+        self._expect("/")
+        kind, cls, pos = self._advance()
+        if kind != "ident":
+            raise AssertionSyntaxError(f"expected a class name, got {cls!r}", position=pos)
+        return (var, cls)
+
+    def implication(self) -> Expression:
+        """Right side optional: ``a ==> b``."""
+        left = self.disjunction()
+        if self._peek()[0] == "implies":
+            self._advance()
+            right = self.disjunction()
+            return BinaryOp("==>", left, right)
+        return left
+
+    def disjunction(self) -> Expression:
+        """Left-associative ``or`` chain."""
+        left = self.conjunction()
+        while self._peek()[1] == "or":
+            self._advance()
+            left = BinaryOp("or", left, self.conjunction())
+        return left
+
+    def conjunction(self) -> Expression:
+        """Left-associative ``and`` chain."""
+        left = self.negation()
+        while self._peek()[1] == "and":
+            self._advance()
+            left = BinaryOp("and", left, self.negation())
+        return left
+
+    def negation(self) -> Expression:
+        """``not`` prefix chain."""
+        if self._peek()[1] == "not":
+            self._advance()
+            return Not(self.negation())
+        return self.primary()
+
+    def primary(self) -> Expression:
+        """Parenthesised expression, builtin atom, or comparison."""
+        kind, text, _pos = self._peek()
+        if text == "(":
+            # Could be a parenthesised expression OR a term comparison
+            # starting with '('.  Terms never start with '(', so recurse.
+            self._advance()
+            expr = self.expression()
+            self._expect(")")
+            return expr
+        if kind == "ident" and text in _ATOM_HEADS and self._peek(1)[1] == "(":
+            return self.builtin_atom()
+        return self.comparison()
+
+    def builtin_atom(self) -> Expression:
+        """In / Isa / A / Known."""
+        _kind, head, _pos = self._advance()
+        self._expect("(")
+        if head == "In":
+            term = self.term()
+            self._expect(",")
+            kind, cls, pos = self._advance()
+            if kind != "ident":
+                raise AssertionSyntaxError(
+                    f"expected class name in In(), got {cls!r}", position=pos
+                )
+            self._expect(")")
+            return InAtom(term, cls)
+        if head == "Isa":
+            sub = self.term()
+            self._expect(",")
+            sup = self.term()
+            self._expect(")")
+            return IsaAtom(sub, sup)
+        if head == "A":
+            source = self.term()
+            self._expect(",")
+            kind, label, pos = self._advance()
+            if kind not in ("ident", "string"):
+                raise AssertionSyntaxError(
+                    f"expected label in A(), got {label!r}", position=pos
+                )
+            if kind == "string":
+                label = label[1:-1]
+            self._expect(",")
+            destination = self.term()
+            self._expect(")")
+            return AttributeAtom(source, label, destination)
+        # Known
+        term = self.term()
+        self._expect(")")
+        return KnownAtom(term)
+
+    def comparison(self) -> Expression:
+        """``term OP term``."""
+        left = self.term()
+        kind, op, pos = self._peek()
+        if kind != "op":
+            raise AssertionSyntaxError(
+                f"expected a comparison operator after term, got {op!r}",
+                position=pos,
+            )
+        self._advance()
+        right = self.term()
+        return Comparison(op, left, right)
+
+    def term(self) -> Term:
+        """Identifier, literal, or dotted attribute path."""
+        kind, text, pos = self._advance()
+        if kind == "string":
+            base: Term = SimpleTerm(text[1:-1], is_name=False)
+        elif kind == "number":
+            value = float(text) if "." in text else int(text)
+            base = SimpleTerm(value, is_name=False)
+        elif kind == "ident" and text not in _KEYWORDS:
+            base = SimpleTerm(text, is_name=True)
+        else:
+            raise AssertionSyntaxError(f"expected a term, got {text!r}", position=pos)
+        while self._peek()[1] == ".":
+            self._advance()
+            kind, label, pos = self._advance()
+            if kind != "ident":
+                raise AssertionSyntaxError(
+                    f"expected attribute label after '.', got {label!r}", position=pos
+                )
+            base = PathTerm(base, label)
+        return base
+
+
+def parse_assertion(text: str) -> Expression:
+    """Parse an assertion-language expression into its AST."""
+    return _Parser(text).parse()

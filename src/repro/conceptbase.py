@@ -1,0 +1,180 @@
+"""The ConceptBase facade (fig 3-1).
+
+One object exposing the whole conceptual model base management system:
+the proposition processor (with axiom base and consistency checker),
+the object processor (frames, deductive relational view, behaviours),
+the inference engines (rules, prover, assertion evaluation) and the
+model configuration/display level.  The GKBMS builds on the same
+components; this facade makes the kernel adoptable on its own, e.g.::
+
+    cb = ConceptBase()
+    cb.define_metaclass("TDL_EntityClass")
+    cb.tell('''
+        TELL Invitation IN TDL_EntityClass WITH
+          attribute sender : Person
+        END
+    ''')
+    cb.add_rule("attr(?x, informed, ?y) :- attr(?x, sender, ?y).")
+    cb.add_constraint("Invitation", "HasSender", "Known(self.sender)")
+    cb.ask("exists i/Invitation (Known(i.sender))")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.assertions.ast import Quantifier
+from repro.assertions.evaluator import Bindings, Evaluator
+from repro.assertions.parser import parse_assertion
+from repro.consistency.checker import ConsistencyChecker, Violation
+from repro.deduction.kb import RuleEngine
+from repro.deduction.parser import parse_literal
+from repro.models.display.relational_display import RelationalDisplay
+from repro.models.display.text_dag import TextDAGBrowser
+from repro.objects.behaviours import BehaviourBase
+from repro.objects.frame import ObjectFrame
+from repro.objects.object_processor import ObjectProcessor
+from repro.objects.relational import RelationalView
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Proposition
+from repro.propositions.store import PropositionStore
+from repro.timecalc.interval import ALWAYS, Interval
+
+
+class ConceptBase:
+    """The conceptual model base management system, in one object."""
+
+    def __init__(self, store: Optional[PropositionStore] = None) -> None:
+        self.propositions = PropositionProcessor(store=store)
+        self.objects = ObjectProcessor(self.propositions)
+        self.rules = RuleEngine(self.propositions)
+        self.rules.install_hook()
+        self.consistency = ConsistencyChecker(self.propositions)
+        self.behaviours = BehaviourBase(self.propositions)
+        self.view = RelationalView(self.propositions)
+        self._evaluator = Evaluator(self.propositions)
+
+    # ------------------------------------------------------------------
+    # Telling (object processor level)
+    # ------------------------------------------------------------------
+
+    def define_class(self, name: str, isa: Iterable[str] = (),
+                     level: str = "SimpleClass") -> Proposition:
+        """Create a class at an instantiation level, with generalizations."""
+        return self.propositions.define_class(name, level=level, isa=isa)
+
+    def define_metaclass(self, name: str) -> Proposition:
+        """Create a metaclass (its instances are classes)."""
+        return self.propositions.define_class(name, level="MetaClass")
+
+    def tell(self, frames: Union[str, ObjectFrame],
+             time: Interval = ALWAYS) -> List[Proposition]:
+        """Tell one frame or a script of frames."""
+        if isinstance(frames, str) and frames.count("TELL") > 1:
+            return self.objects.tell_all(frames, time=time)
+        return self.objects.tell(frames, time=time)
+
+    def untell(self, name: str) -> List[Proposition]:
+        """Retract an object and everything referencing it."""
+        return self.objects.untell(name)
+
+    def telling(self):
+        """Batched update context (checked as one unit on commit when
+        the consistency hook is installed)."""
+        return self.propositions.telling()
+
+    # ------------------------------------------------------------------
+    # Asking
+    # ------------------------------------------------------------------
+
+    def ask_object(self, name: str) -> ObjectFrame:
+        """The frame grouped around one object identifier."""
+        return self.objects.ask(name)
+
+    def ask(self, assertion: str, env: Optional[Bindings] = None) -> bool:
+        """Evaluate a (closed or environment-bound) assertion."""
+        return self._evaluator.evaluate(parse_assertion(assertion),
+                                        env or {})
+
+    def ask_all(self, assertion: str) -> List[Bindings]:
+        """Witnesses of an ``exists``-quantified assertion."""
+        expr = parse_assertion(assertion)
+        if not isinstance(expr, Quantifier):
+            raise ReproError("ask_all() requires an exists-quantified assertion")
+        return list(self._evaluator.satisfying(expr))
+
+    def query(self, literal: str) -> List[Tuple[Any, ...]]:
+        """Answer a fact-level query (``attr(?x, sender, ?y)``) through
+        the prover, rules included."""
+        prover = self.rules.prover()
+        return prover.answers(parse_literal(literal))
+
+    def instances(self, cls: str, at: Optional[object] = None) -> List[str]:
+        """The extent of a class; with ``at``, the as-of extent."""
+        return sorted(self.propositions.instances_of(cls, at=at))
+
+    # ------------------------------------------------------------------
+    # Rules, constraints, behaviours
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: str, name: Optional[str] = None,
+                 attached_to: str = "Proposition") -> None:
+        """Register a deduction rule (documented as a rule proposition)."""
+        self.rules.add_rule(rule, name=name, attached_to=attached_to)
+
+    def add_constraint(self, cls: str, name: str, text: str) -> None:
+        """Attach a first-order constraint to a class."""
+        self.consistency.attach_constraint(cls, name, text)
+
+    def check(self) -> List[Violation]:
+        """Check every attached constraint over its extent."""
+        return self.consistency.check_all()
+
+    def enforce_on_commit(self) -> None:
+        """Reject inconsistent tellings at commit (set-oriented)."""
+        self.consistency.install_hook()
+
+    def define_behaviour(self, cls: str, name: str, fn) -> None:
+        """Attach a behaviour (method) to a class."""
+        self.behaviours.define(cls, name, fn)
+
+    def invoke(self, name: str, behaviour: str, *args: Any) -> Any:
+        """Run a behaviour on an object (most specific class wins)."""
+        return self.behaviours.invoke(name, behaviour, *args)
+
+    # ------------------------------------------------------------------
+    # Display (model processor level)
+    # ------------------------------------------------------------------
+
+    def display(self, name: str) -> str:
+        """The object's frame rendering (the ``display`` behaviour)."""
+        return self.behaviours.invoke(name, "display")
+
+    def relational_display(self, cls: str, **options) -> str:
+        """Tabular rendering of a class relation (§3.3.1)."""
+        return RelationalDisplay(self.view, **options).render(cls)
+
+    def browse(self, focus: str, direction: str = "specializations",
+               depth: int = 3) -> str:
+        """A text-DAG rendering from ``focus`` along a closure."""
+        proc = self.propositions
+
+        def children(name: str) -> List[str]:
+            if not proc.exists(name):
+                return []
+            if direction == "specializations":
+                return sorted(proc.specializations(name, strict=True))
+            if direction == "generalizations":
+                return sorted(proc.generalizations(name, strict=True))
+            if direction == "instances":
+                return sorted(proc.instances_of(name, direct=True))
+            raise ReproError(f"unknown browse direction {direction!r}")
+
+        return TextDAGBrowser(children=children, depth=depth).render(focus)
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Census of the proposition base by proposition kind."""
+        return self.propositions.summary()

@@ -1,0 +1,23 @@
+"""Consistency checking (S6).
+
+Section 3.1: "After executing a decision, the knowledge base must be in
+a consistent state (satisfying all the axioms of CML and the constraints
+imposed on certain objects in the knowledge base).  This is verified by
+a Consistency Checker [...] Since a whole set of operations is passed to
+the proposition processor, set-oriented optimization of the consistency
+check is being studied."
+
+:class:`~repro.consistency.checker.ConsistencyChecker` attaches
+first-order constraints (assertion-language expressions) to classes as
+*constraint propositions*, checks instances against them — per updated
+proposition, or set-oriented over a whole batch — and can hook into the
+processor's commit path so every telling is verified as a unit.
+"""
+
+from repro.consistency.checker import (
+    ConsistencyChecker,
+    ConstraintDef,
+    Violation,
+)
+
+__all__ = ["ConsistencyChecker", "ConstraintDef", "Violation"]

@@ -1,0 +1,252 @@
+"""Constraint propositions and the consistency checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ConsistencyError
+from repro.assertions.ast import Expression
+from repro.assertions.evaluator import Evaluator
+from repro.assertions.parser import parse_assertion
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Proposition
+
+#: The distinguished free variable bound to each checked instance.
+SELF = "self"
+
+
+@dataclass(frozen=True)
+class ConstraintDef:
+    """A named constraint attached to a class.
+
+    ``expression`` may use the free variable ``self`` (checked once per
+    instance of the class) or be closed (checked once whenever any
+    instance of the class is touched).
+    """
+
+    name: str
+    attached_to: str
+    expression: Expression
+    source: str
+
+    @property
+    def per_instance(self) -> bool:
+        """Uses the free variable ``self``?"""
+        return SELF in self.expression.free_variables()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint failure, pointing at the violating instance."""
+
+    constraint: str
+    attached_to: str
+    instance: Optional[str]
+
+    def __repr__(self) -> str:
+        subject = self.instance if self.instance is not None else "<global>"
+        return f"Violation({self.constraint} on {subject})"
+
+
+@dataclass
+class CheckStats:
+    """Counters for the set-oriented vs per-proposition comparison."""
+
+    evaluations: int = 0
+    instances_checked: int = 0
+    batches: int = 0
+
+
+class ConsistencyChecker:
+    """Evaluates class constraints over instances.
+
+    ``set_oriented=True`` (the default, and the paper's direction of
+    study) deduplicates (constraint, instance) pairs across a whole
+    batch of updates before evaluating; ``set_oriented=False`` naively
+    re-evaluates per updated proposition, which is the ablation measured
+    by benchmark Perf-2.
+    """
+
+    def __init__(
+        self,
+        processor: PropositionProcessor,
+        set_oriented: bool = True,
+        include_deduced: bool = True,
+    ) -> None:
+        self.processor = processor
+        self.set_oriented = set_oriented
+        self.evaluator = Evaluator(processor, include_deduced=include_deduced)
+        self._constraints: Dict[str, ConstraintDef] = {}
+        self._by_class: Dict[str, List[str]] = {}
+        self.stats = CheckStats()
+
+    # ------------------------------------------------------------------
+    # Constraint management
+    # ------------------------------------------------------------------
+
+    def attach_constraint(
+        self, cls: str, name: str, text: str, document: bool = True
+    ) -> ConstraintDef:
+        """Attach a constraint to ``cls`` and document it in the base as
+        a constraint proposition pointing at an assertion object."""
+        if name in self._constraints:
+            raise ConsistencyError(name, [f"duplicate constraint name {name!r}"])
+        definition = ConstraintDef(name, cls, parse_assertion(text), text)
+        self._constraints[name] = definition
+        self._by_class.setdefault(cls, []).append(name)
+        if document:
+            holder = f"Assertion_{name}"
+            if not self.processor.exists(holder):
+                self.processor.tell_individual(holder, in_class="AssertionObject")
+            self.processor.tell_link(
+                cls, "constraint", holder, of_class="ConstraintAttribute"
+            )
+        return definition
+
+    def constraints(self) -> Dict[str, ConstraintDef]:
+        """All attached constraints by name."""
+        return dict(self._constraints)
+
+    def drop_constraint(self, name: str) -> None:
+        """Detach a constraint by name."""
+        definition = self._constraints.pop(name, None)
+        if definition is None:
+            raise ConsistencyError(name, ["unknown constraint"])
+        self._by_class[definition.attached_to].remove(name)
+
+    def constraints_for(self, cls: str) -> List[ConstraintDef]:
+        """Constraints attached to ``cls`` or any of its generalizations
+        (constraints are inherited down the isa hierarchy)."""
+        names: List[str] = []
+        for sup in sorted(self.processor.generalizations(cls)):
+            names.extend(self._by_class.get(sup, ()))
+        return [self._constraints[n] for n in names]
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, definition: ConstraintDef, instance: Optional[str]) -> Optional[Violation]:
+        self.stats.evaluations += 1
+        env = {SELF: instance} if definition.per_instance else {}
+        if self.evaluator.evaluate(definition.expression, env):
+            return None
+        return Violation(definition.name, definition.attached_to, instance)
+
+    def check_instance(self, instance: str) -> List[Violation]:
+        """Check every constraint applicable to ``instance``."""
+        violations: List[Violation] = []
+        self.stats.instances_checked += 1
+        for cls in sorted(self.processor.classes_of(instance)):
+            for definition in self._by_class_direct(cls):
+                subject = instance if definition.per_instance else None
+                violation = self._evaluate(definition, subject)
+                if violation is not None:
+                    violations.append(violation)
+        return violations
+
+    def _by_class_direct(self, cls: str) -> List[ConstraintDef]:
+        return [self._constraints[n] for n in self._by_class.get(cls, ())]
+
+    def check_class(self, cls: str) -> List[Violation]:
+        """Check all constraints of ``cls`` over its current extent."""
+        violations: List[Violation] = []
+        definitions = self.constraints_for(cls)
+        if not definitions:
+            return violations
+        extent = sorted(self.processor.instances_of(cls))
+        for definition in definitions:
+            if definition.per_instance:
+                for instance in extent:
+                    self.stats.instances_checked += 1
+                    violation = self._evaluate(definition, instance)
+                    if violation is not None:
+                        violations.append(violation)
+            else:
+                violation = self._evaluate(definition, None)
+                if violation is not None:
+                    violations.append(violation)
+        return violations
+
+    def check_all(self) -> List[Violation]:
+        """Check every attached constraint over its class extent."""
+        violations: List[Violation] = []
+        for cls in list(self._by_class):
+            for definition in self._by_class_direct(cls):
+                if definition.per_instance:
+                    for instance in sorted(self.processor.instances_of(cls)):
+                        self.stats.instances_checked += 1
+                        violation = self._evaluate(definition, instance)
+                        if violation is not None:
+                            violations.append(violation)
+                else:
+                    violation = self._evaluate(definition, None)
+                    if violation is not None:
+                        violations.append(violation)
+        return violations
+
+    # ------------------------------------------------------------------
+    # Batch (set-oriented) checking
+    # ------------------------------------------------------------------
+
+    def _affected_instances(self, prop: Proposition) -> Set[str]:
+        if prop.is_individual:
+            return {prop.pid}
+        affected = {prop.source}
+        if not prop.is_instanceof and not prop.is_isa:
+            affected.add(prop.destination)
+        return affected
+
+    def check_batch(self, props: Iterable[Proposition]) -> List[Violation]:
+        """Check the instances affected by a batch of new propositions.
+
+        Set-oriented mode deduplicates (constraint, instance) pairs over
+        the whole batch; the naive mode evaluates per proposition, doing
+        redundant work proportional to batch overlap.
+        """
+        self.stats.batches += 1
+        props = list(props)
+        if self.set_oriented:
+            affected: Set[str] = set()
+            for prop in props:
+                affected |= self._affected_instances(prop)
+            seen: Set[Tuple[str, Optional[str]]] = set()
+            violations: List[Violation] = []
+            for instance in sorted(affected):
+                if not self.processor.exists(instance):
+                    continue
+                self.stats.instances_checked += 1
+                for cls in sorted(self.processor.classes_of(instance)):
+                    for definition in self._by_class_direct(cls):
+                        subject = instance if definition.per_instance else None
+                        key = (definition.name, subject)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        violation = self._evaluate(definition, subject)
+                        if violation is not None:
+                            violations.append(violation)
+            return violations
+        violations = []
+        for prop in props:
+            for instance in sorted(self._affected_instances(prop)):
+                if self.processor.exists(instance):
+                    violations.extend(self.check_instance(instance))
+        return violations
+
+    # ------------------------------------------------------------------
+    # Commit hook
+    # ------------------------------------------------------------------
+
+    def install_hook(self, raise_on_violation: bool = True) -> None:
+        """Verify every committed telling as one batch."""
+
+        def listener(props: List[Proposition]) -> None:
+            violations = self.check_batch(props)
+            if violations and raise_on_violation:
+                raise ConsistencyError(
+                    violations[0].constraint, violations
+                )
+
+        self.processor.on_commit(listener)

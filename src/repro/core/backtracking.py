@@ -1,0 +1,144 @@
+"""Selective backtracking of design decisions (section 2.1, fig 2-4).
+
+"Therefore, the decision to choose associative keys must be retracted,
+together with all its consequent changes, without redoing all the rest
+of the design; supporting this consistent, selective backtracking is
+the main purpose of introducing the explicit documentation of design
+decisions and dependencies."
+
+The algorithm: compute the *consequent closure* of the target decision
+(later decisions consuming any object it produced, transitively), then
+undo the closure newest-first.  Undoing a decision removes the design
+objects it created from the knowledge base and (through the tool's undo
+function) from the language-level artefact stores; the decision record
+itself is kept, marked retracted — ex-post documentation survives, as
+the paper's versioning story (fig 3-4) requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.errors import BacktrackError
+from repro.core.decisions import DecisionEngine, DecisionRecord
+
+
+@dataclass
+class BacktrackReport:
+    """What a selective backtrack did."""
+
+    target: str
+    retracted_decisions: List[str] = field(default_factory=list)
+    retracted_objects: List[str] = field(default_factory=list)
+    surviving_decisions: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"BacktrackReport(target={self.target!r}, "
+            f"decisions={self.retracted_decisions}, "
+            f"objects={len(self.retracted_objects)} object(s))"
+        )
+
+
+class Backtracker:
+    """Selective, consistent retraction of decisions + consequences."""
+
+    def __init__(self, gkbms) -> None:
+        self.gkbms = gkbms
+        self.engine: DecisionEngine = gkbms.decisions
+
+    # ------------------------------------------------------------------
+
+    def consequents(self, did: str) -> List[str]:
+        """Decision ids that must fall together with ``did``, in
+        execution order (excluding ``did`` itself).
+
+        A later decision is a consequent when one of its inputs is an
+        output of ``did`` or of an already-condemned consequent.
+        """
+        if did not in self.engine.records:
+            raise BacktrackError(f"unknown decision {did!r}")
+        condemned_outputs: Set[str] = set(self.engine.records[did].all_outputs())
+        condemned: List[str] = []
+        start = self.engine.order.index(did)
+        for later_did in self.engine.order[start + 1:]:
+            record = self.engine.records[later_did]
+            if record.is_retracted:
+                continue
+            if set(record.inputs.values()) & condemned_outputs:
+                condemned.append(later_did)
+                condemned_outputs |= set(record.all_outputs())
+        return condemned
+
+    def retract(self, did: str) -> BacktrackReport:
+        """Selectively backtrack decision ``did`` and its consequents."""
+        target = self.engine.records.get(did)
+        if target is None:
+            raise BacktrackError(f"unknown decision {did!r}")
+        if target.is_retracted:
+            raise BacktrackError(f"decision {did!r} is already retracted")
+        condemned = self.consequents(did) + [did]
+        report = BacktrackReport(target=did)
+        # newest first, so inputs of earlier condemned decisions still
+        # exist while their consumers are being undone
+        for victim_did in sorted(
+            condemned, key=self.engine.order.index, reverse=True
+        ):
+            record = self.engine.records[victim_did]
+            self._undo(record, report)
+        report.retracted_decisions.reverse()
+        report.surviving_decisions = [
+            r.did for r in self.engine.active_records()
+        ]
+        return report
+
+    def _undo(self, record: DecisionRecord, report: BacktrackReport) -> None:
+        tick = self.gkbms.tick()
+        tool = self.engine.tools.get(record.tool) if record.tool else None
+        if tool is not None and tool.undo is not None:
+            tool.undo(self.gkbms, record)
+        else:
+            self._default_undo(record)
+        proc = self.gkbms.processor
+        for name in record.all_outputs():
+            if proc.exists(name):
+                removed = proc.retract(name)
+                report.retracted_objects.extend(p.pid for p in removed)
+        record.status = "retracted"
+        record.retracted_at = tick
+        if proc.exists(record.did):
+            proc.tell_instanceof(record.did, "RetractedDecision")
+        report.retracted_decisions.append(record.did)
+
+    def _default_undo(self, record: DecisionRecord) -> None:
+        """Remove produced artefacts from the language-level stores."""
+        module = getattr(self.gkbms, "module", None)
+        if module is None:
+            return
+        for name in record.all_outputs():
+            try:
+                module.remove(name)
+            except Exception:
+                pass  # not a module-level artefact
+
+    # ------------------------------------------------------------------
+
+    def retract_for_assumption(self, assumption: str) -> List[BacktrackReport]:
+        """Backtrack every active decision resting on ``assumption`` —
+        the fig 2-4 situation: mapping Minutes invalidates the 'only
+        invitations are papers' assumption behind the key decision."""
+        victims = [
+            record.did
+            for record in self.engine.active_records()
+            if assumption in record.assumptions
+        ]
+        if not victims:
+            raise BacktrackError(
+                f"no active decision rests on assumption {assumption!r}"
+            )
+        reports = []
+        for did in victims:
+            if not self.engine.records[did].is_retracted:
+                reports.append(self.retract(did))
+        return reports

@@ -1,0 +1,27 @@
+"""Group decision support (S19, section 3.3.3 / [HI88]).
+
+"In [HI88], we develop a proposal for enhancing the above mentioned RMS
+with mechanisms for multicriteria choice support, argumentation on
+derivation decisions, and explicit group work organization in an
+object-oriented context."
+
+- :mod:`repro.core.group.argumentation` — IBIS-style issues, positions
+  and arguments attached to design decisions, stored in the knowledge
+  base like everything else;
+- :mod:`repro.core.group.choice` — multicriteria choice support
+  (weighted scoring + dominance analysis) for selecting among decision
+  alternatives, e.g. move-down vs distribute.
+"""
+
+from repro.core.group.argumentation import Argument, ArgumentationBase, Issue, Position
+from repro.core.group.choice import Alternative, ChoiceProblem, Criterion
+
+__all__ = [
+    "Argument",
+    "ArgumentationBase",
+    "Issue",
+    "Position",
+    "Alternative",
+    "ChoiceProblem",
+    "Criterion",
+]

@@ -1,0 +1,152 @@
+"""Multicriteria choice support for decision alternatives.
+
+Supports the selection among alternative decision classes or
+parameterisations (move-down vs distribute, surrogate vs associative
+keys) by simple additive weighting over named criteria, plus dominance
+analysis: a dominated alternative can be discarded regardless of
+weights, which is the robust part of the recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GKBMSError
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """A named criterion with a weight; higher scores are better."""
+
+    name: str
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise GKBMSError(f"criterion {self.name!r} has negative weight")
+
+
+@dataclass
+class Alternative:
+    """A candidate (e.g. a decision class) with per-criterion scores."""
+
+    name: str
+    scores: Dict[str, float] = field(default_factory=dict)
+    decision_class: Optional[str] = None
+
+    def score_for(self, criterion: str) -> float:
+        """The score on one criterion (0 when unset)."""
+        return self.scores.get(criterion, 0.0)
+
+
+class ChoiceProblem:
+    """A multicriteria selection among alternatives."""
+
+    def __init__(self, criteria: List[Criterion]) -> None:
+        if not criteria:
+            raise GKBMSError("a choice problem needs at least one criterion")
+        names = [c.name for c in criteria]
+        if len(names) != len(set(names)):
+            raise GKBMSError("duplicate criterion names")
+        self.criteria = list(criteria)
+        self.alternatives: List[Alternative] = []
+
+    def add_alternative(self, alternative: Alternative) -> Alternative:
+        """Register a candidate (validated)."""
+        if any(a.name == alternative.name for a in self.alternatives):
+            raise GKBMSError(f"duplicate alternative {alternative.name!r}")
+        unknown = set(alternative.scores) - {c.name for c in self.criteria}
+        if unknown:
+            raise GKBMSError(
+                f"alternative {alternative.name!r} scores unknown "
+                f"criteria {sorted(unknown)}"
+            )
+        self.alternatives.append(alternative)
+        return alternative
+
+    # ------------------------------------------------------------------
+
+    def total(self, alternative: Alternative) -> float:
+        """Weighted additive total of one alternative."""
+        return sum(
+            criterion.weight * alternative.score_for(criterion.name)
+            for criterion in self.criteria
+        )
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Alternatives by weighted total, best first."""
+        ranked = sorted(
+            self.alternatives,
+            key=lambda a: (-self.total(a), a.name),
+        )
+        return [(a.name, self.total(a)) for a in ranked]
+
+    def best(self) -> Alternative:
+        """Highest weighted total (ties by name)."""
+        if not self.alternatives:
+            raise GKBMSError("no alternatives to choose from")
+        return max(
+            self.alternatives,
+            key=lambda a: (self.total(a), a.name),
+        )
+
+    # ------------------------------------------------------------------
+
+    def dominates(self, left: Alternative, right: Alternative) -> bool:
+        """``left`` is at least as good everywhere and better somewhere."""
+        at_least = all(
+            left.score_for(c.name) >= right.score_for(c.name)
+            for c in self.criteria
+        )
+        strictly = any(
+            left.score_for(c.name) > right.score_for(c.name)
+            for c in self.criteria
+        )
+        return at_least and strictly
+
+    def dominated(self) -> List[str]:
+        """Alternatives dominated by some other alternative."""
+        out = []
+        for candidate in self.alternatives:
+            if any(
+                self.dominates(other, candidate)
+                for other in self.alternatives
+                if other is not candidate
+            ):
+                out.append(candidate.name)
+        return sorted(out)
+
+    def pareto_front(self) -> List[str]:
+        """Alternatives not dominated by any other."""
+        dominated = set(self.dominated())
+        return sorted(
+            a.name for a in self.alternatives if a.name not in dominated
+        )
+
+    def sensitivity(self, criterion: str) -> Dict[str, float]:
+        """Totals when one criterion's weight is zeroed — a quick test
+        of how load-bearing that criterion is for the ranking."""
+        if criterion not in {c.name for c in self.criteria}:
+            raise GKBMSError(f"unknown criterion {criterion!r}")
+        return {
+            a.name: self.total(a)
+            - next(c.weight for c in self.criteria if c.name == criterion)
+            * a.score_for(criterion)
+            for a in self.alternatives
+        }
+
+    def report(self) -> str:
+        """Tabular ranking + pareto front."""
+        lines = ["alternative        total  " + "  ".join(
+            c.name for c in self.criteria
+        )]
+        for name, total in self.ranking():
+            alternative = next(a for a in self.alternatives if a.name == name)
+            scores = "  ".join(
+                f"{alternative.score_for(c.name):g}" for c in self.criteria
+            )
+            lines.append(f"{name:<18} {total:6.2f}  {scores}")
+        front = self.pareto_front()
+        lines.append(f"pareto front: {', '.join(front)}")
+        return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The mapping assistants (S13): TaxisDL to DBPL.
+
+Section 2.1 names the strategies: "There are several possible mapping
+strategies [BGM85, WEDD87]: distribute would generate one relation per
+TaxisDL entity class, whereas move-down only generates relations for
+leaves of the hierarchy and represents the other ones by views (called
+constructors in DBPL)."  Plus the two follow-up assistants the scenario
+exercises: normalisation of set-valued attributes and key substitution.
+
+Every assistant is packaged as a :class:`~repro.core.tools.ToolSpec`
+apply/undo pair by :func:`standard_tools`, and the matching decision
+classes by :func:`standard_decision_classes`.
+"""
+
+from repro.core.mapping.strategies import (
+    distribute_apply,
+    mapping_undo,
+    move_down_apply,
+    relation_name_for,
+)
+from repro.core.mapping.normalize import normalize_apply, normalize_undo
+from repro.core.mapping.keys import key_substitution_apply, key_substitution_undo
+from repro.core.mapping.registry import standard_decision_classes, standard_tools
+
+__all__ = [
+    "distribute_apply",
+    "mapping_undo",
+    "move_down_apply",
+    "relation_name_for",
+    "normalize_apply",
+    "normalize_undo",
+    "key_substitution_apply",
+    "key_substitution_undo",
+    "standard_decision_classes",
+    "standard_tools",
+]

@@ -1,0 +1,197 @@
+"""Standard tools and decision classes of the first GKBMS prototype.
+
+Section 2.2: "In its first prototype, the GKBMS provides a preliminary
+set of rather general design decision classes such as mapping /
+refinement.  This kernel knowledge will then be extended based on
+improved tool assistants and experience gained during the DAIDA
+project."
+
+The hierarchy installed here mirrors fig 3-3: a most-general
+``DBPL_MappingDec`` (executable manually with an editor), below it
+``TDL_MappingDec`` with the two strategy specialisations, and the
+refinement/choice decisions ``DecNormalize`` and ``DecKeySubstitution``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.decisions import DecisionClass
+from repro.core.tools import ToolSpec
+from repro.core.mapping.strategies import (
+    distribute_apply,
+    mapping_undo,
+    move_down_apply,
+)
+from repro.core.mapping.normalize import normalize_apply, normalize_undo
+from repro.core.mapping.keys import key_substitution_apply, key_substitution_undo
+from repro.core.mapping.transactions import (
+    map_transaction_apply,
+    map_transaction_undo,
+)
+from repro.core.mapping.single_relation import single_relation_apply
+
+
+def standard_tools() -> List[ToolSpec]:
+    """The tool specifications of the prototype's kernel knowledge."""
+    return [
+        ToolSpec(
+            name="TDLEditor",
+            description="plain editor; aids manual execution of any "
+                        "mapping decision, guarantees nothing",
+            automation="manual",
+        ),
+        ToolSpec(
+            name="MoveDownMapper",
+            description="maps a TaxisDL hierarchy to leaf relations plus "
+                        "constructors for the non-leaves",
+            automation="semi-automatic",
+            guarantees=frozenset({"OutputsWellTyped"}),
+            apply=move_down_apply,
+            undo=mapping_undo,
+        ),
+        ToolSpec(
+            name="DistributeMapper",
+            description="maps a TaxisDL hierarchy to one relation per "
+                        "class with isa selectors",
+            automation="semi-automatic",
+            guarantees=frozenset({"OutputsWellTyped"}),
+            apply=distribute_apply,
+            undo=mapping_undo,
+        ),
+        ToolSpec(
+            name="Normalizer",
+            description="splits a set-valued field into base + detail "
+                        "relations with referential integrity",
+            automation="automatic",
+            guarantees=frozenset({"OutputsWellTyped", "RelationsNormalized"}),
+            apply=normalize_apply,
+            undo=normalize_undo,
+        ),
+        ToolSpec(
+            name="SingleRelationMapper",
+            description="maps a whole hierarchy onto one discriminated "
+                        "universal relation with per-class views",
+            automation="semi-automatic",
+            guarantees=frozenset({"OutputsWellTyped"}),
+            apply=single_relation_apply,
+            undo=mapping_undo,
+        ),
+        ToolSpec(
+            name="TransactionMapper",
+            description="generates DBPL transaction skeletons from "
+                        "TaxisDL transaction classes",
+            automation="semi-automatic",
+            guarantees=frozenset({"OutputsWellTyped"}),
+            apply=map_transaction_apply,
+            undo=map_transaction_undo,
+        ),
+        ToolSpec(
+            name="KeySubstituter",
+            description="replaces a surrogate key by an associative key "
+                        "and cascades to selectors/constructors",
+            automation="semi-automatic",
+            guarantees=frozenset({"OutputsWellTyped"}),
+            apply=key_substitution_apply,
+            undo=key_substitution_undo,
+        ),
+    ]
+
+
+def standard_decision_classes() -> List[DecisionClass]:
+    """The preliminary decision class hierarchy (fig 3-3)."""
+    return [
+        DecisionClass(
+            name="DBPL_MappingDec",
+            description="most general decision: produce DBPL objects "
+                        "from design objects (manual execution by editor)",
+            inputs=(("source", "TDL_Object"),),
+            outputs=(("result", "DBPL_Object"),),
+            tools=("TDLEditor",),
+            kind="mapping",
+        ),
+        DecisionClass(
+            name="TDL_MappingDec",
+            description="map a TaxisDL entity hierarchy to DBPL",
+            inputs=(("hierarchy", "TDL_EntityClass"),),
+            outputs=(("relations", "DBPL_Rel"),
+                     ("constructors", "DBPL_Constructor")),
+            isa=("DBPL_MappingDec",),
+            tools=("TDLEditor",),
+            kind="mapping",
+        ),
+        DecisionClass(
+            name="DecMoveDown",
+            description="move-down: relations for leaves only, views for "
+                        "the upper classes",
+            inputs=(("hierarchy", "TDL_EntityClass"),),
+            outputs=(("relations", "DBPL_Rel"),
+                     ("constructors", "DBPL_Constructor")),
+            obligations=(("OutputsWellTyped", None),),
+            isa=("TDL_MappingDec",),
+            tools=("MoveDownMapper", "TDLEditor"),
+            kind="mapping",
+        ),
+        DecisionClass(
+            name="DecDistribute",
+            description="distribute: one relation per entity class",
+            inputs=(("hierarchy", "TDL_EntityClass"),),
+            outputs=(("relations", "DBPL_Rel"),
+                     ("constructors", "DBPL_Constructor"),
+                     ("selectors", "DBPL_Selector")),
+            obligations=(("OutputsWellTyped", None),),
+            isa=("TDL_MappingDec",),
+            tools=("DistributeMapper", "TDLEditor"),
+            kind="mapping",
+        ),
+        DecisionClass(
+            name="DecNormalize",
+            description="normalize a relation with a set-valued field",
+            inputs=(("relation", "DBPL_Rel"),),
+            outputs=(("relations", "NormalizedDBPL_Rel"),
+                     ("selector", "DBPL_Selector"),
+                     ("constructor", "DBPL_Constructor"),
+                     ("revised", "DBPL_Object")),
+            obligations=(
+                ("RelationsNormalized", None),
+                ("KeysCorrect", None),
+            ),
+            isa=("DBPL_MappingDec",),
+            tools=("Normalizer", "TDLEditor"),
+            kind="refinement",
+        ),
+        DecisionClass(
+            name="DecSingleRelation",
+            description="single-relation: one universal relation with a "
+                        "type discriminator, views per class",
+            inputs=(("hierarchy", "TDL_EntityClass"),),
+            outputs=(("relations", "DBPL_Rel"),
+                     ("constructors", "DBPL_Constructor")),
+            obligations=(("OutputsWellTyped", None),),
+            isa=("TDL_MappingDec",),
+            tools=("SingleRelationMapper", "TDLEditor"),
+            kind="mapping",
+        ),
+        DecisionClass(
+            name="DecMapTransaction",
+            description="map a TaxisDL transaction class to a DBPL "
+                        "transaction program skeleton",
+            inputs=(("transaction", "TDL_TransactionClass"),),
+            outputs=(("program", "DBPL_Transaction"),),
+            obligations=(("OutputsWellTyped", None),),
+            isa=("DBPL_MappingDec",),
+            tools=("TransactionMapper", "TDLEditor"),
+            kind="mapping",
+        ),
+        DecisionClass(
+            name="DecKeySubstitution",
+            description="replace a surrogate key by an associative key "
+                        "(creates an alternative implementation version)",
+            inputs=(("relation", "NormalizedDBPL_Rel"),),
+            outputs=(("revised", "DBPL_Object"),),
+            obligations=(("KeysCorrect", None),),
+            isa=("DBPL_MappingDec",),
+            tools=("KeySubstituter", "TDLEditor"),
+            kind="choice",
+        ),
+    ]

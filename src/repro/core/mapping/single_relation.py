@@ -1,0 +1,81 @@
+"""Single-relation mapping strategy.
+
+The third classical option from the design-tool literature the paper
+cites ([BGM85]): map the *whole* generalization hierarchy onto one
+universal relation with a type discriminator.  Attributes not defined
+for a row's class stay null; per-class views select on the
+discriminator and project the class's attributes back out.
+
+Trade-offs against move-down/distribute (captured as criteria in the
+multicriteria choice example): no joins or unions for any query, but
+wide rows, null-heavy storage, and weaker typing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import DecisionError
+from repro.languages.dbpl.ast import (
+    ConstructorDecl,
+    Field,
+    Project,
+    RelationDecl,
+    RelationRef,
+    Select,
+    Union,
+)
+from repro.languages.taxisdl.ast import TDLModel
+
+
+def single_relation_apply(gkbms, inputs: Dict[str, str],
+                          params: Dict) -> Dict[str, List[str]]:
+    """Map the hierarchy rooted at ``inputs['hierarchy']`` onto one
+    discriminated universal relation."""
+    root = inputs["hierarchy"]
+    design: TDLModel = gkbms.design
+    key_attr = params.get("key_attr", "paperkey")
+    type_attr = params.get("type_attr", "kind")
+    classes = sorted(design.subclasses(root, strict=False))
+    if not classes:
+        raise DecisionError(f"unknown hierarchy {root!r}")
+
+    # the universal heading: key + discriminator + every attribute
+    fields = [Field(key_attr, "Surrogate"), Field(type_attr, "STRING")]
+    seen = {key_attr, type_attr}
+    for cls in classes:
+        for attr in design.all_attributes(cls):
+            if attr.name in seen:
+                continue
+            seen.add(attr.name)
+            type_name = (
+                f"SET OF {attr.target}" if attr.set_valued else attr.target
+            )
+            fields.append(Field(attr.name, type_name))
+    rel_name = params.get("name", f"{root}AllRel")
+    decl = RelationDecl(rel_name, fields, key=(key_attr,), of_type=root)
+    gkbms.add_artifact(decl, kb_class="DBPL_Rel", mapped_from=root)
+
+    # one view per class: select the class's (or its leaves') rows and
+    # project its attributes
+    constructors: List[str] = []
+    for cls in classes:
+        concrete = design.leaves(cls) or [cls]
+        parts = [
+            Select(RelationRef(rel_name), ((type_attr, leaf),))
+            for leaf in sorted(set(concrete) | {cls})
+        ]
+        expr = parts[0]
+        for part in parts[1:]:
+            expr = Union(expr, part)
+        columns = (key_attr,) + tuple(
+            a.name for a in design.all_attributes(cls)
+        )
+        cons_name = f"Only{cls}"
+        gkbms.add_artifact(
+            ConstructorDecl(cons_name, Project(expr, columns)),
+            kb_class="DBPL_Constructor",
+            mapped_from=cls,
+        )
+        constructors.append(cons_name)
+    return {"relations": [rel_name], "constructors": constructors}

@@ -1,0 +1,125 @@
+"""The GKBMS conceptual process model (figs 2-5, 2-6, 3-3).
+
+Section 3.2: "At the conceptual level, the GKBMS introduces metaclasses
+to express design object and design decision classes.  Formally,
+metaclass DesignDecision provides the expressive facilities to build
+design decision classes upon input (FROM) and output (TO) relationships
+[...]  Attributes of concrete decision classes must be instances of
+these properties."
+
+And section 2.2 (fig 2-6): tool associations are ``BY`` links; at the
+instance level the small-letter links ``from`` / ``to`` / ``by`` must be
+instances of the class-level capitals — the instantiation principle the
+kernel's ``attribute_typing`` axiom enforces for free.
+
+The module also installs the *design object class* layer used by the
+scenario: the abstract-syntax classes of the three DAIDA languages
+(``TDL_EntityClass``, ``DBPL_Rel``, ``NormalizedDBPL_Rel``, ...), each
+an instance of ``DesignObject``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Proposition
+
+#: The three conceptual-process metaclasses.
+METACLASSES = ("DesignObject", "DesignDecision", "DesignTool")
+
+#: Attribute metaclasses (capital-letter links of fig 2-6 / fig 3-3).
+LINK_METACLASSES = {
+    # pid               source            label            destination
+    "FROM": ("DesignDecision", "FROM", "DesignObject"),
+    "TO": ("DesignDecision", "TO", "DesignObject"),
+    "BY": ("DesignDecision", "BY", "DesignTool"),
+    "PART": ("DesignDecision", "PART", "DesignDecision"),
+    "JUSTIFICATION": ("DesignObject", "JUSTIFICATION", "DesignDecision"),
+    "SOURCE": ("DesignObject", "SOURCE", "ExternalSource"),
+}
+
+#: Design object classes for the DAIDA language levels, as
+#: (name, isa-parents).  All are instances of DesignObject.
+LANGUAGE_OBJECT_CLASSES = (
+    # CML / requirements level
+    ("CML_Object", ()),
+    ("CML_WorldClass", ("CML_Object",)),
+    ("CML_SystemClass", ("CML_Object",)),
+    ("CML_Activity", ("CML_Object",)),
+    # TaxisDL / design level
+    ("TDL_Object", ()),
+    ("TDL_EntityClass", ("TDL_Object",)),
+    ("TDL_TransactionClass", ("TDL_Object",)),
+    ("TDL_Script", ("TDL_Object",)),
+    # DBPL / implementation level
+    ("DBPL_Object", ()),
+    ("DBPL_Rel", ("DBPL_Object",)),
+    ("NormalizedDBPL_Rel", ("DBPL_Rel",)),
+    ("DBPL_Selector", ("DBPL_Object",)),
+    ("DBPL_Constructor", ("DBPL_Object",)),
+    ("DBPL_Transaction", ("DBPL_Object",)),
+    ("DBPL_Module", ("DBPL_Object",)),
+)
+
+#: Status / life-cycle levels for navigation (section 3.3.1).
+LEVEL_OF_CLASS = {
+    "CML_Object": "requirements",
+    "TDL_Object": "design",
+    "DBPL_Object": "implementation",
+}
+
+
+def install_gkbms_metamodel(proc: PropositionProcessor) -> List[Proposition]:
+    """Install the conceptual process model into ``proc``.
+
+    Idempotent: installing twice is a no-op.  Returns the created
+    propositions.
+    """
+    created: List[Proposition] = []
+    if proc.exists("DesignObject"):
+        return created
+
+    # -- metaclass layer ---------------------------------------------------
+    for name in METACLASSES:
+        created.append(proc.define_class(name, level="MetaClass"))
+    created.append(proc.define_class("ExternalSource", level="SimpleClass"))
+    created.append(proc.define_class("Assumption", level="SimpleClass"))
+    created.append(proc.define_class("ProofObligation", level="SimpleClass"))
+    created.append(proc.define_class("RetractedDecision", level="SimpleClass"))
+
+    for pid, (source, label, destination) in LINK_METACLASSES.items():
+        created.append(
+            proc.tell_link(source, label, destination, pid=pid,
+                           of_class="Attribute")
+        )
+    # Token-level source references instantiate this class-level
+    # attribute (the SOURCE metaclass link connects the metaclasses).
+    created.append(
+        proc.tell_link("Proposition", "source", "ExternalSource",
+                       pid="SourceRef", of_class="Attribute")
+    )
+
+    # -- design object class layer (abstract language syntax) ---------------
+    for name, parents in LANGUAGE_OBJECT_CLASSES:
+        created.append(proc.define_class(name, level="SimpleClass"))
+        proc.tell_instanceof(name, "DesignObject")
+        for parent in parents:
+            proc.tell_isa(name, parent)
+    return created
+
+
+def level_of(proc: PropositionProcessor, name: str) -> str:
+    """Life-cycle level of a design object: requirements / design /
+    implementation / unknown (the status dimension of navigation)."""
+    classes = proc.classes_of(name)
+    for root, level in LEVEL_OF_CLASS.items():
+        if root in classes:
+            return level
+    return "unknown"
+
+
+def is_design_object(proc: PropositionProcessor, name: str) -> bool:
+    """Is ``name`` an instance of some design object class?"""
+    classes = proc.classes_of(name)
+    return any(root in classes for root in LEVEL_OF_CLASS)

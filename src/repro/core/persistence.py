@@ -1,0 +1,226 @@
+"""Persistence for the GKBMS documentation service.
+
+"Ex post, it plays the role of a documentation service in which
+development objects are related to the decisions and tools that
+created or changed them."  A documentation service must outlive the
+session: :func:`save_gkbms` captures the full state — the proposition
+base (minus the reconstructible kernel), the decision history with
+obligations and assumptions, the TaxisDL design, the DBPL module and
+its retired artefact versions — as one JSON-able dict;
+:func:`load_gkbms` restores it into a fresh GKBMS.
+
+Tools are code, so the standard library is re-registered on load and
+any *custom* tools/decision classes must be registered by the caller
+before loading a history that references them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import GKBMSError
+from repro.core.decisions import DecisionRecord, Obligation
+from repro.core.gkbms import GKBMS
+from repro.languages.dbpl.ast import (
+    ConstructorDecl,
+    RelationDecl,
+    SelectorDecl,
+    TransactionDecl,
+)
+from repro.languages.dbpl.parser import parse_dbpl
+from repro.languages.dbpl.printer import (
+    print_constructor,
+    print_relation,
+    print_selector,
+    print_transaction,
+)
+from repro.languages.taxisdl.parser import parse_taxisdl
+from repro.languages.taxisdl.printer import print_model
+from repro.propositions.serialization import dump_processor, load_processor
+
+FORMAT_VERSION = 1
+
+
+def _decl_to_text(decl) -> str:
+    if isinstance(decl, RelationDecl):
+        return print_relation(decl)
+    if isinstance(decl, SelectorDecl):
+        return print_selector(decl)
+    if isinstance(decl, ConstructorDecl):
+        return print_constructor(decl)
+    if isinstance(decl, TransactionDecl):
+        return print_transaction(decl)
+    raise GKBMSError(f"unserialisable artefact {decl!r}")
+
+
+def _decl_from_text(text: str):
+    module = parse_dbpl(f"DATABASE MODULE Tmp;\n{text}\nEND Tmp.\n")
+    names = module.names()
+    if len(names) != 1:
+        raise GKBMSError(f"expected one declaration, got {names}")
+    return module.get(names[0])
+
+
+def _record_to_json(record: DecisionRecord) -> Dict[str, Any]:
+    return {
+        "did": record.did,
+        "decision_class": record.decision_class,
+        "inputs": dict(record.inputs),
+        "outputs": {k: list(v) for k, v in record.outputs.items()},
+        "params": _jsonable_params(record.params),
+        "tool": record.tool,
+        "actor": record.actor,
+        "tick": record.tick,
+        "status": record.status,
+        "retracted_at": record.retracted_at,
+        "rationale": record.rationale,
+        "assumptions": list(record.assumptions),
+        "obligations": [
+            {
+                "oid": o.oid, "name": o.name, "assertion": o.assertion,
+                "status": o.status, "signer": o.signer,
+            }
+            for o in record.obligations
+        ],
+    }
+
+
+def _jsonable_params(params: Dict) -> Dict:
+    out: Dict[str, Any] = {}
+    for key, value in params.items():
+        if isinstance(value, tuple):
+            out[key] = {"__tuple__": list(value)}
+        else:
+            out[key] = value
+    return out
+
+
+def _params_from_json(params: Dict) -> Dict:
+    out: Dict[str, Any] = {}
+    for key, value in params.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            out[key] = tuple(value["__tuple__"])
+        else:
+            out[key] = value
+    return out
+
+
+def _record_from_json(data: Dict[str, Any]) -> DecisionRecord:
+    record = DecisionRecord(
+        did=data["did"],
+        decision_class=data["decision_class"],
+        inputs=dict(data["inputs"]),
+        outputs={k: list(v) for k, v in data["outputs"].items()},
+        params=_params_from_json(data.get("params", {})),
+        tool=data.get("tool"),
+        actor=data.get("actor", "developer"),
+        tick=data["tick"],
+        status=data.get("status", "done"),
+        retracted_at=data.get("retracted_at"),
+        rationale=data.get("rationale", ""),
+        assumptions=list(data.get("assumptions", [])),
+    )
+    for item in data.get("obligations", []):
+        record.obligations.append(Obligation(
+            oid=item["oid"], name=item["name"],
+            decision_id=record.did, assertion=item.get("assertion"),
+            status=item.get("status", "open"), signer=item.get("signer"),
+        ))
+    return record
+
+
+def save_gkbms(gkbms: GKBMS) -> Dict[str, Any]:
+    """Capture the full GKBMS state as a JSON-able dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": gkbms.name,
+        "clock": gkbms.clock,
+        "knowledge": dump_processor(gkbms.processor),
+        "design": print_model(gkbms.design),
+        "module": {
+            name: _decl_to_text(gkbms.module.get(name))
+            for name in gkbms.module.names()
+        },
+        "retired": {
+            name: [_decl_to_text(decl) for decl in stack]
+            for name, stack in gkbms._retired.items() if stack
+        },
+        "artifact_meta": {
+            name: dict(meta) for name, meta in gkbms._artifact_meta.items()
+        },
+        "assumptions": dict(gkbms._assumptions),
+        "decisions": [
+            _record_to_json(gkbms.decisions.records[did])
+            for did in gkbms.decisions.order
+        ],
+    }
+
+
+def load_gkbms(data: Dict[str, Any],
+               gkbms: Optional[GKBMS] = None) -> GKBMS:
+    """Restore a GKBMS from :func:`save_gkbms` output.
+
+    Pass a pre-built ``gkbms`` when custom tools/decision classes must
+    be registered first; otherwise a fresh one with the standard
+    library is used.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise GKBMSError(f"unsupported dump format {data.get('format')!r}")
+    if gkbms is None:
+        gkbms = GKBMS(name=data.get("name", "gkbms"))
+        gkbms.register_standard_library()
+    load_processor(data["knowledge"], processor=gkbms.processor)
+    if data.get("design"):
+        parse_taxisdl(data["design"], model=gkbms.design)
+    for text in data.get("module", {}).values():
+        gkbms.module.add(_decl_from_text(text))
+    for name, stack in data.get("retired", {}).items():
+        gkbms._retired[name] = [_decl_from_text(text) for text in stack]
+    gkbms._artifact_meta = {
+        name: dict(meta)
+        for name, meta in data.get("artifact_meta", {}).items()
+    }
+    gkbms._assumptions = dict(data.get("assumptions", {}))
+    gkbms._clock = int(data.get("clock", 0))
+    max_dec = 0
+    max_obl = 0
+    for item in data.get("decisions", []):
+        record = _record_from_json(item)
+        unknown = record.decision_class not in gkbms.decisions.classes()
+        if unknown:
+            raise GKBMSError(
+                f"history references unregistered decision class "
+                f"{record.decision_class!r}; register it before loading"
+            )
+        gkbms.decisions.records[record.did] = record
+        gkbms.decisions.order.append(record.did)
+        if record.did.startswith("dec"):
+            try:
+                max_dec = max(max_dec, int(record.did[3:]))
+            except ValueError:
+                pass
+        for obligation in record.obligations:
+            if obligation.oid.startswith("obl"):
+                try:
+                    max_obl = max(max_obl, int(obligation.oid[3:]))
+                except ValueError:
+                    pass
+    # counters continue after the loaded history
+    import itertools
+
+    gkbms.decisions._decision_ids = itertools.count(max_dec + 1)
+    gkbms.decisions._obligation_ids = itertools.count(max_obl + 1)
+    return gkbms
+
+
+def save_to_file(gkbms: GKBMS, path: str) -> None:
+    """Write :func:`save_gkbms` output to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(save_gkbms(gkbms), handle, indent=1)
+
+
+def load_from_file(path: str, gkbms: Optional[GKBMS] = None) -> GKBMS:
+    """Read a JSON file written by :func:`save_to_file`."""
+    with open(path) as handle:
+        return load_gkbms(json.load(handle), gkbms=gkbms)

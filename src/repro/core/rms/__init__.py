@@ -1,0 +1,29 @@
+"""Reason maintenance (S18, section 3.3.3).
+
+"The representation of decision structures supports the storage of
+redundant dependency information as the basis of a reason maintenance
+system [DOYL79, DJ88] which can contribute to the automatic propagation
+of the consequences of high-level changes.  However, since current RMS
+can handle only fairly small dependency networks efficiently [DEKL86],
+we are studying their combination with the abstraction mechanisms of
+the GKBMS."
+
+- :mod:`repro.core.rms.jtms` — a Doyle-style justification-based TMS;
+- :mod:`repro.core.rms.atms` — a de Kleer assumption-based TMS;
+- :mod:`repro.core.rms.integration` — decisions as assumptions, design
+  objects justified by (decision + inputs); plus the
+  *abstraction-partitioned* RMS that keeps one small JTMS per decision
+  scope, which is the combination the paper proposes and benchmark
+  Perf-3 measures.
+"""
+
+from repro.core.rms.jtms import JTMS, Justification
+from repro.core.rms.atms import ATMS
+from repro.core.rms.integration import (
+    DecisionRMS,
+    PartitionedDecisionRMS,
+    suggest_retractions,
+)
+
+__all__ = ["JTMS", "Justification", "ATMS", "DecisionRMS",
+           "PartitionedDecisionRMS", "suggest_retractions"]

@@ -1,0 +1,156 @@
+"""An assumption-based truth maintenance system after de Kleer [DEKL86].
+
+Each node carries a *label*: the set of minimal consistent assumption
+environments under which it holds.  Justifications propagate labels
+(cross-product union of antecedent environments); *nogoods* prune
+inconsistent environments from every label.  The ATMS answers
+"under which assumption sets does X hold?" without relabelling on each
+context switch — the trade-off against the JTMS the paper's RMS
+discussion is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.errors import RMSError
+
+Environment = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class _Justification:
+    consequent: str
+    antecedents: Tuple[str, ...]
+    informant: str = ""
+
+
+class ATMS:
+    """Assumption-based TMS with minimal-environment labels."""
+
+    def __init__(self) -> None:
+        self._assumptions: Set[str] = set()
+        self._labels: Dict[str, Set[Environment]] = {}
+        self._justifications: List[_Justification] = []
+        self._nogoods: Set[Environment] = set()
+
+    # ------------------------------------------------------------------
+
+    def add_assumption(self, name: str) -> None:
+        """A node holding in its own singleton environment."""
+        self._assumptions.add(name)
+        self._labels.setdefault(name, set()).add(frozenset({name}))
+        self._propagate()
+
+    def add_premise(self, name: str) -> None:
+        """A premise holds in the empty environment."""
+        self._labels.setdefault(name, set()).add(frozenset())
+        self._propagate()
+
+    def justify(self, consequent: str, antecedents: Iterable[str],
+                informant: str = "") -> None:
+        """Propagate antecedent labels to the consequent."""
+        justification = _Justification(consequent, tuple(antecedents), informant)
+        self._labels.setdefault(consequent, set())
+        for name in justification.antecedents:
+            self._labels.setdefault(name, set())
+        self._justifications.append(justification)
+        self._propagate()
+
+    def declare_nogood(self, environment: Iterable[str]) -> None:
+        """Mark an assumption combination as inconsistent."""
+        self._nogoods.add(frozenset(environment))
+        self._propagate()
+
+    # ------------------------------------------------------------------
+
+    def _is_nogood(self, environment: Environment) -> bool:
+        return any(bad <= environment for bad in self._nogoods)
+
+    @staticmethod
+    def _minimise(environments: Set[Environment]) -> Set[Environment]:
+        minimal: Set[Environment] = set()
+        for env in sorted(environments, key=len):
+            if not any(other < env for other in minimal):
+                # also drop any previously-added superset
+                minimal = {m for m in minimal if not env < m}
+                minimal.add(env)
+        return minimal
+
+    def _propagate(self) -> None:
+        changed = True
+        guard = 0
+        bound = (len(self._justifications) + len(self._labels) + 2) ** 2
+        while changed:
+            guard += 1
+            if guard > bound:
+                raise RMSError("ATMS propagation failed to converge")
+            changed = False
+            for justification in self._justifications:
+                antecedent_labels = [
+                    self._labels.get(name, set())
+                    for name in justification.antecedents
+                ]
+                if not justification.antecedents:
+                    combined = {frozenset()}
+                elif any(not label for label in antecedent_labels):
+                    continue
+                else:
+                    combined = {frozenset()}
+                    for label in antecedent_labels:
+                        combined = {
+                            env | extra
+                            for env in combined
+                            for extra in label
+                        }
+                combined = {
+                    env for env in combined if not self._is_nogood(env)
+                }
+                target = self._labels.setdefault(justification.consequent, set())
+                merged = self._minimise(target | combined)
+                if merged != target:
+                    self._labels[justification.consequent] = merged
+                    changed = True
+        # prune nogoods from every label
+        for name, label in self._labels.items():
+            pruned = {env for env in label if not self._is_nogood(env)}
+            self._labels[name] = self._minimise(pruned)
+
+    # ------------------------------------------------------------------
+
+    def label(self, name: str) -> Set[Environment]:
+        """Minimal consistent environments of a node."""
+        return set(self._labels.get(name, set()))
+
+    def holds_in(self, name: str, environment: Iterable[str]) -> bool:
+        """Does ``name`` hold under the given assumptions?"""
+        env = frozenset(environment)
+        if self._is_nogood(env):
+            return False
+        return any(required <= env for required in self.label(name))
+
+    def is_believed_somewhere(self, name: str) -> bool:
+        """Non-empty label?"""
+        return bool(self.label(name))
+
+    def consistent_environments(self, names: Iterable[str]) -> Set[Environment]:
+        """Minimal environments under which all ``names`` hold."""
+        result: Set[Environment] = {frozenset()}
+        for name in names:
+            label = self.label(name)
+            if not label:
+                return set()
+            result = {
+                env | extra for env in result for extra in label
+            }
+        result = {env for env in result if not self._is_nogood(env)}
+        return self._minimise(result)
+
+    def assumptions(self) -> Set[str]:
+        """All declared assumptions."""
+        return set(self._assumptions)
+
+    def nogoods(self) -> Set[Environment]:
+        """All declared inconsistent environments."""
+        return set(self._nogoods)

@@ -1,0 +1,196 @@
+"""A justification-based truth maintenance system after Doyle [DOYL79].
+
+Nodes are believed (IN) or not (OUT).  A justification supports its
+consequent when every node of its in-list is IN and every node of its
+out-list is OUT.  Assumptions are nodes justified by an empty in-list
+with a non-empty out-list against their own retraction node; premises
+are nodes with an unconditional justification.  Retracting an
+assumption relabels the network by fixpoint propagation.  Contradiction
+nodes trigger dependency-directed backtracking: the TMS reports the
+assumption sets underlying the contradiction so one can be retracted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import RMSError
+
+
+@dataclass(frozen=True)
+class Justification:
+    """``consequent`` holds if all of ``in_list`` IN and ``out_list`` OUT."""
+
+    consequent: str
+    in_list: Tuple[str, ...] = ()
+    out_list: Tuple[str, ...] = ()
+    informant: str = ""
+
+
+class JTMS:
+    """Justification-based TMS with IN/OUT labelling."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, bool] = {}  # name -> IN?
+        self._justifications: List[Justification] = []
+        self._retracted: Set[str] = set()  # explicitly disabled premises
+        self._premises: Set[str] = set()
+        self._assumptions: Set[str] = set()
+        self._contradictions: Set[str] = set()
+        self.stats = {"relabels": 0, "visits": 0}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Ensure a node exists (initially OUT)."""
+        self._nodes.setdefault(name, False)
+
+    def add_premise(self, name: str) -> None:
+        """A node believed unconditionally (until retracted)."""
+        self.add_node(name)
+        self._premises.add(name)
+        self._relabel()
+
+    def add_assumption(self, name: str) -> None:
+        """An assumption is believed unless explicitly retracted."""
+        self.add_node(name)
+        self._assumptions.add(name)
+        self._relabel()
+
+    def justify(self, consequent: str, in_list: Iterable[str] = (),
+                out_list: Iterable[str] = (), informant: str = "") -> Justification:
+        """Add a justification and relabel."""
+        justification = Justification(
+            consequent, tuple(in_list), tuple(out_list), informant
+        )
+        self.add_node(consequent)
+        for name in justification.in_list + justification.out_list:
+            self.add_node(name)
+        self._justifications.append(justification)
+        self._relabel()
+        return justification
+
+    def mark_contradiction(self, name: str) -> None:
+        """Flag a node as a contradiction."""
+        self.add_node(name)
+        self._contradictions.add(name)
+
+    # ------------------------------------------------------------------
+    # Belief revision
+    # ------------------------------------------------------------------
+
+    def retract(self, name: str) -> None:
+        """Disbelieve an assumption or premise."""
+        self.retract_many([name])
+
+    def retract_many(self, names: Iterable[str]) -> None:
+        """Disbelieve several assumptions/premises in one relabelling —
+        the batched form partitioned reason maintenance depends on."""
+        for name in names:
+            if name not in self._assumptions and name not in self._premises:
+                raise RMSError(f"{name!r} is not an assumption or premise")
+            self._retracted.add(name)
+        self._relabel()
+
+    def reinstate(self, name: str) -> None:
+        """Re-believe a retracted assumption/premise."""
+        self._retracted.discard(name)
+        self._relabel()
+
+    # ------------------------------------------------------------------
+    # Labelling
+    # ------------------------------------------------------------------
+
+    def _relabel(self) -> None:
+        """Compute the well-founded labelling by fixpoint iteration.
+
+        Out-lists are handled by iterating the monotone operator over
+        a two-pass scheme: nodes start OUT, then rules fire until no
+        change; out-list conditions consult the *previous* pass, which
+        converges for the acyclic-through-negation networks the GKBMS
+        produces.
+        """
+        self.stats["relabels"] += 1
+        labels: Dict[str, bool] = {name: False for name in self._nodes}
+        for name in self._premises | self._assumptions:
+            if name not in self._retracted:
+                labels[name] = True
+        changed = True
+        guard = 0
+        while changed:
+            guard += 1
+            if guard > len(self._nodes) + len(self._justifications) + 2:
+                break
+            changed = False
+            for justification in self._justifications:
+                self.stats["visits"] += 1
+                if labels.get(justification.consequent, False):
+                    continue
+                ins_ok = all(labels.get(n, False) for n in justification.in_list)
+                outs_ok = all(not labels.get(n, False) for n in justification.out_list)
+                if ins_ok and outs_ok:
+                    labels[justification.consequent] = True
+                    changed = True
+        self._nodes = labels
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_in(self, name: str) -> bool:
+        """Is the node currently believed (IN)?"""
+        return self._nodes.get(name, False)
+
+    def nodes(self) -> List[str]:
+        """All node names."""
+        return list(self._nodes)
+
+    def believed(self) -> Set[str]:
+        """The set of IN nodes."""
+        return {name for name, label in self._nodes.items() if label}
+
+    def justifications_of(self, name: str) -> List[Justification]:
+        """Justifications whose consequent is the node."""
+        return [j for j in self._justifications if j.consequent == name]
+
+    def supporting_assumptions(self, name: str) -> Set[str]:
+        """Assumptions underlying the belief in ``name``."""
+        if not self.is_in(name):
+            return set()
+        support: Set[str] = set()
+        seen: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self._assumptions:
+                support.add(current)
+                continue
+            for justification in self.justifications_of(current):
+                if all(self.is_in(n) for n in justification.in_list) and all(
+                    not self.is_in(n) for n in justification.out_list
+                ):
+                    frontier.extend(justification.in_list)
+                    break
+        return support
+
+    def active_contradictions(self) -> List[str]:
+        """Contradiction nodes currently IN."""
+        return sorted(n for n in self._contradictions if self.is_in(n))
+
+    def diagnose(self) -> List[Set[str]]:
+        """Dependency-directed backtracking aid: for each active
+        contradiction, the assumption set underlying it — retracting
+        any member resolves that contradiction."""
+        return [
+            self.supporting_assumptions(name)
+            for name in self.active_contradictions()
+        ]
+
+    def __len__(self) -> int:
+        return len(self._nodes)

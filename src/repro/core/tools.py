@@ -1,0 +1,99 @@
+"""Design tool specifications (S12).
+
+Section 2.2: "Design tools assist the user in executing design
+decisions.  Therefore, each design decision class is linked to a set of
+tool specifications.  A decision class may be fully supported by a
+tool, or the tool may just aid manual decision execution.  In the
+latter case, verification obligations are defined by the decision class
+for those constraints not guaranteed by the tool."
+
+A :class:`ToolSpec` wraps an executable *apply* function (the actual
+transformation), an optional *undo* function (used by selective
+backtracking to remove language-level artefacts), and the set of
+obligation names the tool *guarantees* — obligations it guarantees need
+no proof when the decision is executed by this tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.errors import DecisionError
+from repro.propositions.processor import PropositionProcessor
+
+#: apply(gkbms, inputs: dict[str, str], params: dict) -> outputs: dict[str, list[str]]
+ApplyFn = Callable[..., Dict[str, List[str]]]
+#: undo(gkbms, record) -> None
+UndoFn = Callable[..., None]
+
+AUTOMATION_LEVELS = ("automatic", "semi-automatic", "manual")
+
+
+@dataclass(frozen=True)
+class ToolSpec:
+    """An executable design tool specification."""
+
+    name: str
+    description: str = ""
+    automation: str = "semi-automatic"
+    guarantees: FrozenSet[str] = frozenset()
+    apply: Optional[ApplyFn] = None
+    undo: Optional[UndoFn] = None
+
+    def __post_init__(self) -> None:
+        if self.automation not in AUTOMATION_LEVELS:
+            raise DecisionError(
+                f"tool {self.name!r}: automation must be one of "
+                f"{AUTOMATION_LEVELS}, got {self.automation!r}"
+            )
+
+    @property
+    def is_manual(self) -> bool:
+        """Only aids manual execution?"""
+        return self.automation == "manual"
+
+    def guarantees_obligation(self, obligation_name: str) -> bool:
+        """Does the tool discharge this obligation by construction?"""
+        return obligation_name in self.guarantees
+
+
+class ToolRegistry:
+    """Registered tools, reflected into the knowledge base.
+
+    Each tool becomes an instance of the ``DesignTool`` metaclass...
+    strictly, of a simple class ``ToolSpecification`` that instantiates
+    it — tools in the paper live at the class/specification level
+    (fig 2-6 associates decision *classes* with tool specifications).
+    """
+
+    def __init__(self, processor: PropositionProcessor) -> None:
+        self.processor = processor
+        self._tools: Dict[str, ToolSpec] = {}
+
+    def register(self, tool: ToolSpec) -> ToolSpec:
+        """Register a tool and reflect it into the base."""
+        if tool.name in self._tools:
+            raise DecisionError(f"duplicate tool name {tool.name!r}")
+        self._tools[tool.name] = tool
+        if not self.processor.exists(tool.name):
+            # Each tool specification is a class (an instance of the
+            # DesignTool metaclass) whose tokens are the tool
+            # *applications* documented by executed decisions.
+            self.processor.define_class(tool.name, level="SimpleClass")
+            self.processor.tell_instanceof(tool.name, "DesignTool")
+        return tool
+
+    def get(self, name: str) -> ToolSpec:
+        """Look a tool up by name."""
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise DecisionError(f"unknown tool {name!r}") from None
+
+    def names(self) -> List[str]:
+        """All registered tool names."""
+        return list(self._tools)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tools

@@ -1,0 +1,30 @@
+"""The DBPL execution engine (S10).
+
+An in-memory relational engine that executes the DBPL modules generated
+by the mapping assistants: relations with enforced keys, selectors
+(integrity constraints) checked at transaction commit, constructors
+(views) evaluated over a small relational algebra, and nested
+transactions with rollback — "the decision instance defining a,
+possibly nested, transaction" (section 3.2).
+
+Having an executable target matters for the reproduction: mapping
+correctness is asserted by *running* the generated code (inserting
+tuples, querying constructors, watching selectors fire), not just by
+inspecting code frames.
+"""
+
+from repro.dbpl_engine.types import SurrogateGenerator, coerce_value
+from repro.dbpl_engine.algebra import evaluate_algebra
+from repro.dbpl_engine.constraints import check_selector, compile_predicate
+from repro.dbpl_engine.engine import Database, RelationInstance, Transaction
+
+__all__ = [
+    "SurrogateGenerator",
+    "coerce_value",
+    "evaluate_algebra",
+    "check_selector",
+    "compile_predicate",
+    "Database",
+    "RelationInstance",
+    "Transaction",
+]

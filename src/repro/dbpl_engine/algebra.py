@@ -1,0 +1,92 @@
+"""Evaluation of constructor (view) expressions.
+
+Rows are plain ``dict``s keyed by column name; relations come from a
+*resolver* mapping relation names to row lists, so the evaluator works
+for both base relations and nested constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import DBPLError
+from repro.languages.dbpl.ast import (
+    AlgebraExpr,
+    Join,
+    Project,
+    RelationRef,
+    Rename,
+    Select,
+    Union,
+)
+
+Row = Dict[str, object]
+Resolver = Callable[[str], List[Row]]
+
+
+def evaluate_algebra(expr: AlgebraExpr, resolve: Resolver) -> List[Row]:
+    """Evaluate ``expr``; duplicate rows are eliminated (set semantics)."""
+    rows = _evaluate(expr, resolve)
+    seen = set()
+    out: List[Row] = []
+    for row in rows:
+        key = tuple(sorted(row.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(row)
+    return out
+
+
+def _evaluate(expr: AlgebraExpr, resolve: Resolver) -> List[Row]:
+    if isinstance(expr, RelationRef):
+        return [dict(row) for row in resolve(expr.name)]
+    if isinstance(expr, Project):
+        rows = _evaluate(expr.source, resolve)
+        out = []
+        for row in rows:
+            missing = [c for c in expr.columns if c not in row]
+            if missing:
+                raise DBPLError(f"projection on unknown column(s) {missing}")
+            out.append({c: row[c] for c in expr.columns})
+        return out
+    if isinstance(expr, Select):
+        rows = _evaluate(expr.source, resolve)
+        out = []
+        for row in rows:
+            if all(str(row.get(c)) == v for c, v in expr.equalities):
+                out.append(row)
+        return out
+    if isinstance(expr, Join):
+        left = _evaluate(expr.left, resolve)
+        right = _evaluate(expr.right, resolve)
+        # hash join on the ON columns
+        index: Dict[tuple, List[Row]] = {}
+        for row in right:
+            key = tuple(row.get(c) for c in expr.on)
+            index.setdefault(key, []).append(row)
+        out = []
+        for row in left:
+            key = tuple(row.get(c) for c in expr.on)
+            for match in index.get(key, ()):
+                merged = dict(match)
+                merged.update(row)
+                out.append(merged)
+        return out
+    if isinstance(expr, Union):
+        left = _evaluate(expr.left, resolve)
+        right = _evaluate(expr.right, resolve)
+        columns = set()
+        for row in left + right:
+            columns |= set(row)
+        # pad to a common heading so union is well-defined
+        return [
+            {c: row.get(c) for c in sorted(columns)} for row in left + right
+        ]
+    if isinstance(expr, Rename):
+        rows = _evaluate(expr.source, resolve)
+        mapping = dict(expr.mapping)
+        out = []
+        for row in rows:
+            out.append({mapping.get(c, c): v for c, v in row.items()})
+        return out
+    raise DBPLError(f"unknown algebra node {expr!r}")

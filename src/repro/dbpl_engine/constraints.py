@@ -1,0 +1,122 @@
+"""Selector (integrity constraint) checking.
+
+Two constraint forms exist in the DBPL subset:
+
+- :class:`~repro.languages.dbpl.ast.ForeignKey` — referential
+  integrity, the paper's normalisation selector;
+- :class:`~repro.languages.dbpl.ast.Predicate` — row predicates given
+  as ``field op literal`` conjunctions/disjunctions, compiled by
+  :func:`compile_predicate`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List
+
+from repro.errors import DBPLError, IntegrityError
+from repro.languages.dbpl.ast import ForeignKey, Predicate, SelectorDecl
+
+Row = Dict[str, object]
+
+_COMPARISON_RE = re.compile(
+    r"^\s*(?P<field>\w+)\s*(?P<op>!=|=|<=|>=|<|>)\s*"
+    r"(?P<value>'[^']*'|-?\d+(?:\.\d+)?|\w+)\s*$"
+)
+
+_OPS: Dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _parse_literal(text: str) -> object:
+    if text.startswith("'") and text.endswith("'"):
+        return text[1:-1]
+    try:
+        return float(text) if "." in text else int(text)
+    except ValueError:
+        return text
+
+
+def compile_predicate(text: str) -> Callable[[Row], bool]:
+    """Compile ``a = 'x' and b > 3 or c != d``-style predicates.
+
+    ``or`` binds weaker than ``and``; no parentheses (the DBPL subset
+    keeps selector predicates flat).
+    """
+
+    def compile_comparison(part: str) -> Callable[[Row], bool]:
+        match = _COMPARISON_RE.match(part)
+        if match is None:
+            raise DBPLError(f"bad selector predicate component: {part!r}")
+        field = match.group("field")
+        op = _OPS[match.group("op")]
+        literal = _parse_literal(match.group("value"))
+
+        def test(row: Row) -> bool:
+            value = row.get(field)
+            left, right = value, literal
+            if isinstance(right, (int, float)) and not isinstance(left, (int, float)):
+                try:
+                    left = float(str(left)) if "." in str(left) else int(str(left))
+                except (TypeError, ValueError):
+                    return False
+            try:
+                return op(left, right)
+            except TypeError:
+                return op(str(left), str(right))
+
+        return test
+
+    disjuncts = []
+    for clause in re.split(r"\s+or\s+", text, flags=re.IGNORECASE):
+        tests = [
+            compile_comparison(part)
+            for part in re.split(r"\s+and\s+", clause, flags=re.IGNORECASE)
+        ]
+        disjuncts.append(tests)
+
+    def predicate(row: Row) -> bool:
+        return any(all(test(row) for test in tests) for tests in disjuncts)
+
+    return predicate
+
+
+def check_selector(
+    selector: SelectorDecl,
+    rows_of: Callable[[str], List[Row]],
+) -> List[Row]:
+    """Rows of the selector's relation violating the constraint."""
+    rows = rows_of(selector.relation)
+    constraint = selector.constraint
+    if isinstance(constraint, ForeignKey):
+        target_keys = {
+            tuple(row.get(c) for c in constraint.target_columns)
+            for row in rows_of(constraint.target)
+        }
+        return [
+            row
+            for row in rows
+            if tuple(row.get(c) for c in constraint.columns) not in target_keys
+        ]
+    if isinstance(constraint, Predicate):
+        predicate = compile_predicate(constraint.text)
+        return [row for row in rows if not predicate(row)]
+    raise DBPLError(f"unknown constraint kind {constraint!r}")
+
+
+def enforce_selector(
+    selector: SelectorDecl, rows_of: Callable[[str], List[Row]]
+) -> None:
+    """Like :func:`check_selector`, but raise on any violation."""
+    violations = check_selector(selector, rows_of)
+    if violations:
+        raise IntegrityError(
+            f"selector {selector.name!r} violated by {len(violations)} row(s): "
+            f"{violations[:3]}"
+        )

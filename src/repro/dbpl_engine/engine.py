@@ -1,0 +1,284 @@
+"""The DBPL database engine: relations, transactions, views.
+
+A :class:`Database` is loaded from a :class:`~repro.languages.dbpl.ast.
+DBPLModule`; data manipulation runs inside (possibly nested)
+:class:`Transaction` contexts.  Keys are enforced immediately; selectors
+are *deferred* to commit so a transaction may pass through temporarily
+inconsistent states (insert child rows before the parent), exactly like
+deferred integrity checking in real database transactions — which the
+paper explicitly parallels for decision execution (section 3.2).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import DBPLError, IntegrityError, TransactionError
+from repro.dbpl_engine.algebra import Row, evaluate_algebra
+from repro.dbpl_engine.constraints import check_selector
+from repro.dbpl_engine.types import SurrogateGenerator, coerce_value
+from repro.languages.dbpl.ast import (
+    ConstructorDecl,
+    DBPLModule,
+    RelationDecl,
+    SelectorDecl,
+)
+
+
+class RelationInstance:
+    """Stored extension of one relation, with key enforcement."""
+
+    def __init__(self, decl: RelationDecl) -> None:
+        self.decl = decl
+        self._rows: Dict[tuple, Row] = {}  # key tuple -> row
+
+    def _key_of(self, row: Row) -> tuple:
+        return tuple(row.get(part) for part in self.decl.key)
+
+    def _normalise(self, values: Row) -> Row:
+        unknown = set(values) - set(self.decl.field_names())
+        if unknown:
+            raise DBPLError(
+                f"unknown field(s) {sorted(unknown)} for relation "
+                f"{self.decl.name!r}"
+            )
+        row: Row = {}
+        for f in self.decl.fields:
+            if f.name in values:
+                row[f.name] = coerce_value(values[f.name], f.type_name)
+            else:
+                row[f.name] = None
+        for part in self.decl.key:
+            if row[part] is None:
+                raise IntegrityError(
+                    f"key component {part!r} of {self.decl.name!r} is null"
+                )
+        return row
+
+    def insert(self, values: Row) -> Row:
+        """Insert a row; enforce field domains and key uniqueness."""
+        row = self._normalise(values)
+        key = self._key_of(row)
+        if key in self._rows:
+            raise IntegrityError(
+                f"duplicate key {key} in relation {self.decl.name!r}"
+            )
+        self._rows[key] = row
+        return dict(row)
+
+    def delete(self, key_values: Iterable[object]) -> Row:
+        """Delete the row with the given key values."""
+        key = tuple(key_values)
+        if key not in self._rows:
+            raise DBPLError(f"no row with key {key} in {self.decl.name!r}")
+        return self._rows.pop(key)
+
+    def update(self, key_values: Iterable[object], changes: Row) -> Row:
+        """Update a row; re-key safely."""
+        key = tuple(key_values)
+        if key not in self._rows:
+            raise DBPLError(f"no row with key {key} in {self.decl.name!r}")
+        updated = dict(self._rows[key])
+        for field_name, value in changes.items():
+            if field_name not in updated:
+                raise DBPLError(
+                    f"unknown field {field_name!r} in {self.decl.name!r}"
+                )
+            updated[field_name] = coerce_value(
+                value, self.decl.field_type(field_name)
+            )
+        new_key = self._key_of(updated)
+        if new_key != key and new_key in self._rows:
+            raise IntegrityError(
+                f"key update collides with existing key {new_key} "
+                f"in {self.decl.name!r}"
+            )
+        del self._rows[key]
+        self._rows[new_key] = updated
+        return dict(updated)
+
+    def rows(self) -> List[Row]:
+        """Copies of all stored rows."""
+        return [dict(row) for row in self._rows.values()]
+
+    def lookup(self, key_values: Iterable[object]) -> Optional[Row]:
+        """The row with the given key, or None."""
+        row = self._rows.get(tuple(key_values))
+        return dict(row) if row is not None else None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class Database:
+    """All relations, selectors and constructors of loaded modules."""
+
+    def __init__(self) -> None:
+        self.relations: Dict[str, RelationInstance] = {}
+        self.selectors: Dict[str, SelectorDecl] = {}
+        self.constructors: Dict[str, ConstructorDecl] = {}
+        self.surrogates = SurrogateGenerator()
+        self._transaction_depth = 0
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def load_module(self, module: DBPLModule) -> None:
+        """Create everything a DBPL module declares."""
+        for decl in module.relations.values():
+            self.create_relation(decl)
+        for decl in module.selectors.values():
+            self.create_selector(decl)
+        for decl in module.constructors.values():
+            self.create_constructor(decl)
+
+    def create_relation(self, decl: RelationDecl) -> RelationInstance:
+        """Instantiate a relation declaration."""
+        if decl.name in self.relations or decl.name in self.constructors:
+            raise DBPLError(f"duplicate relation name {decl.name!r}")
+        instance = RelationInstance(decl)
+        self.relations[decl.name] = instance
+        return instance
+
+    def create_selector(self, decl: SelectorDecl) -> SelectorDecl:
+        """Register an integrity constraint."""
+        if decl.name in self.selectors:
+            raise DBPLError(f"duplicate selector name {decl.name!r}")
+        if decl.relation not in self.relations:
+            raise DBPLError(
+                f"selector {decl.name!r} guards unknown relation {decl.relation!r}"
+            )
+        self.selectors[decl.name] = decl
+        return decl
+
+    def create_constructor(self, decl: ConstructorDecl) -> ConstructorDecl:
+        """Register a view over known relations."""
+        if decl.name in self.constructors or decl.name in self.relations:
+            raise DBPLError(f"duplicate constructor name {decl.name!r}")
+        for base in decl.expression.relations():
+            if base not in self.relations and base not in self.constructors:
+                raise DBPLError(
+                    f"constructor {decl.name!r} reads unknown relation {base!r}"
+                )
+        self.constructors[decl.name] = decl
+        return decl
+
+    def drop(self, name: str) -> None:
+        """Remove a relation, selector or constructor by name."""
+        for registry in (self.relations, self.selectors, self.constructors):
+            if name in registry:
+                del registry[name]
+                return
+        raise DBPLError(f"nothing named {name!r} to drop")
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def rows(self, name: str) -> List[Row]:
+        """Rows of a base relation or a constructor."""
+        if name in self.relations:
+            return self.relations[name].rows()
+        if name in self.constructors:
+            return evaluate_algebra(
+                self.constructors[name].expression, self.rows
+            )
+        raise DBPLError(f"unknown relation or constructor {name!r}")
+
+    def relation(self, name: str) -> RelationInstance:
+        """The stored instance of a base relation."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise DBPLError(f"unknown base relation {name!r}") from None
+
+    def fresh_surrogate(self, relation: str = "") -> str:
+        """Mint a surrogate value (per-relation namespace)."""
+        return self.surrogates.fresh(relation)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def violations(self) -> Dict[str, List[Row]]:
+        """All selector violations in the current state."""
+        out: Dict[str, List[Row]] = {}
+        for name, selector in self.selectors.items():
+            bad = check_selector(selector, self.rows)
+            if bad:
+                out[name] = bad
+        return out
+
+    def check_integrity(self) -> None:
+        """Raise IntegrityError when any selector is violated."""
+        violations = self.violations()
+        if violations:
+            details = "; ".join(
+                f"{name}: {len(rows)} row(s)" for name, rows in violations.items()
+            )
+            raise IntegrityError(f"integrity violated - {details}")
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> "Transaction":
+        """Open a (nestable) transaction context."""
+        return Transaction(self)
+
+    def _snapshot(self) -> Dict[str, Dict[tuple, Row]]:
+        return {
+            name: copy.deepcopy(instance._rows)
+            for name, instance in self.relations.items()
+        }
+
+    def _restore(self, snapshot: Dict[str, Dict[tuple, Row]]) -> None:
+        for name, rows in snapshot.items():
+            if name in self.relations:
+                self.relations[name]._rows = copy.deepcopy(rows)
+        for name in set(self.relations) - set(snapshot):
+            self.relations[name]._rows = {}
+
+
+class Transaction:
+    """Nested transaction with deferred integrity checking.
+
+    Inner transactions act as savepoints: aborting one restores the
+    state at its start without touching the outer work; integrity is
+    checked when the *outermost* transaction commits.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self._db = database
+        self._snapshot: Optional[Dict] = None
+        self._active = False
+
+    def __enter__(self) -> "Transaction":
+        self._snapshot = self._db._snapshot()
+        self._db._transaction_depth += 1
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._active:
+            return False
+        self._active = False
+        self._db._transaction_depth -= 1
+        if exc_type is not None:
+            self._db._restore(self._snapshot or {})
+            return False
+        if self._db._transaction_depth == 0:
+            try:
+                self._db.check_integrity()
+            except IntegrityError:
+                self._db._restore(self._snapshot or {})
+                raise
+        return False
+
+    def abort(self) -> None:
+        """Explicitly roll back to the transaction's start."""
+        if not self._active:
+            raise TransactionError("transaction is not active")
+        self._db._restore(self._snapshot or {})

@@ -1,0 +1,61 @@
+"""Value domains for the DBPL engine.
+
+The engine is deliberately loosely typed — DBPL field types mostly
+document intent — but two domains get real behaviour:
+
+- ``Surrogate``: system-generated identifiers.  The paper's mapping
+  introduces an "artificial paperkey attribute (initially required to
+  map the object-oriented TaxisDL model which does not have keys)";
+  :class:`SurrogateGenerator` mints those values deterministically.
+- ``INT`` / ``REAL``: numeric coercion so comparisons behave.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.errors import DBPLError
+
+
+class SurrogateGenerator:
+    """Mints unique surrogate values, one namespace per relation."""
+
+    def __init__(self, prefix: str = "S") -> None:
+        self._prefix = prefix
+        self._counters: dict = {}
+
+    def fresh(self, namespace: str = "") -> str:
+        """A new unique surrogate in a namespace."""
+        counter = self._counters.setdefault(
+            namespace, itertools.count(1)
+        )
+        stem = f"{namespace}:" if namespace else ""
+        return f"{stem}{self._prefix}{next(counter)}"
+
+    def reset(self) -> None:
+        """Restart all counters (tests only)."""
+        self._counters.clear()
+
+
+_NUMERIC_TYPES = {"INT", "INTEGER", "REAL", "NUMBER"}
+
+
+def coerce_value(value: Any, type_name: str) -> Any:
+    """Coerce a raw value into the declared field domain."""
+    upper = (type_name or "").upper()
+    if upper in _NUMERIC_TYPES:
+        if isinstance(value, (int, float)):
+            return value
+        try:
+            text = str(value)
+            return float(text) if "." in text else int(text)
+        except (TypeError, ValueError) as exc:
+            raise DBPLError(
+                f"value {value!r} does not fit numeric domain {type_name}"
+            ) from exc
+    if upper == "BOOL":
+        if isinstance(value, bool):
+            return value
+        return str(value).lower() in ("true", "yes", "1")
+    return value if isinstance(value, (int, float, bool)) else str(value)

@@ -1,0 +1,51 @@
+"""Deduction layer (S5).
+
+Section 3.1: "Deduction (rule propositions) allows the definition of
+Horn clauses which assert a proposition in their conclusion. [...] The
+inference engines are also capable of evaluating rules.  The inference
+engines may enhance their performance by lemma generation."
+
+- :mod:`repro.deduction.terms` — terms, literals, rules, substitution
+  and unification.
+- :mod:`repro.deduction.parser` — a small textual rule/query syntax
+  (``head :- body``; uppercase identifiers are variables).
+- :mod:`repro.deduction.seminaive` — bottom-up semi-naive evaluation
+  with stratified negation.
+- :mod:`repro.deduction.prover` — top-down SLD resolution with
+  negation-as-failure and an epoch-invalidated lemma cache (the paper's
+  lemma generation; the cache is the ablation hook of Perf-1).
+- :mod:`repro.deduction.kb` — the bridge between the proposition base
+  and the engines: propositions as ``prop/in/isa/attr`` facts, and a
+  deduction hook deriving new propositions from rule conclusions.
+"""
+
+from repro.deduction.terms import (
+    Constant,
+    Literal,
+    Rule,
+    Substitution,
+    Variable,
+    unify,
+)
+from repro.deduction.parser import parse_literal, parse_program, parse_rule
+from repro.deduction.seminaive import Database, evaluate, stratify
+from repro.deduction.prover import Prover
+from repro.deduction.kb import KnowledgeView, RuleEngine
+
+__all__ = [
+    "Constant",
+    "Literal",
+    "Rule",
+    "Substitution",
+    "Variable",
+    "unify",
+    "parse_literal",
+    "parse_program",
+    "parse_rule",
+    "Database",
+    "evaluate",
+    "stratify",
+    "Prover",
+    "KnowledgeView",
+    "RuleEngine",
+]

@@ -1,0 +1,206 @@
+"""Bridge between the proposition base and the inference engines.
+
+:class:`KnowledgeView` exposes the proposition base as ground facts:
+
+- ``prop(P, X, L, Y)`` — every stored proposition quadruple;
+- ``in(X, C)`` — classification closed over specialization;
+- ``isa(C, D)`` — explicit specialization links;
+- ``isa_star(C, D)`` — reflexive-transitive specialization;
+- ``attr(X, L, Y)`` — attribute links (labels are data);
+- ``attr_of(P, C)`` — link P is an instance of attribute class C.
+
+:class:`RuleEngine` manages *rule propositions*: each registered rule is
+documented in the knowledge base (an ``AssertionObject`` individual plus
+a ``rule`` link from the class it is attached to), evaluated bottom-up
+for the deduced-proposition hook, and available to the top-down
+:class:`~repro.deduction.prover.Prover` for query answering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.errors import DeductionError
+from repro.deduction.parser import parse_rule
+from repro.deduction.prover import Prover
+from repro.deduction.seminaive import Database, evaluate
+from repro.deduction.terms import Rule
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Pattern, Proposition
+
+#: Prefix of synthetic identifiers for deduced propositions.
+DEDUCED_PREFIX = "ded:"
+
+
+class KnowledgeView:
+    """Fact-level view of a proposition processor."""
+
+    def __init__(self, processor: PropositionProcessor) -> None:
+        self.processor = processor
+        self._cache_epoch = -1
+        self._cache: Dict[str, List[Tuple]] = {}
+
+    def facts(self, predicate: str) -> Iterable[Tuple]:
+        """Ground facts for ``predicate`` (cached per epoch)."""
+        if self._cache_epoch != self.processor.epoch:
+            self._cache.clear()
+            self._cache_epoch = self.processor.epoch
+        if predicate not in self._cache:
+            self._cache[predicate] = list(self._compute(predicate))
+        return self._cache[predicate]
+
+    def _compute(self, predicate: str) -> Iterator[Tuple]:
+        proc = self.processor
+        if predicate == "prop":
+            for p in proc.store:
+                yield (p.pid, p.source, p.label, p.destination)
+        elif predicate == "attr":
+            for p in proc.store:
+                if p.is_link and not p.is_instanceof and not p.is_isa:
+                    yield (p.source, p.label, p.destination)
+        elif predicate == "isa":
+            for p in proc.store:
+                if p.is_isa and p.is_link:
+                    yield (p.source, p.destination)
+        elif predicate == "isa_star":
+            seen: Set[Tuple] = set()
+            names = [p.pid for p in proc.store if p.is_individual]
+            names += [p.pid for p in proc.store if p.is_link]
+            for name in names:
+                for sup in proc.generalizations(name):
+                    pair = (name, sup)
+                    if pair not in seen:
+                        seen.add(pair)
+                        yield pair
+        elif predicate == "in":
+            seen = set()
+            for p in proc.store:
+                if p.is_instanceof and p.is_link:
+                    for sup in proc.generalizations(p.destination):
+                        pair = (p.source, sup)
+                        if pair not in seen:
+                            seen.add(pair)
+                            yield pair
+        elif predicate == "attr_of":
+            for p in proc.store:
+                if p.is_instanceof and p.is_link:
+                    try:
+                        inst = proc.store.get(p.source)
+                    except Exception:
+                        continue
+                    if inst.is_link and not inst.is_instanceof and not inst.is_isa:
+                        yield (p.source, p.destination)
+        # unknown predicates yield nothing: they may be purely IDB.
+
+    def database(self, predicates: Iterable[str] = ("prop", "attr", "isa", "in")) -> Database:
+        """Materialise an EDB for bottom-up evaluation."""
+        db = Database()
+        for predicate in predicates:
+            for row in self.facts(predicate):
+                db.add(predicate, row)
+        return db
+
+
+class RuleEngine:
+    """Rule propositions + deduced propositions for a processor."""
+
+    def __init__(self, processor: PropositionProcessor) -> None:
+        self.processor = processor
+        self.view = KnowledgeView(processor)
+        self._rules: Dict[str, Rule] = {}
+        self._idb_epoch = -1
+        self._idb: Optional[Database] = None
+        self._hooked = False
+
+    # -- rule management -------------------------------------------------
+
+    def add_rule(
+        self,
+        rule: Union[str, Rule],
+        name: Optional[str] = None,
+        attached_to: str = "Proposition",
+        document: bool = True,
+    ) -> Rule:
+        """Register a deduction rule.
+
+        With ``document=True`` the rule is reflected into the knowledge
+        base as a rule proposition: an ``AssertionObject`` individual
+        holding the rule, linked from ``attached_to`` by a ``rule`` link
+        that instantiates the predefined ``RuleAttribute`` class.
+        """
+        parsed = parse_rule(rule) if isinstance(rule, str) else rule
+        rule_name = name or f"rule_{len(self._rules) + 1}"
+        if rule_name in self._rules:
+            raise DeductionError(f"duplicate rule name {rule_name!r}")
+        self._rules[rule_name] = parsed
+        self._idb = None
+        if document:
+            holder = f"Assertion_{rule_name}"
+            if not self.processor.exists(holder):
+                self.processor.tell_individual(holder, in_class="AssertionObject")
+            self.processor.tell_link(
+                attached_to, "rule", holder, of_class="RuleAttribute"
+            )
+        return parsed
+
+    def rules(self) -> Dict[str, Rule]:
+        """Registered rules by name."""
+        return dict(self._rules)
+
+    def remove_rule(self, name: str) -> None:
+        """Unregister a rule by name."""
+        if name not in self._rules:
+            raise DeductionError(f"unknown rule {name!r}")
+        del self._rules[name]
+        self._idb = None
+
+    # -- engines -----------------------------------------------------------
+
+    def prover(self, lemmas: bool = True, max_depth: int = 256) -> Prover:
+        """A top-down prover over the live knowledge base."""
+        return Prover(
+            rules=self._rules.values(),
+            fact_source=self.view.facts,
+            lemmas=lemmas,
+            epoch_source=lambda: self.processor.epoch,
+            max_depth=max_depth,
+        )
+
+    def materialise(self) -> Database:
+        """Bottom-up IDB (cached per knowledge-base epoch)."""
+        if self._idb is None or self._idb_epoch != self.processor.epoch:
+            self._idb = evaluate(list(self._rules.values()), self.view.database())
+            self._idb_epoch = self.processor.epoch
+        return self._idb
+
+    # -- deduced propositions ------------------------------------------------
+
+    def deduced_propositions(self) -> List[Proposition]:
+        """Propositions asserted by rule conclusions of the form
+        ``attr(X, L, Y)`` that are not already stored."""
+        idb = self.materialise()
+        stored = {
+            (p.source, p.label, p.destination)
+            for p in self.processor.store
+            if p.is_link
+        }
+        deduced: List[Proposition] = []
+        for source, label, destination in sorted(idb.rows("attr"), key=str):
+            if (source, label, destination) in stored:
+                continue
+            if not (self.processor.exists(source) and self.processor.exists(destination)):
+                continue
+            pid = f"{DEDUCED_PREFIX}{source}:{label}:{destination}"
+            deduced.append(Proposition(pid, source, label, destination))
+        return deduced
+
+    def install_hook(self) -> None:
+        """Register deduced propositions with the processor's retrieval."""
+        if self._hooked:
+            return
+        self._hooked = True
+
+        def hook(_proc: PropositionProcessor, pattern: Pattern) -> Iterable[Proposition]:
+            return self.deduced_propositions()
+
+        self.processor.add_deduction_hook(hook)

@@ -1,0 +1,150 @@
+"""Textual syntax for rules and queries.
+
+Grammar (Prolog-flavoured)::
+
+    program  := (rule)*
+    rule     := literal ( ":-" literals )? "."
+    literals := literal ("," literal)*
+    literal  := "not"? IDENT "(" term ("," term)* ")"
+    term     := "?" IDENT | IDENT | STRING | NUMBER
+
+Variables are written ``?x``; bare identifiers are constants (knowledge
+bases are full of capitalised class names such as ``Person``, so the
+Prolog capitalisation convention would be a trap here).  Quoted strings
+allow constants with arbitrary characters (e.g. ``'Invitation.sender'``).
+Comments run from ``%`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import DeductionError
+from repro.deduction.terms import Constant, Literal, Rule, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<neck>:-)
+  | (?P<punct>[(),.])
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<variable>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DeductionError(f"rule syntax error at offset {pos}: {text[pos:pos+20]!r}")
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(), pos))
+        pos = match.end()
+    tokens.append(("eof", "", pos))
+    return tokens
+
+
+class _RuleParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def _peek(self) -> Tuple[str, str, int]:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text, pos = self._advance()
+        if text != value:
+            raise DeductionError(f"expected {value!r} at offset {pos}, got {text!r}")
+
+    def at_end(self) -> bool:
+        """Only EOF remains?"""
+        return self._peek()[0] == "eof"
+
+    def parse_term(self) -> Term:
+        """Variable, identifier, string or number."""
+        kind, text, pos = self._advance()
+        if kind == "string":
+            return Constant(text[1:-1].replace("\\'", "'"))
+        if kind == "number":
+            return Constant(float(text) if "." in text else int(text))
+        if kind == "variable":
+            return Variable(text[1:])
+        if kind == "ident":
+            return Constant(text)
+        raise DeductionError(f"expected a term at offset {pos}, got {text!r}")
+
+    def parse_literal(self) -> Literal:
+        """``not? pred(t1, ..., tn)``."""
+        negated = False
+        kind, text, pos = self._peek()
+        if kind == "ident" and text == "not":
+            self._advance()
+            negated = True
+        kind, text, pos = self._advance()
+        if kind != "ident":
+            raise DeductionError(f"expected predicate at offset {pos}, got {text!r}")
+        predicate = text
+        self._expect("(")
+        args = [self.parse_term()]
+        while self._peek()[1] == ",":
+            self._advance()
+            args.append(self.parse_term())
+        self._expect(")")
+        return Literal(predicate, tuple(args), negated=negated)
+
+    def parse_rule(self) -> Rule:
+        """``head [:- body].``."""
+        head = self.parse_literal()
+        body: List[Literal] = []
+        if self._peek()[0] == "neck":
+            self._advance()
+            body.append(self.parse_literal())
+            while self._peek()[1] == ",":
+                self._advance()
+                body.append(self.parse_literal())
+        self._expect(".")
+        return Rule(head, tuple(body))
+
+    def parse_program(self) -> List[Rule]:
+        """All rules until EOF."""
+        rules: List[Rule] = []
+        while not self.at_end():
+            rules.append(self.parse_rule())
+        return rules
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single ``head :- body.`` rule (or fact)."""
+    parser = _RuleParser(text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        raise DeductionError(f"trailing input after rule: {text!r}")
+    return rule
+
+
+def parse_program(text: str) -> List[Rule]:
+    """Parse a sequence of rules separated by periods."""
+    return _RuleParser(text).parse_program()
+
+
+def parse_literal(text: str) -> Literal:
+    """Parse a single literal (used for queries)."""
+    parser = _RuleParser(text)
+    literal = parser.parse_literal()
+    if not parser.at_end():
+        raise DeductionError(f"trailing input after literal: {text!r}")
+    return literal

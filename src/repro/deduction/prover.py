@@ -1,0 +1,202 @@
+"""Top-down prover with negation-as-failure and lemma generation.
+
+Section 3.1: "The Inference Engines support various proof strategies for
+question-answering on the KB (in the current implementation, the Prolog
+prover with some enhancements concerning negation is the only such proof
+strategy). [...] The inference engines may enhance their performance by
+lemma generation; this capability is, e.g., used in creating dependency
+graph objects of the GKBMS."
+
+:class:`Prover` performs SLD resolution over a rule program plus a
+*fact source* (a callable yielding ground facts per predicate, normally
+backed by the live proposition base).  Proved goals are cached as
+*lemmas* keyed by the goal pattern and the knowledge-base epoch, so any
+update invalidates stale lemmas automatically.  ``lemmas=False`` turns
+the cache off — the ablation measured by benchmark Perf-1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import DeductionError
+from repro.deduction.terms import (
+    Constant,
+    Literal,
+    Rule,
+    Substitution,
+    Variable,
+    resolve,
+    unify,
+)
+
+#: Yields ground argument tuples for a predicate.
+FactSource = Callable[[str], Iterable[Tuple[Any, ...]]]
+
+
+def _goal_key(goal: Literal, theta: Substitution) -> Tuple:
+    """Hashable pattern of a goal: constants kept, variables wildcarded."""
+    parts: List[Any] = [goal.predicate]
+    for arg in goal.args:
+        arg = resolve(arg, theta)
+        parts.append(("const", arg.value) if isinstance(arg, Constant) else "?")
+    return tuple(parts)
+
+
+class Prover:
+    """SLD resolution with NAF, depth bounding and lemma caching."""
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        fact_source: Optional[FactSource] = None,
+        lemmas: bool = True,
+        epoch_source: Optional[Callable[[], int]] = None,
+        max_depth: int = 256,
+    ) -> None:
+        self._rules: List[Rule] = list(rules)
+        self._fact_source = fact_source or (lambda predicate: ())
+        self._lemmas_enabled = lemmas
+        self._epoch_source = epoch_source or (lambda: 0)
+        self._max_depth = max_depth
+        self._rename = itertools.count(1)
+        # lemma cache: goal pattern -> (epoch, list of answer tuples)
+        self._lemmas: Dict[Tuple, Tuple[int, List[Tuple[Any, ...]]]] = {}
+        self.stats = {"calls": 0, "lemma_hits": 0, "lemma_stores": 0}
+
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add a rule; invalidates the lemma cache."""
+        self._rules.append(rule)
+        self._lemmas.clear()
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        """The rule program."""
+        return tuple(self._rules)
+
+    def clear_lemmas(self) -> None:
+        """Drop every cached lemma."""
+        self._lemmas.clear()
+
+    # ------------------------------------------------------------------
+
+    def solve(self, goal: Literal, theta: Optional[Substitution] = None) -> Iterator[Substitution]:
+        """Yield substitutions proving ``goal``."""
+        yield from self._solve_goal(goal, dict(theta or {}), depth=0)
+
+    def ask(self, goal: Literal) -> bool:
+        """True when at least one proof of ``goal`` exists."""
+        for _ in self.solve(goal):
+            return True
+        return False
+
+    def answers(self, goal: Literal) -> List[Tuple[Any, ...]]:
+        """Distinct ground argument tuples satisfying ``goal``."""
+        seen: Set[Tuple[Any, ...]] = set()
+        out: List[Tuple[Any, ...]] = []
+        for theta in self.solve(goal):
+            values = []
+            for arg in goal.args:
+                value = resolve(arg, theta)
+                if not isinstance(value, Constant):
+                    break
+                values.append(value.value)
+            else:
+                row = tuple(values)
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _solve_goal(
+        self, goal: Literal, theta: Substitution, depth: int
+    ) -> Iterator[Substitution]:
+        if depth > self._max_depth:
+            raise DeductionError(
+                f"proof depth limit ({self._max_depth}) exceeded at {goal!r}"
+            )
+        self.stats["calls"] += 1
+        if goal.negated:
+            positive = goal.negate().substitute(theta)
+            if not positive.is_ground():
+                raise DeductionError(
+                    f"negation-as-failure requires a ground goal, got {positive!r}"
+                )
+            for _ in self._solve_goal(positive, dict(theta), depth + 1):
+                return
+            yield theta
+            return
+
+        if self._lemmas_enabled:
+            yield from self._solve_with_lemmas(goal, theta, depth)
+        else:
+            yield from self._expand(goal, theta, depth)
+
+    def _solve_with_lemmas(
+        self, goal: Literal, theta: Substitution, depth: int
+    ) -> Iterator[Substitution]:
+        key = _goal_key(goal, theta)
+        epoch = self._epoch_source()
+        cached = self._lemmas.get(key)
+        if cached is not None and cached[0] == epoch:
+            self.stats["lemma_hits"] += 1
+            for row in cached[1]:
+                out = unify(
+                    goal.substitute(theta),
+                    Literal(goal.predicate, tuple(Constant(v) for v in row)),
+                    theta,
+                )
+                if out is not None:
+                    yield out
+            return
+        answers: List[Tuple[Any, ...]] = []
+        complete = True
+        for result in self._expand(goal, theta, depth):
+            row = []
+            for arg in goal.args:
+                value = resolve(arg, result)
+                if isinstance(value, Constant):
+                    row.append(value.value)
+                else:
+                    complete = False
+                    break
+            else:
+                answers.append(tuple(row))
+            yield result
+        if complete:
+            self._lemmas[key] = (epoch, answers)
+            self.stats["lemma_stores"] += 1
+
+    def _expand(
+        self, goal: Literal, theta: Substitution, depth: int
+    ) -> Iterator[Substitution]:
+        # 1. ground facts from the fact source
+        for row in self._fact_source(goal.predicate):
+            candidate = Literal(goal.predicate, tuple(Constant(v) for v in row))
+            out = unify(goal.substitute(theta), candidate, theta)
+            if out is not None:
+                yield out
+        # 2. rules
+        for rule in self._rules:
+            if rule.head.predicate != goal.predicate:
+                continue
+            fresh = rule.rename(str(next(self._rename)))
+            out = unify(goal.substitute(theta), fresh.head, theta)
+            if out is None:
+                continue
+            yield from self._solve_body(list(fresh.body), out, depth + 1)
+
+    def _solve_body(
+        self, body: List[Literal], theta: Substitution, depth: int
+    ) -> Iterator[Substitution]:
+        if not body:
+            yield theta
+            return
+        first, rest = body[0], body[1:]
+        for out in self._solve_goal(first, theta, depth):
+            yield from self._solve_body(rest, out, depth)

@@ -1,0 +1,195 @@
+"""Bottom-up semi-naive Datalog evaluation with stratified negation.
+
+The object processor's "deductive relational database" view (section
+3.1) materialises rule conclusions set-at-a-time.  Semi-naive evaluation
+only joins against the *delta* of the previous iteration, which is the
+standard optimisation over naive iteration; negation is handled by
+stratification (a rule may only negate predicates fully computed in
+earlier strata).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import DeductionError
+from repro.deduction.terms import (
+    Constant,
+    Literal,
+    Rule,
+    Substitution,
+    Variable,
+    ground_tuple,
+    resolve,
+    unify,
+)
+
+Fact = Tuple[Any, ...]
+
+
+class Database:
+    """Predicate-indexed fact storage."""
+
+    def __init__(self, facts: Optional[Dict[str, Set[Fact]]] = None) -> None:
+        self._facts: Dict[str, Set[Fact]] = defaultdict(set)
+        for pred, rows in (facts or {}).items():
+            self._facts[pred] = set(rows)
+
+    def add(self, predicate: str, row: Fact) -> bool:
+        """Insert; return True when the fact is new."""
+        rows = self._facts[predicate]
+        if row in rows:
+            return False
+        rows.add(row)
+        return True
+
+    def rows(self, predicate: str) -> Set[Fact]:
+        """The fact set of one predicate."""
+        return self._facts.get(predicate, set())
+
+    def contains(self, predicate: str, row: Fact) -> bool:
+        """Membership test for one fact."""
+        return row in self._facts.get(predicate, set())
+
+    def predicates(self) -> List[str]:
+        """Predicates with at least one fact."""
+        return list(self._facts)
+
+    def copy(self) -> "Database":
+        """Independent deep copy."""
+        return Database({p: set(rows) for p, rows in self._facts.items()})
+
+    def merge(self, other: "Database") -> None:
+        """Union another database in, in place."""
+        for pred in other.predicates():
+            self._facts[pred] |= other.rows(pred)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._facts.values())
+
+
+def stratify(rules: Iterable[Rule]) -> List[List[Rule]]:
+    """Partition rules into strata; negation may only reach lower strata.
+
+    Raises :class:`DeductionError` when the program is not stratifiable
+    (a negative dependency cycle exists).
+    """
+    rules = list(rules)
+    heads = {rule.head.predicate for rule in rules}
+    stratum: Dict[str, int] = {pred: 0 for pred in heads}
+    changed = True
+    iterations = 0
+    bound = len(heads) + 1
+    while changed:
+        changed = False
+        iterations += 1
+        if iterations > bound * max(1, len(rules)):
+            raise DeductionError("program is not stratifiable (negative cycle)")
+        for rule in rules:
+            head = rule.head.predicate
+            for lit in rule.body:
+                if lit.predicate not in heads:
+                    continue  # EDB predicate: stratum 0 by definition
+                required = stratum[lit.predicate] + (1 if lit.negated else 0)
+                if stratum[head] < required:
+                    stratum[head] = required
+                    if stratum[head] > len(heads):
+                        raise DeductionError(
+                            "program is not stratifiable (negative cycle "
+                            f"through {head!r})"
+                        )
+                    changed = True
+    layers: Dict[int, List[Rule]] = defaultdict(list)
+    for rule in rules:
+        layers[stratum[rule.head.predicate]].append(rule)
+    return [layers[level] for level in sorted(layers)]
+
+
+def _match_literal(
+    literal: Literal, rows: Set[Fact], theta: Substitution
+) -> Iterable[Substitution]:
+    """All extensions of ``theta`` matching ``literal`` against ``rows``."""
+    bound = literal.substitute(theta)
+    for row in rows:
+        candidate = Literal(
+            literal.predicate, tuple(Constant(v) for v in row)
+        )
+        out = unify(
+            Literal(bound.predicate, bound.args), candidate, theta
+        )
+        if out is not None:
+            yield out
+
+
+def _evaluate_rule(
+    rule: Rule,
+    full: Database,
+    delta: Optional[Database],
+    derived: Database,
+) -> List[Fact]:
+    """One semi-naive pass of ``rule``; ``delta`` focuses one positive
+    literal on the last iteration's new facts (None = naive first round)."""
+    new_facts: List[Fact] = []
+    positive = [lit for lit in rule.body if not lit.negated]
+    negative = [lit for lit in rule.body if lit.negated]
+
+    def lookup(lit: Literal, use_delta: bool) -> Set[Fact]:
+        if use_delta and delta is not None:
+            return delta.rows(lit.predicate)
+        return full.rows(lit.predicate)
+
+    focus_positions: List[Optional[int]]
+    if delta is None or not positive:
+        focus_positions = [None]
+    else:
+        focus_positions = list(range(len(positive)))
+
+    for focus in focus_positions:
+        substitutions: List[Substitution] = [{}]
+        for index, lit in enumerate(positive):
+            rows = lookup(lit, use_delta=(focus == index))
+            next_subs: List[Substitution] = []
+            for theta in substitutions:
+                next_subs.extend(_match_literal(lit, rows, theta))
+            substitutions = next_subs
+            if not substitutions:
+                break
+        for theta in substitutions:
+            blocked = False
+            for lit in negative:
+                row = ground_tuple(lit, theta)
+                if full.contains(lit.predicate, row):
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            row = ground_tuple(rule.head, theta)
+            if not full.contains(rule.head.predicate, row) and not derived.contains(
+                rule.head.predicate, row
+            ):
+                derived.add(rule.head.predicate, row)
+                new_facts.append(row)
+    return new_facts
+
+
+def evaluate(rules: Iterable[Rule], edb: Database) -> Database:
+    """Compute the full IDB: ``edb`` plus everything the rules derive."""
+    full = edb.copy()
+    for layer in stratify(rules):
+        facts = [rule for rule in layer if rule.is_fact]
+        proper = [rule for rule in layer if not rule.is_fact]
+        for fact in facts:
+            full.add(fact.head.predicate, ground_tuple(fact.head, {}))
+        delta: Optional[Database] = None
+        while True:
+            derived = Database()
+            for rule in proper:
+                _evaluate_rule(rule, full, delta, derived)
+            if len(derived) == 0:
+                break
+            full.merge(derived)
+            delta = derived
+        # First round after facts: run once naive, then semi-naive rounds.
+        # (handled above: delta None = naive round.)
+    return full

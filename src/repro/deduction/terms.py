@@ -1,0 +1,207 @@
+"""Terms, literals, Horn rules and unification.
+
+The vocabulary is deliberately small — the knowledge-base bridge
+(:mod:`repro.deduction.kb`) exposes the proposition base through four
+predicates, and user rules compose them:
+
+- ``prop(P, X, L, Y)`` — stored proposition quadruples;
+- ``in(X, C)`` — classification (transitive over isa);
+- ``isa(C, D)`` — specialization (transitive, reflexive);
+- ``attr(X, L, Y)`` — attribute links (explicit and deduced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from repro.errors import DeductionError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A ground value (proposition name, label, number, ...)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Variable, Constant]
+
+#: A substitution maps variable names to terms.
+Substitution = Dict[str, Term]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """``pred(arg1, ..., argN)``, possibly negated."""
+
+    predicate: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        for arg in self.args:
+            if not isinstance(arg, (Variable, Constant)):
+                raise DeductionError(f"bad term {arg!r} in literal {self.predicate}")
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    def negate(self) -> "Literal":
+        """The literal with its negation flipped."""
+        return Literal(self.predicate, self.args, negated=not self.negated)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variable arguments, in order."""
+        return tuple(a for a in self.args if isinstance(a, Variable))
+
+    def is_ground(self) -> bool:
+        """Are all arguments constants?"""
+        return all(isinstance(a, Constant) for a in self.args)
+
+    def substitute(self, theta: Substitution) -> "Literal":
+        """Apply a substitution to the arguments."""
+        return Literal(
+            self.predicate,
+            tuple(resolve(arg, theta) for arg in self.args),
+            negated=self.negated,
+        )
+
+    def rename(self, suffix: str) -> "Literal":
+        """Suffix every variable (capture avoidance)."""
+        return Literal(
+            self.predicate,
+            tuple(
+                Variable(f"{a.name}#{suffix}") if isinstance(a, Variable) else a
+                for a in self.args
+            ),
+            negated=self.negated,
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule ``head :- body``; facts have an empty body."""
+
+    head: Literal
+    body: Tuple[Literal, ...] = ()
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.head.negated:
+            raise DeductionError(f"rule head may not be negated: {self.head!r}")
+        head_vars = {v.name for v in self.head.variables()}
+        positive_vars = {
+            v.name
+            for lit in self.body
+            if not lit.negated
+            for v in lit.variables()
+        }
+        unsafe = head_vars - positive_vars
+        if self.body and unsafe:
+            raise DeductionError(
+                f"unsafe rule: head variables {sorted(unsafe)} not bound "
+                f"by a positive body literal in {self!r}"
+            )
+        for lit in self.body:
+            if lit.negated:
+                neg_vars = {v.name for v in lit.variables()}
+                if neg_vars - positive_vars:
+                    raise DeductionError(
+                        f"unsafe negation: {lit!r} uses variables not bound "
+                        f"positively in {self!r}"
+                    )
+
+    @property
+    def is_fact(self) -> bool:
+        """Rules without a body are facts."""
+        return not self.body
+
+    def rename(self, suffix: str) -> "Rule":
+        """Rename all variables consistently."""
+        return Rule(
+            self.head.rename(suffix),
+            tuple(lit.rename(suffix) for lit in self.body),
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return f"{self.head!r}."
+        body = ", ".join(repr(lit) for lit in self.body)
+        return f"{self.head!r} :- {body}."
+
+
+def resolve(term: Term, theta: Substitution) -> Term:
+    """Follow variable bindings to a fixpoint."""
+    seen = set()
+    while isinstance(term, Variable) and term.name in theta:
+        if term.name in seen:
+            raise DeductionError(f"cyclic substitution at {term.name}")
+        seen.add(term.name)
+        term = theta[term.name]
+    return term
+
+
+def unify(a: Literal, b: Literal, theta: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Most general unifier of two literals (or ``None``).
+
+    Negation flags must match; occurs-check is unnecessary because terms
+    are flat (no function symbols).
+    """
+    if a.predicate != b.predicate or a.arity != b.arity or a.negated != b.negated:
+        return None
+    theta = dict(theta or {})
+    for left, right in zip(a.args, b.args):
+        left = resolve(left, theta)
+        right = resolve(right, theta)
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            if left.value != right.value:
+                return None
+        elif isinstance(left, Variable):
+            if not (isinstance(right, Variable) and right.name == left.name):
+                theta[left.name] = right
+        else:  # left constant, right variable
+            theta[right.name] = left
+    return theta
+
+
+def ground_tuple(literal: Literal, theta: Substitution) -> Tuple[Any, ...]:
+    """The constant argument tuple of a (now ground) literal."""
+    values = []
+    for arg in literal.args:
+        arg = resolve(arg, theta)
+        if not isinstance(arg, Constant):
+            raise DeductionError(f"literal {literal!r} not ground under {theta}")
+        values.append(arg.value)
+    return tuple(values)
+
+
+def bind(literal: Literal, values: Iterable[Any]) -> Literal:
+    """Replace the literal's arguments with the given constants."""
+    consts = tuple(Constant(v) for v in values)
+    if len(consts) != literal.arity:
+        raise DeductionError(
+            f"arity mismatch binding {literal.predicate}: {len(consts)} values"
+        )
+    return Literal(literal.predicate, consts, negated=literal.negated)

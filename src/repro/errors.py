@@ -1,0 +1,109 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+The sub-hierarchy mirrors the ConceptBase/GKBMS layering described in
+DESIGN.md: proposition-level errors, language errors, engine errors and
+GKBMS (decision-level) errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TimeError(ReproError):
+    """Invalid temporal value, interval or relation."""
+
+
+class PropositionError(ReproError):
+    """Malformed proposition or illegal proposition-base operation."""
+
+
+class UnknownPropositionError(PropositionError):
+    """A proposition id or name was referenced but is not in the base."""
+
+
+class AxiomViolation(PropositionError):
+    """A CML axiom rejected a proposition (e.g. dangling instanceof)."""
+
+    def __init__(self, axiom: str, message: str) -> None:
+        super().__init__(f"[{axiom}] {message}")
+        self.axiom = axiom
+
+
+class AssertionSyntaxError(ReproError):
+    """The assertion-language parser rejected an expression."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        suffix = f" (at offset {position})" if position >= 0 else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """The assertion evaluator met an unbound variable or bad operand."""
+
+
+class DeductionError(ReproError):
+    """Rule compilation or evaluation failed (e.g. unstratified negation)."""
+
+
+class ConsistencyError(ReproError):
+    """A constraint was violated; carries the violating objects."""
+
+    def __init__(self, constraint: str, violations: list | None = None) -> None:
+        self.constraint = constraint
+        self.violations = list(violations or [])
+        detail = f": {self.violations}" if self.violations else ""
+        super().__init__(f"constraint {constraint!r} violated{detail}")
+
+
+class LanguageError(ReproError):
+    """Error in one of the DAIDA language substrates (TaxisDL, DBPL)."""
+
+
+class DBPLError(ReproError):
+    """Error raised by the DBPL execution engine."""
+
+
+class IntegrityError(DBPLError):
+    """A DBPL selector (integrity constraint) or key was violated."""
+
+
+class TransactionError(DBPLError):
+    """Illegal transaction usage (nesting, commit/abort state)."""
+
+
+class ModelError(ReproError):
+    """Error in model lattice construction or configuration."""
+
+
+class GKBMSError(ReproError):
+    """Base class for decision-level errors."""
+
+
+class DecisionError(GKBMSError):
+    """A design decision could not be executed or documented."""
+
+
+class NotApplicableError(DecisionError):
+    """Decision class preconditions do not hold for the given inputs."""
+
+
+class ObligationError(GKBMSError):
+    """A verification obligation is unsatisfied (no proof, no signature)."""
+
+
+class BacktrackError(GKBMSError):
+    """Selective backtracking was impossible (e.g. unknown decision)."""
+
+
+class VersionError(GKBMSError):
+    """Version or configuration management failure."""
+
+
+class RMSError(ReproError):
+    """Reason-maintenance failure (e.g. contradictory premises)."""

@@ -1,0 +1,65 @@
+"""DAIDA language substrates (S9).
+
+The paper's architecture (section 1, point (1)) rests on three
+"life-cycle oriented levels of representation":
+
+- **CML** for requirements/world modelling — implemented by the
+  ConceptBase kernel itself (:mod:`repro.propositions`,
+  :mod:`repro.objects`);
+- **TaxisDL** for conceptual design — :mod:`repro.languages.taxisdl`:
+  entity classes in generalization hierarchies, (set-valued)
+  attributes, keys, declarative transaction classes and scripts;
+- **DBPL** for implementation — :mod:`repro.languages.dbpl`:
+  relations, selectors (integrity constraints), constructors (views)
+  and database transactions, with the code-frame printer used by the
+  figures and an executable semantics in :mod:`repro.dbpl_engine`.
+"""
+
+from repro.languages.taxisdl.ast import (
+    TDLAttribute,
+    TDLEntityClass,
+    TDLModel,
+    TDLScript,
+    TDLTransactionClass,
+)
+from repro.languages.taxisdl.parser import parse_taxisdl
+from repro.languages.dbpl.ast import (
+    ConstructorDecl,
+    DBPLModule,
+    Field,
+    ForeignKey,
+    Join,
+    Project,
+    RelationDecl,
+    RelationRef,
+    Rename,
+    Select,
+    SelectorDecl,
+    TransactionDecl,
+    Union,
+)
+from repro.languages.dbpl.printer import print_module, print_relation
+
+__all__ = [
+    "TDLAttribute",
+    "TDLEntityClass",
+    "TDLModel",
+    "TDLScript",
+    "TDLTransactionClass",
+    "parse_taxisdl",
+    "ConstructorDecl",
+    "DBPLModule",
+    "Field",
+    "ForeignKey",
+    "Join",
+    "Project",
+    "RelationDecl",
+    "RelationRef",
+    "Rename",
+    "Select",
+    "SelectorDecl",
+    "TransactionDecl",
+    "Union",
+    "print_module",
+    "print_relation",
+]

@@ -1,0 +1,69 @@
+"""DBPL: the database programming language level (S9).
+
+"The database programming language DBPL [ECKH85], a successor to
+Pascal/R [SCHM77], for implementation design and programming."
+
+The scenario of section 2.1 maps TaxisDL designs to four kinds of DBPL
+objects, all modelled here:
+
+- **relations** (``RelationDecl``) with typed fields and keys;
+- **selectors** (``SelectorDecl``) — named integrity constraints, e.g.
+  the referential-integrity selector ``InvitationsPaperIC`` created by
+  the normalisation decision;
+- **constructors** (``ConstructorDecl``) — named views over a small
+  relational algebra, e.g. ``ConsInvitation`` reconstructing the
+  unnormalised invitation relation;
+- **transactions** (``TransactionDecl``) — parameterised update
+  programs.
+
+:mod:`repro.languages.dbpl.printer` renders the code frames shown in
+figs 2-2 to 2-4; :mod:`repro.dbpl_engine` executes them.
+"""
+
+from repro.languages.dbpl.ast import (
+    ConstructorDecl,
+    DBPLModule,
+    Field,
+    ForeignKey,
+    Join,
+    Predicate,
+    Project,
+    RelationDecl,
+    RelationRef,
+    Rename,
+    Select,
+    SelectorDecl,
+    TransactionDecl,
+    Union,
+)
+from repro.languages.dbpl.printer import (
+    print_constructor,
+    print_module,
+    print_relation,
+    print_selector,
+    print_transaction,
+)
+from repro.languages.dbpl.parser import parse_dbpl
+
+__all__ = [
+    "ConstructorDecl",
+    "DBPLModule",
+    "Field",
+    "ForeignKey",
+    "Join",
+    "Predicate",
+    "Project",
+    "RelationDecl",
+    "RelationRef",
+    "Rename",
+    "Select",
+    "SelectorDecl",
+    "TransactionDecl",
+    "Union",
+    "print_constructor",
+    "print_module",
+    "print_relation",
+    "print_selector",
+    "print_transaction",
+    "parse_dbpl",
+]

@@ -1,0 +1,319 @@
+"""Abstract syntax of the DBPL subset used by the mapping assistants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LanguageError
+
+
+@dataclass(frozen=True)
+class Field:
+    """A typed relation field."""
+
+    name: str
+    type_name: str = "STRING"
+
+    def render(self) -> str:
+        """``name : TYPE`` as it appears in code frames."""
+        return f"{self.name} : {self.type_name}"
+
+
+@dataclass
+class RelationDecl:
+    """``R = RELATION f1, ... OF T KEY k1, ...``"""
+
+    name: str
+    fields: List[Field]
+    key: Tuple[str, ...]
+    of_type: str = ""
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if len(names) != len(set(names)):
+            raise LanguageError(f"duplicate fields in relation {self.name!r}")
+        for part in self.key:
+            if part not in names:
+                raise LanguageError(
+                    f"key component {part!r} is not a field of {self.name!r}"
+                )
+        if not self.key:
+            raise LanguageError(f"relation {self.name!r} needs a key")
+
+    def field_names(self) -> List[str]:
+        """The field names, in declaration order."""
+        return [f.name for f in self.fields]
+
+    def field_type(self, name: str) -> str:
+        """The declared type of one field."""
+        for f in self.fields:
+            if f.name == name:
+                return f.type_name
+        raise LanguageError(f"no field {name!r} in relation {self.name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Relational algebra (constructor bodies)
+# ---------------------------------------------------------------------------
+
+class AlgebraExpr:
+    """Base class of constructor expressions."""
+
+    def relations(self) -> List[str]:
+        """Names of base relations the expression reads."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Concrete-syntax rendering of this node."""
+        raise NotImplementedError
+
+    def _operand(self) -> str:
+        """Rendering as an operand: composite expressions are
+        parenthesised so printing and parsing round-trip."""
+        return f"({self.render()})"
+
+
+@dataclass(frozen=True)
+class RelationRef(AlgebraExpr):
+    """A reference to a base relation or another constructor by name."""
+    name: str
+
+    def relations(self) -> List[str]:
+        """Base relations read: just this one."""
+        return [self.name]
+
+    def render(self) -> str:
+        """The bare relation name."""
+        return self.name
+
+    def _operand(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Project(AlgebraExpr):
+    """Projection onto the named columns (duplicates eliminated)."""
+    source: AlgebraExpr
+    columns: Tuple[str, ...]
+
+    def relations(self) -> List[str]:
+        """Base relations read by the source."""
+        return self.source.relations()
+
+    def render(self) -> str:
+        """``PROJECT <src> ON c1, c2``."""
+        return f"PROJECT {self.source._operand()} ON {', '.join(self.columns)}"
+
+
+@dataclass(frozen=True)
+class Select(AlgebraExpr):
+    """Selection by a conjunction of column = literal equalities."""
+
+    source: AlgebraExpr
+    equalities: Tuple[Tuple[str, str], ...]
+
+    def relations(self) -> List[str]:
+        """Base relations read by the source."""
+        return self.source.relations()
+
+    def render(self) -> str:
+        """``SELECT <src> WHERE a = 'v' AND ...``."""
+        conds = " AND ".join(f"{c} = '{v}'" for c, v in self.equalities)
+        return f"SELECT {self.source._operand()} WHERE {conds}"
+
+
+@dataclass(frozen=True)
+class Join(AlgebraExpr):
+    """Natural join on the named columns."""
+
+    left: AlgebraExpr
+    right: AlgebraExpr
+    on: Tuple[str, ...]
+
+    def relations(self) -> List[str]:
+        """Base relations read by both operands."""
+        return self.left.relations() + self.right.relations()
+
+    def render(self) -> str:
+        """``JOIN <left>, <right> ON c1, c2``."""
+        return (
+            f"JOIN {self.left._operand()}, {self.right._operand()} "
+            f"ON {', '.join(self.on)}"
+        )
+
+
+@dataclass(frozen=True)
+class Union(AlgebraExpr):
+    """Set union; headings are padded to a common schema."""
+    left: AlgebraExpr
+    right: AlgebraExpr
+
+    def relations(self) -> List[str]:
+        """Base relations read by both operands."""
+        return self.left.relations() + self.right.relations()
+
+    def render(self) -> str:
+        """``UNION <left>, <right>``."""
+        return f"UNION {self.left._operand()}, {self.right._operand()}"
+
+
+@dataclass(frozen=True)
+class Rename(AlgebraExpr):
+    """Column renaming by (old, new) pairs."""
+    source: AlgebraExpr
+    mapping: Tuple[Tuple[str, str], ...]  # (old, new)
+
+    def relations(self) -> List[str]:
+        """Base relations read by the source."""
+        return self.source.relations()
+
+    def render(self) -> str:
+        """``RENAME <src> (old AS new, ...)``."""
+        pairs = ", ".join(f"{old} AS {new}" for old, new in self.mapping)
+        return f"RENAME {self.source._operand()} ({pairs})"
+
+
+# ---------------------------------------------------------------------------
+# Selectors (integrity constraints)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Referential integrity: source columns must appear as key values
+    of the target relation (the paper's ``InvitationsPaperIC``)."""
+
+    columns: Tuple[str, ...]
+    target: str
+    target_columns: Tuple[str, ...]
+
+    def render(self, relation: str) -> str:
+        """The ``ON ... REFERENCES ...`` clause text."""
+        return (
+            f"ON {relation} ({', '.join(self.columns)}) "
+            f"REFERENCES {self.target} ({', '.join(self.target_columns)})"
+        )
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A generic row predicate given as source text + a callable."""
+
+    text: str
+
+    def render(self, relation: str) -> str:
+        """The ``ON ... CHECK (...)`` clause text."""
+        return f"ON {relation} CHECK ({self.text})"
+
+
+@dataclass(frozen=True)
+class SelectorDecl:
+    """``SELECTOR name ON relation ...`` — a named integrity constraint."""
+
+    name: str
+    relation: str
+    constraint: object  # ForeignKey | Predicate
+
+    def render(self) -> str:
+        """The full SELECTOR declaration."""
+        return f"SELECTOR {self.name} {self.constraint.render(self.relation)};"
+
+
+@dataclass(frozen=True)
+class ConstructorDecl:
+    """``CONSTRUCTOR name AS <algebra>`` — a named view."""
+
+    name: str
+    expression: AlgebraExpr
+
+    def render(self) -> str:
+        """The full CONSTRUCTOR declaration."""
+        return f"CONSTRUCTOR {self.name} AS {self.expression.render()};"
+
+
+# ---------------------------------------------------------------------------
+# Transactions and modules
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TransactionOp:
+    """One operation of a transaction body."""
+
+    kind: str  # 'insert' | 'delete' | 'update'
+    relation: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """One transaction operation statement."""
+        suffix = f" {self.detail}" if self.detail else ""
+        return f"{self.kind.upper()} {self.relation}{suffix};"
+
+
+@dataclass
+class TransactionDecl:
+    """A parameterised DBPL transaction."""
+
+    name: str
+    parameters: List[Tuple[str, str]] = field(default_factory=list)
+    operations: List[TransactionOp] = field(default_factory=list)
+
+    def touched_relations(self) -> List[str]:
+        """Relations the operations touch, in first-use order."""
+        seen: Dict[str, None] = {}
+        for op in self.operations:
+            seen.setdefault(op.relation, None)
+        return list(seen)
+
+
+@dataclass
+class DBPLModule:
+    """A DBPL database module: the unit the mapping produces."""
+
+    name: str
+    relations: Dict[str, RelationDecl] = field(default_factory=dict)
+    selectors: Dict[str, SelectorDecl] = field(default_factory=dict)
+    constructors: Dict[str, ConstructorDecl] = field(default_factory=dict)
+    transactions: Dict[str, TransactionDecl] = field(default_factory=dict)
+
+    def add(self, decl) -> object:
+        """Register a declaration in its kind's section."""
+        registry = {
+            RelationDecl: self.relations,
+            SelectorDecl: self.selectors,
+            ConstructorDecl: self.constructors,
+            TransactionDecl: self.transactions,
+        }
+        for decl_type, store in registry.items():
+            if isinstance(decl, decl_type):
+                if decl.name in store:
+                    raise LanguageError(
+                        f"duplicate {decl_type.__name__} {decl.name!r}"
+                    )
+                store[decl.name] = decl
+                return decl
+        raise LanguageError(f"cannot add {decl!r} to a DBPL module")
+
+    def remove(self, name: str) -> None:
+        """Delete a declaration by name (any kind)."""
+        for store in (self.relations, self.selectors,
+                      self.constructors, self.transactions):
+            if name in store:
+                del store[name]
+                return
+        raise LanguageError(f"no declaration named {name!r} in module {self.name!r}")
+
+    def get(self, name: str):
+        """Look a declaration up by name (any kind)."""
+        for store in (self.relations, self.selectors,
+                      self.constructors, self.transactions):
+            if name in store:
+                return store[name]
+        raise LanguageError(f"no declaration named {name!r} in module {self.name!r}")
+
+    def names(self) -> List[str]:
+        """All declaration names, section by section."""
+        out: List[str] = []
+        for store in (self.relations, self.selectors,
+                      self.constructors, self.transactions):
+            out.extend(store)
+        return out

@@ -1,0 +1,312 @@
+"""Parser for the DBPL subset (round-trips with the printer).
+
+Accepted forms (semicolons terminate declarations)::
+
+    DATABASE MODULE Meetings;
+    InvitationRel = RELATION
+      paperkey : Surrogate,
+      sender : Person
+    OF InvitationType KEY paperkey;
+    SELECTOR InvIC ON InvReceivRel (paperkey) REFERENCES InvitationRel (paperkey);
+    SELECTOR NonEmpty ON InvitationRel CHECK (sender != '');
+    CONSTRUCTOR ConsInvitation AS JOIN InvitationRel, InvReceivRel ON paperkey;
+    TRANSACTION AddInvitation(inv : Invitation)
+    BEGIN
+      INSERT InvitationRel;
+    END;
+    END Meetings.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import LanguageError
+from repro.languages.dbpl.ast import (
+    AlgebraExpr,
+    ConstructorDecl,
+    DBPLModule,
+    Field,
+    ForeignKey,
+    Join,
+    Predicate,
+    Project,
+    RelationDecl,
+    RelationRef,
+    Rename,
+    Select,
+    SelectorDecl,
+    TransactionDecl,
+    TransactionOp,
+    Union,
+)
+
+_MODULE_RE = re.compile(r"^DATABASE\s+MODULE\s+(\w+)\s*;", re.IGNORECASE)
+_END_RE = re.compile(r"^END\s+(\w+)\s*\.\s*$", re.IGNORECASE)
+_RELATION_RE = re.compile(
+    r"^(?P<name>\w+)\s*=\s*RELATION\s+(?P<fields>.*?)\s*"
+    r"(?:OF\s+(?P<of>\w+)\s+)?KEY\s+(?P<key>\w+(?:\s*,\s*\w+)*)\s*;$",
+    re.IGNORECASE | re.DOTALL,
+)
+_FK_SELECTOR_RE = re.compile(
+    r"^SELECTOR\s+(?P<name>\w+)\s+ON\s+(?P<rel>\w+)\s*"
+    r"\((?P<cols>[\w\s,]+)\)\s*REFERENCES\s+(?P<target>\w+)\s*"
+    r"\((?P<tcols>[\w\s,]+)\)\s*;$",
+    re.IGNORECASE,
+)
+_CHECK_SELECTOR_RE = re.compile(
+    r"^SELECTOR\s+(?P<name>\w+)\s+ON\s+(?P<rel>\w+)\s+CHECK\s*"
+    r"\((?P<pred>.+)\)\s*;$",
+    re.IGNORECASE,
+)
+_CONSTRUCTOR_RE = re.compile(
+    r"^CONSTRUCTOR\s+(?P<name>\w+)\s+AS\s+(?P<expr>.+?)\s*;$",
+    re.IGNORECASE | re.DOTALL,
+)
+_TRANSACTION_RE = re.compile(
+    r"^TRANSACTION\s+(?P<name>\w+)\s*\((?P<params>[^)]*)\)\s*"
+    r"BEGIN\s*(?P<body>.*?)\s*END\s*;$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+
+def _split_names(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _parse_fields(text: str) -> List[Field]:
+    fields = []
+    for part in _split_names(text):
+        if ":" in part:
+            name, type_name = (p.strip() for p in part.split(":", 1))
+        else:
+            name, type_name = part, "STRING"
+        fields.append(Field(name, type_name))
+    return fields
+
+
+def _strip_outer_parens(text: str) -> str:
+    """Remove one or more pairs of enclosing parentheses."""
+    text = text.strip()
+    while text.startswith("(") and text.endswith(")"):
+        depth = 0
+        balanced = True
+        for index, char in enumerate(text):
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0 and index != len(text) - 1:
+                    balanced = False
+                    break
+        if not balanced:
+            break
+        text = text[1:-1].strip()
+    return text
+
+
+def _find_keyword(text: str, keyword: str) -> int:
+    """Offset of the *last* top-level (depth-0) occurrence of
+    `` keyword `` in ``text``, or -1."""
+    needle = f" {keyword.upper()} "
+    upper = text.upper()
+    depth = 0
+    found = -1
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 0 and upper.startswith(needle, index):
+            found = index
+    return found
+
+
+def parse_algebra(text: str) -> AlgebraExpr:
+    """Parse a constructor body (prefix keywords; composite operands may
+    be parenthesised, which is how the printer emits them)."""
+    text = _strip_outer_parens(text)
+    upper = text.upper()
+    if upper.startswith("JOIN "):
+        body = text[5:]
+        on_at = _find_keyword(body, "ON")
+        if on_at < 0:
+            raise LanguageError(f"missing ON clause in {body!r}")
+        left, right = _split_two(body[:on_at])
+        on = _split_names(body[on_at + 4:])
+        return Join(parse_algebra(left), parse_algebra(right), tuple(on))
+    if upper.startswith("UNION "):
+        left, right = _split_two(text[6:])
+        return Union(parse_algebra(left), parse_algebra(right))
+    if upper.startswith("PROJECT "):
+        body = text[8:]
+        on_at = _find_keyword(body, "ON")
+        if on_at < 0:
+            raise LanguageError(f"missing ON clause in {body!r}")
+        return Project(
+            parse_algebra(body[:on_at]),
+            tuple(_split_names(body[on_at + 4:])),
+        )
+    if upper.startswith("SELECT "):
+        body = text[7:]
+        where_at = _find_keyword(body, "WHERE")
+        if where_at < 0:
+            raise LanguageError(f"bad SELECT body: {body!r}")
+        equalities = []
+        conditions = body[where_at + len(" WHERE "):]
+        for cond in re.split(r"\s+AND\s+", conditions, flags=re.IGNORECASE):
+            eq_match = re.match(r"^\s*(\w+)\s*=\s*'([^']*)'\s*$", cond)
+            if eq_match is None:
+                raise LanguageError(f"bad SELECT condition: {cond!r}")
+            equalities.append((eq_match.group(1), eq_match.group(2)))
+        return Select(parse_algebra(body[:where_at]), tuple(equalities))
+    if upper.startswith("RENAME "):
+        body = text[7:].rstrip()
+        if not body.endswith(")"):
+            raise LanguageError(f"bad RENAME body: {body!r}")
+        depth = 0
+        open_at = -1
+        for index in range(len(body) - 1, -1, -1):
+            if body[index] == ")":
+                depth += 1
+            elif body[index] == "(":
+                depth -= 1
+                if depth == 0:
+                    open_at = index
+                    break
+        if open_at < 0:
+            raise LanguageError(f"bad RENAME body: {body!r}")
+        mapping = []
+        for pair in _split_names(body[open_at + 1:-1]):
+            pair_match = re.match(r"^(\w+)\s+AS\s+(\w+)$", pair, re.IGNORECASE)
+            if pair_match is None:
+                raise LanguageError(f"bad RENAME pair: {pair!r}")
+            mapping.append((pair_match.group(1), pair_match.group(2)))
+        return Rename(parse_algebra(body[:open_at]), tuple(mapping))
+    if re.match(r"^\w+$", text):
+        return RelationRef(text)
+    raise LanguageError(f"unparseable algebra expression: {text!r}")
+
+
+def _split_two(text: str) -> Tuple[str, str]:
+    """Split two comma-separated sub-expressions at depth zero."""
+    depth = 0
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            return text[:index].strip(), text[index + 1:].strip()
+    raise LanguageError(f"expected two comma-separated operands in {text!r}")
+
+
+def _declarations(text: str) -> List[str]:
+    """Split module body into declaration chunks ending with ';'.
+
+    Transactions contain inner semicolons, so BEGIN...END; blocks are
+    kept whole.
+    """
+    chunks: List[str] = []
+    buffer: List[str] = []
+    in_transaction = False
+    for raw in text.splitlines():
+        line = raw.split("--", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        buffer.append(stripped)
+        if re.match(r"^TRANSACTION\b", stripped, re.IGNORECASE):
+            in_transaction = True
+        if in_transaction:
+            if re.match(r"^END\s*;$", stripped, re.IGNORECASE):
+                chunks.append(" ".join(buffer))
+                buffer = []
+                in_transaction = False
+        elif stripped.endswith(";") or _END_RE.match(stripped):
+            chunks.append(" ".join(buffer))
+            buffer = []
+    if buffer:
+        chunks.append(" ".join(buffer))
+    return chunks
+
+
+def parse_dbpl(text: str) -> DBPLModule:
+    """Parse a DBPL module source into a :class:`DBPLModule`."""
+    chunks = _declarations(text)
+    if not chunks:
+        raise LanguageError("empty DBPL source")
+    head = _MODULE_RE.match(chunks[0])
+    if head is None:
+        raise LanguageError(f"missing DATABASE MODULE header: {chunks[0]!r}")
+    module = DBPLModule(head.group(1))
+    for chunk in chunks[1:]:
+        if _END_RE.match(chunk):
+            continue
+        module.add(_parse_declaration(chunk))
+    return module
+
+
+def _parse_declaration(chunk: str):
+    relation = _RELATION_RE.match(chunk)
+    if relation:
+        return RelationDecl(
+            name=relation.group("name"),
+            fields=_parse_fields(relation.group("fields")),
+            key=tuple(_split_names(relation.group("key"))),
+            of_type=relation.group("of") or "",
+        )
+    fk = _FK_SELECTOR_RE.match(chunk)
+    if fk:
+        return SelectorDecl(
+            name=fk.group("name"),
+            relation=fk.group("rel"),
+            constraint=ForeignKey(
+                tuple(_split_names(fk.group("cols"))),
+                fk.group("target"),
+                tuple(_split_names(fk.group("tcols"))),
+            ),
+        )
+    check = _CHECK_SELECTOR_RE.match(chunk)
+    if check:
+        return SelectorDecl(
+            name=check.group("name"),
+            relation=check.group("rel"),
+            constraint=Predicate(check.group("pred").strip()),
+        )
+    constructor = _CONSTRUCTOR_RE.match(chunk)
+    if constructor:
+        return ConstructorDecl(
+            name=constructor.group("name"),
+            expression=parse_algebra(constructor.group("expr")),
+        )
+    transaction = _TRANSACTION_RE.match(chunk)
+    if transaction:
+        params = []
+        for part in _split_names(transaction.group("params")):
+            if ":" in part:
+                name, cls = (p.strip() for p in part.split(":", 1))
+            else:
+                name, cls = part, "ANY"
+            params.append((name, cls))
+        operations = []
+        for op_text in transaction.group("body").split(";"):
+            op_text = op_text.strip()
+            if not op_text:
+                continue
+            op_match = re.match(
+                r"^(INSERT|DELETE|UPDATE)\s+(\w+)(?:\s+(.*))?$",
+                op_text, re.IGNORECASE,
+            )
+            if op_match is None:
+                raise LanguageError(f"bad transaction operation: {op_text!r}")
+            operations.append(
+                TransactionOp(
+                    op_match.group(1).lower(),
+                    op_match.group(2),
+                    (op_match.group(3) or "").strip(),
+                )
+            )
+        return TransactionDecl(transaction.group("name"), params, operations)
+    raise LanguageError(f"unrecognised DBPL declaration: {chunk[:60]!r}")

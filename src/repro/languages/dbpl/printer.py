@@ -1,0 +1,70 @@
+"""Code-frame printer for DBPL declarations.
+
+Renders the "code frames" shown in figs 2-2 to 2-4, e.g.::
+
+    InvitationRel = RELATION
+      paperkey : Surrogate,
+      sender   : Person,
+      date     : Date
+    OF InvitationType KEY paperkey;
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.languages.dbpl.ast import (
+    ConstructorDecl,
+    DBPLModule,
+    RelationDecl,
+    SelectorDecl,
+    TransactionDecl,
+)
+
+
+def print_relation(decl: RelationDecl) -> str:
+    """The relation code frame, fields aligned as in the figures."""
+    width = max((len(f.name) for f in decl.fields), default=0)
+    lines = [f"{decl.name} = RELATION"]
+    for index, f in enumerate(decl.fields):
+        comma = "," if index < len(decl.fields) - 1 else ""
+        lines.append(f"  {f.name.ljust(width)} : {f.type_name}{comma}")
+    of_clause = f"OF {decl.of_type} " if decl.of_type else ""
+    lines.append(f"{of_clause}KEY {', '.join(decl.key)};")
+    return "\n".join(lines)
+
+
+def print_selector(decl: SelectorDecl) -> str:
+    """The SELECTOR declaration line."""
+    return decl.render()
+
+
+def print_constructor(decl: ConstructorDecl) -> str:
+    """The CONSTRUCTOR declaration line."""
+    return decl.render()
+
+
+def print_transaction(decl: TransactionDecl) -> str:
+    """The TRANSACTION code frame (header, BEGIN/END body)."""
+    params = ", ".join(f"{name} : {cls}" for name, cls in decl.parameters)
+    lines = [f"TRANSACTION {decl.name}({params})"]
+    lines.append("BEGIN")
+    for op in decl.operations:
+        lines.append(f"  {op.render()}")
+    lines.append("END;")
+    return "\n".join(lines)
+
+
+def print_module(module: DBPLModule) -> str:
+    """The full code frame of a module, sections in DBPL order."""
+    parts: List[str] = [f"DATABASE MODULE {module.name};"]
+    for decl in module.relations.values():
+        parts.append(print_relation(decl))
+    for decl in module.selectors.values():
+        parts.append(print_selector(decl))
+    for decl in module.constructors.values():
+        parts.append(print_constructor(decl))
+    for decl in module.transactions.values():
+        parts.append(print_transaction(decl))
+    parts.append(f"END {module.name}.")
+    return "\n\n".join(parts)

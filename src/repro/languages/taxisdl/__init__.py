@@ -1,0 +1,32 @@
+"""TaxisDL: the declarative conceptual design language (S9).
+
+"A purely declarative version of the language Taxis [MBW80], called
+TaxisDL [TDL87], for conceptual design and predicative specification."
+
+Entity classes form generalization (IsA) hierarchies, carry single- or
+set-valued attributes and optional keys (the object-oriented model has
+no keys by default — the paper's mapping step introduces artificial
+surrogates for exactly that reason); transaction classes and scripts
+capture behaviour declaratively.
+"""
+
+from repro.languages.taxisdl.ast import (
+    TDLAttribute,
+    TDLEntityClass,
+    TDLModel,
+    TDLScript,
+    TDLTransactionClass,
+)
+from repro.languages.taxisdl.parser import parse_taxisdl
+from repro.languages.taxisdl.printer import print_model, print_entity_class
+
+__all__ = [
+    "TDLAttribute",
+    "TDLEntityClass",
+    "TDLModel",
+    "TDLScript",
+    "TDLTransactionClass",
+    "parse_taxisdl",
+    "print_model",
+    "print_entity_class",
+]

@@ -1,0 +1,193 @@
+"""Abstract syntax of TaxisDL.
+
+The GKBMS's design object classes "follow an abstract syntax of the
+applied languages" (section 2.2); this module is that abstract syntax
+for the conceptual-design level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import LanguageError
+
+
+@dataclass(frozen=True)
+class TDLAttribute:
+    """An attribute of an entity class.
+
+    ``set_valued`` marks ``set of T`` attributes — the trigger of the
+    paper's normalisation decision (InvitationType's set-valued
+    ``receiver``).
+    """
+
+    name: str
+    target: str
+    set_valued: bool = False
+
+    def render(self) -> str:
+        """``name : target`` (or ``set of target``)."""
+        target = f"set of {self.target}" if self.set_valued else self.target
+        return f"{self.name} : {target}"
+
+
+@dataclass
+class TDLEntityClass:
+    """An entity class in a generalization hierarchy."""
+
+    name: str
+    isa: List[str] = field(default_factory=list)
+    attributes: List[TDLAttribute] = field(default_factory=list)
+    key: Tuple[str, ...] = ()  # usually empty: TaxisDL has no keys
+
+    def __post_init__(self) -> None:
+        labels = [a.name for a in self.attributes]
+        if len(labels) != len(set(labels)):
+            raise LanguageError(f"duplicate attribute names in {self.name!r}")
+        for key_part in self.key:
+            if key_part not in labels:
+                raise LanguageError(
+                    f"key component {key_part!r} is not an attribute of {self.name!r}"
+                )
+
+    def attribute(self, name: str) -> Optional[TDLAttribute]:
+        """Look an own attribute up by name."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        return None
+
+    @property
+    def has_set_valued_attribute(self) -> bool:
+        """Does any own attribute need normalisation?"""
+        return any(a.set_valued for a in self.attributes)
+
+
+@dataclass
+class TDLTransactionClass:
+    """A declarative transaction specification."""
+
+    name: str
+    isa: List[str] = field(default_factory=list)
+    parameters: List[Tuple[str, str]] = field(default_factory=list)  # (name, class)
+    preconditions: List[str] = field(default_factory=list)
+    postconditions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TDLScript:
+    """A user-interaction script: a named sequence of transaction
+    invocations (the paper's "user interaction scripts")."""
+
+    name: str
+    steps: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TDLModel:
+    """A conceptual design: entity classes + transactions + scripts."""
+
+    name: str
+    classes: Dict[str, TDLEntityClass] = field(default_factory=dict)
+    transactions: Dict[str, TDLTransactionClass] = field(default_factory=dict)
+    scripts: Dict[str, TDLScript] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------
+
+    def add_class(self, cls: TDLEntityClass) -> TDLEntityClass:
+        """Register an entity class; supers must exist."""
+        if cls.name in self.classes:
+            raise LanguageError(f"duplicate entity class {cls.name!r}")
+        for sup in cls.isa:
+            if sup not in self.classes:
+                raise LanguageError(
+                    f"entity class {cls.name!r} specialises unknown {sup!r}"
+                )
+        self.classes[cls.name] = cls
+        return cls
+
+    def add_transaction(self, txn: TDLTransactionClass) -> TDLTransactionClass:
+        """Register a transaction class."""
+        if txn.name in self.transactions:
+            raise LanguageError(f"duplicate transaction class {txn.name!r}")
+        self.transactions[txn.name] = txn
+        return txn
+
+    def add_script(self, script: TDLScript) -> TDLScript:
+        """Register a script."""
+        if script.name in self.scripts:
+            raise LanguageError(f"duplicate script {script.name!r}")
+        self.scripts[script.name] = script
+        return script
+
+    # -- hierarchy queries --------------------------------------------------
+
+    def get(self, name: str) -> TDLEntityClass:
+        """Look an entity class up by name."""
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise LanguageError(f"unknown entity class {name!r}") from None
+
+    def subclasses(self, name: str, strict: bool = True) -> List[str]:
+        """Direct and transitive specializations of ``name``."""
+        out: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for cls in self.classes.values():
+                if current in cls.isa and cls.name not in out:
+                    out.add(cls.name)
+                    frontier.append(cls.name)
+        if not strict:
+            out.add(name)
+        return sorted(out)
+
+    def superclasses(self, name: str, strict: bool = True) -> List[str]:
+        """Transitive generalizations of a class."""
+        out: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for sup in self.get(current).isa:
+                if sup not in out:
+                    out.add(sup)
+                    frontier.append(sup)
+        if not strict:
+            out.add(name)
+        return sorted(out)
+
+    def leaves(self, root: str) -> List[str]:
+        """Leaf classes of the hierarchy rooted at ``root`` (what the
+        move-down mapping strategy generates relations for)."""
+        below = self.subclasses(root, strict=False)
+        return sorted(
+            name for name in below if not self.subclasses(name)
+        )
+
+    def all_attributes(self, name: str) -> List[TDLAttribute]:
+        """Own + inherited attributes of ``name`` (supers first).
+
+        A redefined attribute (same name lower in the hierarchy)
+        replaces the inherited one.
+        """
+        ordered: List[str] = []
+
+        def visit(cls_name: str) -> None:
+            cls = self.get(cls_name)
+            for sup in cls.isa:
+                visit(sup)
+            if cls_name not in ordered:
+                ordered.append(cls_name)
+
+        visit(name)
+        merged: Dict[str, TDLAttribute] = {}
+        for cls_name in ordered:
+            for attr in self.get(cls_name).attributes:
+                merged[attr.name] = attr
+        return list(merged.values())
+
+    def roots(self) -> List[str]:
+        """Classes without generalizations."""
+        return sorted(name for name, cls in self.classes.items() if not cls.isa)

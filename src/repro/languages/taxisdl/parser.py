@@ -1,0 +1,179 @@
+"""A small concrete syntax for TaxisDL designs.
+
+Example::
+
+    entity class Papers with
+      date : Date
+      author : Person
+    end
+
+    entity class Invitations isa Papers with
+      sender : Person
+      receiver : set of Person
+    end
+
+    transaction class SendInvitation with
+      in inv : Invitations
+      pre Known(inv.sender)
+      post A(inv, sent, true)
+    end
+
+    script OrganiseMeeting with
+      step SendInvitation
+      step CollectReplies
+    end
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import LanguageError
+from repro.languages.taxisdl.ast import (
+    TDLAttribute,
+    TDLEntityClass,
+    TDLModel,
+    TDLScript,
+    TDLTransactionClass,
+)
+
+_ENTITY_HEAD = re.compile(
+    r"^entity\s+class\s+(?P<name>\w+)"
+    r"(?:\s+isa\s+(?P<isa>\w+(?:\s*,\s*\w+)*))?"
+    r"(?:\s+(?P<with>with))?$",
+    re.IGNORECASE,
+)
+_TXN_HEAD = re.compile(
+    r"^transaction\s+class\s+(?P<name>\w+)"
+    r"(?:\s+isa\s+(?P<isa>\w+(?:\s*,\s*\w+)*))?"
+    r"(?:\s+(?P<with>with))?$",
+    re.IGNORECASE,
+)
+_SCRIPT_HEAD = re.compile(
+    r"^script\s+(?P<name>\w+)(?:\s+(?P<with>with))?$", re.IGNORECASE
+)
+_ATTR_LINE = re.compile(
+    r"^(?P<name>\w+)\s*:\s*(?P<set>set\s+of\s+)?(?P<target>\w+)$",
+    re.IGNORECASE,
+)
+_KEY_LINE = re.compile(r"^key\s+(?P<parts>\w+(?:\s*,\s*\w+)*)$", re.IGNORECASE)
+_PARAM_LINE = re.compile(
+    r"^in\s+(?P<name>\w+)\s*:\s*(?P<cls>\w+)$", re.IGNORECASE
+)
+_PRE_LINE = re.compile(r"^pre\s+(?P<text>.+)$", re.IGNORECASE)
+_POST_LINE = re.compile(r"^post\s+(?P<text>.+)$", re.IGNORECASE)
+_STEP_LINE = re.compile(r"^step\s+(?P<name>\w+)$", re.IGNORECASE)
+
+
+def _split_names(text: Optional[str]) -> List[str]:
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _blocks(text: str) -> List[Tuple[str, List[str]]]:
+    """Split the source into (header, body-lines) blocks ended by 'end'."""
+    blocks: List[Tuple[str, List[str]]] = []
+    header: Optional[str] = None
+    body: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("--", 1)[0].strip()  # '--' starts a comment
+        if not line:
+            continue
+        if line.lower() == "end":
+            if header is None:
+                raise LanguageError("'end' without an open block")
+            blocks.append((header, body))
+            header, body = None, []
+        elif header is None:
+            header = line
+        else:
+            body.append(line)
+    if header is not None:
+        raise LanguageError(f"unterminated block: {header!r}")
+    return blocks
+
+
+def parse_taxisdl(text: str, model_name: str = "design",
+                  model: TDLModel = None) -> TDLModel:
+    """Parse a TaxisDL script into a :class:`TDLModel`.
+
+    Passing an existing ``model`` appends to it, so later blocks (and
+    isa references) may build on classes parsed earlier — the
+    incremental-extension path of the scenario.
+    """
+    if model is None:
+        model = TDLModel(model_name)
+    for header, body in _blocks(text):
+        entity = _ENTITY_HEAD.match(header)
+        if entity:
+            model.add_class(_parse_entity(entity, body))
+            continue
+        txn = _TXN_HEAD.match(header)
+        if txn:
+            model.add_transaction(_parse_transaction(txn, body))
+            continue
+        script = _SCRIPT_HEAD.match(header)
+        if script:
+            model.add_script(_parse_script(script, body))
+            continue
+        raise LanguageError(f"unrecognised block header: {header!r}")
+    return model
+
+
+def _parse_entity(match: "re.Match", body: List[str]) -> TDLEntityClass:
+    attributes: List[TDLAttribute] = []
+    key: Tuple[str, ...] = ()
+    for line in body:
+        key_match = _KEY_LINE.match(line)
+        if key_match:
+            key = tuple(_split_names(key_match.group("parts")))
+            continue
+        attr_match = _ATTR_LINE.match(line)
+        if attr_match is None:
+            raise LanguageError(f"bad attribute line: {line!r}")
+        attributes.append(
+            TDLAttribute(
+                attr_match.group("name"),
+                attr_match.group("target"),
+                set_valued=attr_match.group("set") is not None,
+            )
+        )
+    return TDLEntityClass(
+        name=match.group("name"),
+        isa=_split_names(match.group("isa")),
+        attributes=attributes,
+        key=key,
+    )
+
+
+def _parse_transaction(match: "re.Match", body: List[str]) -> TDLTransactionClass:
+    txn = TDLTransactionClass(
+        name=match.group("name"), isa=_split_names(match.group("isa"))
+    )
+    for line in body:
+        param = _PARAM_LINE.match(line)
+        if param:
+            txn.parameters.append((param.group("name"), param.group("cls")))
+            continue
+        pre = _PRE_LINE.match(line)
+        if pre:
+            txn.preconditions.append(pre.group("text").strip())
+            continue
+        post = _POST_LINE.match(line)
+        if post:
+            txn.postconditions.append(post.group("text").strip())
+            continue
+        raise LanguageError(f"bad transaction line: {line!r}")
+    return txn
+
+
+def _parse_script(match: "re.Match", body: List[str]) -> TDLScript:
+    script = TDLScript(name=match.group("name"))
+    for line in body:
+        step = _STEP_LINE.match(line)
+        if step is None:
+            raise LanguageError(f"bad script line: {line!r}")
+        script.steps.append(step.group("name"))
+    return script

@@ -1,0 +1,68 @@
+"""Pretty-printer for TaxisDL designs (round-trips with the parser)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.languages.taxisdl.ast import (
+    TDLEntityClass,
+    TDLModel,
+    TDLScript,
+    TDLTransactionClass,
+)
+
+
+def print_entity_class(cls: TDLEntityClass) -> str:
+    """Render one entity class block."""
+    head = f"entity class {cls.name}"
+    if cls.isa:
+        head += " isa " + ", ".join(cls.isa)
+    lines: List[str] = []
+    if cls.attributes or cls.key:
+        lines.append(head + " with")
+        for attr in cls.attributes:
+            lines.append(f"  {attr.render()}")
+        if cls.key:
+            lines.append("  key " + ", ".join(cls.key))
+    else:
+        lines.append(head)
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def print_transaction_class(txn: TDLTransactionClass) -> str:
+    """Render one transaction class block."""
+    head = f"transaction class {txn.name}"
+    if txn.isa:
+        head += " isa " + ", ".join(txn.isa)
+    lines = [head + " with" if (txn.parameters or txn.preconditions or
+                                txn.postconditions) else head]
+    for name, cls in txn.parameters:
+        lines.append(f"  in {name} : {cls}")
+    for pre in txn.preconditions:
+        lines.append(f"  pre {pre}")
+    for post in txn.postconditions:
+        lines.append(f"  post {post}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def print_script(script: TDLScript) -> str:
+    """Render one script block."""
+    lines = [f"script {script.name} with" if script.steps else f"script {script.name}"]
+    for step in script.steps:
+        lines.append(f"  step {step}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def print_model(model: TDLModel) -> str:
+    """Render a whole design (round-trips through the parser)."""
+    parts: List[str] = []
+    for cls in model.classes.values():
+        parts.append(print_entity_class(cls))
+    for txn in model.transactions.values():
+        parts.append(print_transaction_class(txn))
+    for script in model.scripts.values():
+        parts.append(print_script(script))
+    return "\n\n".join(parts)

@@ -1,0 +1,36 @@
+"""The conceptual model processor (S8).
+
+Section 3.1: "the Conceptual Model Processor uses the object processor
+to combine tools for the manipulation of models which consist of all
+objects relevant to an application of ConceptBase [...]  Models
+constitute highly complex multi-level object structures which are
+maintained in hierarchies.  Different models may share some objects or
+(sub-)models.  Configuring a model for a specific application means the
+activation of the corresponding nodes in the lattice."
+
+- :mod:`repro.models.model` — the model lattice over workspaces;
+- :mod:`repro.models.display` — the Model Display and Interaction
+  module of section 3.3.1: text DAG browser, graphical DAG browser,
+  relational display and CML form editing;
+- :mod:`repro.models.interaction` — focusing, zooming and hierarchical
+  context menus driven by a pluggable tool selector.
+"""
+
+from repro.models.model import Model, ModelBase
+from repro.models.display.text_dag import TextDAGBrowser
+from repro.models.display.graph_dag import GraphDAGRenderer
+from repro.models.display.relational_display import RelationalDisplay
+from repro.models.display.forms import FormEditor, FormView
+from repro.models.interaction import Browser, MenuItem
+
+__all__ = [
+    "Model",
+    "ModelBase",
+    "TextDAGBrowser",
+    "GraphDAGRenderer",
+    "RelationalDisplay",
+    "FormEditor",
+    "FormView",
+    "Browser",
+    "MenuItem",
+]

@@ -1,0 +1,31 @@
+"""The Model Display and Interaction module (section 3.3.1).
+
+Four window-oriented interface tools re-implemented as text renderers:
+
+- :class:`~repro.models.display.text_dag.TextDAGBrowser` — "allows the
+  display and browsing of a tree-like CML structure at a dynamically
+  defined depth and width" (fig 2-1);
+- :class:`~repro.models.display.graph_dag.GraphDAGRenderer` — "offers a
+  graphical representation of the same kinds of data structures",
+  emitting DOT and ASCII adjacency with user-persistent layout
+  (figs 2-2 to 2-4);
+- :class:`~repro.models.display.relational_display.RelationalDisplay`
+  — "shows the properties of objects in tabular form with variable
+  column width and scrolling";
+- :class:`~repro.models.display.forms.FormEditor` — the CML form editor
+  "to interact with the knowledge base and to work with CML code
+  frames".
+"""
+
+from repro.models.display.text_dag import TextDAGBrowser
+from repro.models.display.graph_dag import GraphDAGRenderer
+from repro.models.display.relational_display import RelationalDisplay
+from repro.models.display.forms import FormEditor, FormView
+
+__all__ = [
+    "TextDAGBrowser",
+    "GraphDAGRenderer",
+    "RelationalDisplay",
+    "FormEditor",
+    "FormView",
+]

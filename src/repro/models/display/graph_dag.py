@@ -1,0 +1,134 @@
+"""Graphical DAG browser (figs 2-2 to 2-4).
+
+"A graphical DAG browser offers a graphical representation of the same
+kinds of data structures as the text browser.  A simple standard layout
+is offered but can be changed by the user in a persistent way."
+
+The renderer works over any directed graph given as labelled edges.  It
+emits Graphviz DOT (the "graphical representation") and a deterministic
+ASCII listing grouped by layer (the "simple standard layout": a
+longest-path layering).  User layout overrides — explicit node
+positions — persist on the instance and survive re-rendering, which is
+the paper's persistent user layout.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+Edge = Tuple[str, str, str]  # (source, label, destination)
+
+
+@dataclass
+class GraphDAGRenderer:
+    """Renders labelled digraphs as DOT and layered ASCII."""
+
+    edges: List[Edge] = field(default_factory=list)
+    highlight: set = field(default_factory=set)
+    _positions: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    # -- construction ------------------------------------------------------
+
+    def add_edge(self, source: str, label: str, destination: str) -> None:
+        """Add a labelled edge once."""
+        edge = (source, label, destination)
+        if edge not in self.edges:
+            self.edges.append(edge)
+
+    def extend(self, edges: Iterable[Edge]) -> None:
+        """Add many labelled edges."""
+        for source, label, destination in edges:
+            self.add_edge(source, label, destination)
+
+    def nodes(self) -> List[str]:
+        """Node names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for source, _label, destination in self.edges:
+            seen.setdefault(source, None)
+            seen.setdefault(destination, None)
+        return list(seen)
+
+    # -- persistent user layout ------------------------------------------
+
+    def place(self, node: str, x: int, y: int) -> None:
+        """Persistently override a node's position."""
+        self._positions[node] = (x, y)
+
+    def position(self, node: str) -> Optional[Tuple[int, int]]:
+        """The pinned position of a node, if any."""
+        return self._positions.get(node)
+
+    # -- layering (the standard layout) -------------------------------------
+
+    def layers(self) -> List[List[str]]:
+        """Longest-path layering; cycles fall back to discovery order."""
+        successors: Dict[str, List[str]] = defaultdict(list)
+        indegree: Dict[str, int] = defaultdict(int)
+        nodes = self.nodes()
+        for source, _label, destination in self.edges:
+            successors[source].append(destination)
+            indegree[destination] += 1
+        level: Dict[str, int] = {}
+        queue = [n for n in nodes if indegree[n] == 0]
+        for node in queue:
+            level[node] = 0
+        remaining = dict(indegree)
+        index = 0
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            for succ in successors[node]:
+                level[succ] = max(level.get(succ, 0), level[node] + 1)
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    queue.append(succ)
+        for node in nodes:  # cycle members: put after everything known
+            level.setdefault(node, max(level.values(), default=0) + 1)
+        grouped: Dict[int, List[str]] = defaultdict(list)
+        for node in nodes:
+            grouped[level[node]].append(node)
+        return [sorted(grouped[lvl]) for lvl in sorted(grouped)]
+
+    # -- output --------------------------------------------------------------
+
+    def to_dot(self, name: str = "dependencies") -> str:
+        """Graphviz DOT with labels, highlights and pinned positions."""
+        lines = [f"digraph {name} {{", "  rankdir=TB;"]
+        for node in self.nodes():
+            attrs = []
+            if node in self.highlight:
+                attrs.append('style=filled fillcolor="lightyellow"')
+            if node in self._positions:
+                x, y = self._positions[node]
+                attrs.append(f'pos="{x},{y}!"')
+            attr_text = f" [{' '.join(attrs)}]" if attrs else ""
+            lines.append(f'  "{node}"{attr_text};')
+        for source, label, destination in self.edges:
+            lines.append(f'  "{source}" -> "{destination}" [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_ascii(self) -> str:
+        """Layered listing plus labelled adjacency (deterministic)."""
+        lines: List[str] = []
+        for index, layer in enumerate(self.layers()):
+            rendered = [
+                f"[{node}]" if node in self.highlight else node for node in layer
+            ]
+            lines.append(f"layer {index}: " + "  ".join(rendered))
+        lines.append("")
+        for source, label, destination in sorted(self.edges):
+            lines.append(f"{source} --{label}--> {destination}")
+        return "\n".join(lines)
+
+    def neighbours(self, node: str) -> Dict[str, List[Tuple[str, str]]]:
+        """Incoming/outgoing labelled edges of ``node`` (for zooming)."""
+        out: Dict[str, List[Tuple[str, str]]] = {"out": [], "in": []}
+        for source, label, destination in self.edges:
+            if source == node:
+                out["out"].append((label, destination))
+            if destination == node:
+                out["in"].append((label, source))
+        return out

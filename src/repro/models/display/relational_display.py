@@ -1,0 +1,97 @@
+"""Relational display (section 3.3.1).
+
+"A relational display shows the properties of objects in tabular form
+with variable column width and scrolling (thus corresponding to the
+Object Processor level in fig 3-1); the extension to a non-first normal
+form display of complex objects is underway."
+
+Both forms are provided: first-normal-form (set cells exploded into
+several rows) and NF2 (set cells shown inline), with per-column width
+control and row scrolling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.objects.relational import RelationalView
+
+
+def _clip(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text.ljust(width)
+    if width <= 1:
+        return text[:width]
+    return text[: width - 1] + "~"
+
+
+@dataclass
+class RelationalDisplay:
+    """Scrollable tabular rendering of a class relation."""
+
+    view: RelationalView
+    default_width: int = 16
+    column_widths: Dict[str, int] = field(default_factory=dict)
+    offset: int = 0
+    page_size: int = 20
+
+    def set_column_width(self, column: str, width: int) -> None:
+        """Variable column width (>=1)."""
+        self.column_widths[column] = max(1, width)
+
+    def scroll_to(self, offset: int) -> None:
+        """Move the visible row window."""
+        self.offset = max(0, offset)
+
+    def page(self, cls: str) -> List[Tuple]:
+        """The currently visible rows."""
+        rows = self.view.rows(cls)
+        return rows[self.offset:self.offset + self.page_size]
+
+    def _width(self, column: str) -> int:
+        return self.column_widths.get(column, self.default_width)
+
+    def render(self, cls: str, first_normal_form: bool = False) -> str:
+        """Render the visible page of the class relation.
+
+        With ``first_normal_form`` set, a row with set-valued cells is
+        exploded into one row per combination member (padding with
+        blanks), which is how a 1NF display must show them; the default
+        NF2 display keeps value sets inline as ``{a,b}``.
+        """
+        schema = self.view.schema(cls)
+        heading = [("object", self._width("object"))]
+        heading += [(c, self._width(c)) for c in schema.columns]
+        lines = [" | ".join(_clip(name, width) for name, width in heading)]
+        lines.append("-+-".join("-" * width for _name, width in heading))
+        for row in self.page(cls):
+            if first_normal_form:
+                lines.extend(self._explode(row, heading))
+            else:
+                cells = [row[0]] + [
+                    "{" + ",".join(sorted(v)) + "}" if v else "-" for v in row[1:]
+                ]
+                lines.append(
+                    " | ".join(
+                        _clip(str(cell), width)
+                        for cell, (_name, width) in zip(cells, heading)
+                    )
+                )
+        return "\n".join(lines)
+
+    def _explode(self, row: Tuple, heading: List[Tuple[str, int]]) -> List[str]:
+        columns = [sorted(v) if v else ["-"] for v in row[1:]]
+        height = max((len(c) for c in columns), default=1)
+        out = []
+        for line_index in range(height):
+            cells = [row[0] if line_index == 0 else ""]
+            for column in columns:
+                cells.append(column[line_index] if line_index < len(column) else "")
+            out.append(
+                " | ".join(
+                    _clip(str(cell), width)
+                    for cell, (_name, width) in zip(cells, heading)
+                )
+            )
+        return out

@@ -1,0 +1,96 @@
+"""Text DAG browser (fig 2-1).
+
+"A text DAG browser allows the display and browsing of a tree-like CML
+structure at a dynamically defined depth and width.  Basically, it
+consists of a recursively embedded set of windows, each variable in
+size and endowed with a scrolling facility."
+
+The browser walks a *children function* (e.g. specializations of a
+class, unmapped objects of a design) from a focus object, bounded by
+``depth`` and ``width``; per-node scrolling is modelled by an offset
+into the children list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+ChildrenFn = Callable[[str], Sequence[str]]
+
+
+@dataclass
+class TextDAGBrowser:
+    """Bounded tree rendering with per-node scrolling."""
+
+    children: ChildrenFn
+    depth: int = 3
+    width: int = 8
+    label: Callable[[str], str] = staticmethod(lambda name: name)
+    _offsets: Dict[str, int] = field(default_factory=dict)
+
+    # -- interaction -----------------------------------------------------
+
+    def scroll(self, node: str, offset: int) -> None:
+        """Scroll the window of ``node`` to start at child ``offset``."""
+        self._offsets[node] = max(0, offset)
+
+    def zoom(self, depth: int | None = None, width: int | None = None) -> None:
+        """Dynamically change the displayed depth/width."""
+        if depth is not None:
+            self.depth = max(1, depth)
+        if width is not None:
+            self.width = max(1, width)
+
+    # -- rendering -------------------------------------------------------
+
+    def visible_children(self, node: str) -> Tuple[List[str], int]:
+        """The window of ``node``: visible children + number hidden."""
+        all_children = list(self.children(node))
+        offset = self._offsets.get(node, 0)
+        window = all_children[offset:offset + self.width]
+        hidden = len(all_children) - len(window)
+        return window, hidden
+
+    def render(self, focus: str) -> str:
+        """Indented tree from ``focus``, honouring depth/width/offsets."""
+        lines: List[str] = []
+        self._render_node(focus, 0, lines, seen=set())
+        return "\n".join(lines)
+
+    def _render_node(self, node: str, level: int, lines: List[str], seen: set) -> None:
+        indent = "  " * level
+        marker = "* " if level == 0 else "- "
+        suffix = ""
+        if node in seen:
+            lines.append(f"{indent}{marker}{self.label(node)} (...)")
+            return
+        lines.append(f"{indent}{marker}{self.label(node)}{suffix}")
+        if level >= self.depth:
+            if list(self.children(node)):
+                lines.append(f"{indent}  [+{len(list(self.children(node)))} below]")
+            return
+        seen = seen | {node}
+        window, hidden = self.visible_children(node)
+        for child in window:
+            self._render_node(child, level + 1, lines, seen)
+        if hidden > 0:
+            lines.append(f"{indent}  [{hidden} more...]")
+
+    def flatten(self, focus: str) -> List[str]:
+        """All nodes reachable within the current depth (for tests and
+        for the menu builder)."""
+        out: List[str] = []
+
+        def walk(node: str, level: int, seen: frozenset) -> None:
+            if node in seen:
+                return
+            out.append(node)
+            if level >= self.depth:
+                return
+            window, _hidden = self.visible_children(node)
+            for child in window:
+                walk(child, level + 1, seen | {node})
+
+        walk(focus, 0, frozenset())
+        return out

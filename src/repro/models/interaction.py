@@ -1,0 +1,108 @@
+"""Focusing, zooming and hierarchical context menus (section 3.3.1).
+
+"Focusing in any of these structures is done by mouse selection;
+hierarchical menus with context-dependent content are used for tool
+selection [...]  A dialog manager with improved error handling and
+recovery facilities is under construction."
+
+:class:`Browser` keeps a focus object and a navigation history, renders
+hierarchical menus produced by a pluggable *menu provider* (the GKBMS's
+tool selector plugs in here, fig 2-6), and recovers from failing menu
+actions by restoring the previous focus — the "improved error handling
+and recovery" the paper promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class MenuItem:
+    """One entry of a context menu; ``action`` runs on selection."""
+
+    title: str
+    action: Optional[Callable[[], object]] = None
+    submenu: tuple = ()
+
+    def is_leaf(self) -> bool:
+        """No submenu?"""
+        return not self.submenu
+
+
+MenuProvider = Callable[[str], Sequence[MenuItem]]
+
+
+@dataclass
+class Browser:
+    """Focus + history + context menus over any object space."""
+
+    menu_provider: MenuProvider
+    exists: Callable[[str], bool] = staticmethod(lambda name: True)
+    _focus: Optional[str] = None
+    _history: List[str] = field(default_factory=list)
+
+    @property
+    def focus(self) -> Optional[str]:
+        """The currently selected object."""
+        return self._focus
+
+    @property
+    def history(self) -> List[str]:
+        """Previously focused objects, oldest first."""
+        return list(self._history)
+
+    def focus_on(self, name: str) -> None:
+        """Select an object (the mouse click of fig 2-1)."""
+        if not self.exists(name):
+            raise ModelError(f"cannot focus on unknown object {name!r}")
+        if self._focus is not None:
+            self._history.append(self._focus)
+        self._focus = name
+
+    def back(self) -> Optional[str]:
+        """Return to the previously focused object."""
+        if not self._history:
+            return None
+        self._focus = self._history.pop()
+        return self._focus
+
+    def menu(self) -> List[MenuItem]:
+        """Context-dependent menu for the current focus."""
+        if self._focus is None:
+            return []
+        return list(self.menu_provider(self._focus))
+
+    def render_menu(self) -> str:
+        """Hierarchical menu rendering (cf fig 2-1's nested menus)."""
+        lines: List[str] = [f"menu for {self._focus}:"]
+
+        def walk(items: Sequence[MenuItem], level: int) -> None:
+            for item in items:
+                lines.append("  " * level + f"- {item.title}")
+                walk(item.submenu, level + 1)
+
+        walk(self.menu(), 1)
+        return "\n".join(lines)
+
+    def select(self, path: Sequence[str]) -> object:
+        """Run the action reached by a path of menu titles; on failure
+        the focus is restored (error recovery)."""
+        items: Sequence[MenuItem] = self.menu()
+        chosen: Optional[MenuItem] = None
+        for title in path:
+            chosen = next((i for i in items if i.title == title), None)
+            if chosen is None:
+                raise ModelError(f"no menu entry {title!r} under {self._focus!r}")
+            items = chosen.submenu
+        if chosen is None or chosen.action is None:
+            raise ModelError(f"menu path {list(path)} has no action")
+        saved_focus, saved_history = self._focus, list(self._history)
+        try:
+            return chosen.action()
+        except Exception:
+            self._focus, self._history = saved_focus, saved_history
+            raise

@@ -1,0 +1,31 @@
+"""The object processor (S7).
+
+Section 3.1: "The next layer of ConceptBase, the Object Processor,
+groups propositions around a common source, the object identifier. [...]
+The Object Transformer transforms this class into a set of propositions
+as shown in Fig 3-2.  [...] the object processor understands the
+knowledge base as a deductive relational database."
+
+- :mod:`repro.objects.frame` — frame notation (``TELL x IN c ISA d WITH
+  attribute l : y END``) with a parser and pretty-printer;
+- :mod:`repro.objects.transformer` — frames to proposition sets and
+  back (the fig 3-2 transformation);
+- :mod:`repro.objects.object_processor` — tell/ask objects;
+- :mod:`repro.objects.relational` — class extents as relations with
+  attribute columns, the deductive relational view.
+"""
+
+from repro.objects.frame import AttributeDecl, ObjectFrame, parse_frame
+from repro.objects.transformer import ObjectTransformer
+from repro.objects.object_processor import ObjectProcessor
+from repro.objects.relational import RelationalView, RelationSchema
+
+__all__ = [
+    "AttributeDecl",
+    "ObjectFrame",
+    "parse_frame",
+    "ObjectTransformer",
+    "ObjectProcessor",
+    "RelationalView",
+    "RelationSchema",
+]

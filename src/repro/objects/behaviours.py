@@ -1,0 +1,104 @@
+"""Behaviour propositions (section 3.1).
+
+"Behaviours (behaviour propositions) are much like methods of classes
+in SMALLTALK [GR83].  They associate operations such as create or
+display to the instances of a class by appropriate behaviour links."
+
+A behaviour is a named Python callable attached to a class; the
+attachment is documented in the knowledge base as a ``behaviour`` link
+from the class to a ``BehaviourSpec`` individual (instantiating the
+predefined ``BehaviourAttribute`` link class).  Dispatch walks the
+object's classes most-specific-first, so a specialised class can
+override an inherited behaviour — method lookup, CML style.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PropositionError
+from repro.propositions.processor import PropositionProcessor
+
+#: behaviour(processor, object_name, *args) -> Any
+BehaviourFn = Callable[..., Any]
+
+
+class BehaviourBase:
+    """Registry and dispatcher for behaviour propositions."""
+
+    def __init__(self, processor: PropositionProcessor) -> None:
+        self.processor = processor
+        self._behaviours: Dict[Tuple[str, str], BehaviourFn] = {}
+        self._install_defaults()
+
+    # ------------------------------------------------------------------
+
+    def define(self, cls: str, name: str, fn: BehaviourFn,
+               document: bool = True) -> None:
+        """Attach behaviour ``name`` to class ``cls``."""
+        if not self.processor.is_class(cls):
+            raise PropositionError(f"{cls!r} is not a class")
+        self._behaviours[(cls, name)] = fn
+        if document:
+            spec = f"Behaviour_{cls}_{name}"
+            if not self.processor.exists(spec):
+                self.processor.tell_individual(spec, in_class="BehaviourSpec")
+            self.processor.tell_link(cls, "behaviour", spec,
+                                     of_class="BehaviourAttribute")
+
+    def _install_defaults(self) -> None:
+        """Predefined operations on every proposition: display, classes."""
+
+        def display(proc: PropositionProcessor, name: str) -> str:
+            from repro.objects.transformer import ObjectTransformer
+
+            return ObjectTransformer(proc).ask(name).render()
+
+        def classes(proc: PropositionProcessor, name: str) -> List[str]:
+            return sorted(proc.classes_of(name))
+
+        self._behaviours[("Proposition", "display")] = display
+        self._behaviours[("Proposition", "classes")] = classes
+
+    # ------------------------------------------------------------------
+
+    def _resolution_order(self, name: str) -> List[str]:
+        """The object's classes, most specific first (more
+        generalizations above = less specific, so sort descending by
+        own generalization count)."""
+        classes = list(self.processor.classes_of(name))
+        return sorted(
+            classes,
+            key=lambda cls: (
+                -len(self.processor.generalizations(cls, strict=True)),
+                cls,
+            ),
+        )
+
+    def lookup(self, name: str, behaviour: str) -> Optional[BehaviourFn]:
+        """Resolve a behaviour along the object's classes."""
+        for cls in self._resolution_order(name):
+            fn = self._behaviours.get((cls, behaviour))
+            if fn is not None:
+                return fn
+        return self._behaviours.get(("Proposition", behaviour))
+
+    def invoke(self, name: str, behaviour: str, *args: Any) -> Any:
+        """Run a behaviour on an object."""
+        if not self.processor.exists(name):
+            raise PropositionError(f"unknown object {name!r}")
+        fn = self.lookup(name, behaviour)
+        if fn is None:
+            raise PropositionError(
+                f"no behaviour {behaviour!r} applicable to {name!r}"
+            )
+        return fn(self.processor, name, *args)
+
+    def behaviours_of(self, name: str) -> List[str]:
+        """The behaviour names applicable to an object."""
+        classes = set(self._resolution_order(name)) | {"Proposition"}
+        return sorted({
+            behaviour
+            for (cls, behaviour) in self._behaviours
+            if cls in classes
+        })

@@ -1,0 +1,156 @@
+"""Frame notation for complex objects.
+
+The paper's example (section 3.1): "Consider, for example, a class
+TDL_EntityClass called Invitation, which relates invitations to persons
+by an attribute sender."  In frame notation::
+
+    TELL Invitation IN TDL_EntityClass ISA Paper WITH
+      attribute sender : Person
+      attribute receiver : Person
+    END
+
+Each attribute line reads ``<category> <label> : <target>``; the
+category names the attribute class the link instantiates (``attribute``
+selects the most general one, user-defined categories select attribute
+metaclass instances, which is how the GKBMS's FROM/TO/BY categories are
+written down).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PropositionError
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """One attribute line of a frame."""
+
+    category: str
+    label: str
+    target: str
+
+    def __repr__(self) -> str:
+        return f"{self.category} {self.label} : {self.target}"
+
+
+@dataclass
+class ObjectFrame:
+    """A complex object: name, classifications, generalizations and
+    attributes grouped around one object identifier."""
+
+    name: str
+    in_classes: List[str] = field(default_factory=list)
+    isa: List[str] = field(default_factory=list)
+    attributes: List[AttributeDecl] = field(default_factory=list)
+
+    def attribute(self, label: str) -> Optional[AttributeDecl]:
+        """Look an attribute declaration up by label."""
+        for decl in self.attributes:
+            if decl.label == label:
+                return decl
+        return None
+
+    def values(self, label: str) -> List[str]:
+        """All targets declared under ``label`` (set-valued attributes
+        appear as several lines with the same label)."""
+        return [d.target for d in self.attributes if d.label == label]
+
+    def render(self) -> str:
+        """Pretty-print back to TELL syntax."""
+        lines = [f"TELL {self.name}"]
+        if self.in_classes:
+            lines[0] += " IN " + ", ".join(self.in_classes)
+        if self.isa:
+            lines[0] += " ISA " + ", ".join(self.isa)
+        if self.attributes:
+            lines[0] += " WITH"
+            for decl in self.attributes:
+                lines.append(f"  {decl.category} {decl.label} : {decl.target}")
+        lines.append("END")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ObjectFrame({self.name!r})"
+
+
+_ATTR_RE = re.compile(
+    r"^\s*(?P<category>\S+)\s+(?P<label>\S+)\s*:\s*(?P<target>\S+)\s*$"
+)
+
+
+def _parse_header(head: str) -> Tuple[str, List[str], List[str], bool]:
+    """Parse ``TELL name [IN c, ...] [ISA d, ...] [WITH]``."""
+    words = head.replace(",", " , ").split()
+    if not words or words[0].upper() != "TELL" or len(words) < 2:
+        raise PropositionError(f"bad frame header: {head!r}")
+    name = words[1]
+    in_classes: List[str] = []
+    isa: List[str] = []
+    has_with = False
+    target: Optional[List[str]] = None
+    for word in words[2:]:
+        upper = word.upper()
+        if upper == "IN":
+            target = in_classes
+        elif upper == "ISA":
+            target = isa
+        elif upper == "WITH":
+            has_with = True
+            target = None
+        elif word == ",":
+            continue
+        elif target is not None:
+            target.append(word)
+        else:
+            raise PropositionError(f"unexpected token {word!r} in header {head!r}")
+    return name, in_classes, isa, has_with
+
+
+def parse_frame(text: str) -> ObjectFrame:
+    """Parse one TELL ... END frame."""
+    lines = [line.strip() for line in text.strip().splitlines() if line.strip()]
+    if not lines:
+        raise PropositionError("empty frame")
+    # Allow the one-line form ``TELL x IN c END``.
+    if lines[-1].upper() != "END" and lines[-1].upper().endswith(" END"):
+        lines[-1:] = [lines[-1][: -len(" END")].rstrip(), "END"]
+    if not lines[-1].upper() == "END":
+        raise PropositionError(f"frame must close with END: {lines[-1]!r}")
+    name, in_classes, isa, has_with = _parse_header(lines[0])
+    frame = ObjectFrame(name=name, in_classes=in_classes, isa=isa)
+    body = lines[1:-1]
+    if body and not has_with:
+        raise PropositionError("attribute lines require WITH in the header")
+    for line in body:
+        attr_match = _ATTR_RE.match(line)
+        if attr_match is None:
+            raise PropositionError(f"bad attribute line: {line!r}")
+        frame.attributes.append(
+            AttributeDecl(
+                attr_match.group("category"),
+                attr_match.group("label"),
+                attr_match.group("target"),
+            )
+        )
+    return frame
+
+
+def parse_frames(text: str) -> List[ObjectFrame]:
+    """Parse a sequence of TELL ... END frames."""
+    frames: List[ObjectFrame] = []
+    current: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        current.append(line)
+        if stripped.upper() == "END" or stripped.upper().endswith(" END"):
+            frames.append(parse_frame("\n".join(current)))
+            current = []
+    if current:
+        raise PropositionError("unterminated frame (missing END)")
+    return frames

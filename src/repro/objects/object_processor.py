@@ -1,0 +1,92 @@
+"""The object processor facade: tell/ask complex objects."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.objects.frame import ObjectFrame, parse_frame, parse_frames
+from repro.objects.transformer import ObjectTransformer
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Proposition
+from repro.timecalc.interval import ALWAYS, Interval
+
+
+class ObjectProcessor:
+    """Groups propositions around object identifiers (section 3.1).
+
+    The facade most upper layers use: ``tell`` accepts frames (parsed or
+    textual), ``ask`` reconstructs them, and the usual class queries are
+    re-exported at object granularity.
+    """
+
+    def __init__(self, processor: Optional[PropositionProcessor] = None) -> None:
+        self.propositions = processor if processor is not None else PropositionProcessor()
+        self.transformer = ObjectTransformer(self.propositions)
+
+    # ------------------------------------------------------------------
+
+    def tell(self, frame: Union[str, ObjectFrame],
+             time: Interval = ALWAYS) -> List[Proposition]:
+        """Tell one frame (textual TELL syntax or an ObjectFrame)."""
+        if isinstance(frame, str):
+            frame = parse_frame(frame)
+        return self.transformer.tell(frame, time=time)
+
+    def tell_all(self, text: str, time: Interval = ALWAYS) -> List[Proposition]:
+        """Tell a whole script of frames."""
+        created: List[Proposition] = []
+        for frame in parse_frames(text):
+            created.extend(self.transformer.tell(frame, time=time))
+        return created
+
+    def ask(self, name: str) -> ObjectFrame:
+        """The frame grouped around ``name``."""
+        return self.transformer.ask(name)
+
+    def exists(self, name: str) -> bool:
+        """Is the object in the base?"""
+        return self.propositions.exists(name)
+
+    def untell(self, name: str) -> List[Proposition]:
+        """Retract an object and everything referencing it."""
+        return self.propositions.retract(name)
+
+    # ------------------------------------------------------------------
+    # object-granularity queries
+    # ------------------------------------------------------------------
+
+    def instances(self, cls: str) -> List[str]:
+        """Sorted extent of a class."""
+        return sorted(self.propositions.instances_of(cls))
+
+    def classes(self, name: str) -> List[str]:
+        """Sorted classes of an object."""
+        return sorted(self.propositions.classes_of(name))
+
+    def attribute_values(self, name: str, label: str) -> List[str]:
+        """Destinations of (explicit and deduced) attribute links."""
+        from repro.propositions.proposition import Pattern
+
+        values = []
+        for prop in self.propositions.retrieve_proposition(
+            Pattern(source=name, label=label)
+        ):
+            if prop.is_link and not prop.is_instanceof and not prop.is_isa:
+                values.append(prop.destination)
+        return sorted(values)
+
+    def attribute_dict(self, name: str) -> Dict[str, List[str]]:
+        """All attributes of ``name`` grouped by label."""
+        grouped: Dict[str, List[str]] = {}
+        for prop in self.propositions.attributes_of(name):
+            grouped.setdefault(prop.label, []).append(prop.destination)
+        for values in grouped.values():
+            values.sort()
+        return grouped
+
+    def objects_in(self, classes: Iterable[str]) -> List[str]:
+        """Union of the extents of several classes."""
+        names: set = set()
+        for cls in classes:
+            names |= self.propositions.instances_of(cls)
+        return sorted(names)

@@ -1,0 +1,142 @@
+"""The deductive relational view of the knowledge base.
+
+Section 3.1: "the object processor understands the knowledge base as a
+deductive relational database; in this way, large sets of similarly
+structured objects can be managed more efficiently."  And 3.3.1
+describes the *relational display* showing "the properties of objects in
+tabular form".
+
+:class:`RelationalView` exposes one relation per class: rows are the
+instances, columns the attribute labels declared on the class (or
+inherited), cells the attribute-value sets.  Deduced attribute links
+appear in the cells when a rule engine hook is installed, which is what
+makes the view *deductive*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import PropositionError
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Pattern
+
+Row = Tuple  # (instance, value-set per column...)
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of a class relation: name + attribute columns."""
+
+    class_name: str
+    columns: Tuple[str, ...]
+
+    @property
+    def heading(self) -> Tuple[str, ...]:
+        """object column + attribute columns."""
+        return ("object",) + self.columns
+
+
+class RelationalView:
+    """Class extents as relations over attribute columns."""
+
+    def __init__(self, processor: PropositionProcessor,
+                 include_deduced: bool = True) -> None:
+        self.processor = processor
+        self.include_deduced = include_deduced
+
+    #: labels carrying annotations rather than data (rule/constraint/
+    #: behaviour propositions do not become relation columns).
+    ANNOTATION_LABELS = frozenset({"rule", "constraint", "behaviour"})
+
+    def schema(self, cls: str) -> RelationSchema:
+        """The relation schema of a class."""
+        if not self.processor.is_class(cls):
+            raise PropositionError(f"{cls!r} is not a class")
+        labels: List[str] = []
+        for prop in self.processor.attribute_classes(cls):
+            if prop.label in self.ANNOTATION_LABELS:
+                continue
+            if prop.label not in labels:
+                labels.append(prop.label)
+        return RelationSchema(cls, tuple(sorted(labels)))
+
+    def _values(self, instance: str, label: str) -> FrozenSet[str]:
+        values = set()
+        for prop in self.processor.retrieve_proposition(
+            Pattern(source=instance, label=label),
+            include_deduced=self.include_deduced,
+        ):
+            if prop.is_link and not prop.is_instanceof and not prop.is_isa:
+                values.add(prop.destination)
+        return frozenset(values)
+
+    def rows(self, cls: str) -> List[Row]:
+        """The relation for ``cls``: one row per instance."""
+        schema = self.schema(cls)
+        out: List[Row] = []
+        for instance in sorted(self.processor.instances_of(cls)):
+            row = [instance]
+            for column in schema.columns:
+                row.append(self._values(instance, column))
+            out.append(tuple(row))
+        return out
+
+    # -- relational operators over class relations --------------------------
+
+    def select(self, cls: str, predicate: Callable[[Dict[str, FrozenSet[str]]], bool]) -> List[Row]:
+        """Rows of ``cls`` whose column dict satisfies ``predicate``."""
+        schema = self.schema(cls)
+        matching = []
+        for row in self.rows(cls):
+            columns = dict(zip(schema.columns, row[1:]))
+            columns["object"] = frozenset({row[0]})
+            if predicate(columns):
+                matching.append(row)
+        return matching
+
+    def project(self, cls: str, columns: List[str]) -> List[Tuple]:
+        """Distinct projections of the class relation."""
+        schema = self.schema(cls)
+        indexes = []
+        for column in columns:
+            if column == "object":
+                indexes.append(0)
+            elif column in schema.columns:
+                indexes.append(1 + schema.columns.index(column))
+            else:
+                raise PropositionError(
+                    f"unknown column {column!r} of relation {cls!r}"
+                )
+        seen = set()
+        out: List[Tuple] = []
+        for row in self.rows(cls):
+            projected = tuple(row[i] for i in indexes)
+            if projected not in seen:
+                seen.add(projected)
+                out.append(projected)
+        return out
+
+    def join(self, left_cls: str, label: str, right_cls: str) -> List[Tuple[str, str]]:
+        """Pairs (x, y) with x in left class, y in right class, and an
+        attribute link labelled ``label`` from x to y."""
+        right_extent = self.processor.instances_of(right_cls)
+        pairs: List[Tuple[str, str]] = []
+        for instance in sorted(self.processor.instances_of(left_cls)):
+            for value in sorted(self._values(instance, label)):
+                if value in right_extent:
+                    pairs.append((instance, value))
+        return pairs
+
+    def as_table(self, cls: str) -> str:
+        """Plain-text rendering (the Relational Display of 3.3.1 uses a
+        richer version of this in repro.models.display)."""
+        schema = self.schema(cls)
+        lines = ["\t".join(schema.heading)]
+        for row in self.rows(cls):
+            cells = [row[0]]
+            for value in row[1:]:
+                cells.append(",".join(sorted(value)) if value else "-")
+            lines.append("\t".join(cells))
+        return "\n".join(lines)

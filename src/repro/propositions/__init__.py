@@ -1,0 +1,57 @@
+"""The CML proposition level (S2, S3).
+
+Implements section 3.1 of the paper: a CML proposition is a quadruple
+``p = <x, l, y, t>`` where ``x`` is the source, ``l`` the label, ``y``
+the destination and ``t`` the associated time.  Nodes are themselves
+propositions (self-referential quadruples).  The six predefined link
+classes — classification (``instanceof``), specialization (``isa``),
+aggregation (``attribute``), deduction (``rule``), constraints
+(``constraint``) and behaviours (``behaviour``) — are axiomatised *as
+propositions*, so the language itself is extensible.
+
+- :mod:`repro.propositions.proposition` — the quadruple and patterns.
+- :mod:`repro.propositions.store` — pluggable physical representations
+  of the proposition base (memory / append-only log / workspaces).
+- :mod:`repro.propositions.axioms` — the CML axiom base, bootstrapped
+  from propositions, with executable well-formedness checks.
+- :mod:`repro.propositions.processor` — the proposition processor:
+  ``create_proposition`` / ``retrieve_proposition`` over explicit,
+  inherited and deduced propositions, plus epochs and transactions.
+"""
+
+from repro.propositions.proposition import (
+    ATTRIBUTE,
+    INSTANCEOF,
+    ISA,
+    Pattern,
+    Proposition,
+    individual,
+    link,
+)
+from repro.propositions.store import (
+    LogStore,
+    MemoryStore,
+    PropositionStore,
+    WorkspaceStore,
+)
+from repro.propositions.axioms import AxiomBase, BOOTSTRAP, CMLAxiom
+from repro.propositions.processor import PropositionProcessor, Telling
+
+__all__ = [
+    "ATTRIBUTE",
+    "INSTANCEOF",
+    "ISA",
+    "Pattern",
+    "Proposition",
+    "individual",
+    "link",
+    "LogStore",
+    "MemoryStore",
+    "PropositionStore",
+    "WorkspaceStore",
+    "AxiomBase",
+    "BOOTSTRAP",
+    "CMLAxiom",
+    "PropositionProcessor",
+    "Telling",
+]

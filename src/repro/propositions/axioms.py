@@ -1,0 +1,309 @@
+"""The CML axiom base (S3).
+
+Section 3.1: "Axioms of CML restrict the set of well-formed networks and
+help define their semantics. [...] the axioms of CML are represented by
+propositions themselves, enabling very flexible modification and
+extension of the language."
+
+This module provides
+
+- :data:`BOOTSTRAP` — the kernel network: the omega objects
+  (``Proposition``, ``Class``, the instantiation-level classes), the six
+  predefined link classes (classification, specialization, aggregation,
+  deduction, constraint, behaviour) *expressed as propositions*;
+- :class:`CMLAxiom` — an executable well-formedness check paired with
+  the proposition that represents it in the base;
+- :class:`AxiomBase` — the registry the proposition processor consults
+  on every ``create_proposition``; axioms can be switched off
+  individually (the ablation hook used by the Perf-2 benchmark) or
+  extended with new ones (language extensibility).
+
+Kernel instantiation structure (mirrors ConceptBase):
+
+- ``Proposition`` is the omega class: everything is implicitly one.
+- ``Class`` (isa ``Proposition``) is the class of all classes.
+- ``SimpleClass`` / ``MetaClass`` / ``MetametaClass`` (each isa
+  ``Class``) hold the user's classes at the three abstraction levels
+  the GKBMS needs (tokens / classes / metaclasses, fig 2-5).
+- ``Token`` (isa ``Proposition``) holds instance-level objects.
+- ``InstanceOf_omega = <Proposition, instanceof, Class>`` is itself an
+  instanceof link and the class of all instanceof links — the paper's
+  ``InstanceOf omega``.
+- ``IsA_omega = <Class, isa, Proposition>`` is itself an isa link and
+  the class of all isa links (the paper shows the analogous ``IsA_1``).
+- ``Attribute = <Proposition, attribute, Proposition>`` is the class of
+  all attribute links; ``RuleAttribute``, ``ConstraintAttribute`` and
+  ``BehaviourAttribute`` specialise it for deduction rules, integrity
+  constraints and behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.errors import AxiomViolation
+from repro.propositions.proposition import (
+    ATTRIBUTE,
+    BEHAVIOUR,
+    CONSTRAINT,
+    INSTANCEOF,
+    ISA,
+    RULE,
+    Proposition,
+    individual,
+    link,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.propositions.processor import PropositionProcessor
+
+
+#: Omega individuals of the kernel.
+OMEGA_INDIVIDUALS = (
+    "Proposition",
+    "Class",
+    "Token",
+    "SimpleClass",
+    "MetaClass",
+    "MetametaClass",
+    "AssertionObject",
+    "BehaviourSpec",
+    "CMLAxiom",
+)
+
+#: Names treated as classes without further proof.
+KERNEL_CLASSES = frozenset(OMEGA_INDIVIDUALS)
+
+
+def _bootstrap_propositions() -> List[Proposition]:
+    props: List[Proposition] = [individual(name) for name in OMEGA_INDIVIDUALS]
+    # Specialization spine.
+    props += [
+        link("IsA_omega", "Class", ISA, "Proposition"),
+        link("IsA_Token", "Token", ISA, "Proposition"),
+        link("IsA_SimpleClass", "SimpleClass", ISA, "Class"),
+        link("IsA_MetaClass", "MetaClass", ISA, "Class"),
+        link("IsA_MetametaClass", "MetametaClass", ISA, "Class"),
+        link("IsA_AssertionObject", "AssertionObject", ISA, "Proposition"),
+        link("IsA_BehaviourSpec", "BehaviourSpec", ISA, "Proposition"),
+        link("IsA_CMLAxiom", "CMLAxiom", ISA, "Proposition"),
+    ]
+    # Classification spine; InstanceOf_omega doubles as the class of all
+    # instanceof links, exactly as in the paper.
+    props += [
+        link("InstanceOf_omega", "Proposition", INSTANCEOF, "Class"),
+        link("InstanceOf_Class", "Class", INSTANCEOF, "Class"),
+        link("InstanceOf_Token", "Token", INSTANCEOF, "Class"),
+        link("InstanceOf_SimpleClass", "SimpleClass", INSTANCEOF, "Class"),
+        link("InstanceOf_MetaClass", "MetaClass", INSTANCEOF, "Class"),
+        link("InstanceOf_MetametaClass", "MetametaClass", INSTANCEOF, "Class"),
+        link("InstanceOf_AssertionObject", "AssertionObject", INSTANCEOF, "Class"),
+        link("InstanceOf_BehaviourSpec", "BehaviourSpec", INSTANCEOF, "Class"),
+        link("InstanceOf_CMLAxiom", "CMLAxiom", INSTANCEOF, "Class"),
+    ]
+    # Aggregation, deduction, constraint and behaviour link classes.
+    props += [
+        link("Attribute", "Proposition", ATTRIBUTE, "Proposition"),
+        link("RuleAttribute", "Class", RULE, "AssertionObject"),
+        link("ConstraintAttribute", "Class", CONSTRAINT, "AssertionObject"),
+        link("BehaviourAttribute", "Class", BEHAVIOUR, "BehaviourSpec"),
+        link("IsA_RuleAttribute", "RuleAttribute", ISA, "Attribute"),
+        link("IsA_ConstraintAttribute", "ConstraintAttribute", ISA, "Attribute"),
+        link("IsA_BehaviourAttribute", "BehaviourAttribute", ISA, "Attribute"),
+    ]
+    # The predefined link classes are classes themselves (they have the
+    # user's links as instances), so classify them accordingly.
+    props += [
+        link("InstanceOf_Attribute", "Attribute", INSTANCEOF, "Class"),
+        link("InstanceOf_InstanceOf_omega", "InstanceOf_omega", INSTANCEOF, "Class"),
+        link("InstanceOf_IsA_omega", "IsA_omega", INSTANCEOF, "Class"),
+        link("InstanceOf_RuleAttribute", "RuleAttribute", INSTANCEOF, "Class"),
+        link("InstanceOf_ConstraintAttribute", "ConstraintAttribute", INSTANCEOF, "Class"),
+        link("InstanceOf_BehaviourAttribute", "BehaviourAttribute", INSTANCEOF, "Class"),
+    ]
+    return props
+
+
+BOOTSTRAP: List[Proposition] = _bootstrap_propositions()
+
+#: pids that belong to the kernel and must never be retracted.
+KERNEL_PIDS = frozenset(p.pid for p in BOOTSTRAP)
+
+
+CheckFn = Callable[["PropositionProcessor", Proposition], Optional[str]]
+
+
+@dataclass(frozen=True)
+class CMLAxiom:
+    """An executable axiom plus its knowledge-base representation.
+
+    ``check`` inspects a candidate proposition against the current
+    processor state and returns an error message (``None`` = accepted).
+    """
+
+    name: str
+    description: str
+    check: CheckFn
+
+    def proposition(self) -> Proposition:
+        """The proposition representing this axiom in the base."""
+        return individual(f"Axiom_{self.name}")
+
+
+# ---------------------------------------------------------------------------
+# The predefined axioms.
+# ---------------------------------------------------------------------------
+
+def _check_reference(proc: "PropositionProcessor", prop: Proposition) -> Optional[str]:
+    if prop.is_individual:
+        return None
+    missing = [ref for ref in (prop.source, prop.destination) if ref not in proc.store]
+    if missing:
+        return f"link {prop.pid!r} references unknown proposition(s) {missing}"
+    return None
+
+
+def _check_isa_wellformed(proc: "PropositionProcessor", prop: Proposition) -> Optional[str]:
+    if not prop.is_isa or prop.is_individual:
+        return None
+    if prop.source == prop.destination:
+        return None  # reflexive isa is harmless
+    # Reject non-trivial cycles: the destination must not already reach
+    # the source by going *up* the isa hierarchy.
+    if prop.source in proc.generalizations(prop.destination, strict=True):
+        return (
+            f"isa link {prop.pid!r} would create a specialization cycle "
+            f"{prop.source!r} <-> {prop.destination!r}"
+        )
+    return None
+
+
+def _check_instanceof_class(proc: "PropositionProcessor", prop: Proposition) -> Optional[str]:
+    if not prop.is_instanceof or prop.is_individual:
+        return None
+    if proc.is_class(prop.destination):
+        return None
+    return (
+        f"instanceof link {prop.pid!r}: destination {prop.destination!r} "
+        f"is not a class"
+    )
+
+
+def _check_attribute_typing(proc: "PropositionProcessor", prop: Proposition) -> Optional[str]:
+    """The instantiation principle (fig 2-6): a link declared to be an
+    instance of an attribute class must connect instances of that
+    attribute class's source and destination."""
+    if not prop.is_instanceof or prop.is_individual:
+        return None
+    try:
+        instance = proc.store.get(prop.source)
+        attr_class = proc.store.get(prop.destination)
+    except Exception:  # missing refs are axiom A1's business
+        return None
+    if instance.is_individual or attr_class.is_individual:
+        return None
+    if attr_class.is_instanceof or attr_class.is_isa:
+        return None  # typed by the omega classes, not user attribute classes
+    if not proc.is_instance_of(instance.source, attr_class.source):
+        return (
+            f"attribute instantiation violated: source {instance.source!r} of "
+            f"{instance.pid!r} is no instance of {attr_class.source!r} "
+            f"(required by attribute class {attr_class.pid!r})"
+        )
+    if not proc.is_instance_of(instance.destination, attr_class.destination):
+        return (
+            f"attribute instantiation violated: destination "
+            f"{instance.destination!r} of {instance.pid!r} is no instance of "
+            f"{attr_class.destination!r} (required by attribute class "
+            f"{attr_class.pid!r})"
+        )
+    return None
+
+
+def _check_kernel_protection(proc: "PropositionProcessor", prop: Proposition) -> Optional[str]:
+    if prop.pid in KERNEL_PIDS and prop.pid in proc.store:
+        return f"kernel proposition {prop.pid!r} cannot be redefined"
+    return None
+
+
+PREDEFINED_AXIOMS = (
+    CMLAxiom(
+        "reference",
+        "source and destination of a link must name existing propositions",
+        _check_reference,
+    ),
+    CMLAxiom(
+        "isa_acyclic",
+        "specialization must not introduce non-trivial cycles",
+        _check_isa_wellformed,
+    ),
+    CMLAxiom(
+        "instanceof_class",
+        "the destination of a classification link must be a class",
+        _check_instanceof_class,
+    ),
+    CMLAxiom(
+        "attribute_typing",
+        "links instantiating an attribute class must connect instances of "
+        "its source and destination (instantiation principle)",
+        _check_attribute_typing,
+    ),
+    CMLAxiom(
+        "kernel_protection",
+        "kernel propositions cannot be redefined",
+        _check_kernel_protection,
+    ),
+)
+
+
+class AxiomBase:
+    """Registry of active axioms consulted on each create."""
+
+    def __init__(self, axioms: Iterable[CMLAxiom] = PREDEFINED_AXIOMS) -> None:
+        self._axioms: Dict[str, CMLAxiom] = {}
+        self._enabled: Dict[str, bool] = {}
+        for axiom in axioms:
+            self.register(axiom)
+
+    def register(self, axiom: CMLAxiom) -> None:
+        """Add (and enable) an axiom."""
+        self._axioms[axiom.name] = axiom
+        self._enabled[axiom.name] = True
+
+    def names(self) -> List[str]:
+        """All registered axiom names."""
+        return list(self._axioms)
+
+    def get(self, name: str) -> CMLAxiom:
+        """Look an axiom up by name."""
+        return self._axioms[name]
+
+    def enable(self, name: str) -> None:
+        """Turn an axiom's check on."""
+        if name not in self._axioms:
+            raise AxiomViolation(name, "cannot enable unknown axiom")
+        self._enabled[name] = True
+
+    def disable(self, name: str) -> None:
+        """Turn an axiom's check off (ablation hook)."""
+        if name not in self._axioms:
+            raise AxiomViolation(name, "cannot disable unknown axiom")
+        self._enabled[name] = False
+
+    def is_enabled(self, name: str) -> bool:
+        """Is the axiom's check active?"""
+        return self._enabled.get(name, False)
+
+    def validate(self, proc: "PropositionProcessor", prop: Proposition) -> None:
+        """Run all enabled axioms; raise on the first violation."""
+        for name, axiom in self._axioms.items():
+            if not self._enabled[name]:
+                continue
+            message = axiom.check(proc, prop)
+            if message is not None:
+                raise AxiomViolation(name, message)
+
+    def axiom_propositions(self) -> List[Proposition]:
+        """The reflective representation of the axioms themselves."""
+        return [axiom.proposition() for axiom in self._axioms.values()]

@@ -1,0 +1,485 @@
+"""The proposition processor (S2).
+
+Section 3.1: "The Proposition Processor enables the manipulation of
+propositions according to the axioms of CML.  [Its interface] mainly
+consists of the two operations retrieve_proposition(p) and
+create_proposition(p) [...]  the proposition processor as a whole [...]
+deals with stored, inherited and deduced propositions."
+
+The processor wraps a pluggable :class:`~repro.propositions.store.
+PropositionStore`, validates every create against the
+:class:`~repro.propositions.axioms.AxiomBase`, computes class membership
+and specialization closures (inherited propositions), and consults
+registered deduction engines for deduced propositions.  Every mutation
+bumps an *epoch* counter, the invalidation signal for lemma caches and
+derived views further up the stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import PropositionError, UnknownPropositionError
+from repro.propositions.axioms import AxiomBase, BOOTSTRAP, KERNEL_CLASSES, KERNEL_PIDS
+from repro.propositions.proposition import (
+    INSTANCEOF,
+    ISA,
+    Pattern,
+    Proposition,
+    individual,
+    link,
+)
+from repro.propositions.store import MemoryStore, PropositionStore
+from repro.timecalc.interval import ALWAYS, Interval
+
+#: A deduction hook receives (processor, pattern) and yields propositions.
+DeductionHook = Callable[["PropositionProcessor", Pattern], Iterable[Proposition]]
+
+
+class Telling:
+    """A batched update (the unit the consistency checker optimises over).
+
+    Collects the propositions created inside a ``with`` block; on error
+    the created propositions are removed again (single-level rollback).
+    Registered commit listeners (e.g. the consistency checker) see the
+    whole batch at once — the paper's "set-oriented optimization of the
+    consistency check".
+    """
+
+    def __init__(self, processor: "PropositionProcessor") -> None:
+        self._processor = processor
+        self.created: List[Proposition] = []
+        self._active = False
+
+    def __enter__(self) -> "Telling":
+        self._processor._begin(self)
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._active = False
+        if exc_type is None:
+            self._processor._commit(self)
+            return False
+        self._processor._rollback(self)
+        return False
+
+    def record(self, prop: Proposition) -> None:
+        """Track a proposition created inside this telling."""
+        if self._active:
+            self.created.append(prop)
+
+
+class PropositionProcessor:
+    """Create/retrieve propositions subject to the CML axiom base."""
+
+    def __init__(
+        self,
+        store: Optional[PropositionStore] = None,
+        axiom_base: Optional[AxiomBase] = None,
+        bootstrap: bool = True,
+    ) -> None:
+        self.store = store if store is not None else MemoryStore()
+        self.axioms = axiom_base if axiom_base is not None else AxiomBase()
+        self._ids = itertools.count(1)
+        self._epoch = 0
+        self._telling: Optional[Telling] = None
+        self._commit_listeners: List[Callable[[List[Proposition]], None]] = []
+        self._deduction_hooks: List[DeductionHook] = []
+        if bootstrap:
+            for prop in BOOTSTRAP:
+                if prop.pid not in self.store:
+                    self.store.create(prop)
+            for prop in self.axioms.axiom_propositions():
+                if prop.pid not in self.store:
+                    self.store.create(prop)
+
+    # ------------------------------------------------------------------
+    # Epochs and transactions
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter bumped on every mutation (cache invalidation)."""
+        return self._epoch
+
+    def _bump(self) -> None:
+        self._epoch += 1
+
+    def telling(self) -> Telling:
+        """Open a batched update; use as a context manager."""
+        return Telling(self)
+
+    def _begin(self, telling: Telling) -> None:
+        if self._telling is not None:
+            raise PropositionError("nested tellings are not supported here; "
+                                   "nest decisions at the GKBMS level instead")
+        self._telling = telling
+
+    def _commit(self, telling: Telling) -> None:
+        self._telling = None
+        for listener in self._commit_listeners:
+            listener(list(telling.created))
+
+    def _rollback(self, telling: Telling) -> None:
+        self._telling = None
+        for prop in reversed(telling.created):
+            if prop.pid in self.store:
+                self.store.delete(prop.pid)
+        self._bump()
+
+    def on_commit(self, listener: Callable[[List[Proposition]], None]) -> None:
+        """Register a listener for committed tellings."""
+        self._commit_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+
+    def fresh_pid(self) -> str:
+        """A proposition identifier not yet used in the base."""
+        while True:
+            pid = f"p{next(self._ids)}"
+            if pid not in self.store:
+                return pid
+
+    def create_proposition(self, prop: Proposition) -> Proposition:
+        """Validate ``prop`` against the axiom base and store it."""
+        self.axioms.validate(self, prop)
+        self.store.create(prop)
+        self._bump()
+        if self._telling is not None:
+            self._telling.record(prop)
+        return prop
+
+    def tell_individual(
+        self,
+        name: str,
+        in_class: Optional[str] = None,
+        time: Interval = ALWAYS,
+        belief_time: Interval = ALWAYS,
+    ) -> Proposition:
+        """Create a node, optionally classifying it into ``in_class``."""
+        prop = self.create_proposition(
+            individual(name, time=time, belief_time=belief_time)
+        )
+        if in_class is not None:
+            self.tell_instanceof(name, in_class, time=time)
+        return prop
+
+    def tell_link(
+        self,
+        source: str,
+        label: str,
+        destination: str,
+        pid: Optional[str] = None,
+        time: Interval = ALWAYS,
+        belief_time: Interval = ALWAYS,
+        of_class: Optional[str] = None,
+    ) -> Proposition:
+        """Create a link; ``of_class`` additionally classifies it as an
+        instance of the given attribute class (instantiation principle)."""
+        prop = self.create_proposition(
+            link(pid or self.fresh_pid(), source, label, destination,
+                 time=time, belief_time=belief_time)
+        )
+        if of_class is not None:
+            self.tell_instanceof(prop.pid, of_class, time=time)
+        return prop
+
+    def tell_instanceof(self, instance: str, cls: str,
+                        time: Interval = ALWAYS) -> Proposition:
+        """Assert a classification link."""
+        return self.create_proposition(
+            link(self.fresh_pid(), instance, INSTANCEOF, cls, time=time)
+        )
+
+    def tell_isa(self, sub: str, sup: str, time: Interval = ALWAYS) -> Proposition:
+        """Assert a specialization link."""
+        return self.create_proposition(
+            link(self.fresh_pid(), sub, ISA, sup, time=time)
+        )
+
+    def define_class(
+        self,
+        name: str,
+        level: str = "SimpleClass",
+        isa: Iterable[str] = (),
+        time: Interval = ALWAYS,
+    ) -> Proposition:
+        """Convenience: create a class at an instantiation level.
+
+        ``level`` should be one of ``SimpleClass`` / ``MetaClass`` /
+        ``MetametaClass`` (fig 2-5's abstraction levels).
+        """
+        prop = self.tell_individual(name, in_class=level, time=time)
+        for sup in isa:
+            self.tell_isa(name, sup, time=time)
+        return prop
+
+    # ------------------------------------------------------------------
+    # Retraction
+    # ------------------------------------------------------------------
+
+    def dependents(self, pid: str) -> List[Proposition]:
+        """Links that structurally reference ``pid`` (excluding itself)."""
+        seen: Dict[str, Proposition] = {}
+        for pattern in (Pattern(source=pid), Pattern(destination=pid)):
+            for prop in self.store.retrieve(pattern):
+                if prop.pid != pid:
+                    seen[prop.pid] = prop
+        return list(seen.values())
+
+    def retract(self, pid: str, cascade: bool = True) -> List[Proposition]:
+        """Remove a proposition; with ``cascade`` also every link that
+        (transitively) references it.  Returns everything removed."""
+        if pid in KERNEL_PIDS:
+            raise PropositionError(f"kernel proposition {pid!r} cannot be retracted")
+        if pid not in self.store:
+            raise UnknownPropositionError(f"unknown proposition {pid!r}")
+        # Compute the transitive closure of structural dependents first.
+        closure: Set[str] = {pid}
+        frontier = [pid]
+        while frontier:
+            current = frontier.pop()
+            for dep in self.dependents(current):
+                if dep.pid not in closure:
+                    closure.add(dep.pid)
+                    frontier.append(dep.pid)
+        if len(closure) > 1 and not cascade:
+            raise PropositionError(
+                f"proposition {pid!r} still referenced by "
+                f"{sorted(closure - {pid})}"
+            )
+        # Delete leaves first so referential integrity never breaks
+        # mid-way; self-referencing links are deleted unconditionally.
+        removed: List[Proposition] = []
+        remaining = set(closure)
+        while remaining:
+            progressed = False
+            for current in sorted(remaining):
+                deps = [d for d in self.dependents(current) if d.pid != current]
+                if not deps:
+                    removed.append(self.store.delete(current))
+                    remaining.discard(current)
+                    progressed = True
+            if not progressed:  # only mutual references left: force-delete
+                current = sorted(remaining)[0]
+                removed.append(self.store.delete(current))
+                remaining.discard(current)
+        self._bump()
+        return removed
+
+    def clip_validity(self, pid: str, at) -> Proposition:
+        """End a proposition's validity at time ``at`` instead of deleting
+        it — the history-preserving retraction used for versioning."""
+        prop = self.store.get(pid)
+        clipped = prop.time.clip_end(at)
+        if clipped is None:
+            raise PropositionError(
+                f"proposition {pid!r} was never valid before {at!r}"
+            )
+        updated = prop.with_time(clipped)
+        self.store.replace(updated)
+        self._bump()
+        return updated
+
+    # ------------------------------------------------------------------
+    # Retrieval: stored, inherited, deduced
+    # ------------------------------------------------------------------
+
+    def add_deduction_hook(self, hook: DeductionHook) -> None:
+        """Register a deduced-propositions source."""
+        self._deduction_hooks.append(hook)
+
+    def retrieve_proposition(
+        self, pattern: Pattern, include_deduced: bool = True
+    ) -> Iterator[Proposition]:
+        """Stored propositions matching ``pattern`` plus, when requested,
+        propositions deduced by registered rule engines."""
+        seen: Set[str] = set()
+        for prop in self.store.retrieve(pattern):
+            seen.add(prop.pid)
+            yield prop
+        if include_deduced:
+            for hook in self._deduction_hooks:
+                for prop in hook(self, pattern):
+                    if prop.pid not in seen and pattern.matches(prop):
+                        seen.add(prop.pid)
+                        yield prop
+
+    def get(self, pid: str) -> Proposition:
+        """Fetch a stored proposition by identifier."""
+        return self.store.get(pid)
+
+    def exists(self, pid: str) -> bool:
+        """Is the identifier in the base?"""
+        return pid in self.store
+
+    # ------------------------------------------------------------------
+    # Closures: specialization and classification
+    # ------------------------------------------------------------------
+
+    def generalizations(self, name: str, strict: bool = False) -> Set[str]:
+        """All (transitive) isa-ancestors of ``name``."""
+        result: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for prop in self.store.retrieve(Pattern(source=current, label=ISA)):
+                if prop.destination not in result and prop.destination != name:
+                    result.add(prop.destination)
+                    frontier.append(prop.destination)
+        if not strict:
+            result.add(name)
+        return result
+
+    def specializations(self, name: str, strict: bool = False) -> Set[str]:
+        """All (transitive) isa-descendants of ``name``."""
+        result: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            for prop in self.store.retrieve(Pattern(label=ISA, destination=current)):
+                if prop.source not in result and prop.source != name:
+                    result.add(prop.source)
+                    frontier.append(prop.source)
+        if not strict:
+            result.add(name)
+        return result
+
+    def classes_of(self, name: str) -> Set[str]:
+        """Every class ``name`` belongs to, including via specialization
+        of its explicit classes; always includes ``Proposition``."""
+        result: Set[str] = {"Proposition"}
+        for prop in self.store.retrieve(Pattern(source=name, label=INSTANCEOF)):
+            result |= self.generalizations(prop.destination)
+        return result
+
+    def instances_of(self, cls: str, direct: bool = False,
+                     at: Optional[object] = None) -> Set[str]:
+        """The extension of ``cls``: explicit instances of it and of all
+        its specializations (unless ``direct``).
+
+        With ``at`` given, only classification links whose validity
+        interval covers that time count — the as-of (time-travel) query
+        the version intervals of section 3.1 enable.
+        """
+        classes = {cls} if direct else self.specializations(cls)
+        result: Set[str] = set()
+        for c in classes:
+            pattern = Pattern(label=INSTANCEOF, destination=c, at=at)
+            for prop in self.store.retrieve(pattern):
+                result.add(prop.source)
+        return result
+
+    def is_instance_of(self, name: str, cls: str) -> bool:
+        """Membership, closed over specialization."""
+        if cls == "Proposition":
+            return name in self.store
+        if cls == "Class":
+            return self.is_class(name)
+        for prop in self.store.retrieve(Pattern(source=name, label=INSTANCEOF)):
+            if cls in self.generalizations(prop.destination):
+                return True
+        return False
+
+    def is_class(self, name: str) -> bool:
+        """Classhood: kernel classes, instances of ``Class``, and
+        attribute links (attribute classes implicitly have the
+        instance-level links as instances — the instantiation principle
+        makes every attribute proposition potentially classifiable)."""
+        if name in KERNEL_CLASSES:
+            return True
+        for prop in self.store.retrieve(Pattern(source=name, label=INSTANCEOF)):
+            destination_closure = self.generalizations(prop.destination)
+            if "Class" in destination_closure or "Attribute" in destination_closure:
+                return True
+            # Instances of a metaclass are classes; instances of a
+            # metametaclass are metaclasses, hence classes too.  And an
+            # instance of an attribute metaclass (e.g. a FROM link on a
+            # concrete decision class) is itself an attribute class.
+            for meta in self.store.retrieve(
+                Pattern(source=prop.destination, label=INSTANCEOF)
+            ):
+                meta_closure = self.generalizations(meta.destination)
+                if ("MetaClass" in meta_closure
+                        or "MetametaClass" in meta_closure
+                        or "Attribute" in meta_closure):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Attributes (aggregation) with inheritance
+    # ------------------------------------------------------------------
+
+    def attributes_of(self, name: str, label: Optional[str] = None) -> List[Proposition]:
+        """Explicit attribute links leaving ``name`` (reserved labels
+        excluded)."""
+        pattern = Pattern(source=name, label=label)
+        return [
+            prop
+            for prop in self.store.retrieve(pattern)
+            if prop.is_link and not prop.is_instanceof and not prop.is_isa
+        ]
+
+    def attribute_classes(self, cls: str, label: Optional[str] = None) -> List[Proposition]:
+        """Attribute links defined on ``cls`` or inherited from its
+        generalizations — the paper's inherited propositions."""
+        result: List[Proposition] = []
+        seen: Set[str] = set()
+        for sup in self.generalizations(cls):
+            for prop in self.attributes_of(sup, label=label):
+                if prop.pid not in seen:
+                    seen.add(prop.pid)
+                    result.append(prop)
+        return result
+
+    def links_instantiating(self, attr_class_pid: str) -> List[Proposition]:
+        """All links that are declared instances of an attribute class."""
+        result = []
+        for inst in self.store.retrieve(
+            Pattern(label=INSTANCEOF, destination=attr_class_pid)
+        ):
+            try:
+                result.append(self.store.get(inst.source))
+            except UnknownPropositionError:
+                continue
+        return result
+
+    def classification_of_link(self, pid: str) -> Set[str]:
+        """The attribute classes a given link is an instance of."""
+        result: Set[str] = set()
+        for prop in self.store.retrieve(Pattern(source=pid, label=INSTANCEOF)):
+            result |= self.generalizations(prop.destination)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def individuals(self) -> List[Proposition]:
+        """All node propositions."""
+        return [p for p in self.store if p.is_individual]
+
+    def links(self) -> List[Proposition]:
+        """All link propositions."""
+        return [p for p in self.store if p.is_link]
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def summary(self) -> Dict[str, int]:
+        """Basic census of the base (used by displays and tests)."""
+        counts = {"individuals": 0, "instanceof": 0, "isa": 0, "attribute": 0}
+        for prop in self.store:
+            if prop.is_individual:
+                counts["individuals"] += 1
+            elif prop.is_instanceof:
+                counts["instanceof"] += 1
+            elif prop.is_isa:
+                counts["isa"] += 1
+            else:
+                counts["attribute"] += 1
+        return counts

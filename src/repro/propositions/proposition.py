@@ -1,0 +1,175 @@
+"""The CML proposition quadruple.
+
+From the paper (section 3.1)::
+
+    A CML proposition is a quadruple  p = <x, l, y, t>  where p is the
+    identifier of the proposition, x is the name of the source
+    proposition, l is the label, y is the name of the destination
+    proposition and t is the time associated with p.  [...] Note that
+    nodes are also represented by propositions.
+
+We follow the Telos/CML convention that an *individual* (a node) is a
+self-referential proposition whose source and destination are its own
+identifier and whose label is its name.  Links reference other
+propositions by identifier, so a link can itself be the source of a
+further proposition ("p can appear as the source component of another
+proposition p'"), which is what makes attributes first-class objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Optional
+
+from repro.errors import PropositionError
+from repro.timecalc.interval import ALWAYS, Interval
+
+#: Reserved labels with predefined axiomatic interpretation.
+INSTANCEOF = "instanceof"
+ISA = "isa"
+ATTRIBUTE = "attribute"
+RULE = "rule"
+CONSTRAINT = "constraint"
+BEHAVIOUR = "behaviour"
+
+RESERVED_LABELS = frozenset({INSTANCEOF, ISA})
+
+
+@dataclass(frozen=True)
+class Proposition:
+    """An immutable CML proposition ``p = <x, l, y, t>``.
+
+    ``pid`` is the proposition identifier; ``source`` and ``destination``
+    name other propositions by identifier.  ``time`` is the validity
+    interval of the asserted link; ``belief_time`` records when the
+    knowledge base was told (the ``21-Sep-1987+`` stamps of the paper).
+    """
+
+    pid: str
+    source: str
+    label: str
+    destination: str
+    time: Interval = ALWAYS
+    belief_time: Interval = ALWAYS
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("pid", self.pid),
+            ("source", self.source),
+            ("label", self.label),
+            ("destination", self.destination),
+        ):
+            if not isinstance(value, str) or not value:
+                raise PropositionError(
+                    f"proposition {name} must be a non-empty string, got {value!r}"
+                )
+        if not isinstance(self.time, Interval):
+            raise PropositionError(f"time must be an Interval, got {self.time!r}")
+        if not isinstance(self.belief_time, Interval):
+            raise PropositionError(
+                f"belief_time must be an Interval, got {self.belief_time!r}"
+            )
+
+    # -- structural predicates -------------------------------------------
+
+    @property
+    def is_individual(self) -> bool:
+        """Node propositions are self-referential: ``<p, name, p, t>``."""
+        return self.source == self.pid and self.destination == self.pid
+
+    @property
+    def is_link(self) -> bool:
+        """Not self-referential: references other propositions."""
+        return not self.is_individual
+
+    @property
+    def is_instanceof(self) -> bool:
+        """Is this a classification link?"""
+        return self.label == INSTANCEOF
+
+    @property
+    def is_isa(self) -> bool:
+        """Is this a specialization link?"""
+        return self.label == ISA
+
+    def quadruple(self) -> tuple:
+        """The raw ``<x, l, y, t>`` quadruple (without the identifier)."""
+        return (self.source, self.label, self.destination, self.time)
+
+    def with_time(self, time: Interval) -> "Proposition":
+        """Copy with a different validity interval."""
+        return replace(self, time=time)
+
+    def __repr__(self) -> str:
+        if self.is_individual:
+            return f"{self.pid}=<{self.label}>"
+        return (
+            f"{self.pid}=<{self.source}, {self.label}, "
+            f"{self.destination}, {self.time!r}>"
+        )
+
+
+def individual(name: str, time: Interval = ALWAYS,
+               belief_time: Interval = ALWAYS) -> Proposition:
+    """Build the self-referential proposition representing a node."""
+    return Proposition(
+        pid=name, source=name, label=name, destination=name,
+        time=time, belief_time=belief_time,
+    )
+
+
+def link(pid: str, source: str, label: str, destination: str,
+         time: Interval = ALWAYS, belief_time: Interval = ALWAYS) -> Proposition:
+    """Build a link proposition between two existing propositions."""
+    prop = Proposition(
+        pid=pid, source=source, label=label, destination=destination,
+        time=time, belief_time=belief_time,
+    )
+    if prop.is_individual:
+        raise PropositionError(
+            f"link {pid!r} degenerated into an individual; use individual()"
+        )
+    return prop
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A retrieval pattern: any combination of components, ``None`` = wildcard.
+
+    ``at`` restricts matches to propositions whose validity interval
+    covers the given time point.
+    """
+
+    pid: Optional[str] = None
+    source: Optional[str] = None
+    label: Optional[str] = None
+    destination: Optional[str] = None
+    at: Any = None
+    _fields: tuple = field(default=(), repr=False, compare=False)
+
+    def matches(self, prop: Proposition) -> bool:
+        """Does the proposition satisfy every set component?"""
+        if self.pid is not None and prop.pid != self.pid:
+            return False
+        if self.source is not None and prop.source != self.source:
+            return False
+        if self.label is not None and prop.label != self.label:
+            return False
+        if self.destination is not None and prop.destination != self.destination:
+            return False
+        if self.at is not None and not prop.time.contains_point(self.at):
+            return False
+        return True
+
+    def filter(self, props: Iterator[Proposition]) -> Iterator[Proposition]:
+        """Lazily filter a proposition stream."""
+        return (p for p in props if self.matches(p))
+
+    @property
+    def is_total_wildcard(self) -> bool:
+        """No component set: matches everything."""
+        return (
+            self.pid is None and self.source is None
+            and self.label is None and self.destination is None
+            and self.at is None
+        )

@@ -1,0 +1,162 @@
+"""Serialisation of proposition bases (the documentation service role).
+
+"Ex post, [the GKBMS] plays the role of a documentation service" —
+which only works if the documentation survives the session.  This
+module serialises proposition bases to/from a JSON-compatible form:
+quadruples plus their validity and belief intervals.  The kernel
+bootstrap is not serialised (it is reconstructed on load), so dumps
+stay small and version-independent.
+
+Time points serialise as ``["-inf"] | ["+inf"] | ["v", value]`` where
+``value`` must itself be JSON-compatible (ints, floats, strings — all
+the library itself ever uses).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import PropositionError
+from repro.propositions.axioms import KERNEL_PIDS
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Proposition
+from repro.timecalc.interval import (
+    Interval,
+    NEGATIVE_INFINITY,
+    POSITIVE_INFINITY,
+    TimePoint,
+)
+
+FORMAT_VERSION = 1
+
+
+def _point_to_json(point: TimePoint) -> List[Any]:
+    if point.kind == -1:
+        return ["-inf"]
+    if point.kind == 1:
+        return ["+inf"]
+    return ["v", point.value]
+
+
+def _point_from_json(data: List[Any]) -> TimePoint:
+    if data == ["-inf"]:
+        return NEGATIVE_INFINITY
+    if data == ["+inf"]:
+        return POSITIVE_INFINITY
+    if len(data) == 2 and data[0] == "v":
+        return TimePoint(0, data[1])
+    raise PropositionError(f"bad serialized time point {data!r}")
+
+
+def _interval_to_json(interval: Interval) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "start": _point_to_json(interval.start),
+        "end": _point_to_json(interval.end),
+    }
+    if interval.label:
+        out["label"] = interval.label
+    return out
+
+
+def _interval_from_json(data: Dict[str, Any]) -> Interval:
+    return Interval(
+        _point_from_json(data["start"]),
+        _point_from_json(data["end"]),
+        label=data.get("label"),
+    )
+
+
+def proposition_to_json(prop: Proposition) -> Dict[str, Any]:
+    """One proposition as a JSON-able dict (Always intervals omitted)."""
+    out: Dict[str, Any] = {
+        "pid": prop.pid,
+        "source": prop.source,
+        "label": prop.label,
+        "destination": prop.destination,
+    }
+    if not prop.time.is_always:
+        out["time"] = _interval_to_json(prop.time)
+    if not prop.belief_time.is_always:
+        out["belief"] = _interval_to_json(prop.belief_time)
+    return out
+
+
+def proposition_from_json(data: Dict[str, Any]) -> Proposition:
+    """Inverse of :func:`proposition_to_json`."""
+    kwargs: Dict[str, Any] = {}
+    if "time" in data:
+        kwargs["time"] = _interval_from_json(data["time"])
+    if "belief" in data:
+        kwargs["belief_time"] = _interval_from_json(data["belief"])
+    return Proposition(
+        pid=data["pid"],
+        source=data["source"],
+        label=data["label"],
+        destination=data["destination"],
+        **kwargs,
+    )
+
+
+def dump_processor(processor: PropositionProcessor,
+                   include_kernel: bool = False) -> Dict[str, Any]:
+    """Serialise a processor's proposition base to a JSON-able dict."""
+    props = [
+        proposition_to_json(prop)
+        for prop in processor.store
+        if include_kernel or prop.pid not in KERNEL_PIDS
+    ]
+    return {"format": FORMAT_VERSION, "propositions": props}
+
+
+def load_processor(
+    data: Dict[str, Any],
+    processor: Optional[PropositionProcessor] = None,
+    validate: bool = False,
+) -> PropositionProcessor:
+    """Rebuild a processor from a dump.
+
+    By default propositions are loaded without re-running the axiom
+    checks (a dump of a consistent base stays consistent, and load
+    order would otherwise matter); pass ``validate=True`` to replay
+    them through ``create_proposition``, in dependency order.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise PropositionError(
+            f"unsupported dump format {data.get('format')!r}"
+        )
+    proc = processor if processor is not None else PropositionProcessor()
+    props = [proposition_from_json(item) for item in data["propositions"]]
+    if not validate:
+        for prop in props:
+            if prop.pid not in proc.store:
+                proc.store.create(prop)
+        proc._bump()
+        return proc
+    # dependency order: individuals first, then links whose endpoints
+    # are present, iterating to a fixpoint
+    pending = [p for p in props if p.pid not in proc.store]
+    while pending:
+        progressed = False
+        for prop in list(pending):
+            if prop.is_individual or (
+                prop.source in proc.store and prop.destination in proc.store
+            ):
+                proc.create_proposition(prop)
+                pending.remove(prop)
+                progressed = True
+        if not progressed:
+            raise PropositionError(
+                f"dangling references in dump: {[p.pid for p in pending]}"
+            )
+    return proc
+
+
+def dumps(processor: PropositionProcessor, **options) -> str:
+    """JSON text form of :func:`dump_processor`."""
+    return json.dumps(dump_processor(processor, **options), indent=1)
+
+
+def loads(text: str, **options) -> PropositionProcessor:
+    """Inverse of :func:`dumps`."""
+    return load_processor(json.loads(text), **options)

@@ -1,0 +1,154 @@
+"""Query classes: queries as classes with computed extents.
+
+Section 3.1: "Queries are built using (open or closed) first-order
+logic expressions over CML objects."  In the ConceptBase tradition, an
+*open* query is packaged as a **query class**: a class whose membership
+is defined by a first-order condition over a base class.  Its extent is
+computed on demand; materialising it asserts the classification links
+so downstream consumers (relational views, constraints, decisions) can
+treat the answers like any other class extent.
+
+Example::
+
+    qc = QueryCatalog(conceptbase)
+    qc.define("UnsentInvitations", "i", "Invitation",
+              "not A(i, sent, yes)")
+    qc.extent("UnsentInvitations")        # computed
+    qc.materialise("UnsentInvitations")   # asserted as instanceof links
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.assertions.ast import Expression
+from repro.assertions.evaluator import Evaluator
+from repro.assertions.parser import parse_assertion
+from repro.propositions.processor import PropositionProcessor
+from repro.propositions.proposition import Pattern
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A class whose extent is defined by a membership condition."""
+
+    name: str
+    variable: str
+    base_class: str
+    condition: Expression
+    source: str
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryClass({self.name}: {self.variable}/{self.base_class} "
+            f"| {self.source})"
+        )
+
+
+class QueryCatalog:
+    """Defines, evaluates and materialises query classes."""
+
+    def __init__(self, processor: PropositionProcessor,
+                 include_deduced: bool = True) -> None:
+        self.processor = processor
+        self.evaluator = Evaluator(processor, include_deduced=include_deduced)
+        self._queries: Dict[str, QueryClass] = {}
+
+    # ------------------------------------------------------------------
+
+    def define(self, name: str, variable: str, base_class: str,
+               condition: str, document: bool = True) -> QueryClass:
+        """Define a query class over ``base_class``.
+
+        ``condition`` is an assertion whose free variable ``variable``
+        ranges over the base class's extent.
+        """
+        if name in self._queries:
+            raise ReproError(f"duplicate query class {name!r}")
+        if not self.processor.is_class(base_class):
+            raise ReproError(f"{base_class!r} is not a class")
+        expression = parse_assertion(condition)
+        free = expression.free_variables()
+        if variable not in free and free:
+            raise ReproError(
+                f"condition of {name!r} never uses variable {variable!r} "
+                f"(free: {sorted(free)})"
+            )
+        query = QueryClass(name, variable, base_class, expression, condition)
+        self._queries[name] = query
+        if document:
+            # the query class is itself a class, specialising its base
+            if not self.processor.exists(name):
+                self.processor.define_class(name, isa=[base_class])
+            holder = f"Assertion_query_{name}"
+            if not self.processor.exists(holder):
+                self.processor.tell_individual(holder,
+                                               in_class="AssertionObject")
+            self.processor.tell_link(name, "constraint", holder,
+                                     of_class="ConstraintAttribute")
+        return query
+
+    def get(self, name: str) -> QueryClass:
+        """Look a query class up by name."""
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise ReproError(f"unknown query class {name!r}") from None
+
+    def names(self) -> List[str]:
+        """The defined query class names."""
+        return list(self._queries)
+
+    # ------------------------------------------------------------------
+
+    def extent(self, name: str) -> List[str]:
+        """Compute the query class's extent (no side effects)."""
+        query = self.get(name)
+        members = []
+        for candidate in sorted(self.processor.instances_of(query.base_class)):
+            if candidate == query.name:
+                continue
+            if self.evaluator.evaluate(query.condition,
+                                       {query.variable: candidate}):
+                members.append(candidate)
+        return members
+
+    def ask(self, name: str, candidate: str) -> bool:
+        """Membership test for one object."""
+        query = self.get(name)
+        if not self.processor.is_instance_of(candidate, query.base_class):
+            return False
+        return self.evaluator.evaluate(query.condition,
+                                       {query.variable: candidate})
+
+    def materialise(self, name: str) -> Dict[str, int]:
+        """Assert the computed extent as classification links; stale
+        members (asserted earlier, no longer satisfying the condition)
+        are retracted.  Returns change counts."""
+        query = self.get(name)
+        if not self.processor.exists(query.name):
+            raise ReproError(
+                f"query class {name!r} was defined with document=False; "
+                f"materialisation needs the class in the base"
+            )
+        current = self.extent(name)
+        asserted = {
+            prop.source: prop.pid
+            for prop in self.processor.store.retrieve(
+                Pattern(label="instanceof", destination=query.name)
+            )
+        }
+        added = 0
+        for member in current:
+            if member not in asserted:
+                self.processor.tell_instanceof(member, query.name)
+                added += 1
+        removed = 0
+        wanted = set(current)
+        for member, pid in asserted.items():
+            if member not in wanted:
+                self.processor.retract(pid)
+                removed += 1
+        return {"added": added, "removed": removed}

@@ -1,0 +1,33 @@
+"""The project-meeting organisation scenario (S21).
+
+Section 1 (1): "in a project meeting organization scenario [BORG88,
+JJR87], a world model represented in CML would give a general account
+of meetings as an activity in a real world with time; a system model,
+also described by CML (system) objects and activities, would be
+embedded in the world model [...]  The combined world and system model
+is mapped to a TaxisDL conceptual design [...] hierarchies of documents
+generated during a meeting.  In a last step, this semantic data and
+transaction model is mapped to efficient and modular database programs
+in DBPL."
+
+:func:`build_world_model` and :func:`build_system_model` populate the
+CML level; :data:`DOCUMENT_DESIGN` is the TaxisDL document hierarchy of
+section 2.1; :class:`MeetingScenario` drives the whole story — every
+figure bench and example replays (parts of) it.
+"""
+
+from repro.scenario.meeting import (
+    DOCUMENT_DESIGN,
+    MINUTES_EXTENSION,
+    MeetingScenario,
+    build_system_model,
+    build_world_model,
+)
+
+__all__ = [
+    "DOCUMENT_DESIGN",
+    "MINUTES_EXTENSION",
+    "MeetingScenario",
+    "build_system_model",
+    "build_world_model",
+]

@@ -1,0 +1,185 @@
+"""Randomised design-evolution workloads (S28).
+
+Generates seeded, reproducible evolution histories: a random forest of
+TaxisDL hierarchies, then a random sequence of GKBMS operations
+(mapping with a random strategy, normalisation where a set-valued field
+exists, transaction mapping, selective backtracking, replay).  Used by
+the stress tests — which assert global invariants after *any* such
+history — and usable for scaling studies beyond the Perf benches.
+
+Randomness comes from a :class:`random.Random` with an explicit seed,
+never from global state, so every failure is replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.gkbms import GKBMS
+
+STRATEGIES = {
+    "DecMoveDown": "MoveDownMapper",
+    "DecDistribute": "DistributeMapper",
+    "DecSingleRelation": "SingleRelationMapper",
+}
+
+
+@dataclass
+class WorkloadEvent:
+    """One step of a generated history, for reporting."""
+
+    kind: str  # map | normalize | map_txn | backtrack | replay | skip
+    detail: str = ""
+
+
+@dataclass
+class DesignEvolutionWorkload:
+    """Seeded random evolution history over a fresh GKBMS."""
+
+    seed: int = 0
+    hierarchies: int = 3
+    steps: int = 12
+    events: List[WorkloadEvent] = field(default_factory=list)
+
+    def build_design(self) -> str:
+        """A random forest: each hierarchy gets 1-3 subclasses, some
+        attributes set-valued (normalisation candidates)."""
+        rng = random.Random(self.seed)
+        blocks: List[str] = []
+        for h in range(self.hierarchies):
+            root = f"Root{h}"
+            blocks.append(
+                f"entity class {root} with\n"
+                f"  owner : {root}\n"
+                f"end\n"
+            )
+            for s in range(rng.randint(1, 3)):
+                attr = (
+                    f"  members : set of {root}\n"
+                    if rng.random() < 0.5
+                    else f"  detail{s} : {root}\n"
+                )
+                blocks.append(
+                    f"entity class Sub{h}x{s} isa {root} with\n{attr}end\n"
+                )
+            blocks.append(
+                f"transaction class Touch{h} with\n"
+                f"  in it : Root{h}\n"
+                f"end\n"
+            )
+        return "\n".join(blocks)
+
+    def run(self, gkbms: Optional[GKBMS] = None) -> GKBMS:
+        """Execute the random history; returns the evolved GKBMS."""
+        rng = random.Random(self.seed + 1)
+        if gkbms is None:
+            gkbms = GKBMS()
+            gkbms.register_standard_library()
+        gkbms.import_design(self.build_design())
+        mapped: List[str] = []  # roots already mapped
+        for _step in range(self.steps):
+            action = rng.choice(
+                ["map", "map", "normalize", "map_txn", "backtrack", "replay"]
+            )
+            handler = getattr(self, f"_do_{action}")
+            self.events.append(handler(gkbms, rng, mapped))
+        return gkbms
+
+    # ------------------------------------------------------------------
+
+    def _unmapped_roots(self, gkbms: GKBMS, mapped: List[str]) -> List[str]:
+        return [
+            f"Root{h}" for h in range(self.hierarchies)
+            if f"Root{h}" not in mapped
+        ]
+
+    def _do_map(self, gkbms: GKBMS, rng: random.Random,
+                mapped: List[str]) -> WorkloadEvent:
+        candidates = self._unmapped_roots(gkbms, mapped)
+        if not candidates:
+            return WorkloadEvent("skip", "everything mapped")
+        root = rng.choice(candidates)
+        decision_class = rng.choice(sorted(STRATEGIES))
+        try:
+            gkbms.execute(
+                decision_class, {"hierarchy": root},
+                tool=STRATEGIES[decision_class],
+            )
+        except Exception as exc:  # name clash across strategies: skip
+            return WorkloadEvent("skip", f"map {root} failed: {exc}")
+        mapped.append(root)
+        return WorkloadEvent("map", f"{root} via {decision_class}")
+
+    def _do_normalize(self, gkbms: GKBMS, rng: random.Random,
+                      mapped: List[str]) -> WorkloadEvent:
+        candidates = [
+            name
+            for name, decl in gkbms.module.relations.items()
+            if any(f.type_name.upper().startswith("SET OF ")
+                   for f in decl.fields)
+        ]
+        if not candidates:
+            return WorkloadEvent("skip", "nothing to normalize")
+        relation = rng.choice(sorted(candidates))
+        try:
+            gkbms.execute(
+                "DecNormalize", {"relation": relation}, tool="Normalizer",
+            )
+        except Exception as exc:
+            return WorkloadEvent("skip", f"normalize {relation}: {exc}")
+        return WorkloadEvent("normalize", relation)
+
+    def _do_map_txn(self, gkbms: GKBMS, rng: random.Random,
+                    mapped: List[str]) -> WorkloadEvent:
+        candidates = [
+            name for name in gkbms.design.transactions
+            if f"T{name}" not in gkbms.module.transactions
+        ]
+        if not candidates:
+            return WorkloadEvent("skip", "no transaction to map")
+        txn = rng.choice(sorted(candidates))
+        try:
+            gkbms.execute(
+                "DecMapTransaction", {"transaction": txn},
+                tool="TransactionMapper",
+            )
+        except Exception as exc:
+            return WorkloadEvent("skip", f"map_txn {txn}: {exc}")
+        return WorkloadEvent("map_txn", txn)
+
+    def _do_backtrack(self, gkbms: GKBMS, rng: random.Random,
+                      mapped: List[str]) -> WorkloadEvent:
+        active = [r for r in gkbms.decisions.active_records()]
+        if not active:
+            return WorkloadEvent("skip", "no decision to backtrack")
+        victim = rng.choice(active)
+        report = gkbms.backtracker.retract(victim.did)
+        # a backtracked mapping frees its hierarchy for remapping
+        for did in report.retracted_decisions:
+            record = gkbms.decisions.records[did]
+            for value in record.inputs.values():
+                if value in mapped:
+                    mapped.remove(value)
+        return WorkloadEvent(
+            "backtrack",
+            f"{victim.did} (+{len(report.retracted_decisions) - 1} consequents)",
+        )
+
+    def _do_replay(self, gkbms: GKBMS, rng: random.Random,
+                   mapped: List[str]) -> WorkloadEvent:
+        retracted = [
+            gkbms.decisions.records[did]
+            for did in gkbms.decisions.order
+            if gkbms.decisions.records[did].is_retracted
+        ]
+        if not retracted:
+            return WorkloadEvent("skip", "nothing to replay")
+        record = rng.choice(retracted)
+        outcome = gkbms.replayer.replay(record)
+        if outcome.status == "replayed":
+            for value in record.inputs.values():
+                if value.startswith("Root") and value not in mapped:
+                    mapped.append(value)
+        return WorkloadEvent("replay", f"{record.did}: {outcome.status}")

@@ -1,0 +1,257 @@
+"""An interactive shell for the GKBMS (the "integrative tool server").
+
+The paper's GKBMS fronts an interactive environment: browse objects,
+focus, pick decisions from menus, inspect code frames and dependency
+graphs, explain, backtrack.  This module provides that loop for a
+terminal, and — equally important for testing and scripting — a pure
+function :func:`run_commands` that executes a command list against a
+GKBMS and returns the transcript.
+
+Commands::
+
+    design <file-or-inline TaxisDL ...>   load a conceptual design
+    objects [level]                       list design objects
+    menu <object>                         applicable decisions + tools
+    map <decision-class> <role>=<obj> [tool]
+    frames                                current DBPL code frames
+    deps [--all]                          dependency graph (ASCII)
+    explain <object|decision>             design explanation
+    history                               decision timeline
+    versions <object>                     version list
+    configure [level]                     derive a configuration
+    backtrack <decision>                  selective backtracking
+    obligations / sign <oid> <name>       verification obligations
+    save <path> / load <path>             persistence
+    help / quit
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.gkbms import GKBMS
+
+
+class GKBMSShell:
+    """Command interpreter over one GKBMS."""
+
+    def __init__(self, gkbms: Optional[GKBMS] = None) -> None:
+        if gkbms is None:
+            gkbms = GKBMS()
+            gkbms.register_standard_library()
+        self.gkbms = gkbms
+        self.done = False
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "design": self._cmd_design,
+            "objects": self._cmd_objects,
+            "menu": self._cmd_menu,
+            "map": self._cmd_map,
+            "frames": self._cmd_frames,
+            "deps": self._cmd_deps,
+            "explain": self._cmd_explain,
+            "history": self._cmd_history,
+            "versions": self._cmd_versions,
+            "configure": self._cmd_configure,
+            "backtrack": self._cmd_backtrack,
+            "obligations": self._cmd_obligations,
+            "sign": self._cmd_sign,
+            "save": self._cmd_save,
+            "load": self._cmd_load,
+            "help": self._cmd_help,
+            "quit": self._cmd_quit,
+        }
+
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; errors become messages, not crashes
+        (the 'improved error handling and recovery' of §3.3.1)."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return ""
+        try:
+            parts = shlex.split(line)
+        except ValueError as exc:
+            return f"error: {exc}"
+        command, args = parts[0], parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            return f"error: unknown command {command!r} (try 'help')"
+        try:
+            return handler(args)
+        except Exception as exc:  # recover, report, keep the session
+            return f"error: {exc}"
+
+    # ------------------------------------------------------------------
+
+    def _cmd_design(self, args: List[str]) -> str:
+        source = " ".join(args)
+        try:
+            with open(source) as handle:
+                source = handle.read()
+        except OSError:
+            source = source.replace(";", "\n")
+        if self.gkbms.design.classes:
+            added = self.gkbms.extend_design(source)
+            return f"extended design: {', '.join(added)}"
+        self.gkbms.import_design(source)
+        return f"design loaded: {', '.join(self.gkbms.design.classes)}"
+
+    def _cmd_objects(self, args: List[str]) -> str:
+        nav = self.gkbms.navigator()
+        levels = [args[0]] if args else nav.levels()
+        lines = []
+        for level in levels:
+            lines.append(f"{level}: {', '.join(nav.status_view(level)) or '-'}")
+        return "\n".join(lines)
+
+    def _cmd_menu(self, args: List[str]) -> str:
+        if not args:
+            return "usage: menu <object>"
+        matches = self.gkbms.decisions.applicable_decisions(args[0])
+        if not matches:
+            return f"no applicable decisions for {args[0]}"
+        lines = [f"menu for {args[0]}:"]
+        for dc, roles, tools in matches:
+            lines.append(f"  {dc.name:<20} roles={roles} tools={tools}")
+        return "\n".join(lines)
+
+    def _cmd_map(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: map <decision-class> <role>=<object> [tool]"
+        decision_class = args[0]
+        inputs = {}
+        tool = None
+        for arg in args[1:]:
+            if "=" in arg:
+                role, value = arg.split("=", 1)
+                inputs[role] = value
+            else:
+                tool = arg
+        if tool is None:
+            dc = self.gkbms.decisions.get(decision_class)
+            tool = dc.tools[0] if dc.tools else None
+        record = self.gkbms.execute(decision_class, inputs, tool=tool)
+        return (
+            f"executed {record.did}: {decision_class} by {record.tool} "
+            f"-> {record.outputs}"
+        )
+
+    def _cmd_frames(self, args: List[str]) -> str:
+        return self.gkbms.code_frames()
+
+    def _cmd_deps(self, args: List[str]) -> str:
+        include_retracted = "--all" in args
+        return self.gkbms.dependency_graph(include_retracted).to_ascii()
+
+    def _cmd_explain(self, args: List[str]) -> str:
+        if not args:
+            return "usage: explain <object|decision>"
+        name = args[0]
+        explainer = self.gkbms.explainer()
+        if name in self.gkbms.decisions.records:
+            return explainer.explain_decision(name)
+        return explainer.explain_object(name)
+
+    def _cmd_history(self, args: List[str]) -> str:
+        events = self.gkbms.navigator().timeline()
+        return "\n".join(repr(event) for event in events) or "(empty)"
+
+    def _cmd_versions(self, args: List[str]) -> str:
+        if not args:
+            return "usage: versions <object>"
+        nodes = self.gkbms.versions().versions_of(args[0])
+        return "\n".join(
+            f"{node.name:<24} t{node.tick} by {node.decision} "
+            f"[{'ACTIVE' if node.active else 'inactive'}]"
+            for node in nodes
+        )
+
+    def _cmd_configure(self, args: List[str]) -> str:
+        level = args[0] if args else "implementation"
+        config = self.gkbms.versions().configure(level)
+        lines = [repr(config)]
+        lines.append("objects: " + ", ".join(config.objects))
+        if config.missing:
+            lines.append("missing: " + ", ".join(config.missing))
+        lines.extend(config.issues)
+        return "\n".join(lines)
+
+    def _cmd_backtrack(self, args: List[str]) -> str:
+        if not args:
+            return "usage: backtrack <decision-id>"
+        report = self.gkbms.backtracker.retract(args[0])
+        return (
+            f"retracted {report.retracted_decisions}; "
+            f"{len(report.retracted_objects)} proposition(s) removed"
+        )
+
+    def _cmd_obligations(self, args: List[str]) -> str:
+        open_obligations = self.gkbms.decisions.open_obligations()
+        if not open_obligations:
+            return "no open obligations"
+        return "\n".join(
+            f"{o.oid}: {o.name} (decision {o.decision_id})"
+            for o in open_obligations
+        )
+
+    def _cmd_sign(self, args: List[str]) -> str:
+        if len(args) < 2:
+            return "usage: sign <oid> <signer>"
+        obligation = self.gkbms.decisions.sign(args[0], args[1])
+        return f"{obligation.oid} signed by {obligation.signer}"
+
+    def _cmd_save(self, args: List[str]) -> str:
+        if not args:
+            return "usage: save <path>"
+        from repro.core.persistence import save_to_file
+
+        save_to_file(self.gkbms, args[0])
+        return f"saved to {args[0]}"
+
+    def _cmd_load(self, args: List[str]) -> str:
+        if not args:
+            return "usage: load <path>"
+        from repro.core.persistence import load_from_file
+
+        self.gkbms = load_from_file(args[0])
+        return f"loaded from {args[0]} (clock t{self.gkbms.clock})"
+
+    def _cmd_help(self, args: List[str]) -> str:
+        return "commands: " + ", ".join(sorted(self._commands))
+
+    def _cmd_quit(self, args: List[str]) -> str:
+        self.done = True
+        return "bye"
+
+
+def run_commands(lines: Iterable[str],
+                 gkbms: Optional[GKBMS] = None) -> List[str]:
+    """Execute a command script; returns one output string per command."""
+    shell = GKBMSShell(gkbms)
+    outputs = []
+    for line in lines:
+        outputs.append(shell.execute(line))
+        if shell.done:
+            break
+    return outputs
+
+
+def main() -> None:  # pragma: no cover - interactive entry point
+    """Interactive read-eval-print loop over one GKBMS session."""
+    shell = GKBMSShell()
+    print("GKBMS shell — 'help' lists commands, 'quit' exits.")
+    while not shell.done:
+        try:
+            line = input("gkbms> ")
+        except EOFError:
+            break
+        output = shell.execute(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

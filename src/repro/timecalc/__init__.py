@@ -1,0 +1,64 @@
+"""Time calculus substrate (S1).
+
+CML propositions carry a time component; the paper's ConceptBase supports
+several time calculi through different inference engines, naming Allen's
+interval algebra [ALLE83] and the Kowalski/Sergot event calculus [KS86].
+This package implements both:
+
+- :mod:`repro.timecalc.interval` — time points (with +/- infinity),
+  half-open intervals, the distinguished ``ALWAYS`` interval, and the
+  belief-time stamps used for "known since" assertions such as
+  ``21-Sep-1987+`` in the paper.
+- :mod:`repro.timecalc.allen` — the 13 Allen relations, the composition
+  table, and a path-consistency constraint network over symbolic intervals.
+- :mod:`repro.timecalc.events` — a logic-based event calculus: events
+  initiate and terminate fluents; ``holds_at`` queries derive validity.
+- :mod:`repro.timecalc.calculus` — the common ``TimeCalculus`` interface
+  exposed to the inference engines.
+"""
+
+from repro.timecalc.interval import (
+    ALWAYS,
+    NEGATIVE_INFINITY,
+    POSITIVE_INFINITY,
+    Interval,
+    TimePoint,
+    parse_time,
+)
+from repro.timecalc.allen import (
+    ALLEN_RELATIONS,
+    AllenNetwork,
+    AllenRelation,
+    compose,
+    invert,
+    relation_between,
+)
+from repro.timecalc.events import Event, EventCalculus, Fluent
+from repro.timecalc.calculus import (
+    AllenCalculus,
+    EventBasedCalculus,
+    TimeCalculus,
+    get_calculus,
+)
+
+__all__ = [
+    "ALWAYS",
+    "NEGATIVE_INFINITY",
+    "POSITIVE_INFINITY",
+    "Interval",
+    "TimePoint",
+    "parse_time",
+    "ALLEN_RELATIONS",
+    "AllenNetwork",
+    "AllenRelation",
+    "compose",
+    "invert",
+    "relation_between",
+    "Event",
+    "EventCalculus",
+    "Fluent",
+    "AllenCalculus",
+    "EventBasedCalculus",
+    "TimeCalculus",
+    "get_calculus",
+]

@@ -1,0 +1,258 @@
+"""Allen's interval algebra [ALLE83].
+
+The paper cites Allen's "Maintaining knowledge about temporal intervals"
+as one of the two time calculi supported by ConceptBase inference engines.
+This module provides:
+
+- the 13 basic relations (:data:`ALLEN_RELATIONS`);
+- :func:`relation_between` to classify two concrete intervals;
+- :func:`invert` and :func:`compose` implementing the algebra, with the
+  full 13x13 composition table derived from endpoint semantics rather
+  than transcribed by hand (so it is correct by construction);
+- :class:`AllenNetwork`, a constraint network over symbolic intervals
+  with Allen's path-consistency propagation algorithm.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.errors import TimeError
+from repro.timecalc.interval import Interval
+
+
+class AllenRelation(enum.Enum):
+    """The thirteen basic Allen relations between intervals A and B."""
+
+    BEFORE = "b"          # A ends before B starts
+    AFTER = "bi"
+    MEETS = "m"           # A's end == B's start
+    MET_BY = "mi"
+    OVERLAPS = "o"
+    OVERLAPPED_BY = "oi"
+    STARTS = "s"
+    STARTED_BY = "si"
+    DURING = "d"
+    CONTAINS = "di"
+    FINISHES = "f"
+    FINISHED_BY = "fi"
+    EQUAL = "eq"
+
+    def __repr__(self) -> str:  # compact in sets
+        return self.value
+
+
+ALLEN_RELATIONS: Tuple[AllenRelation, ...] = tuple(AllenRelation)
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUAL: AllenRelation.EQUAL,
+}
+
+
+def invert(relation: AllenRelation) -> AllenRelation:
+    """Return the converse relation (A r B  <=>  B invert(r) A)."""
+    return _INVERSES[relation]
+
+
+def relation_between(a: Interval, b: Interval) -> AllenRelation:
+    """Classify the relation of concrete intervals ``a`` and ``b``."""
+    if a.start == b.start and a.end == b.end:
+        return AllenRelation.EQUAL
+    if a.end < b.start:
+        return AllenRelation.BEFORE
+    if b.end < a.start:
+        return AllenRelation.AFTER
+    if a.end == b.start:
+        return AllenRelation.MEETS
+    if b.end == a.start:
+        return AllenRelation.MET_BY
+    if a.start == b.start:
+        return AllenRelation.STARTS if a.end < b.end else AllenRelation.STARTED_BY
+    if a.end == b.end:
+        return AllenRelation.FINISHES if a.start > b.start else AllenRelation.FINISHED_BY
+    if b.start < a.start and a.end < b.end:
+        return AllenRelation.DURING
+    if a.start < b.start and b.end < a.end:
+        return AllenRelation.CONTAINS
+    if a.start < b.start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY
+
+
+# ---------------------------------------------------------------------------
+# Composition table, derived from endpoint witnesses.
+#
+# Each basic relation corresponds to a unique ordering pattern of four
+# endpoints.  We pick small integer witnesses for A-relative-to-B per
+# relation, then compute compose(r1, r2) = { relation_between(A, C) } over
+# all witness pairs (A r1 B, B r2 C) realisable with rational endpoints.
+# Exhaustive enumeration over a small grid is sound and complete for the
+# interval algebra because each basic relation is order-invariant.
+# ---------------------------------------------------------------------------
+
+def _classify(a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> AllenRelation:
+    """Pure-integer version of :func:`relation_between` (endpoints only)."""
+    if a_lo == b_lo and a_hi == b_hi:
+        return AllenRelation.EQUAL
+    if a_hi < b_lo:
+        return AllenRelation.BEFORE
+    if b_hi < a_lo:
+        return AllenRelation.AFTER
+    if a_hi == b_lo:
+        return AllenRelation.MEETS
+    if b_hi == a_lo:
+        return AllenRelation.MET_BY
+    if a_lo == b_lo:
+        return AllenRelation.STARTS if a_hi < b_hi else AllenRelation.STARTED_BY
+    if a_hi == b_hi:
+        return AllenRelation.FINISHES if a_lo > b_lo else AllenRelation.FINISHED_BY
+    if b_lo < a_lo and a_hi < b_hi:
+        return AllenRelation.DURING
+    if a_lo < b_lo and b_hi < a_hi:
+        return AllenRelation.CONTAINS
+    return AllenRelation.OVERLAPS if a_lo < b_lo else AllenRelation.OVERLAPPED_BY
+
+
+def _build_composition_table() -> Dict[Tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]]:
+    # Enumerate all interval pairs on a 0..8 grid; the grid is dense enough
+    # to realise every consistent endpoint ordering of three intervals, so
+    # composing through a shared middle interval is sound and complete.
+    span = list(itertools.combinations(range(9), 2))
+    left_by_b: Dict[Tuple[int, int], list] = {}
+    right_by_b: Dict[Tuple[int, int], list] = {}
+    for lo, hi in span:
+        left_by_b[(lo, hi)] = []
+        right_by_b[(lo, hi)] = []
+    for a in span:
+        for b in span:
+            rel = _classify(a[0], a[1], b[0], b[1])
+            left_by_b[b].append((rel, a))
+            right_by_b[a].append((rel, b))  # here ``a`` plays the middle role
+    table: Dict[Tuple[AllenRelation, AllenRelation], set] = {
+        (r1, r2): set() for r1 in ALLEN_RELATIONS for r2 in ALLEN_RELATIONS
+    }
+    for mid in span:
+        lefts = left_by_b[mid]
+        rights = right_by_b[mid]
+        for r1, a in lefts:
+            for r2, c in rights:
+                table[(r1, r2)].add(_classify(a[0], a[1], c[0], c[1]))
+    return {key: frozenset(value) for key, value in table.items()}
+
+
+_COMPOSITION: Dict[Tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]] | None = None
+
+
+def _composition_table() -> Dict[Tuple[AllenRelation, AllenRelation], FrozenSet[AllenRelation]]:
+    global _COMPOSITION
+    if _COMPOSITION is None:
+        _COMPOSITION = _build_composition_table()
+    return _COMPOSITION
+
+
+def compose(r1: AllenRelation, r2: AllenRelation) -> FrozenSet[AllenRelation]:
+    """Relations possible between A and C given ``A r1 B`` and ``B r2 C``."""
+    return _composition_table()[(r1, r2)]
+
+
+FULL = frozenset(ALLEN_RELATIONS)
+
+
+class AllenNetwork:
+    """A qualitative constraint network over named symbolic intervals.
+
+    Edges hold disjunctive relation sets; :meth:`propagate` runs Allen's
+    path-consistency algorithm, tightening edges through composition until
+    a fixpoint.  An empty edge set signals temporal inconsistency, which
+    surfaces as :class:`~repro.errors.TimeError`.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[str] = []
+        self._edges: Dict[Tuple[str, str], FrozenSet[AllenRelation]] = {}
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """The named intervals."""
+        return tuple(self._nodes)
+
+    def add_interval(self, name: str) -> None:
+        """Register a named interval."""
+        if name not in self._nodes:
+            self._nodes.append(name)
+
+    def constrain(self, a: str, b: str, relations: Iterable[AllenRelation]) -> None:
+        """Assert that ``a`` relates to ``b`` by one of ``relations``."""
+        self.add_interval(a)
+        self.add_interval(b)
+        new = frozenset(relations)
+        if not new:
+            raise TimeError(f"empty constraint between {a!r} and {b!r}")
+        current = self.relations(a, b)
+        tightened = current & new
+        if not tightened:
+            raise TimeError(f"inconsistent constraint {a!r} -> {b!r}: {new} vs {current}")
+        self._set(a, b, tightened)
+
+    def relations(self, a: str, b: str) -> FrozenSet[AllenRelation]:
+        """Possible relations between two intervals."""
+        if a == b:
+            return frozenset({AllenRelation.EQUAL})
+        return self._edges.get((a, b), FULL)
+
+    def _set(self, a: str, b: str, relations: FrozenSet[AllenRelation]) -> None:
+        self._edges[(a, b)] = relations
+        self._edges[(b, a)] = frozenset(invert(r) for r in relations)
+
+    def propagate(self) -> None:
+        """Run path consistency to a fixpoint; raise on inconsistency."""
+        queue = [(a, b) for a in self._nodes for b in self._nodes if a != b]
+        while queue:
+            i, j = queue.pop()
+            rel_ij = self.relations(i, j)
+            for k in self._nodes:
+                if k in (i, j):
+                    continue
+                self._tighten(i, k, rel_ij, self.relations(j, k), queue)
+                self._tighten(k, j, self.relations(k, i), rel_ij, queue)
+
+    def _tighten(
+        self,
+        a: str,
+        c: str,
+        rel_ab: FrozenSet[AllenRelation],
+        rel_bc: FrozenSet[AllenRelation],
+        queue: list,
+    ) -> None:
+        allowed: set[AllenRelation] = set()
+        for r1 in rel_ab:
+            for r2 in rel_bc:
+                allowed |= compose(r1, r2)
+        tightened = self.relations(a, c) & frozenset(allowed)
+        if not tightened:
+            raise TimeError(f"temporal network inconsistent at {a!r} -> {c!r}")
+        if tightened != self.relations(a, c):
+            self._set(a, c, tightened)
+            queue.append((a, c))
+
+    def is_consistent(self) -> bool:
+        """Convenience wrapper: propagate and report instead of raising."""
+        try:
+            self.propagate()
+        except TimeError:
+            return False
+        return True

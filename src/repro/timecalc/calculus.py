@@ -1,0 +1,140 @@
+"""Common time-calculus interface for the inference engines.
+
+Section 3.1 of the paper: "Several time calculi may be supported by
+different inference engines, currently, the models of [ALLE83] and [KS86]
+are supported."  This module defines the neutral :class:`TimeCalculus`
+protocol the engines program against and the two concrete calculi.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, List
+
+from repro.errors import TimeError
+from repro.timecalc.allen import AllenNetwork, AllenRelation, relation_between
+from repro.timecalc.events import Event, EventCalculus, Fluent
+from repro.timecalc.interval import ALWAYS, Interval
+
+
+class TimeCalculus(abc.ABC):
+    """What an inference engine needs from a time model.
+
+    The proposition processor only ever asks three temporal questions:
+    does a proposition's validity cover a reference time, do two validity
+    spans intersect, and is the recorded history consistent.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def valid_at(self, interval: Interval, time: Any) -> bool:
+        """Does ``interval`` cover the time point ``time``?"""
+
+    @abc.abstractmethod
+    def cooccur(self, a: Interval, b: Interval) -> bool:
+        """Could the two validity spans hold simultaneously?"""
+
+    @abc.abstractmethod
+    def check_consistency(self) -> None:
+        """Raise :class:`TimeError` when recorded temporal facts clash."""
+
+
+class AllenCalculus(TimeCalculus):
+    """Interval-based calculus: concrete interval tests plus a symbolic
+    constraint network for qualitative assertions (e.g. "design phase
+    *before* implementation phase")."""
+
+    name = "allen"
+
+    def __init__(self) -> None:
+        self.network = AllenNetwork()
+
+    def valid_at(self, interval: Interval, time: Any) -> bool:
+        """Interval containment test."""
+        return interval.contains_point(time)
+
+    def cooccur(self, a: Interval, b: Interval) -> bool:
+        """Interval overlap test."""
+        return a.overlaps(b)
+
+    def assert_relation(self, a: str, b: str, relations: Iterable[AllenRelation]) -> None:
+        """Constrain two symbolic intervals qualitatively."""
+        self.network.constrain(a, b, relations)
+
+    def classify(self, a: Interval, b: Interval) -> AllenRelation:
+        """The Allen relation of two concrete intervals."""
+        return relation_between(a, b)
+
+    def check_consistency(self) -> None:
+        """Path-consistency over the symbolic network."""
+        self.network.propagate()
+
+
+class EventBasedCalculus(TimeCalculus):
+    """Event-calculus view: validity intervals are *derived* from events.
+
+    A proposition's validity is modelled as a fluent; telling the KB about
+    a proposition initiates it, retracting terminates it.
+    """
+
+    name = "events"
+
+    def __init__(self) -> None:
+        self.history = EventCalculus()
+
+    def valid_at(self, interval: Interval, time: Any) -> bool:
+        """Interval containment test."""
+        return interval.contains_point(time)
+
+    def cooccur(self, a: Interval, b: Interval) -> bool:
+        """Interval overlap test."""
+        return a.overlaps(b)
+
+    def assert_proposition(self, name: str, time: Any) -> Event:
+        """Record a tell event initiating validity."""
+        return self.history.happens(
+            f"tell({name})", time, initiates=[Fluent("valid", (name,))]
+        )
+
+    def retract_proposition(self, name: str, time: Any) -> Event:
+        """Record an untell event terminating validity."""
+        return self.history.happens(
+            f"untell({name})", time, terminates=[Fluent("valid", (name,))]
+        )
+
+    def validity_intervals(self, name: str) -> List[Interval]:
+        """Validity spans derived from the event history."""
+        spans = self.history.intervals(Fluent("valid", (name,)))
+        return spans if spans else []
+
+    def currently_valid(self, name: str, time: Any) -> bool:
+        """holds_at over the validity fluent."""
+        return self.history.holds_at(Fluent("valid", (name,)), time)
+
+    def check_consistency(self) -> None:
+        # An event history is always consistent; retracting before telling
+        # simply leaves the fluent out.  Nothing to do.
+        """Event histories are always consistent; no-op."""
+        return None
+
+
+_CALCULI = {
+    "allen": AllenCalculus,
+    "events": EventBasedCalculus,
+}
+
+
+def get_calculus(name: str) -> TimeCalculus:
+    """Instantiate a supported time calculus by name."""
+    try:
+        factory = _CALCULI[name]
+    except KeyError:
+        known = ", ".join(sorted(_CALCULI))
+        raise TimeError(f"unknown time calculus {name!r} (known: {known})") from None
+    return factory()
+
+
+def default_validity() -> Interval:
+    """The validity stamp used when the user does not supply one."""
+    return ALWAYS

@@ -1,0 +1,150 @@
+"""A logic-based event calculus after Kowalski & Sergot [KS86].
+
+The paper names the event calculus as the second time model supported by
+ConceptBase inference engines.  The calculus here follows the classical
+formulation: *events* occur at time points and *initiate* or *terminate*
+*fluents*; a fluent holds at time ``t`` if some earlier event initiated it
+and no event in between terminated it.  From the event history we can also
+derive the maximal validity intervals of each fluent, which is exactly what
+the proposition processor needs to stamp derived propositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import TimeError
+from repro.timecalc.interval import Interval, POSITIVE_INFINITY, TimePoint
+
+
+@dataclass(frozen=True)
+class Fluent:
+    """A time-varying property, identified by name and arguments."""
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.name
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event occurrence with its effects on fluents."""
+
+    name: str
+    time: Any
+    initiates: Tuple[Fluent, ...] = ()
+    terminates: Tuple[Fluent, ...] = ()
+
+
+@dataclass
+class EventCalculus:
+    """An event history with ``holds_at`` and interval derivation.
+
+    Events are kept sorted by time; simultaneous events are ordered by
+    arrival, with terminations applied before initiations at the same
+    instant so that an event both terminating and re-initiating a fluent
+    leaves it holding (the standard reading).
+    """
+
+    _events: List[Event] = field(default_factory=list)
+
+    def record(self, event: Event) -> None:
+        """Insert ``event`` keeping the history sorted by time."""
+        index = len(self._events)
+        while index > 0 and self._key(self._events[index - 1]) > self._key(event):
+            index -= 1
+        self._events.insert(index, event)
+
+    def happens(
+        self,
+        name: str,
+        time: Any,
+        initiates: Iterable[Fluent] = (),
+        terminates: Iterable[Fluent] = (),
+    ) -> Event:
+        """Convenience constructor + :meth:`record`."""
+        event = Event(name, time, tuple(initiates), tuple(terminates))
+        self.record(event)
+        return event
+
+    @staticmethod
+    def _key(event: Event):
+        return event.time
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        """The history, sorted by time."""
+        return tuple(self._events)
+
+    # -- queries ----------------------------------------------------------
+
+    def holds_at(self, fluent: Fluent, time: Any) -> bool:
+        """True if ``fluent`` holds at ``time``: the state after folding
+        every event up to *and including* that instant (terminations
+        before initiations at the same instant).  This makes the holding
+        span exactly the half-open ``[initiation, termination)`` interval
+        :meth:`intervals` derives."""
+        holding = False
+        for event in self._events:
+            if time < event.time:
+                break
+            if fluent in event.terminates:
+                holding = False
+            if fluent in event.initiates:
+                holding = True
+        return holding
+
+    def initiated_at(self, fluent: Fluent) -> List[Any]:
+        """Times at which the fluent was initiated."""
+        return [e.time for e in self._events if fluent in e.initiates]
+
+    def terminated_at(self, fluent: Fluent) -> List[Any]:
+        """Times at which the fluent was terminated."""
+        return [e.time for e in self._events if fluent in e.terminates]
+
+    def intervals(self, fluent: Fluent) -> List[Interval]:
+        """Maximal validity intervals of ``fluent`` over the history."""
+        spans: List[Interval] = []
+        open_since: Any = None
+        for event in self._events:
+            if fluent in event.terminates and open_since is not None:
+                if event.time == open_since:
+                    # initiated and terminated at the same instant: skip the
+                    # degenerate span but stay consistent with holds_at.
+                    open_since = None
+                else:
+                    spans.append(Interval.from_ticks(open_since, event.time))
+                    open_since = None
+            if fluent in event.initiates and open_since is None:
+                open_since = event.time
+        if open_since is not None:
+            spans.append(Interval(TimePoint(0, open_since), POSITIVE_INFINITY))
+        return spans
+
+    def fluents(self) -> List[Fluent]:
+        """All fluents mentioned anywhere in the history."""
+        seen: Dict[Fluent, None] = {}
+        for event in self._events:
+            for fluent in event.initiates + event.terminates:
+                seen.setdefault(fluent, None)
+        return list(seen)
+
+    def snapshot(self, time: Any) -> List[Fluent]:
+        """All fluents holding at ``time``."""
+        return [f for f in self.fluents() if self.holds_at(f, time)]
+
+    def clipped(self, fluent: Fluent, start: Any, end: Any) -> bool:
+        """True if ``fluent`` is terminated somewhere in ``(start, end)``
+        — Kowalski/Sergot's ``clipped`` predicate."""
+        if not start < end:
+            raise TimeError(f"empty clipping window ({start!r}, {end!r})")
+        for event in self._events:
+            if start < event.time < end and fluent in event.terminates:
+                return True
+        return False

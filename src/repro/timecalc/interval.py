@@ -1,0 +1,228 @@
+"""Time points and intervals for CML propositions.
+
+The paper attaches a time component ``t`` to every proposition
+``p = <x, l, y, t>``.  Two kinds of time value appear in the text:
+
+- *validity intervals* such as ``Always`` or ``version17`` — the span
+  during which the asserted link holds in the modelled world;
+- *belief times* such as ``21-Sep-1987+`` — the moment the knowledge base
+  was told about the proposition, open towards the future.
+
+Both are represented here by :class:`Interval`, built from
+:class:`TimePoint` values that form a total order including the two
+infinities.  Points are integers ("ticks") or ISO-style day numbers
+produced by :func:`parse_time`; the algebra never inspects the payload
+beyond ordering, so any comparable type works.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TimeError
+
+_MONTHS = {
+    "jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+    "jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12,
+}
+
+_DATE_RE = re.compile(r"^(\d{1,2})-([A-Za-z]{3})-(\d{4})(\+?)$")
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class TimePoint:
+    """A point on the time line; ``kind`` orders the infinities.
+
+    ``kind`` is -1 for negative infinity, 0 for a finite value and +1 for
+    positive infinity.  Finite points compare by ``value``.
+    """
+
+    kind: int = 0
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (-1, 0, 1):
+            raise TimeError(f"invalid TimePoint kind {self.kind!r}")
+        if self.kind == 0 and self.value is None:
+            raise TimeError("finite TimePoint requires a value")
+
+    @property
+    def is_finite(self) -> bool:
+        """False for the infinities."""
+        return self.kind == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimePoint):
+            return NotImplemented
+        if self.kind != other.kind:
+            return False
+        return self.kind != 0 or self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.value if self.kind == 0 else None))
+
+    def __lt__(self, other: "TimePoint") -> bool:
+        if not isinstance(other, TimePoint):
+            return NotImplemented
+        if self.kind != other.kind:
+            return self.kind < other.kind
+        if self.kind != 0:
+            return False
+        try:
+            return self.value < other.value
+        except TypeError as exc:
+            raise TimeError(
+                f"incomparable time points {self.value!r} and {other.value!r}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        if self.kind == -1:
+            return "-inf"
+        if self.kind == 1:
+            return "+inf"
+        return f"t({self.value!r})"
+
+
+NEGATIVE_INFINITY = TimePoint(kind=-1)
+POSITIVE_INFINITY = TimePoint(kind=1)
+
+
+def _as_point(value: Any) -> TimePoint:
+    if isinstance(value, TimePoint):
+        return value
+    return TimePoint(kind=0, value=value)
+
+
+def parse_time(text: str) -> "Interval":
+    """Parse the paper's textual time notations into an interval.
+
+    Supported forms:
+
+    - ``"Always"`` (case-insensitive) — the full time line;
+    - ``"21-Sep-1987"`` — a single-day interval;
+    - ``"21-Sep-1987+"`` — known-since stamp, open towards the future;
+    - ``"12..40"`` — an explicit tick range;
+    - ``"17"`` — a single tick.
+
+    Dates are mapped to a day ordinal ``year*10000 + month*100 + day``,
+    which preserves calendar order for the comparisons we need.
+    """
+
+    stripped = text.strip()
+    if stripped.lower() == "always":
+        return ALWAYS
+    match = _DATE_RE.match(stripped)
+    if match:
+        day, mon, year, plus = match.groups()
+        month = _MONTHS.get(mon.lower())
+        if month is None:
+            raise TimeError(f"unknown month {mon!r} in {text!r}")
+        ordinal = int(year) * 10000 + month * 100 + int(day)
+        if plus:
+            return Interval(_as_point(ordinal), POSITIVE_INFINITY)
+        return Interval(_as_point(ordinal), _as_point(ordinal + 1))
+    if ".." in stripped:
+        lo_text, hi_text = stripped.split("..", 1)
+        return Interval(_as_point(int(lo_text)), _as_point(int(hi_text)))
+    if stripped.lstrip("-").isdigit():
+        tick = int(stripped)
+        return Interval(_as_point(tick), _as_point(tick + 1))
+    raise TimeError(f"unparseable time literal {text!r}")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open interval ``[start, end)`` on the time line.
+
+    Half-open intervals compose without double counting: a proposition
+    valid on ``[0, 5)`` and another on ``[5, 9)`` never overlap, matching
+    the version-interval semantics ("version 17 of the design is regarded
+    as valid").
+    """
+
+    start: TimePoint
+    end: TimePoint
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        start = _as_point(self.start)
+        end = _as_point(self.end)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        if not start < end:
+            raise TimeError(f"empty interval [{start!r}, {end!r})")
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_ticks(cls, start: Any, end: Any, label: str | None = None) -> "Interval":
+        """Interval over raw comparable values."""
+        return cls(_as_point(start), _as_point(end), label=label)
+
+    @classmethod
+    def since(cls, start: Any, label: str | None = None) -> "Interval":
+        """Interval open towards the future (the ``date+`` notation)."""
+        return cls(_as_point(start), POSITIVE_INFINITY, label=label)
+
+    @classmethod
+    def until(cls, end: Any, label: str | None = None) -> "Interval":
+        """Interval open towards the past."""
+        return cls(NEGATIVE_INFINITY, _as_point(end), label=label)
+
+    # -- predicates ------------------------------------------------------
+
+    @property
+    def is_always(self) -> bool:
+        """Covers the whole time line?"""
+        return self.start == NEGATIVE_INFINITY and self.end == POSITIVE_INFINITY
+
+    def contains_point(self, value: Any) -> bool:
+        """Half-open containment: start <= t < end."""
+        point = _as_point(value)
+        return self.start <= point < self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """True when ``other`` lies entirely within this interval."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Do the two intervals share a point?"""
+        return self.start < other.end and other.start < self.end
+
+    def before(self, other: "Interval") -> bool:
+        """Does this interval end by the other's start?"""
+        return self.end <= other.start
+
+    def meets(self, other: "Interval") -> bool:
+        """Does this interval end exactly at the other's start?"""
+        return self.end == other.start
+
+    # -- combination -----------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The common sub-interval, or None."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start < end:
+            return Interval(start, end)
+        return None
+
+    def clip_end(self, value: Any) -> "Interval | None":
+        """Close an open interval at ``value`` (used when retracting)."""
+        point = _as_point(value)
+        if point <= self.start:
+            return None
+        return Interval(self.start, min(self.end, point), label=self.label)
+
+    def __repr__(self) -> str:
+        if self.is_always:
+            return "Always"
+        name = f"{self.label}=" if self.label else ""
+        return f"{name}[{self.start!r},{self.end!r})"
+
+
+ALWAYS = Interval(NEGATIVE_INFINITY, POSITIVE_INFINITY, label="Always")

@@ -1,0 +1,185 @@
+"""Tests for the assertion language: parser and evaluator."""
+
+import pytest
+
+from repro.errors import AssertionSyntaxError, EvaluationError
+from repro.assertions import (
+    BinaryOp,
+    Comparison,
+    Evaluator,
+    InAtom,
+    Not,
+    PathTerm,
+    Quantifier,
+    parse_assertion,
+)
+from repro.propositions import PropositionProcessor
+
+
+class TestParser:
+    def test_quantifier(self):
+        expr = parse_assertion("forall i/Invitation (In(i.sender, Person))")
+        assert isinstance(expr, Quantifier)
+        assert expr.kind == "forall"
+        assert expr.bindings == (("i", "Invitation"),)
+        assert isinstance(expr.body, InAtom)
+
+    def test_multiple_bindings(self):
+        expr = parse_assertion("exists a/Doc, b/Doc (a != b)")
+        assert expr.bindings == (("a", "Doc"), ("b", "Doc"))
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        expr = parse_assertion("a = b or c = d and e = f")
+        assert isinstance(expr, BinaryOp) and expr.op == "or"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "and"
+
+    def test_implication(self):
+        expr = parse_assertion("Known(x.key) ==> In(x, Keyed)")
+        assert isinstance(expr, BinaryOp) and expr.op == "==>"
+
+    def test_negation(self):
+        expr = parse_assertion("not a = b")
+        assert isinstance(expr, Not)
+
+    def test_path_term(self):
+        expr = parse_assertion("x.a.b = y")
+        assert isinstance(expr, Comparison)
+        assert isinstance(expr.left, PathTerm)
+        assert expr.left.label == "b"
+
+    def test_parenthesised_expression(self):
+        expr = parse_assertion("(a = b or c = d) and e = f")
+        assert isinstance(expr, BinaryOp) and expr.op == "and"
+
+    def test_string_and_number_literals(self):
+        expr = parse_assertion("x.name = 'Invitation Rel' and x.count >= 2")
+        assert isinstance(expr, BinaryOp)
+
+    def test_free_variables(self):
+        expr = parse_assertion("forall i/Invitation (In(i.sender, Person))")
+        assert expr.free_variables() == frozenset()
+        expr2 = parse_assertion("In(self.sender, Person)")
+        assert "self" in expr2.free_variables()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "forall (x = y)",
+            "In(x Person)",
+            "x =",
+            "x = y extra",
+            "exists x/ (x = x)",
+            "@bad",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(AssertionSyntaxError):
+            parse_assertion(bad)
+
+
+@pytest.fixture
+def kb():
+    proc = PropositionProcessor()
+    proc.define_class("Paper")
+    proc.define_class("Invitation", isa=["Paper"])
+    proc.define_class("Person")
+    proc.tell_link("Invitation", "sender", "Person", pid="Invitation.sender",
+                   of_class="Attribute")
+    proc.tell_link("Invitation", "receiver", "Person", pid="Invitation.receiver",
+                   of_class="Attribute")
+    for name in ("bob", "ann", "eva"):
+        proc.tell_individual(name, in_class="Person")
+    proc.tell_individual("inv1", in_class="Invitation")
+    proc.tell_link("inv1", "sender", "bob", of_class="Invitation.sender")
+    proc.tell_link("inv1", "receiver", "ann", of_class="Invitation.receiver")
+    proc.tell_link("inv1", "receiver", "eva", of_class="Invitation.receiver")
+    return proc
+
+
+class TestEvaluator:
+    def test_typing_constraint_holds(self, kb):
+        ev = Evaluator(kb)
+        assert ev.evaluate(parse_assertion("forall i/Invitation (In(i.sender, Person))"))
+
+    def test_set_valued_attribute(self, kb):
+        ev = Evaluator(kb)
+        # receiver is set-valued: both members are found
+        assert ev.evaluate(parse_assertion("inv1.receiver = ann"))
+        assert ev.evaluate(parse_assertion("inv1.receiver = eva"))
+        assert not ev.evaluate(parse_assertion("inv1.receiver = bob"))
+
+    def test_in_is_universal_over_sets(self, kb):
+        ev = Evaluator(kb)
+        assert ev.evaluate(parse_assertion("In(inv1.receiver, Person)"))
+        kb.define_class("Robot")
+        kb.tell_individual("r2", in_class="Robot")
+        kb.axioms.disable("attribute_typing")
+        kb.tell_link("inv1", "receiver", "r2")
+        assert not ev.evaluate(parse_assertion("In(inv1.receiver, Person)"))
+
+    def test_in_vacuous_on_empty_set(self, kb):
+        ev = Evaluator(kb)
+        kb.tell_individual("inv2", in_class="Invitation")
+        assert ev.evaluate(parse_assertion("In(inv2.sender, Person)"))
+        assert not ev.evaluate(parse_assertion("Known(inv2.sender)"))
+
+    def test_exists_quantifier(self, kb):
+        ev = Evaluator(kb)
+        assert ev.evaluate(parse_assertion("exists p/Paper (p.sender = bob)"))
+        assert not ev.evaluate(parse_assertion("exists p/Paper (p.sender = ann)"))
+
+    def test_isa_atom(self, kb):
+        ev = Evaluator(kb)
+        assert ev.evaluate(parse_assertion("Isa(Invitation, Paper)"))
+        assert not ev.evaluate(parse_assertion("Isa(Paper, Invitation)"))
+
+    def test_attribute_atom(self, kb):
+        ev = Evaluator(kb)
+        assert ev.evaluate(parse_assertion("A(inv1, sender, bob)"))
+        assert not ev.evaluate(parse_assertion("A(inv1, sender, ann)"))
+
+    def test_implication(self, kb):
+        ev = Evaluator(kb)
+        assert ev.evaluate(
+            parse_assertion(
+                "forall i/Invitation (Known(i.sender) ==> In(i.sender, Person))"
+            )
+        )
+
+    def test_numeric_comparison(self, kb):
+        ev = Evaluator(kb)
+        kb.tell_individual("rel1", in_class="Paper")
+        kb.tell_individual("n40", in_class="Token")
+        kb.axioms.disable("attribute_typing")
+        kb.tell_link("rel1", "size", "n40")
+        # names that parse as numbers compare numerically: "n40" does not
+        assert not ev.evaluate(parse_assertion("rel1.size < 100"))
+        assert ev.evaluate(parse_assertion("3 < 20"))
+        assert not ev.evaluate(parse_assertion("100 < 20"))
+
+    def test_environment_binding(self, kb):
+        ev = Evaluator(kb)
+        expr = parse_assertion("In(self.sender, Person)")
+        assert ev.evaluate(expr, {"self": "inv1"})
+
+    def test_satisfying_witnesses(self, kb):
+        ev = Evaluator(kb)
+        expr = parse_assertion("exists p/Person (A(inv1, receiver, p))")
+        witnesses = [b["p"] for b in ev.satisfying(expr)]
+        assert witnesses == ["ann", "eva"]
+
+    def test_satisfying_requires_exists(self, kb):
+        ev = Evaluator(kb)
+        expr = parse_assertion("forall p/Person (p = p)")
+        with pytest.raises(EvaluationError):
+            list(ev.satisfying(expr))
+
+    def test_forall_multiple_bindings(self, kb):
+        ev = Evaluator(kb)
+        assert ev.evaluate(
+            parse_assertion("forall a/Invitation, b/Invitation (a = b)")
+        )
+        kb.tell_individual("inv9", in_class="Invitation")
+        assert not ev.evaluate(
+            parse_assertion("forall a/Invitation, b/Invitation (a = b)")
+        )

@@ -1,0 +1,174 @@
+"""Tests for the ConceptBase facade and behaviour propositions."""
+
+import pytest
+
+from repro import ConceptBase
+from repro.errors import ConsistencyError, PropositionError, ReproError
+
+
+@pytest.fixture
+def cb():
+    conceptbase = ConceptBase()
+    conceptbase.define_metaclass("TDL_EntityClass")
+    conceptbase.tell("TELL Person IN TDL_EntityClass END")
+    conceptbase.tell(
+        """
+        TELL Paper IN TDL_EntityClass END
+
+        TELL Invitation IN TDL_EntityClass ISA Paper WITH
+          attribute sender : Person
+        END
+        """
+    )
+    conceptbase.tell("TELL bob IN Person END")
+    conceptbase.tell(
+        """
+        TELL inv1 IN Invitation WITH
+          sender sender : bob
+        END
+        """
+    )
+    return conceptbase
+
+
+class TestTellAsk:
+    def test_multi_frame_tell(self, cb):
+        assert cb.propositions.exists("Paper")
+        assert cb.propositions.exists("Invitation")
+
+    def test_ask_object(self, cb):
+        frame = cb.ask_object("Invitation")
+        assert frame.isa == ["Paper"]
+
+    def test_ask_closed_assertion(self, cb):
+        assert cb.ask("exists i/Invitation (Known(i.sender))")
+        assert not cb.ask("exists i/Invitation (i.sender = nobody)")
+
+    def test_ask_with_environment(self, cb):
+        assert cb.ask("Known(self.sender)", {"self": "inv1"})
+
+    def test_ask_all_witnesses(self, cb):
+        assert cb.ask_all("exists i/Invitation (i.sender = bob)") == [
+            {"i": "inv1"}
+        ]
+
+    def test_ask_all_requires_exists(self, cb):
+        with pytest.raises(ReproError):
+            cb.ask_all("Known(inv1.sender)")
+
+    def test_untell(self, cb):
+        cb.untell("inv1")
+        assert not cb.propositions.exists("inv1")
+
+    def test_instances(self, cb):
+        assert cb.instances("Paper") == ["inv1"]
+
+    def test_summary(self, cb):
+        counts = cb.summary()
+        assert counts["individuals"] > 5
+
+
+class TestRulesAndConstraints:
+    def test_query_through_rules(self, cb):
+        cb.add_rule(
+            "attr(?x, informed, ?y) :- in(?x, Invitation), attr(?x, sender, ?y).",
+            name="informed",
+        )
+        assert cb.query("attr(?x, informed, ?y)") == [
+            ("inv1", "informed", "bob")
+        ]
+
+    def test_check_finds_violations(self, cb):
+        cb.add_constraint("Invitation", "HasSender", "Known(self.sender)")
+        cb.tell("TELL inv2 IN Invitation END")
+        violations = cb.check()
+        assert [v.instance for v in violations] == ["inv2"]
+
+    def test_enforce_on_commit(self, cb):
+        cb.add_constraint("Invitation", "HasSender", "Known(self.sender)")
+        cb.enforce_on_commit()
+        with pytest.raises(ConsistencyError):
+            with cb.telling():
+                cb.tell("TELL inv3 IN Invitation END")
+
+
+class TestDisplays:
+    def test_display_behaviour(self, cb):
+        text = cb.display("inv1")
+        assert "inv1" in text and "sender" in text
+
+    def test_relational_display(self, cb):
+        text = cb.relational_display("Invitation")
+        assert "inv1" in text and "bob" in text
+        # annotations do not become columns
+        cb.add_constraint("Invitation", "C", "Known(self.sender)")
+        assert "constraint" not in cb.relational_display("Invitation")
+
+    def test_browse_directions(self, cb):
+        down = cb.browse("Paper", direction="specializations")
+        assert "Invitation" in down
+        up = cb.browse("Invitation", direction="generalizations")
+        assert "Paper" in up
+        inst = cb.browse("Invitation", direction="instances")
+        assert "inv1" in inst
+        with pytest.raises(ReproError):
+            cb.browse("Paper", direction="sideways")
+
+
+class TestBehaviours:
+    def test_default_behaviours(self, cb):
+        assert "display" in cb.behaviours.behaviours_of("inv1")
+        assert cb.invoke("inv1", "classes") == sorted(
+            cb.propositions.classes_of("inv1")
+        )
+
+    def test_custom_behaviour(self, cb):
+        cb.define_behaviour(
+            "Invitation", "summary",
+            lambda proc, name: f"{name} from "
+            + ",".join(p.destination
+                       for p in proc.attributes_of(name, label="sender")),
+        )
+        assert cb.invoke("inv1", "summary") == "inv1 from bob"
+
+    def test_override_most_specific_wins(self, cb):
+        cb.define_behaviour("Paper", "kind", lambda proc, name: "paper")
+        cb.define_behaviour("Invitation", "kind", lambda proc, name: "invitation")
+        assert cb.invoke("inv1", "kind") == "invitation"
+
+    def test_inherited_behaviour(self, cb):
+        cb.define_behaviour("Paper", "kind", lambda proc, name: "paper")
+        assert cb.invoke("inv1", "kind") == "paper"
+
+    def test_behaviour_documented_in_kb(self, cb):
+        cb.define_behaviour("Paper", "kind", lambda proc, name: "paper")
+        links = cb.propositions.attributes_of("Paper", label="behaviour")
+        assert [p.destination for p in links] == ["Behaviour_Paper_kind"]
+
+    def test_unknown_behaviour(self, cb):
+        with pytest.raises(PropositionError):
+            cb.invoke("inv1", "teleport")
+
+    def test_behaviour_on_unknown_object(self, cb):
+        with pytest.raises(PropositionError):
+            cb.invoke("ghost", "display")
+
+    def test_behaviour_on_non_class_rejected(self, cb):
+        with pytest.raises(PropositionError):
+            cb.define_behaviour("inv1", "x", lambda proc, name: None)
+
+
+class TestAsOfQueries:
+    def test_instances_at_time(self):
+        from repro.timecalc import Interval
+
+        cb = ConceptBase()
+        cb.define_class("Doc")
+        cb.propositions.tell_individual("d1", in_class="Doc",
+                                        time=Interval.from_ticks(0, 10))
+        cb.propositions.tell_individual("d2", in_class="Doc",
+                                        time=Interval.since(5))
+        assert cb.instances("Doc", at=3) == ["d1"]
+        assert cb.instances("Doc", at=7) == ["d1", "d2"]
+        assert cb.instances("Doc", at=12) == ["d2"]
+        assert cb.instances("Doc") == ["d1", "d2"]

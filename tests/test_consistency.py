@@ -1,0 +1,148 @@
+"""Tests for the consistency checker, including set-oriented batching."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.consistency import ConsistencyChecker
+from repro.propositions import PropositionProcessor
+
+
+@pytest.fixture
+def kb():
+    proc = PropositionProcessor()
+    proc.define_class("Paper")
+    proc.define_class("Invitation", isa=["Paper"])
+    proc.define_class("Person")
+    proc.tell_link("Invitation", "sender", "Person", pid="Invitation.sender",
+                   of_class="Attribute")
+    proc.tell_individual("bob", in_class="Person")
+    return proc
+
+
+class TestConstraintManagement:
+    def test_attach_documents_constraint_proposition(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        assert kb.exists("Assertion_HasSender")
+        links = kb.attributes_of("Invitation", label="constraint")
+        assert any(p.destination == "Assertion_HasSender" for p in links)
+
+    def test_duplicate_name_rejected(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Paper", "C1", "Known(self.sender)")
+        with pytest.raises(ConsistencyError):
+            checker.attach_constraint("Paper", "C1", "Known(self.sender)")
+
+    def test_drop_constraint(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Paper", "C1", "Known(self.sender)",
+                                  document=False)
+        checker.drop_constraint("C1")
+        assert checker.constraints() == {}
+        with pytest.raises(ConsistencyError):
+            checker.drop_constraint("C1")
+
+    def test_constraints_inherited_down_isa(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Paper", "PaperRule", "Known(self.sender)",
+                                  document=False)
+        names = [c.name for c in checker.constraints_for("Invitation")]
+        assert names == ["PaperRule"]
+
+
+class TestChecking:
+    def test_instance_violation_found(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        kb.tell_individual("inv1", in_class="Invitation")
+        violations = checker.check_instance("inv1")
+        assert len(violations) == 1
+        assert violations[0].constraint == "HasSender"
+
+    def test_satisfied_instance_clean(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        kb.tell_individual("inv1", in_class="Invitation")
+        kb.tell_link("inv1", "sender", "bob", of_class="Invitation.sender")
+        assert checker.check_instance("inv1") == []
+
+    def test_check_class_covers_extent(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        kb.tell_individual("inv1", in_class="Invitation")
+        kb.tell_individual("inv2", in_class="Invitation")
+        violations = checker.check_class("Invitation")
+        assert {v.instance for v in violations} == {"inv1", "inv2"}
+
+    def test_global_constraint(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint(
+            "Invitation", "SomeInvitation", "exists i/Invitation (i = i)",
+            document=False,
+        )
+        violations = checker.check_class("Invitation")
+        assert len(violations) == 1  # extent currently empty
+        assert violations[0].instance is None
+        kb.tell_individual("inv1", in_class="Invitation")
+        assert checker.check_class("Invitation") == []
+
+    def test_check_all(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        kb.tell_individual("inv1", in_class="Invitation")
+        assert len(checker.check_all()) == 1
+
+
+class TestBatchChecking:
+    def _setup(self, kb, set_oriented):
+        checker = ConsistencyChecker(kb, set_oriented=set_oriented)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        kb.tell_individual("inv1", in_class="Invitation")
+        lk = kb.tell_link("inv1", "sender", "bob", of_class="Invitation.sender")
+        return checker, lk
+
+    def test_set_oriented_deduplicates(self, kb):
+        checker, lk = self._setup(kb, set_oriented=True)
+        props = [kb.get(lk.pid)] * 5  # same proposition updated repeatedly
+        checker.check_batch(props)
+        evaluations_set = checker.stats.evaluations
+        checker2 = ConsistencyChecker(kb, set_oriented=False)
+        checker2.attach_constraint("Invitation", "HasSender2", "Known(self.sender)",
+                                   document=False)
+        checker2.check_batch(props)
+        assert checker2.stats.evaluations > evaluations_set
+
+    def test_batch_reports_violations(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        node = kb.tell_individual("inv2", in_class="Invitation")
+        violations = checker.check_batch([node])
+        assert [v.instance for v in violations] == ["inv2"]
+
+    def test_naive_mode_same_violations(self, kb):
+        checker = ConsistencyChecker(kb, set_oriented=False)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        node = kb.tell_individual("inv2", in_class="Invitation")
+        violations = checker.check_batch([node])
+        assert [v.instance for v in violations] == ["inv2"]
+
+
+class TestCommitHook:
+    def test_hook_rejects_inconsistent_telling(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        checker.install_hook()
+        with pytest.raises(ConsistencyError):
+            with kb.telling():
+                kb.tell_individual("inv1", in_class="Invitation")
+        # note: the telling commits before the listener runs; the error
+        # surfaces to the caller who can then retract
+
+    def test_hook_accepts_consistent_telling(self, kb):
+        checker = ConsistencyChecker(kb)
+        checker.attach_constraint("Invitation", "HasSender", "Known(self.sender)")
+        checker.install_hook()
+        with kb.telling():
+            kb.tell_individual("inv1", in_class="Invitation")
+            kb.tell_link("inv1", "sender", "bob", of_class="Invitation.sender")
+        assert kb.exists("inv1")

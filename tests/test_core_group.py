@@ -1,0 +1,157 @@
+"""Tests for argumentation structures and multicriteria choice."""
+
+import pytest
+
+from repro.errors import GKBMSError
+from repro.core.group import (
+    Alternative,
+    ArgumentationBase,
+    ChoiceProblem,
+    Criterion,
+)
+from repro.scenario import MeetingScenario
+
+
+@pytest.fixture
+def scenario():
+    return MeetingScenario().setup()
+
+
+class TestArgumentation:
+    def _thread(self, scenario):
+        base = ArgumentationBase(scenario.gkbms)
+        issue = base.raise_issue(
+            "jarke", "how should the Papers hierarchy be mapped?",
+            about="Papers",
+        )
+        move_down = base.take_position(
+            issue.iid, "rose", "use move-down: fewer relations",
+            decision_class="DecMoveDown",
+        )
+        distribute = base.take_position(
+            issue.iid, "jeusfeld", "use distribute: simpler updates",
+            decision_class="DecDistribute",
+        )
+        base.argue(move_down.pid, "jarke", "hierarchy is shallow", True)
+        base.argue(move_down.pid, "rose", "queries stay one-relation", True)
+        base.argue(distribute.pid, "jarke", "update anomalies", False)
+        return base, issue, move_down, distribute
+
+    def test_thread_construction(self, scenario):
+        base, issue, move_down, distribute = self._thread(scenario)
+        assert base.score(move_down.pid) == 2
+        assert base.score(distribute.pid) == -1
+        assert base.preferred_position(issue.iid) is move_down
+
+    def test_reflected_in_kb(self, scenario):
+        base, issue, move_down, _ = self._thread(scenario)
+        proc = scenario.gkbms.processor
+        assert proc.is_instance_of(issue.iid, "Issue")
+        assert proc.is_instance_of(move_down.pid, "Position")
+        about = proc.attributes_of(issue.iid, label="about")
+        assert about[0].destination == "Papers"
+
+    def test_resolution_links_to_decision(self, scenario):
+        base, issue, move_down, _ = self._thread(scenario)
+        record = scenario.map_hierarchy()
+        base.resolve(move_down.pid, record.did)
+        assert move_down.is_resolved
+        assert base.issues[issue.iid].status == "settled"
+        assert base.open_issues() == []
+
+    def test_render(self, scenario):
+        base, issue, *_ = self._thread(scenario)
+        text = base.render(issue.iid)
+        assert "ISSUE" in text and "POSITION" in text
+        assert "+ " in text and "- " in text
+
+    def test_sync_with_history_reopens_issue(self, scenario):
+        base, issue, move_down, _ = self._thread(scenario)
+        record = scenario.map_hierarchy()
+        base.resolve(move_down.pid, record.did)
+        assert base.open_issues() == []
+        scenario.gkbms.backtracker.retract(record.did)
+        reopened = base.sync_with_history()
+        assert reopened == [issue.iid]
+        assert not move_down.is_resolved
+        assert base.issues[issue.iid].status == "open"
+        # a second sync is a no-op
+        assert base.sync_with_history() == []
+
+    def test_unknown_references(self, scenario):
+        base = ArgumentationBase(scenario.gkbms)
+        with pytest.raises(GKBMSError):
+            base.take_position("issue99", "x", "y")
+        with pytest.raises(GKBMSError):
+            base.argue("pos99", "x", "y")
+        with pytest.raises(GKBMSError):
+            base.resolve("pos99", "dec1")
+        with pytest.raises(GKBMSError):
+            base.render("issue99")
+
+
+class TestChoice:
+    def _problem(self):
+        problem = ChoiceProblem([
+            Criterion("query_speed", weight=2.0),
+            Criterion("update_simplicity", weight=1.0),
+            Criterion("storage", weight=0.5),
+        ])
+        problem.add_alternative(Alternative(
+            "move-down",
+            {"query_speed": 5, "update_simplicity": 2, "storage": 3},
+            decision_class="DecMoveDown",
+        ))
+        problem.add_alternative(Alternative(
+            "distribute",
+            {"query_speed": 2, "update_simplicity": 4, "storage": 4},
+            decision_class="DecDistribute",
+        ))
+        return problem
+
+    def test_weighted_ranking(self):
+        problem = self._problem()
+        ranking = problem.ranking()
+        assert ranking[0][0] == "move-down"
+        assert ranking[0][1] == pytest.approx(2 * 5 + 2 + 0.5 * 3)
+
+    def test_best(self):
+        assert self._problem().best().name == "move-down"
+
+    def test_dominance(self):
+        problem = self._problem()
+        problem.add_alternative(Alternative(
+            "bad", {"query_speed": 1, "update_simplicity": 1, "storage": 1}
+        ))
+        assert problem.dominated() == ["bad"]
+        assert set(problem.pareto_front()) == {"move-down", "distribute"}
+
+    def test_sensitivity(self):
+        problem = self._problem()
+        totals = problem.sensitivity("query_speed")
+        assert totals["move-down"] == pytest.approx(2 + 0.5 * 3)
+
+    def test_report(self):
+        text = self._problem().report()
+        assert "pareto front" in text
+        assert "move-down" in text
+
+    def test_validation(self):
+        with pytest.raises(GKBMSError):
+            ChoiceProblem([])
+        with pytest.raises(GKBMSError):
+            ChoiceProblem([Criterion("a"), Criterion("a")])
+        with pytest.raises(GKBMSError):
+            Criterion("bad", weight=-1)
+        problem = self._problem()
+        with pytest.raises(GKBMSError):
+            problem.add_alternative(Alternative("move-down"))
+        with pytest.raises(GKBMSError):
+            problem.add_alternative(Alternative("x", {"nope": 1}))
+        with pytest.raises(GKBMSError):
+            problem.sensitivity("nope")
+
+    def test_empty_best_rejected(self):
+        problem = ChoiceProblem([Criterion("c")])
+        with pytest.raises(GKBMSError):
+            problem.best()

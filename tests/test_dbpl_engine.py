@@ -1,0 +1,251 @@
+"""Tests for the DBPL execution engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DBPLError, IntegrityError, TransactionError
+from repro.dbpl_engine import Database, SurrogateGenerator, compile_predicate
+from repro.languages.dbpl import parse_dbpl
+
+MODULE = """
+DATABASE MODULE Meetings;
+InvitationRel2 = RELATION
+  paperkey : Surrogate,
+  sender : Person,
+  date : Date
+KEY paperkey;
+InvReceivRel = RELATION
+  paperkey : Surrogate,
+  receiver : Person
+KEY paperkey, receiver;
+SELECTOR InvitationsPaperIC ON InvReceivRel (paperkey) REFERENCES InvitationRel2 (paperkey);
+CONSTRUCTOR ConsInvitation AS JOIN InvitationRel2, InvReceivRel ON paperkey;
+END Meetings.
+"""
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_module(parse_dbpl(MODULE))
+    return database
+
+
+def _populate(db):
+    with db.transaction():
+        db.relation("InvitationRel2").insert(
+            {"paperkey": "k1", "sender": "bob", "date": "d1"}
+        )
+        db.relation("InvReceivRel").insert({"paperkey": "k1", "receiver": "ann"})
+        db.relation("InvReceivRel").insert({"paperkey": "k1", "receiver": "eva"})
+
+
+class TestRelations:
+    def test_insert_and_rows(self, db):
+        _populate(db)
+        assert len(db.rows("InvitationRel2")) == 1
+        assert len(db.rows("InvReceivRel")) == 2
+
+    def test_duplicate_key_rejected(self, db):
+        _populate(db)
+        with pytest.raises(IntegrityError):
+            db.relation("InvitationRel2").insert(
+                {"paperkey": "k1", "sender": "x", "date": "y"}
+            )
+
+    def test_null_key_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.relation("InvitationRel2").insert({"sender": "x"})
+
+    def test_unknown_field_rejected(self, db):
+        with pytest.raises(DBPLError):
+            db.relation("InvitationRel2").insert({"paperkey": "k", "colour": "red"})
+
+    def test_delete(self, db):
+        _populate(db)
+        with db.transaction():
+            db.relation("InvReceivRel").delete(["k1", "ann"])
+            db.relation("InvReceivRel").delete(["k1", "eva"])
+            db.relation("InvitationRel2").delete(["k1"])
+        assert db.rows("InvitationRel2") == []
+
+    def test_delete_missing(self, db):
+        with pytest.raises(DBPLError):
+            db.relation("InvitationRel2").delete(["nope"])
+
+    def test_update(self, db):
+        _populate(db)
+        with db.transaction():
+            db.relation("InvitationRel2").update(["k1"], {"sender": "carol"})
+        assert db.rows("InvitationRel2")[0]["sender"] == "carol"
+
+    def test_update_key_collision(self, db):
+        _populate(db)
+        db.relation("InvitationRel2").insert(
+            {"paperkey": "k2", "sender": "s", "date": "d"}
+        )
+        with pytest.raises(IntegrityError):
+            db.relation("InvitationRel2").update(["k2"], {"paperkey": "k1"})
+
+    def test_lookup(self, db):
+        _populate(db)
+        assert db.relation("InvitationRel2").lookup(["k1"])["sender"] == "bob"
+        assert db.relation("InvitationRel2").lookup(["zz"]) is None
+
+
+class TestConstructors:
+    def test_join_view(self, db):
+        _populate(db)
+        rows = db.rows("ConsInvitation")
+        assert len(rows) == 2
+        assert {row["receiver"] for row in rows} == {"ann", "eva"}
+        assert all(row["sender"] == "bob" for row in rows)
+
+    def test_view_updates_with_base(self, db):
+        _populate(db)
+        with db.transaction():
+            db.relation("InvReceivRel").delete(["k1", "eva"])
+        assert len(db.rows("ConsInvitation")) == 1
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(DBPLError):
+            db.rows("Nothing")
+
+    def test_constructor_over_constructor(self, db):
+        from repro.languages.dbpl import ConstructorDecl, Project, RelationRef
+
+        db.create_constructor(
+            ConstructorDecl(
+                "Receivers", Project(RelationRef("ConsInvitation"), ("receiver",))
+            )
+        )
+        _populate(db)
+        assert sorted(r["receiver"] for r in db.rows("Receivers")) == ["ann", "eva"]
+
+    def test_constructor_on_unknown_base_rejected(self, db):
+        from repro.languages.dbpl import ConstructorDecl, RelationRef
+
+        with pytest.raises(DBPLError):
+            db.create_constructor(ConstructorDecl("V", RelationRef("Ghost")))
+
+
+class TestIntegrity:
+    def test_foreign_key_enforced_at_commit(self, db):
+        with pytest.raises(IntegrityError):
+            with db.transaction():
+                db.relation("InvReceivRel").insert(
+                    {"paperkey": "dangling", "receiver": "x"}
+                )
+        assert db.rows("InvReceivRel") == []
+
+    def test_deferred_checking_allows_temporary_inconsistency(self, db):
+        # child first, parent second: fine at commit
+        with db.transaction():
+            db.relation("InvReceivRel").insert({"paperkey": "k9", "receiver": "a"})
+            db.relation("InvitationRel2").insert(
+                {"paperkey": "k9", "sender": "s", "date": "d"}
+            )
+        assert len(db.rows("InvReceivRel")) == 1
+
+    def test_violations_report(self, db):
+        db.relation("InvReceivRel").insert({"paperkey": "zz", "receiver": "a"})
+        violations = db.violations()
+        assert "InvitationsPaperIC" in violations
+
+    def test_predicate_selector(self):
+        database = Database()
+        database.load_module(
+            parse_dbpl(
+                "DATABASE MODULE M;\n"
+                "R = RELATION k : INT, v : INT KEY k;\n"
+                "SELECTOR Pos ON R CHECK (v > 0);\n"
+                "END M.\n"
+            )
+        )
+        with database.transaction():
+            database.relation("R").insert({"k": 1, "v": 5})
+        with pytest.raises(IntegrityError):
+            with database.transaction():
+                database.relation("R").insert({"k": 2, "v": -1})
+        assert len(database.rows("R")) == 1
+
+
+class TestTransactions:
+    def test_rollback_on_error(self, db):
+        with pytest.raises(ValueError):
+            with db.transaction():
+                db.relation("InvitationRel2").insert(
+                    {"paperkey": "k1", "sender": "s", "date": "d"}
+                )
+                raise ValueError("boom")
+        assert db.rows("InvitationRel2") == []
+
+    def test_nested_savepoints(self, db):
+        with db.transaction():
+            db.relation("InvitationRel2").insert(
+                {"paperkey": "outer", "sender": "s", "date": "d"}
+            )
+            try:
+                with db.transaction():
+                    db.relation("InvitationRel2").insert(
+                        {"paperkey": "inner", "sender": "t", "date": "d"}
+                    )
+                    raise ValueError("abort inner")
+            except ValueError:
+                pass
+        keys = {row["paperkey"] for row in db.rows("InvitationRel2")}
+        assert keys == {"outer"}
+
+    def test_explicit_abort(self, db):
+        with db.transaction() as txn:
+            db.relation("InvitationRel2").insert(
+                {"paperkey": "x", "sender": "s", "date": "d"}
+            )
+            txn.abort()
+        assert db.rows("InvitationRel2") == []
+
+    def test_abort_outside_raises(self, db):
+        txn = db.transaction()
+        with pytest.raises(TransactionError):
+            txn.abort()
+
+
+class TestPredicateCompiler:
+    def test_conjunction_disjunction(self):
+        predicate = compile_predicate("a = 'x' and b > 3 or c != 'z'")
+        assert predicate({"a": "x", "b": 5, "c": "z"})
+        assert predicate({"a": "q", "b": 0, "c": "y"})
+        assert not predicate({"a": "q", "b": 0, "c": "z"})
+
+    def test_numeric_coercion(self):
+        predicate = compile_predicate("n >= 10")
+        assert predicate({"n": "12"})
+        assert not predicate({"n": "9"})
+        assert not predicate({"n": "many"})
+
+    def test_bad_predicate(self):
+        with pytest.raises(DBPLError):
+            compile_predicate("what even is this")
+
+
+class TestSurrogates:
+    def test_unique_per_namespace(self):
+        gen = SurrogateGenerator()
+        a = gen.fresh("R")
+        b = gen.fresh("R")
+        c = gen.fresh("S")
+        assert a != b
+        assert a.startswith("R:") and c.startswith("S:")
+
+    def test_reset(self):
+        gen = SurrogateGenerator()
+        first = gen.fresh()
+        gen.reset()
+        assert gen.fresh() == first
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from(["R", "S", "T"]), max_size=40))
+    def test_never_collides(self, namespaces):
+        gen = SurrogateGenerator()
+        minted = [gen.fresh(ns) for ns in namespaces]
+        assert len(set(minted)) == len(minted)

@@ -1,0 +1,101 @@
+"""Tests for terms, rules, unification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeductionError
+from repro.deduction import Constant, Literal, Rule, Variable, unify
+from repro.deduction.terms import bind, ground_tuple, resolve
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def lit(pred, *args, negated=False):
+    terms = tuple(
+        a if isinstance(a, (Variable, Constant)) else Constant(a) for a in args
+    )
+    return Literal(pred, terms, negated=negated)
+
+
+class TestUnify:
+    def test_constant_match(self):
+        assert unify(lit("p", "a"), lit("p", "a")) == {}
+
+    def test_constant_mismatch(self):
+        assert unify(lit("p", "a"), lit("p", "b")) is None
+
+    def test_predicate_mismatch(self):
+        assert unify(lit("p", "a"), lit("q", "a")) is None
+
+    def test_arity_mismatch(self):
+        assert unify(lit("p", "a"), lit("p", "a", "b")) is None
+
+    def test_negation_mismatch(self):
+        assert unify(lit("p", "a"), lit("p", "a", negated=True)) is None
+
+    def test_variable_binding(self):
+        theta = unify(lit("p", X, "b"), lit("p", "a", Y))
+        assert resolve(X, theta) == Constant("a")
+        assert resolve(Y, theta) == Constant("b")
+
+    def test_shared_variable_consistency(self):
+        assert unify(lit("p", X, X), lit("p", "a", "b")) is None
+        theta = unify(lit("p", X, X), lit("p", "a", "a"))
+        assert theta is not None
+
+    def test_unify_extends_existing_substitution(self):
+        theta = {"x": Constant("a")}
+        out = unify(lit("p", X), lit("p", "b"), theta)
+        assert out is None
+        out = unify(lit("p", X), lit("p", "a"), theta)
+        assert out == theta
+
+    @given(st.text(min_size=1, max_size=5), st.text(min_size=1, max_size=5))
+    def test_unify_symmetric_on_ground(self, a, b):
+        result_ab = unify(lit("p", a), lit("p", b))
+        result_ba = unify(lit("p", b), lit("p", a))
+        assert (result_ab is None) == (result_ba is None)
+
+
+class TestRuleSafety:
+    def test_safe_rule_ok(self):
+        Rule(lit("q", X), (lit("p", X),))
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(DeductionError):
+            Rule(lit("q", X, Y), (lit("p", X),))
+
+    def test_unsafe_negation(self):
+        with pytest.raises(DeductionError):
+            Rule(lit("q", X), (lit("p", X), lit("r", Y, negated=True)))
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(DeductionError):
+            Rule(lit("q", X, negated=True), (lit("p", X),))
+
+    def test_fact_with_variables_ok(self):
+        # facts without body do not trip the safety check; the engines
+        # require groundness at evaluation time
+        Rule(lit("q", "a"))
+
+
+class TestHelpers:
+    def test_ground_tuple(self):
+        theta = {"x": Constant("a")}
+        assert ground_tuple(lit("p", X, "b"), theta) == ("a", "b")
+
+    def test_ground_tuple_unbound_raises(self):
+        with pytest.raises(DeductionError):
+            ground_tuple(lit("p", X), {})
+
+    def test_bind(self):
+        bound = bind(lit("p", X, Y), ["a", "b"])
+        assert bound.is_ground()
+        with pytest.raises(DeductionError):
+            bind(lit("p", X), ["a", "b"])
+
+    def test_rename_avoids_capture(self):
+        rule = Rule(lit("q", X), (lit("p", X),))
+        fresh = rule.rename("7")
+        assert fresh.head.args[0].name == "x#7"
+        assert fresh.body[0].args[0].name == "x#7"

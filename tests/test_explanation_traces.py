@@ -1,0 +1,130 @@
+"""Tests for evaluation traces (assertion-level explanation) and the
+as-of navigation view."""
+
+import pytest
+
+from repro.consistency import ConsistencyChecker
+from repro.errors import GKBMSError
+from repro.assertions import Evaluator, parse_assertion
+from repro.propositions import PropositionProcessor
+from repro.scenario import MeetingScenario
+
+
+@pytest.fixture
+def kb():
+    proc = PropositionProcessor()
+    proc.define_class("Paper")
+    proc.define_class("Person")
+    proc.tell_link("Paper", "author", "Person", pid="Paper.author",
+                   of_class="Attribute")
+    proc.tell_individual("bob", in_class="Person")
+    proc.tell_individual("pap1", in_class="Paper")
+    proc.tell_link("pap1", "author", "bob", of_class="Paper.author")
+    proc.tell_individual("pap2", in_class="Paper")
+    return proc
+
+
+class TestEvaluatorExplain:
+    def test_marks_truth_values(self, kb):
+        evaluator = Evaluator(kb)
+        trace = evaluator.explain(parse_assertion("Known(pap1.author)"))
+        assert trace.startswith("✓")
+        trace = evaluator.explain(parse_assertion("Known(pap2.author)"))
+        assert trace.startswith("✗")
+
+    def test_forall_counterexample_named(self, kb):
+        evaluator = Evaluator(kb)
+        trace = evaluator.explain(
+            parse_assertion("forall p/Paper (Known(p.author))")
+        )
+        assert "counterexample: {'p': 'pap2'}" in trace
+
+    def test_exists_witness_named(self, kb):
+        evaluator = Evaluator(kb)
+        trace = evaluator.explain(
+            parse_assertion("exists p/Paper (Known(p.author))")
+        )
+        assert "witness: {'p': 'pap1'}" in trace
+
+    def test_connectives_traced_recursively(self, kb):
+        evaluator = Evaluator(kb)
+        trace = evaluator.explain(
+            parse_assertion("Known(pap1.author) and not Known(pap2.author)")
+        )
+        # every sub-expression appears with its own mark
+        assert trace.count("✓") >= 3  # and-node, left, inner-not, ...
+        assert "✗ Known(pap2.author)" in trace
+
+    def test_comparison_shows_operand_values(self, kb):
+        evaluator = Evaluator(kb)
+        trace = evaluator.explain(parse_assertion("pap1.author = bob"))
+        assert "left: ['bob']" in trace and "right: ['bob']" in trace
+
+    def test_witness_cap(self, kb):
+        for index in range(6):
+            kb.tell_individual(f"extra{index}", in_class="Paper")
+        evaluator = Evaluator(kb)
+        trace = evaluator.explain(
+            parse_assertion("forall p/Paper (Known(p.author))")
+        )
+        assert trace.count("counterexample:") == 3  # capped
+
+
+class TestExplainerTraces:
+    def test_explain_violated_assumption_names_culprit(self):
+        scenario = MeetingScenario().run_to_fig_2_3()
+        scenario.add_minutes()
+        text = scenario.gkbms.explainer().explain_assumption(
+            "OnlyInvitationsArePapers"
+        )
+        assert "counterexample: {'c': 'Minutes'}" in text
+
+    def test_explain_informal_assumption(self):
+        scenario = MeetingScenario().setup()
+        scenario.gkbms.assume("Handshake")
+        text = scenario.gkbms.explainer().explain_assumption("Handshake")
+        assert "informal" in text
+
+    def test_explain_constraint_per_instance(self):
+        scenario = MeetingScenario().run_to_fig_2_2()
+        gkbms = scenario.gkbms
+        checker = ConsistencyChecker(gkbms.processor)
+        checker.attach_constraint("DBPL_Rel", "Implemented",
+                                  "Known(self.implements)", document=False)
+        text = gkbms.explainer().explain_constraint(
+            checker, "Implemented", instance="InvitationRel"
+        )
+        assert text.splitlines()[0].startswith("constraint Implemented")
+        assert "✓" in text
+
+    def test_explain_constraint_requires_instance(self):
+        scenario = MeetingScenario().run_to_fig_2_2()
+        gkbms = scenario.gkbms
+        checker = ConsistencyChecker(gkbms.processor)
+        checker.attach_constraint("DBPL_Rel", "Implemented",
+                                  "Known(self.implements)", document=False)
+        with pytest.raises(GKBMSError):
+            gkbms.explainer().explain_constraint(checker, "Implemented")
+
+    def test_explain_unknown_constraint(self):
+        scenario = MeetingScenario().setup()
+        checker = ConsistencyChecker(scenario.gkbms.processor)
+        with pytest.raises(GKBMSError):
+            scenario.gkbms.explainer().explain_constraint(checker, "Nope")
+
+
+class TestAsOfNavigation:
+    def test_implementation_as_it_stood(self):
+        scenario = MeetingScenario().run_to_fig_2_3()
+        nav = scenario.gkbms.navigator()
+        at_t1 = nav.status_view("implementation", at=1)
+        assert at_t1 == ["ConsPapers", "InvitationRel"]
+        at_t2 = set(nav.status_view("implementation", at=2))
+        assert {"InvitationRel2", "InvReceivRel"} <= at_t2
+
+    def test_current_view_is_superset_of_every_tick(self):
+        scenario = MeetingScenario().run_to_fig_2_3()
+        nav = scenario.gkbms.navigator()
+        now = set(nav.status_view("implementation"))
+        for tick in (1, 2, 3):
+            assert set(nav.status_view("implementation", at=tick)) <= now

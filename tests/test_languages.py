@@ -1,0 +1,296 @@
+"""Tests for the TaxisDL and DBPL language substrates."""
+
+import pytest
+
+from repro.errors import LanguageError
+from repro.languages.taxisdl import (
+    TDLAttribute,
+    TDLEntityClass,
+    TDLModel,
+    parse_taxisdl,
+    print_model,
+)
+from repro.languages.dbpl import (
+    ConstructorDecl,
+    DBPLModule,
+    Field,
+    ForeignKey,
+    Join,
+    Project,
+    RelationDecl,
+    RelationRef,
+    SelectorDecl,
+    parse_dbpl,
+    print_module,
+    print_relation,
+)
+from repro.languages.dbpl.parser import parse_algebra
+
+PAPER_DESIGN = """
+entity class Papers with
+  date : Date
+  author : Person
+end
+
+entity class Invitations isa Papers with
+  sender : Person
+  receiver : set of Person
+end
+
+entity class Minutes isa Papers with
+  recorder : Person
+end
+
+transaction class SendInvitation with
+  in inv : Invitations
+  pre Known(inv.sender)
+  post A(inv, sent, yes)
+end
+
+script OrganiseMeeting with
+  step SendInvitation
+end
+"""
+
+
+class TestTaxisDLAst:
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(LanguageError):
+            TDLEntityClass(
+                "X",
+                attributes=[TDLAttribute("a", "T"), TDLAttribute("a", "U")],
+            )
+
+    def test_key_must_be_attribute(self):
+        with pytest.raises(LanguageError):
+            TDLEntityClass("X", attributes=[TDLAttribute("a", "T")], key=("b",))
+
+    def test_set_valued_detection(self):
+        cls = TDLEntityClass(
+            "X", attributes=[TDLAttribute("r", "P", set_valued=True)]
+        )
+        assert cls.has_set_valued_attribute
+
+    def test_model_duplicate_class(self):
+        model = TDLModel("m")
+        model.add_class(TDLEntityClass("A"))
+        with pytest.raises(LanguageError):
+            model.add_class(TDLEntityClass("A"))
+
+    def test_unknown_superclass_rejected(self):
+        model = TDLModel("m")
+        with pytest.raises(LanguageError):
+            model.add_class(TDLEntityClass("B", isa=["Ghost"]))
+
+
+class TestTaxisDLParser:
+    def test_paper_design_parses(self):
+        model = parse_taxisdl(PAPER_DESIGN)
+        assert set(model.classes) == {"Papers", "Invitations", "Minutes"}
+        assert model.get("Invitations").attribute("receiver").set_valued
+        assert model.transactions["SendInvitation"].preconditions == [
+            "Known(inv.sender)"
+        ]
+        assert model.scripts["OrganiseMeeting"].steps == ["SendInvitation"]
+
+    def test_hierarchy_queries(self):
+        model = parse_taxisdl(PAPER_DESIGN)
+        assert model.leaves("Papers") == ["Invitations", "Minutes"]
+        assert model.subclasses("Papers") == ["Invitations", "Minutes"]
+        assert model.superclasses("Invitations") == ["Papers"]
+        assert model.roots() == ["Papers"]
+
+    def test_inherited_attributes(self):
+        model = parse_taxisdl(PAPER_DESIGN)
+        names = [a.name for a in model.all_attributes("Invitations")]
+        assert names == ["date", "author", "sender", "receiver"]
+
+    def test_attribute_redefinition_overrides(self):
+        model = parse_taxisdl(
+            """
+            entity class A with
+              f : T1
+            end
+            entity class B isa A with
+              f : T2
+            end
+            """
+        )
+        merged = {a.name: a.target for a in model.all_attributes("B")}
+        assert merged == {"f": "T2"}
+
+    def test_key_clause(self):
+        model = parse_taxisdl(
+            """
+            entity class R with
+              d : Date
+              a : Person
+              key d, a
+            end
+            """
+        )
+        assert model.get("R").key == ("d", "a")
+
+    def test_comments_ignored(self):
+        model = parse_taxisdl(
+            """
+            -- the document model
+            entity class A with
+              f : T -- trailing comment
+            end
+            """
+        )
+        assert model.get("A").attribute("f").target == "T"
+
+    def test_roundtrip_through_printer(self):
+        model = parse_taxisdl(PAPER_DESIGN)
+        reparsed = parse_taxisdl(print_model(model))
+        assert set(reparsed.classes) == set(model.classes)
+        assert reparsed.get("Invitations").attributes == model.get(
+            "Invitations"
+        ).attributes
+        assert set(reparsed.transactions) == set(model.transactions)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "entity class A with\n  ???\nend",
+            "entity class A with\n  f : T",  # missing end
+            "end",
+            "mystery block\nend",
+            "script S with\n  not a step\nend",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(LanguageError):
+            parse_taxisdl(bad)
+
+
+PAPER_MODULE = """
+DATABASE MODULE Meetings;
+
+InvitationRel2 = RELATION
+  paperkey : Surrogate,
+  sender : Person,
+  date : Date
+OF InvitationType KEY paperkey;
+
+InvReceivRel = RELATION
+  paperkey : Surrogate,
+  receiver : Person
+KEY paperkey, receiver;
+
+SELECTOR InvitationsPaperIC ON InvReceivRel (paperkey) REFERENCES InvitationRel2 (paperkey);
+
+CONSTRUCTOR ConsInvitation AS JOIN InvitationRel2, InvReceivRel ON paperkey;
+
+TRANSACTION AddInvitation(inv : Invitation)
+BEGIN
+  INSERT InvitationRel2;
+  INSERT InvReceivRel;
+END;
+
+END Meetings.
+"""
+
+
+class TestDBPLAst:
+    def test_relation_needs_key(self):
+        with pytest.raises(LanguageError):
+            RelationDecl("R", [Field("a")], key=())
+
+    def test_key_must_be_field(self):
+        with pytest.raises(LanguageError):
+            RelationDecl("R", [Field("a")], key=("b",))
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(LanguageError):
+            RelationDecl("R", [Field("a"), Field("a")], key=("a",))
+
+    def test_module_add_and_get(self):
+        module = DBPLModule("M")
+        rel = RelationDecl("R", [Field("k")], key=("k",))
+        module.add(rel)
+        assert module.get("R") is rel
+        with pytest.raises(LanguageError):
+            module.add(RelationDecl("R", [Field("k")], key=("k",)))
+
+    def test_module_remove(self):
+        module = DBPLModule("M")
+        module.add(RelationDecl("R", [Field("k")], key=("k",)))
+        module.remove("R")
+        with pytest.raises(LanguageError):
+            module.get("R")
+
+    def test_algebra_relations_listing(self):
+        expr = Join(RelationRef("A"), Project(RelationRef("B"), ("x",)), ("k",))
+        assert expr.relations() == ["A", "B"]
+
+
+class TestDBPLParser:
+    def test_paper_module_parses(self):
+        module = parse_dbpl(PAPER_MODULE)
+        assert set(module.relations) == {"InvitationRel2", "InvReceivRel"}
+        selector = module.selectors["InvitationsPaperIC"]
+        assert isinstance(selector.constraint, ForeignKey)
+        assert selector.constraint.target == "InvitationRel2"
+        constructor = module.constructors["ConsInvitation"]
+        assert isinstance(constructor.expression, Join)
+        txn = module.transactions["AddInvitation"]
+        assert txn.touched_relations() == ["InvitationRel2", "InvReceivRel"]
+
+    def test_check_selector(self):
+        module = parse_dbpl(
+            "DATABASE MODULE M;\n"
+            "R = RELATION k : INT KEY k;\n"
+            "SELECTOR Pos ON R CHECK (k > 0);\n"
+            "END M.\n"
+        )
+        from repro.languages.dbpl.ast import Predicate
+
+        assert isinstance(module.selectors["Pos"].constraint, Predicate)
+
+    def test_roundtrip_through_printer(self):
+        module = parse_dbpl(PAPER_MODULE)
+        reparsed = parse_dbpl(print_module(module))
+        assert set(reparsed.names()) == set(module.names())
+        assert reparsed.relations["InvitationRel2"].key == ("paperkey",)
+
+    def test_print_relation_code_frame(self):
+        module = parse_dbpl(PAPER_MODULE)
+        frame = print_relation(module.relations["InvitationRel2"])
+        assert frame.startswith("InvitationRel2 = RELATION")
+        assert "OF InvitationType KEY paperkey;" in frame
+
+    def test_parse_algebra_nested(self):
+        expr = parse_algebra(
+            "PROJECT JOIN A, B ON k ON x, y"
+        )
+        assert isinstance(expr, Project)
+        assert expr.columns == ("x", "y")
+
+    def test_parse_algebra_select(self):
+        expr = parse_algebra("SELECT R WHERE a = 'v' AND b = 'w'")
+        from repro.languages.dbpl.ast import Select
+
+        assert isinstance(expr, Select)
+        assert expr.equalities == (("a", "v"), ("b", "w"))
+
+    def test_parse_algebra_rename_union(self):
+        expr = parse_algebra("UNION RENAME A (x AS y), B")
+        from repro.languages.dbpl.ast import Rename, Union
+
+        assert isinstance(expr, Union)
+        assert isinstance(expr.left, Rename)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "R = RELATION k : INT KEY k;",  # no module header
+            "DATABASE MODULE M;\nGIBBERISH;\nEND M.",
+            "",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(LanguageError):
+            parse_dbpl(bad)

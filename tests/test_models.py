@@ -1,0 +1,321 @@
+"""Tests for the model lattice, configuration and displays."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (
+    Browser,
+    FormEditor,
+    GraphDAGRenderer,
+    MenuItem,
+    ModelBase,
+    RelationalDisplay,
+    TextDAGBrowser,
+)
+from repro.objects import ObjectProcessor, RelationalView
+from repro.propositions import PropositionProcessor
+
+
+class TestModelBase:
+    def test_define_and_closure(self):
+        base = ModelBase()
+        base.define_model("world")
+        base.define_model("design", submodels=["world"])
+        base.define_model("impl", submodels=["design"])
+        assert base.closure(["impl"]) == {"impl", "design", "world"}
+
+    def test_duplicate_model_rejected(self):
+        base = ModelBase()
+        base.define_model("m")
+        with pytest.raises(ModelError):
+            base.define_model("m")
+
+    def test_unknown_submodel_rejected(self):
+        base = ModelBase()
+        with pytest.raises(ModelError):
+            base.define_model("m", submodels=["ghost"])
+
+    def test_cycle_rejected(self):
+        base = ModelBase()
+        base.define_model("a")
+        base.define_model("b", submodels=["a"])
+        with pytest.raises(ModelError):
+            base.add_submodel("a", "b")
+
+    def test_sharing(self):
+        base = ModelBase()
+        base.define_model("shared")
+        base.define_model("left", submodels=["shared"])
+        base.define_model("right", submodels=["shared"])
+        assert base.sharing("left", "right") == {"shared"}
+
+    def test_population_and_objects_of(self):
+        base = ModelBase()
+        base.define_model("world")
+        with base.in_model("world"):
+            base.processor.define_class("Meeting")
+        assert "Meeting" in base.objects_of("world")
+
+    def test_configuration_hides_inactive_models(self):
+        base = ModelBase()
+        base.define_model("world")
+        base.define_model("design")
+        with base.in_model("world"):
+            base.processor.define_class("Meeting")
+        with base.in_model("design"):
+            base.processor.define_class("MeetingDoc")
+        base.configure(["world"])
+        assert base.processor.exists("Meeting")
+        assert not base.processor.exists("MeetingDoc")
+        base.configure(["design"])
+        assert base.processor.exists("MeetingDoc")
+
+    def test_configure_activates_submodels(self):
+        base = ModelBase()
+        base.define_model("world")
+        base.define_model("system", submodels=["world"])
+        with base.in_model("world"):
+            base.processor.define_class("Meeting")
+        base.configure(["system"])
+        assert base.processor.exists("Meeting")
+
+    def test_requires_workspace_store(self):
+        with pytest.raises(ModelError):
+            ModelBase(processor=PropositionProcessor())
+
+
+class TestTextDAGBrowser:
+    CHILDREN = {
+        "Papers": ["Invitations", "Minutes"],
+        "Invitations": ["inv1", "inv2", "inv3"],
+    }
+
+    def _browser(self, **kwargs):
+        return TextDAGBrowser(
+            children=lambda n: self.CHILDREN.get(n, []), **kwargs
+        )
+
+    def test_render_depth(self):
+        browser = self._browser(depth=1)
+        text = browser.render("Papers")
+        assert "Invitations" in text
+        assert "inv1" not in text
+
+    def test_width_window_and_scrolling(self):
+        browser = self._browser(depth=2, width=2)
+        assert "inv3" not in browser.render("Papers")
+        assert "more..." in browser.render("Papers")
+        browser.scroll("Invitations", 1)
+        text = browser.render("Papers")
+        assert "inv2" in text and "inv3" in text and "inv1" not in text
+
+    def test_zoom(self):
+        browser = self._browser(depth=1)
+        browser.zoom(depth=2)
+        assert "inv1" in browser.render("Papers")
+
+    def test_flatten(self):
+        browser = self._browser(depth=2)
+        assert browser.flatten("Papers") == [
+            "Papers", "Invitations", "inv1", "inv2", "inv3", "Minutes"
+        ]
+
+    def test_cycle_marker(self):
+        browser = TextDAGBrowser(children=lambda n: ["a"], depth=5)
+        assert "(...)" in browser.render("a")
+
+
+class TestGraphDAGRenderer:
+    def _graph(self):
+        g = GraphDAGRenderer()
+        g.add_edge("Invitations", "input_to", "DecMoveDown")
+        g.add_edge("DecMoveDown", "output", "InvitationRel")
+        g.add_edge("DecMoveDown", "by", "MapTool")
+        return g
+
+    def test_layers(self):
+        layers = self._graph().layers()
+        assert layers[0] == ["Invitations"]
+        assert layers[1] == ["DecMoveDown"]
+        assert set(layers[2]) == {"InvitationRel", "MapTool"}
+
+    def test_dot_output(self):
+        dot = self._graph().to_dot()
+        assert '"Invitations" -> "DecMoveDown" [label="input_to"];' in dot
+        assert dot.startswith("digraph")
+
+    def test_highlight_in_ascii(self):
+        g = self._graph()
+        g.highlight.add("InvitationRel")
+        assert "[InvitationRel]" in g.to_ascii()
+
+    def test_persistent_layout(self):
+        g = self._graph()
+        g.place("MapTool", 3, 4)
+        assert g.position("MapTool") == (3, 4)
+        assert 'pos="3,4!"' in g.to_dot()
+
+    def test_duplicate_edges_ignored(self):
+        g = self._graph()
+        before = len(g.edges)
+        g.add_edge("Invitations", "input_to", "DecMoveDown")
+        assert len(g.edges) == before
+
+    def test_neighbours(self):
+        g = self._graph()
+        near = g.neighbours("DecMoveDown")
+        assert ("input_to", "Invitations") in near["in"]
+        assert ("output", "InvitationRel") in near["out"]
+
+    def test_cycle_layering_terminates(self):
+        g = GraphDAGRenderer()
+        g.add_edge("a", "x", "b")
+        g.add_edge("b", "x", "a")
+        assert g.layers()  # no infinite loop
+
+
+@pytest.fixture
+def populated_objects():
+    op = ObjectProcessor()
+    op.propositions.define_class("TDL_EntityClass", level="MetaClass")
+    op.tell("TELL Person IN TDL_EntityClass END")
+    op.tell(
+        """
+        TELL Invitation IN TDL_EntityClass WITH
+          attribute sender : Person
+          attribute receiver : Person
+        END
+        """
+    )
+    op.tell("TELL ann IN Person END")
+    op.tell("TELL eva IN Person END")
+    op.tell(
+        """
+        TELL inv1 IN Invitation WITH
+          receiver receiver : ann
+          receiver receiver : eva
+        END
+        """
+    )
+    return op
+
+
+class TestRelationalDisplay:
+    def test_nf2_rendering(self, populated_objects):
+        display = RelationalDisplay(RelationalView(populated_objects.propositions))
+        text = display.render("Invitation")
+        assert "{ann,eva}" in text
+        assert "object" in text
+
+    def test_first_normal_form_explodes_sets(self, populated_objects):
+        display = RelationalDisplay(RelationalView(populated_objects.propositions))
+        text = display.render("Invitation", first_normal_form=True)
+        lines = [l for l in text.splitlines() if "ann" in l or "eva" in l]
+        assert len(lines) == 2  # one row per receiver
+
+    def test_column_width_clipping(self, populated_objects):
+        display = RelationalDisplay(RelationalView(populated_objects.propositions))
+        display.set_column_width("receiver", 4)
+        assert "{an~" in display.render("Invitation")
+
+    def test_scrolling(self, populated_objects):
+        display = RelationalDisplay(
+            RelationalView(populated_objects.propositions), page_size=1
+        )
+        populated_objects.tell("TELL inv2 IN Invitation END")
+        first_page = display.page("Invitation")
+        display.scroll_to(1)
+        second_page = display.page("Invitation")
+        assert first_page != second_page
+        assert len(first_page) == len(second_page) == 1
+
+
+class TestFormEditor:
+    def test_load_and_render(self, populated_objects):
+        editor = FormEditor(populated_objects)
+        form = editor.load("inv1")
+        assert form.fields["receiver"] == {"ann", "eva"}
+        assert "inv1" in form.render()
+
+    def test_save_minimal_diff(self, populated_objects):
+        editor = FormEditor(populated_objects)
+        form = editor.load("inv1")
+        form.remove_value("receiver", "eva")
+        form.add_value("sender", "ann")
+        result = editor.save(form)
+        assert result == {"added": 1, "retracted": 1}
+        assert populated_objects.attribute_values("inv1", "receiver") == ["ann"]
+        assert populated_objects.attribute_values("inv1", "sender") == ["ann"]
+
+    def test_noop_save(self, populated_objects):
+        editor = FormEditor(populated_objects)
+        form = editor.load("inv1")
+        assert editor.save(form) == {"added": 0, "retracted": 0}
+
+    def test_load_unknown(self, populated_objects):
+        editor = FormEditor(populated_objects)
+        with pytest.raises(Exception):
+            editor.load("ghost")
+
+
+class TestBrowser:
+    def _browser(self):
+        def provider(focus):
+            return [
+                MenuItem(
+                    "map",
+                    submenu=(
+                        MenuItem("move-down", action=lambda: f"mapped {focus}"),
+                        MenuItem("distribute", action=lambda: "dist"),
+                    ),
+                ),
+                MenuItem("boom", action=self._explode),
+            ]
+
+        return Browser(menu_provider=provider)
+
+    @staticmethod
+    def _explode():
+        raise RuntimeError("tool failed")
+
+    def test_focus_and_history(self):
+        browser = self._browser()
+        browser.focus_on("Papers")
+        browser.focus_on("Invitations")
+        assert browser.focus == "Invitations"
+        assert browser.back() == "Papers"
+        assert browser.back() is None
+
+    def test_menu_and_selection(self):
+        browser = self._browser()
+        browser.focus_on("Invitations")
+        assert browser.select(["map", "move-down"]) == "mapped Invitations"
+
+    def test_render_menu(self):
+        browser = self._browser()
+        browser.focus_on("Invitations")
+        text = browser.render_menu()
+        assert "- map" in text and "- move-down" in text
+
+    def test_bad_menu_path(self):
+        browser = self._browser()
+        browser.focus_on("x")
+        with pytest.raises(ModelError):
+            browser.select(["nope"])
+        with pytest.raises(ModelError):
+            browser.select(["map"])  # no action on non-leaf
+
+    def test_error_recovery_restores_focus(self):
+        browser = self._browser()
+        browser.focus_on("a")
+        browser.focus_on("b")
+        with pytest.raises(RuntimeError):
+            browser.select(["boom"])
+        assert browser.focus == "b"
+        assert browser.history == ["a"]
+
+    def test_focus_on_unknown_rejected(self):
+        browser = Browser(menu_provider=lambda f: [], exists=lambda n: n == "ok")
+        with pytest.raises(ModelError):
+            browser.focus_on("missing")
+        browser.focus_on("ok")

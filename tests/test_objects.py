@@ -1,0 +1,281 @@
+"""Tests for frames, the object transformer (fig 3-2) and the
+relational view."""
+
+import pytest
+
+from repro.errors import PropositionError
+from repro.objects import ObjectProcessor, RelationalView, parse_frame
+from repro.objects.frame import parse_frames
+from repro.propositions import Pattern
+
+
+@pytest.fixture
+def op():
+    processor = ObjectProcessor()
+    processor.propositions.define_class("TDL_EntityClass", level="MetaClass")
+    processor.tell("TELL Paper IN TDL_EntityClass END")
+    processor.tell("TELL Person IN TDL_EntityClass END")
+    processor.tell(
+        """
+        TELL Invitation IN TDL_EntityClass ISA Paper WITH
+          attribute sender : Person
+          attribute receiver : Person
+        END
+        """
+    )
+    return processor
+
+
+class TestFrameParsing:
+    def test_one_line_frame(self):
+        frame = parse_frame("TELL Paper IN TDL_EntityClass END")
+        assert frame.name == "Paper"
+        assert frame.in_classes == ["TDL_EntityClass"]
+
+    def test_full_frame(self):
+        frame = parse_frame(
+            """
+            TELL Invitation IN TDL_EntityClass ISA Paper WITH
+              attribute sender : Person
+            END
+            """
+        )
+        assert frame.isa == ["Paper"]
+        assert frame.attributes[0].label == "sender"
+        assert frame.attributes[0].target == "Person"
+
+    def test_multiple_classifications(self):
+        frame = parse_frame("TELL x IN A, B ISA C, D END")
+        assert frame.in_classes == ["A", "B"]
+        assert frame.isa == ["C", "D"]
+
+    def test_set_valued_attribute_as_repeated_lines(self):
+        frame = parse_frame(
+            """
+            TELL inv1 IN Invitation WITH
+              receiver receiver : ann
+              receiver receiver : eva
+            END
+            """
+        )
+        assert frame.values("receiver") == ["ann", "eva"]
+
+    def test_render_roundtrip(self):
+        original = parse_frame(
+            """
+            TELL Invitation IN TDL_EntityClass ISA Paper WITH
+              attribute sender : Person
+            END
+            """
+        )
+        assert parse_frame(original.render()).attributes == original.attributes
+
+    def test_parse_frames_script(self):
+        frames = parse_frames(
+            "TELL a END\nTELL b IN Class END\n"
+        )
+        assert [f.name for f in frames] == ["a", "b"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "TELL x",
+            "TELL x WITH\n  broken line\nEND",
+            "x IN y END",
+            "TELL x IN y\n  a b : c\nEND",  # attributes without WITH
+        ],
+    )
+    def test_bad_frames(self, bad):
+        with pytest.raises(PropositionError):
+            parse_frame(bad)
+
+
+class TestTransformer:
+    def test_fig_3_2_network(self, op):
+        """The fig 3-2 propositions all exist after telling Invitation."""
+        proc = op.propositions
+        assert proc.is_instance_of("Invitation", "TDL_EntityClass")
+        assert "Paper" in proc.generalizations("Invitation")
+        sender = proc.attributes_of("Invitation", label="sender")
+        assert len(sender) == 1
+        assert sender[0].destination == "Person"
+        # the sender link is classified under the omega Attribute class
+        assert "Attribute" in proc.classification_of_link(sender[0].pid)
+
+    def test_instance_attribute_classified_under_class_attribute(self, op):
+        op.tell("TELL bob IN Person END")
+        op.tell(
+            """
+            TELL inv1 IN Invitation WITH
+              attribute sender : bob
+            END
+            """
+        )
+        proc = op.propositions
+        links = proc.attributes_of("inv1", label="sender")
+        assert len(links) == 1
+        classes = proc.classification_of_link(links[0].pid)
+        # default category 'attribute' resolves by label match to the
+        # class-level sender attribute
+        assert any("sender" in c for c in classes)
+
+    def test_ask_reconstructs_frame(self, op):
+        frame = op.ask("Invitation")
+        assert frame.in_classes == ["TDL_EntityClass"]
+        assert frame.isa == ["Paper"]
+        assert {d.label for d in frame.attributes} == {"receiver", "sender"}
+
+    def test_roundtrip_equal(self, op):
+        assert op.transformer.roundtrip_equal(op.ask("Invitation"))
+
+    def test_ask_unknown_object(self, op):
+        with pytest.raises(PropositionError):
+            op.ask("Ghost")
+
+    def test_untell_removes_object(self, op):
+        op.tell("TELL bob IN Person END")
+        op.untell("bob")
+        assert not op.exists("bob")
+
+    def test_explicit_category(self, op):
+        op.tell("TELL bob IN Person END")
+        op.tell(
+            """
+            TELL inv2 IN Invitation WITH
+              sender sender : bob
+            END
+            """
+        )
+        links = op.propositions.attributes_of("inv2", label="sender")
+        assert "Invitation.sender" in op.propositions.classification_of_link(
+            links[0].pid
+        )
+
+    def test_unknown_category_rejected(self, op):
+        op.tell("TELL bob IN Person END")
+        with pytest.raises(PropositionError):
+            op.tell(
+                """
+                TELL inv3 IN Invitation WITH
+                  nosuchcategory x : bob
+                END
+                """
+            )
+
+
+class TestObjectProcessorQueries:
+    def test_instances_and_classes(self, op):
+        op.tell("TELL inv1 IN Invitation END")
+        assert op.instances("Paper") == ["inv1"]
+        assert "Invitation" in op.classes("inv1")
+
+    def test_attribute_values(self, op):
+        op.tell("TELL ann IN Person END")
+        op.tell("TELL eva IN Person END")
+        op.tell(
+            """
+            TELL inv1 IN Invitation WITH
+              receiver receiver : ann
+              receiver receiver : eva
+            END
+            """
+        )
+        assert op.attribute_values("inv1", "receiver") == ["ann", "eva"]
+
+    def test_attribute_dict(self, op):
+        op.tell("TELL bob IN Person END")
+        op.tell(
+            """
+            TELL inv1 IN Invitation WITH
+              sender sender : bob
+            END
+            """
+        )
+        assert op.attribute_dict("inv1") == {"sender": ["bob"]}
+
+    def test_objects_in(self, op):
+        op.tell("TELL inv1 IN Invitation END")
+        op.tell("TELL bob IN Person END")
+        assert op.objects_in(["Paper", "Person"]) == ["bob", "inv1"]
+
+
+class TestRelationalView:
+    def test_schema(self, op):
+        view = RelationalView(op.propositions)
+        schema = view.schema("Invitation")
+        assert schema.columns == ("receiver", "sender")
+        assert schema.heading == ("object", "receiver", "sender")
+
+    def test_rows(self, op):
+        op.tell("TELL bob IN Person END")
+        op.tell(
+            """
+            TELL inv1 IN Invitation WITH
+              sender sender : bob
+            END
+            """
+        )
+        view = RelationalView(op.propositions)
+        rows = view.rows("Invitation")
+        assert rows == [("inv1", frozenset(), frozenset({"bob"}))]
+
+    def test_select_and_project(self, op):
+        op.tell("TELL bob IN Person END")
+        op.tell("TELL inv1 IN Invitation END")
+        op.tell(
+            """
+            TELL inv2 IN Invitation WITH
+              sender sender : bob
+            END
+            """
+        )
+        view = RelationalView(op.propositions)
+        chosen = view.select("Invitation", lambda cols: "bob" in cols["sender"])
+        assert [row[0] for row in chosen] == ["inv2"]
+        projected = view.project("Invitation", ["sender"])
+        assert frozenset({"bob"}) in [p[0] for p in projected]
+
+    def test_project_unknown_column(self, op):
+        view = RelationalView(op.propositions)
+        with pytest.raises(PropositionError):
+            view.project("Invitation", ["colour"])
+
+    def test_join(self, op):
+        op.tell("TELL bob IN Person END")
+        op.tell(
+            """
+            TELL inv1 IN Invitation WITH
+              sender sender : bob
+            END
+            """
+        )
+        view = RelationalView(op.propositions)
+        assert view.join("Invitation", "sender", "Person") == [("inv1", "bob")]
+
+    def test_schema_of_non_class(self, op):
+        op.tell("TELL bob IN Person END")
+        view = RelationalView(op.propositions)
+        with pytest.raises(PropositionError):
+            view.schema("bob")
+
+    def test_deduced_values_in_view(self, op):
+        from repro.deduction import RuleEngine
+
+        op.tell("TELL bob IN Person END")
+        op.tell(
+            """
+            TELL inv1 IN Invitation WITH
+              sender sender : bob
+            END
+            """
+        )
+        engine = RuleEngine(op.propositions)
+        engine.add_rule(
+            "attr(?x, receiver, ?y) :- attr(?x, sender, ?y).",
+            name="sender_receives_copy", document=False,
+        )
+        engine.install_hook()
+        view = RelationalView(op.propositions)
+        rows = view.rows("Invitation")
+        assert rows == [("inv1", frozenset({"bob"}), frozenset({"bob"}))]

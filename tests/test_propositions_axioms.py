@@ -1,0 +1,165 @@
+"""Tests for the CML axiom base and the kernel bootstrap."""
+
+import pytest
+
+from repro.errors import AxiomViolation
+from repro.propositions import (
+    AxiomBase,
+    BOOTSTRAP,
+    CMLAxiom,
+    PropositionProcessor,
+)
+from repro.propositions.axioms import KERNEL_PIDS
+
+
+@pytest.fixture
+def proc():
+    return PropositionProcessor()
+
+
+class TestBootstrap:
+    def test_kernel_present(self, proc):
+        for name in ("Proposition", "Class", "SimpleClass", "Attribute"):
+            assert proc.exists(name)
+
+    def test_omega_instanceof_is_itself_a_link(self, proc):
+        omega = proc.get("InstanceOf_omega")
+        assert omega.is_instanceof
+        assert omega.source == "Proposition"
+        assert omega.destination == "Class"
+
+    def test_levels_are_classes(self, proc):
+        for level in ("Token", "SimpleClass", "MetaClass", "MetametaClass"):
+            assert proc.is_class(level)
+
+    def test_axioms_reflected_as_propositions(self, proc):
+        assert proc.exists("Axiom_reference")
+        assert proc.exists("Axiom_attribute_typing")
+
+    def test_bootstrap_is_self_consistent(self):
+        # Every bootstrap link's endpoints are themselves bootstrapped.
+        pids = {p.pid for p in BOOTSTRAP}
+        for prop in BOOTSTRAP:
+            if prop.is_link:
+                assert prop.source in pids
+                assert prop.destination in pids
+
+
+class TestReferenceAxiom:
+    def test_dangling_link_rejected(self, proc):
+        with pytest.raises(AxiomViolation) as exc:
+            proc.tell_link("ghost", "attr", "Class")
+        assert exc.value.axiom == "reference"
+
+    def test_individuals_always_allowed(self, proc):
+        proc.tell_individual("thing")
+        assert proc.exists("thing")
+
+
+class TestIsaAxiom:
+    def test_cycle_rejected(self, proc):
+        proc.define_class("A")
+        proc.define_class("B", isa=["A"])
+        proc.define_class("C", isa=["B"])
+        with pytest.raises(AxiomViolation) as exc:
+            proc.tell_isa("A", "C")
+        assert exc.value.axiom == "isa_acyclic"
+
+    def test_reflexive_isa_allowed(self, proc):
+        proc.define_class("A")
+        proc.tell_isa("A", "A")  # harmless
+
+
+class TestInstanceofAxiom:
+    def test_instanceof_non_class_rejected(self, proc):
+        proc.tell_individual("pebble", in_class="Token")
+        proc.tell_individual("rock", in_class="Token")
+        with pytest.raises(AxiomViolation) as exc:
+            proc.tell_instanceof("rock", "pebble")
+        assert exc.value.axiom == "instanceof_class"
+
+    def test_attribute_class_counts_as_class(self, proc):
+        proc.define_class("Doc")
+        proc.define_class("Person")
+        proc.tell_link("Doc", "author", "Person", pid="Doc.author",
+                       of_class="Attribute")
+        proc.tell_individual("d1", in_class="Doc")
+        proc.tell_individual("per1", in_class="Person")
+        # classifying a link under the attribute class is allowed
+        proc.tell_link("d1", "author", "per1", of_class="Doc.author")
+
+
+class TestAttributeTypingAxiom:
+    def setup_class(cls):
+        pass
+
+    def test_instantiation_principle_enforced(self, proc):
+        proc.define_class("Doc")
+        proc.define_class("Person")
+        proc.define_class("Machine")
+        proc.tell_link("Doc", "author", "Person", pid="Doc.author",
+                       of_class="Attribute")
+        proc.tell_individual("d1", in_class="Doc")
+        proc.tell_individual("m1", in_class="Machine")
+        with pytest.raises(AxiomViolation) as exc:
+            proc.tell_link("d1", "author", "m1", of_class="Doc.author")
+        assert exc.value.axiom == "attribute_typing"
+
+    def test_inherited_source_accepted(self, proc):
+        proc.define_class("Paper")
+        proc.define_class("Invitation", isa=["Paper"])
+        proc.define_class("Person")
+        proc.tell_link("Paper", "author", "Person", pid="Paper.author",
+                       of_class="Attribute")
+        proc.tell_individual("inv", in_class="Invitation")
+        proc.tell_individual("bob", in_class="Person")
+        # inv is a Paper through isa, so the inherited attribute applies
+        proc.tell_link("inv", "author", "bob", of_class="Paper.author")
+
+
+class TestKernelProtection:
+    def test_kernel_cannot_be_redefined(self, proc):
+        from repro.propositions import individual
+
+        with pytest.raises(Exception):
+            proc.create_proposition(individual("Proposition"))
+
+    def test_kernel_cannot_be_retracted(self, proc):
+        from repro.errors import PropositionError
+
+        for pid in list(KERNEL_PIDS)[:3]:
+            with pytest.raises(PropositionError):
+                proc.retract(pid)
+
+
+class TestAxiomBase:
+    def test_disable_enable(self, proc):
+        proc.axioms.disable("reference")
+        proc.tell_link("ghost", "attr", "Class")  # now allowed
+        proc.axioms.enable("reference")
+        with pytest.raises(AxiomViolation):
+            proc.tell_link("ghost2", "attr", "Class")
+
+    def test_unknown_axiom_toggles_rejected(self, proc):
+        with pytest.raises(AxiomViolation):
+            proc.axioms.disable("gravity")
+        with pytest.raises(AxiomViolation):
+            proc.axioms.enable("gravity")
+
+    def test_custom_axiom_registration(self, proc):
+        def no_foo(processor, prop):
+            if prop.label == "foo":
+                return "label foo is forbidden"
+            return None
+
+        proc.axioms.register(CMLAxiom("no_foo", "forbids foo labels", no_foo))
+        proc.tell_individual("a")
+        proc.tell_individual("b")
+        with pytest.raises(AxiomViolation) as exc:
+            proc.tell_link("a", "foo", "b")
+        assert exc.value.axiom == "no_foo"
+
+    def test_names_listing(self):
+        base = AxiomBase()
+        assert "reference" in base.names()
+        assert base.is_enabled("reference")

@@ -1,0 +1,79 @@
+"""Unit tests for the proposition quadruple and retrieval patterns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PropositionError
+from repro.propositions import Pattern, Proposition, individual, link
+from repro.timecalc import ALWAYS, Interval
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestProposition:
+    def test_individual_is_self_referential(self):
+        node = individual("Invitation")
+        assert node.is_individual
+        assert node.source == node.destination == node.pid == "Invitation"
+
+    def test_paper_quadruple(self):
+        # p37 = <Invitation, isa, Paper, Always>
+        p37 = link("p37", "Invitation", "isa", "Paper")
+        assert p37.quadruple() == ("Invitation", "isa", "Paper", ALWAYS)
+        assert p37.is_isa and p37.is_link and not p37.is_individual
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(PropositionError):
+            Proposition("", "a", "b", "c")
+        with pytest.raises(PropositionError):
+            Proposition("p", "a", "", "c")
+
+    def test_non_interval_time_rejected(self):
+        with pytest.raises(PropositionError):
+            Proposition("p", "a", "l", "b", time=42)  # type: ignore[arg-type]
+
+    def test_degenerate_link_rejected(self):
+        with pytest.raises(PropositionError):
+            link("x", "x", "x", "x")
+
+    def test_with_time(self):
+        p = link("p", "a", "l", "b")
+        clipped = p.with_time(Interval.from_ticks(0, 5))
+        assert clipped.time.contains_point(3)
+        assert p.time.is_always  # original untouched
+
+    @given(names)
+    def test_individual_roundtrip(self, name):
+        node = individual(name)
+        assert node.is_individual
+        assert not node.is_link
+
+
+class TestPattern:
+    def setup_method(self):
+        self.prop = link(
+            "p1", "inv1", "sender", "bob", time=Interval.from_ticks(10, 20)
+        )
+
+    def test_wildcard_matches_everything(self):
+        assert Pattern().matches(self.prop)
+        assert Pattern().is_total_wildcard
+
+    def test_component_matching(self):
+        assert Pattern(source="inv1").matches(self.prop)
+        assert Pattern(label="sender", destination="bob").matches(self.prop)
+        assert not Pattern(source="inv2").matches(self.prop)
+        assert not Pattern(pid="p2").matches(self.prop)
+
+    def test_temporal_matching(self):
+        assert Pattern(at=15).matches(self.prop)
+        assert not Pattern(at=25).matches(self.prop)
+
+    def test_filter(self):
+        other = link("p2", "inv2", "sender", "ann")
+        matched = list(Pattern(source="inv1").filter(iter([self.prop, other])))
+        assert matched == [self.prop]

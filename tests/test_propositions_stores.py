@@ -1,0 +1,193 @@
+"""Tests for the three physical proposition-base representations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PropositionError, UnknownPropositionError
+from repro.propositions import (
+    LogStore,
+    MemoryStore,
+    Pattern,
+    WorkspaceStore,
+    individual,
+    link,
+)
+
+ALL_STORES = [MemoryStore, LogStore, WorkspaceStore]
+
+
+def populate(store):
+    store.create(individual("Paper"))
+    store.create(individual("Invitation"))
+    store.create(individual("Person"))
+    store.create(link("p1", "Invitation", "isa", "Paper"))
+    store.create(link("p2", "Invitation", "sender", "Person"))
+    store.create(link("p3", "Invitation", "receiver", "Person"))
+    return store
+
+
+@pytest.mark.parametrize("store_cls", ALL_STORES)
+class TestStoreInterface:
+    def test_create_get(self, store_cls):
+        store = populate(store_cls())
+        assert store.get("p1").label == "isa"
+        assert len(store) == 6
+
+    def test_duplicate_pid_rejected(self, store_cls):
+        store = populate(store_cls())
+        with pytest.raises(PropositionError):
+            store.create(individual("Paper"))
+
+    def test_unknown_get(self, store_cls):
+        store = store_cls()
+        with pytest.raises(UnknownPropositionError):
+            store.get("missing")
+
+    def test_delete(self, store_cls):
+        store = populate(store_cls())
+        removed = store.delete("p2")
+        assert removed.label == "sender"
+        assert "p2" not in store
+        assert len(store) == 5
+
+    def test_retrieve_by_source(self, store_cls):
+        # Individuals are self-referential, so the node itself matches too.
+        store = populate(store_cls())
+        results = {p.pid for p in store.retrieve(Pattern(source="Invitation"))}
+        assert results == {"Invitation", "p1", "p2", "p3"}
+
+    def test_retrieve_by_source_label(self, store_cls):
+        store = populate(store_cls())
+        results = list(store.retrieve(Pattern(source="Invitation", label="sender")))
+        assert [p.pid for p in results] == ["p2"]
+
+    def test_retrieve_by_destination(self, store_cls):
+        store = populate(store_cls())
+        results = {p.pid for p in store.retrieve(Pattern(destination="Person"))}
+        assert results == {"Person", "p2", "p3"}
+
+    def test_retrieve_wildcard(self, store_cls):
+        store = populate(store_cls())
+        assert len(list(store.retrieve(Pattern()))) == 6
+
+    def test_contains(self, store_cls):
+        store = populate(store_cls())
+        assert "Paper" in store
+        assert "nope" not in store
+
+    def test_replace(self, store_cls):
+        store = populate(store_cls())
+        from repro.timecalc import Interval
+
+        updated = store.get("p1").with_time(Interval.from_ticks(0, 9))
+        old = store.replace(updated)
+        assert old.time.is_always
+        assert store.get("p1").time.contains_point(5)
+
+
+class TestLogStore:
+    def test_journal_records_operations(self):
+        store = populate(LogStore())
+        store.delete("p1")
+        ops = [op for op, _ in store.journal]
+        assert ops.count("create") == 6
+        assert ops.count("delete") == 1
+
+    def test_replay_reproduces_state(self):
+        store = populate(LogStore())
+        store.delete("p3")
+        replayed = store.replay()
+        assert {p.pid for p in replayed} == {p.pid for p in store}
+
+    def test_compact_drops_superseded_entries(self):
+        store = populate(LogStore())
+        store.delete("p3")
+        removed = store.compact()
+        assert removed == 2  # the create and the delete of p3
+        assert len(store.journal) == 5
+        assert {p.pid for p in store.replay()} == {p.pid for p in store}
+
+
+class TestWorkspaceStore:
+    def test_partitioning(self):
+        store = WorkspaceStore()
+        store.create(individual("base"))
+        store.add_workspace("design")
+        store.set_current("design")
+        store.create(individual("draft"))
+        assert store.workspace_of("base") == WorkspaceStore.DEFAULT
+        assert store.workspace_of("draft") == "design"
+
+    def test_deactivation_hides_propositions(self):
+        store = WorkspaceStore()
+        store.add_workspace("design")
+        store.set_current("design")
+        store.create(individual("draft"))
+        assert len(store) == 1
+        store.deactivate("design")
+        assert len(store) == 0
+        assert "draft" not in store
+        store.activate("design")
+        assert "draft" in store
+
+    def test_system_workspace_protected(self):
+        store = WorkspaceStore()
+        with pytest.raises(PropositionError):
+            store.deactivate(WorkspaceStore.DEFAULT)
+
+    def test_duplicate_workspace_rejected(self):
+        store = WorkspaceStore()
+        store.add_workspace("w")
+        with pytest.raises(PropositionError):
+            store.add_workspace("w")
+
+    def test_unknown_workspace_operations(self):
+        store = WorkspaceStore()
+        with pytest.raises(PropositionError):
+            store.set_current("missing")
+        with pytest.raises(PropositionError):
+            store.activate("missing")
+
+    def test_duplicate_pid_across_workspaces_rejected(self):
+        store = WorkspaceStore()
+        store.create(individual("x"))
+        store.add_workspace("w")
+        store.set_current("w")
+        with pytest.raises(PropositionError):
+            store.create(individual("x"))
+
+
+# -- property: all stores agree with MemoryStore on any operation sequence --
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(0, 20)),
+        st.tuples(st.just("delete"), st.integers(0, 20)),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_ops)
+@pytest.mark.parametrize("store_cls", [LogStore, WorkspaceStore])
+def test_stores_equivalent_to_memory(store_cls, ops):
+    reference = MemoryStore()
+    candidate = store_cls()
+    for op, n in ops:
+        name = f"node{n}"
+        if op == "create":
+            try:
+                reference.create(individual(name))
+                candidate.create(individual(name))
+            except PropositionError:
+                with pytest.raises(PropositionError):
+                    candidate.create(individual(name))
+        else:
+            try:
+                reference.delete(name)
+                candidate.delete(name)
+            except UnknownPropositionError:
+                with pytest.raises(UnknownPropositionError):
+                    candidate.delete(name)
+    assert {p.pid for p in reference} == {p.pid for p in candidate}

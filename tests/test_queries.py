@@ -1,0 +1,149 @@
+"""Tests for query classes (queries with computed extents)."""
+
+import pytest
+
+from repro import ConceptBase
+from repro.errors import ReproError
+from repro.queries import QueryCatalog
+
+
+@pytest.fixture
+def cb():
+    conceptbase = ConceptBase()
+    conceptbase.define_metaclass("TDL_EntityClass")
+    conceptbase.tell(
+        """
+        TELL Person IN TDL_EntityClass END
+
+        TELL Invitation IN TDL_EntityClass WITH
+          attribute sender : Person
+          attribute sent : Person
+        END
+        """
+    )
+    conceptbase.tell("TELL bob IN Person END")
+    conceptbase.tell(
+        """
+        TELL inv1 IN Invitation WITH
+          sender sender : bob
+        END
+        """
+    )
+    conceptbase.tell("TELL inv2 IN Invitation END")
+    return conceptbase
+
+
+@pytest.fixture
+def catalog(cb):
+    return QueryCatalog(cb.propositions)
+
+
+class TestDefinition:
+    def test_define_and_list(self, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        assert catalog.names() == ["WithSender"]
+        assert "WithSender" in repr(catalog.get("WithSender"))
+
+    def test_query_class_specialises_base(self, cb, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        assert "Invitation" in cb.propositions.generalizations("WithSender")
+
+    def test_condition_documented(self, cb, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        links = cb.propositions.attributes_of("WithSender",
+                                              label="constraint")
+        assert len(links) == 1
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.define("Q", "i", "Invitation", "Known(i.sender)")
+        with pytest.raises(ReproError):
+            catalog.define("Q", "i", "Invitation", "Known(i.sender)")
+
+    def test_unknown_base_class(self, catalog):
+        with pytest.raises(ReproError):
+            catalog.define("Q", "x", "Nothing", "Known(x.sender)")
+
+    def test_unused_variable_rejected(self, catalog):
+        with pytest.raises(ReproError):
+            catalog.define("Q", "i", "Invitation", "Known(other.sender)")
+
+    def test_unknown_query(self, catalog):
+        with pytest.raises(ReproError):
+            catalog.extent("Nothing")
+
+
+class TestEvaluation:
+    def test_extent(self, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        assert catalog.extent("WithSender") == ["inv1"]
+
+    def test_negated_condition(self, catalog):
+        catalog.define("Unsent", "i", "Invitation", "not Known(i.sent)")
+        assert catalog.extent("Unsent") == ["inv1", "inv2"]
+
+    def test_membership_ask(self, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        assert catalog.ask("WithSender", "inv1")
+        assert not catalog.ask("WithSender", "inv2")
+        assert not catalog.ask("WithSender", "bob")  # wrong base class
+
+    def test_extent_tracks_updates(self, cb, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        cb.tell(
+            """
+            TELL inv2 WITH
+              sender sender : bob
+            END
+            """
+        )
+        assert catalog.extent("WithSender") == ["inv1", "inv2"]
+
+    def test_deduced_attributes_participate(self, cb, catalog):
+        cb.add_rule(
+            "attr(?x, sender, bob) :- attr(?x, delegate, bob).",
+            name="delegation",
+        )
+        cb.tell(
+            """
+            TELL inv2 WITH
+              attribute delegate : bob
+            END
+            """
+        )
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        assert catalog.extent("WithSender") == ["inv1", "inv2"]
+
+
+class TestMaterialisation:
+    def test_materialise_asserts_membership(self, cb, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        result = catalog.materialise("WithSender")
+        assert result == {"added": 1, "removed": 0}
+        assert cb.propositions.is_instance_of("inv1", "WithSender")
+
+    def test_rematerialise_removes_stale(self, cb, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        catalog.materialise("WithSender")
+        sender_link = cb.propositions.attributes_of("inv1", label="sender")[0]
+        cb.propositions.retract(sender_link.pid)
+        result = catalog.materialise("WithSender")
+        assert result == {"added": 0, "removed": 1}
+        assert not cb.propositions.is_instance_of("inv1", "WithSender")
+
+    def test_materialise_idempotent(self, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        catalog.materialise("WithSender")
+        assert catalog.materialise("WithSender") == {"added": 0, "removed": 0}
+
+    def test_materialised_extent_usable_as_class(self, cb, catalog):
+        catalog.define("WithSender", "i", "Invitation", "Known(i.sender)")
+        catalog.materialise("WithSender")
+        assert cb.instances("WithSender") == ["inv1"]
+
+    def test_undocumented_query_cannot_materialise(self, cb):
+        catalog = QueryCatalog(cb.propositions)
+        catalog.define("Q", "i", "Invitation", "Known(i.sender)",
+                       document=False)
+        assert catalog.extent("Q") == ["inv1"]
+        with pytest.raises(ReproError):
+            catalog.materialise("Q")

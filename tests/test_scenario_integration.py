@@ -1,0 +1,202 @@
+"""Integration tests: the complete section 2.1 story, step by step.
+
+These tests assert the *content* of the paper's figures, not just that
+the code runs: the browsing state of fig 2-1, the code frames and
+dependency graph of figs 2-2/2-3, and the selective-backtracking result
+of fig 2-4.
+"""
+
+import pytest
+
+from repro.scenario import MeetingScenario
+
+
+@pytest.fixture
+def scenario():
+    return MeetingScenario().setup()
+
+
+class TestWorldAndSystemModel:
+    def test_world_model_objects(self, scenario):
+        proc = scenario.gkbms.processor
+        assert proc.is_instance_of("Meeting", "CML_Activity")
+        assert proc.is_instance_of("Document", "CML_WorldClass")
+        assert "Document" in proc.generalizations("Agenda")
+
+    def test_system_model_embedded_in_world(self, scenario):
+        proc = scenario.gkbms.processor
+        models = proc.attributes_of("MeetingRecord", label="models")
+        assert [p.destination for p in models] == ["Meeting"]
+
+    def test_world_time_consistent(self, scenario):
+        scenario.gkbms.world_time.check_consistency()
+
+    def test_design_models_world(self, scenario):
+        proc = scenario.gkbms.processor
+        links = proc.attributes_of("Papers", label="models")
+        assert [p.destination for p in links] == ["Document"]
+
+
+class TestFig21Browsing:
+    def test_unmapped_objects_before_mapping(self, scenario):
+        unmapped = scenario.browse_unmapped()
+        assert {"Papers", "Invitations", "Persons"} <= set(unmapped)
+
+    def test_unmapped_shrinks_after_mapping(self, scenario):
+        scenario.map_hierarchy()
+        assert "Invitations" not in scenario.browse_unmapped()
+
+    def test_menu_shows_strategies(self, scenario):
+        names = [dc.name for dc, _r, _t in scenario.menu_for("Invitations")]
+        assert "DecMoveDown" in names
+        assert "DecDistribute" in names
+
+
+class TestFig22MoveDown:
+    def test_relation_carries_inherited_attributes(self, scenario):
+        scenario.map_hierarchy()
+        rel = scenario.gkbms.module.relations["InvitationRel"]
+        assert rel.field_names() == [
+            "paperkey", "date", "author", "sender", "receiver",
+        ]
+        assert rel.key == ("paperkey",)
+        assert rel.field_type("receiver") == "SET OF Persons"
+
+    def test_non_leaf_becomes_constructor(self, scenario):
+        scenario.map_hierarchy()
+        assert "ConsPapers" in scenario.gkbms.module.constructors
+
+    def test_distribute_alternative(self):
+        scenario = MeetingScenario().setup()
+        record = scenario.map_hierarchy(strategy="distribute")
+        module = scenario.gkbms.module
+        # one relation per class
+        assert {"PaperRel", "InvitationRel"} <= set(module.relations)
+        # subclass references superclass
+        assert any(
+            "IsA" in name for name in module.selectors
+        )
+        assert record.decision_class == "DecDistribute"
+
+    def test_implements_links(self, scenario):
+        scenario.map_hierarchy()
+        nav = scenario.gkbms.navigator()
+        assert nav.interrelations("InvitationRel")["implements"] == [
+            "Invitations"
+        ]
+
+
+class TestFig23NormalizeAndKeys:
+    def test_normalization_products(self, scenario):
+        scenario.map_hierarchy()
+        scenario.normalize()
+        module = scenario.gkbms.module
+        assert "InvitationRel" not in module.relations  # retired
+        base = module.relations["InvitationRel2"]
+        assert "receiver" not in base.field_names()
+        detail = module.relations["InvReceivRel"]
+        assert detail.field_names() == ["paperkey", "receiver"]
+        assert detail.key == ("paperkey", "receiver")
+        selector = module.selectors["InvitationsPaperIC"]
+        assert selector.constraint.target == "InvitationRel2"
+        assert "ConsInvitation" in module.constructors
+
+    def test_key_substitution_rewrites_everything(self, scenario):
+        scenario.map_hierarchy()
+        scenario.normalize()
+        scenario.substitute_key()
+        module = scenario.gkbms.module
+        assert module.relations["InvitationRel2"].key == ("date", "author")
+        assert "paperkey" not in module.relations["InvitationRel2"].field_names()
+        assert module.relations["InvReceivRel"].key == (
+            "date", "author", "receiver",
+        )
+        selector = module.selectors["InvitationsPaperIC"]
+        assert selector.constraint.columns == ("date", "author")
+
+    def test_generated_module_executes(self, scenario):
+        scenario.map_hierarchy()
+        scenario.normalize()
+        scenario.substitute_key()
+        db = scenario.gkbms.build_database()
+        with db.transaction():
+            db.relation("InvitationRel2").insert(
+                {"date": "7-Jun-1988", "author": "jarke", "sender": "rose"}
+            )
+            db.relation("InvReceivRel").insert(
+                {"date": "7-Jun-1988", "author": "jarke",
+                 "receiver": "mylopoulos"}
+            )
+        reconstructed = db.rows("ConsInvitation")
+        assert len(reconstructed) == 1
+        assert reconstructed[0]["receiver"] == "mylopoulos"
+
+    def test_referential_integrity_live(self, scenario):
+        from repro.errors import IntegrityError
+
+        scenario.map_hierarchy()
+        scenario.normalize()
+        db = scenario.gkbms.build_database()
+        with pytest.raises(IntegrityError):
+            with db.transaction():
+                db.relation("InvReceivRel").insert(
+                    {"paperkey": "dangling", "receiver": "x"}
+                )
+
+
+class TestFig24Backtracking:
+    def test_minutes_violates_assumption(self, scenario):
+        scenario.map_hierarchy()
+        scenario.normalize()
+        scenario.substitute_key()
+        assert scenario.gkbms.violated_assumptions() == []
+        scenario.add_minutes()
+        assert scenario.gkbms.violated_assumptions() == [
+            "OnlyInvitationsArePapers"
+        ]
+
+    def test_selective_backtrack_restores_surrogates(self, scenario):
+        scenario.map_hierarchy()
+        scenario.normalize()
+        scenario.substitute_key()
+        scenario.add_minutes()
+        scenario.backtrack_keys()
+        module = scenario.gkbms.module
+        assert module.relations["InvitationRel2"].key == ("paperkey",)
+        assert module.relations["InvReceivRel"].key == ("paperkey", "receiver")
+        # earlier decisions untouched
+        assert scenario.records["map"].status == "done"
+        assert scenario.records["normalize"].status == "done"
+
+    def test_full_story_final_state(self):
+        scenario = MeetingScenario().run_all()
+        gkbms = scenario.gkbms
+        statuses = {
+            key: record.status
+            for key, record in scenario.records.items()
+            if hasattr(record, "status")
+        }
+        assert statuses == {
+            "map": "done", "normalize": "done",
+            "keys": "retracted", "minutes": "done",
+        }
+        db = gkbms.build_database()
+        assert {"InvitationRel2", "InvReceivRel", "MinutesRel"} <= set(
+            db.relations
+        )
+
+    def test_code_frames_after_backtrack_match_fig_2_4(self):
+        scenario = MeetingScenario().run_all()
+        frames = scenario.gkbms.code_frames()
+        # surrogate keys are back everywhere (fig 2-4's code frames)
+        assert "KEY paperkey;" in frames
+        assert "KEY paperkey, receiver;" in frames
+        assert "(paperkey) REFERENCES InvitationRel2 (paperkey)" in frames
+        assert "MinutesRel" in frames
+
+    def test_dependency_graph_shows_retraction(self):
+        scenario = MeetingScenario().run_all()
+        graph = scenario.gkbms.dependency_graph(include_retracted=True)
+        keys_did = scenario.records["keys"].did
+        rendered = graph.to_ascii()
+        assert f"[{keys_did}]" in rendered  # highlighted as retracted

@@ -1,0 +1,125 @@
+"""Tests for the GKBMS shell (scripted, via run_commands)."""
+
+import pytest
+
+from repro.shell import GKBMSShell, run_commands
+
+DESIGN_INLINE = (
+    "design entity class Things with ; owner : Things ; end ; "
+    "entity class Gadgets isa Things with ; battery : Things ; end"
+)
+
+
+def test_design_and_objects():
+    out = run_commands([DESIGN_INLINE, "objects design"])
+    assert "design loaded" in out[0]
+    assert "Gadgets" in out[1] and "Things" in out[1]
+
+
+def test_menu_and_map_and_frames():
+    out = run_commands([
+        DESIGN_INLINE,
+        "menu Things",
+        "map DecMoveDown hierarchy=Things MoveDownMapper",
+        "frames",
+    ])
+    assert "DecMoveDown" in out[1]
+    assert "executed dec1" in out[2]
+    assert "GadgetRel = RELATION" in out[3]
+
+
+def test_deps_explain_history():
+    out = run_commands([
+        DESIGN_INLINE,
+        "map DecMoveDown hierarchy=Things MoveDownMapper",
+        "deps",
+        "explain GadgetRel",
+        "explain dec1",
+        "history",
+    ])
+    assert "hierarchy" in out[2]
+    assert "justified by dec1" in out[3]
+    assert "execution of decision class DecMoveDown" in out[4]
+    assert "created" in out[5]
+
+
+def test_backtrack_and_versions_and_configure():
+    out = run_commands([
+        DESIGN_INLINE,
+        "map DecMoveDown hierarchy=Things MoveDownMapper",
+        "versions GadgetRel",
+        "backtrack dec1",
+        "configure implementation",
+    ])
+    assert "ACTIVE" in out[2]
+    assert "retracted ['dec1']" in out[3]
+    assert "missing: Things" in out[4]
+
+
+def test_obligations_and_sign():
+    out = run_commands([
+        DESIGN_INLINE,
+        "map DecMoveDown hierarchy=Things MoveDownMapper",
+        "obligations",
+        "map DecNormalize relation=GadgetRel Normalizer",
+        "obligations",
+    ])
+    assert out[2] == "no open obligations"
+    assert "error" in out[3]  # no set-valued field: decision fails cleanly
+    # failed decision left nothing behind
+    assert out[4] == "no open obligations"
+
+
+def test_save_and_load(tmp_path):
+    path = str(tmp_path / "state.json")
+    out = run_commands([
+        DESIGN_INLINE,
+        "map DecMoveDown hierarchy=Things MoveDownMapper",
+        f"save {path}",
+    ])
+    assert "saved" in out[2]
+    out2 = run_commands([f"load {path}", "objects implementation"])
+    assert "loaded" in out2[0]
+    assert "GadgetRel" in out2[1]
+
+
+def test_error_recovery_keeps_session():
+    shell = GKBMSShell()
+    assert "error" in shell.execute("map NoSuchDecision x=y")
+    assert "error" in shell.execute("wibble")
+    assert "unterminated" in shell.execute('menu "unclosed') or "error" in (
+        shell.execute('menu "unclosed')
+    )
+    # the session still works afterwards
+    assert "design loaded" in shell.execute(DESIGN_INLINE)
+
+
+def test_usage_messages():
+    out = run_commands([
+        "menu",
+        "map DecMoveDown",
+        "versions",
+        "explain",
+        "backtrack",
+        "sign x",
+        "save",
+        "load",
+    ])
+    assert all("usage:" in line or "error" in line for line in out)
+
+
+def test_help_quit_and_comments():
+    shell = GKBMSShell()
+    assert "commands:" in shell.execute("help")
+    assert shell.execute("# a comment") == ""
+    assert shell.execute("") == ""
+    assert shell.execute("quit") == "bye"
+    assert shell.done
+
+
+def test_extend_design_second_call():
+    out = run_commands([
+        DESIGN_INLINE,
+        "design entity class Widgets isa Things with ; mass : Things ; end",
+    ])
+    assert "extended design: Widgets" in out[1]

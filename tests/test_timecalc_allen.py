@@ -1,0 +1,149 @@
+"""Unit and property tests for the Allen interval algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TimeError
+from repro.timecalc import (
+    ALLEN_RELATIONS,
+    AllenNetwork,
+    AllenRelation,
+    Interval,
+    compose,
+    invert,
+    relation_between,
+)
+
+intervals = st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(
+    lambda t: t[0] < t[1]
+).map(lambda t: Interval.from_ticks(*t))
+
+
+class TestBasicRelations:
+    def test_thirteen_relations(self):
+        assert len(ALLEN_RELATIONS) == 13
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ((0, 2), (5, 8), AllenRelation.BEFORE),
+            ((5, 8), (0, 2), AllenRelation.AFTER),
+            ((0, 5), (5, 8), AllenRelation.MEETS),
+            ((5, 8), (0, 5), AllenRelation.MET_BY),
+            ((0, 6), (4, 9), AllenRelation.OVERLAPS),
+            ((4, 9), (0, 6), AllenRelation.OVERLAPPED_BY),
+            ((0, 3), (0, 9), AllenRelation.STARTS),
+            ((0, 9), (0, 3), AllenRelation.STARTED_BY),
+            ((3, 6), (0, 9), AllenRelation.DURING),
+            ((0, 9), (3, 6), AllenRelation.CONTAINS),
+            ((6, 9), (0, 9), AllenRelation.FINISHES),
+            ((0, 9), (6, 9), AllenRelation.FINISHED_BY),
+            ((2, 7), (2, 7), AllenRelation.EQUAL),
+        ],
+    )
+    def test_each_relation(self, a, b, expected):
+        assert relation_between(
+            Interval.from_ticks(*a), Interval.from_ticks(*b)
+        ) is expected
+
+    @given(intervals, intervals)
+    def test_exactly_one_relation_holds(self, a, b):
+        rel = relation_between(a, b)
+        assert rel in ALLEN_RELATIONS
+
+    @given(intervals, intervals)
+    def test_inverse_is_converse(self, a, b):
+        assert invert(relation_between(a, b)) is relation_between(b, a)
+
+    def test_invert_is_involution(self):
+        for rel in ALLEN_RELATIONS:
+            assert invert(invert(rel)) is rel
+
+
+class TestComposition:
+    def test_before_before_is_before(self):
+        assert compose(AllenRelation.BEFORE, AllenRelation.BEFORE) == frozenset(
+            {AllenRelation.BEFORE}
+        )
+
+    def test_equal_is_identity(self):
+        for rel in ALLEN_RELATIONS:
+            assert compose(AllenRelation.EQUAL, rel) == frozenset({rel})
+            assert compose(rel, AllenRelation.EQUAL) == frozenset({rel})
+
+    def test_during_during_is_during(self):
+        assert compose(AllenRelation.DURING, AllenRelation.DURING) == frozenset(
+            {AllenRelation.DURING}
+        )
+
+    def test_before_after_is_full(self):
+        # Nothing can be concluded from A before B, B after C.
+        assert compose(AllenRelation.BEFORE, AllenRelation.AFTER) == frozenset(
+            ALLEN_RELATIONS
+        )
+
+    @given(intervals, intervals, intervals)
+    def test_composition_soundness(self, a, b, c):
+        """The concrete relation A-to-C is always in compose(A-B, B-C)."""
+        r1 = relation_between(a, b)
+        r2 = relation_between(b, c)
+        assert relation_between(a, c) in compose(r1, r2)
+
+    def test_converse_composition_law(self):
+        """inv(compose(r1, r2)) == compose(inv(r2), inv(r1))."""
+        for r1 in ALLEN_RELATIONS:
+            for r2 in ALLEN_RELATIONS:
+                left = frozenset(invert(r) for r in compose(r1, r2))
+                right = compose(invert(r2), invert(r1))
+                assert left == right
+
+
+class TestAllenNetwork:
+    def test_transitive_before(self):
+        net = AllenNetwork()
+        net.constrain("a", "b", [AllenRelation.BEFORE])
+        net.constrain("b", "c", [AllenRelation.BEFORE])
+        net.propagate()
+        assert net.relations("a", "c") == frozenset({AllenRelation.BEFORE})
+
+    def test_inconsistency_detected(self):
+        net = AllenNetwork()
+        net.constrain("a", "b", [AllenRelation.BEFORE])
+        net.constrain("b", "c", [AllenRelation.BEFORE])
+        with pytest.raises(TimeError):
+            net.constrain("c", "a", [AllenRelation.BEFORE])
+            net.propagate()
+
+    def test_is_consistent_helper(self):
+        net = AllenNetwork()
+        net.constrain("a", "b", [AllenRelation.BEFORE])
+        assert net.is_consistent()
+
+    def test_empty_constraint_rejected(self):
+        net = AllenNetwork()
+        with pytest.raises(TimeError):
+            net.constrain("a", "b", [])
+
+    def test_self_relation_is_equal(self):
+        net = AllenNetwork()
+        net.add_interval("a")
+        assert net.relations("a", "a") == frozenset({AllenRelation.EQUAL})
+
+    def test_constraint_tightens_existing(self):
+        net = AllenNetwork()
+        net.constrain("a", "b", [AllenRelation.BEFORE, AllenRelation.MEETS])
+        net.constrain("a", "b", [AllenRelation.MEETS, AllenRelation.OVERLAPS])
+        assert net.relations("a", "b") == frozenset({AllenRelation.MEETS})
+
+    def test_contradictory_tightening_raises(self):
+        net = AllenNetwork()
+        net.constrain("a", "b", [AllenRelation.BEFORE])
+        with pytest.raises(TimeError):
+            net.constrain("a", "b", [AllenRelation.AFTER])
+
+    def test_during_chain(self):
+        net = AllenNetwork()
+        net.constrain("step", "phase", [AllenRelation.DURING])
+        net.constrain("phase", "project", [AllenRelation.DURING])
+        net.propagate()
+        assert net.relations("step", "project") == frozenset({AllenRelation.DURING})

@@ -1,0 +1,124 @@
+"""Unit tests for the event calculus and the calculus interface."""
+
+import pytest
+
+from repro.errors import TimeError
+from repro.timecalc import (
+    AllenCalculus,
+    AllenRelation,
+    Event,
+    EventBasedCalculus,
+    EventCalculus,
+    Fluent,
+    Interval,
+    get_calculus,
+)
+
+
+@pytest.fixture
+def history():
+    ec = EventCalculus()
+    on = Fluent("valid", ("spec_v1",))
+    ec.happens("tell", 10, initiates=[on])
+    ec.happens("untell", 20, terminates=[on])
+    ec.happens("tell_again", 30, initiates=[on])
+    return ec, on
+
+
+class TestEventCalculus:
+    def test_holds_between_initiation_and_termination(self, history):
+        ec, on = history
+        assert ec.holds_at(on, 15)
+        assert not ec.holds_at(on, 25)
+        assert ec.holds_at(on, 35)
+
+    def test_boundary_semantics(self, history):
+        """Holding spans are half-open [initiation, termination)."""
+        ec, on = history
+        assert ec.holds_at(on, 10)       # holds at the initiation instant
+        assert not ec.holds_at(on, 20)   # gone at the termination instant
+
+    def test_intervals_derived(self, history):
+        ec, on = history
+        spans = ec.intervals(on)
+        assert len(spans) == 2
+        assert spans[0].contains_point(15)
+        assert not spans[0].contains_point(20)
+        assert spans[1].contains_point(10**9)  # open towards the future
+
+    def test_out_of_order_recording(self):
+        ec = EventCalculus()
+        f = Fluent("open")
+        ec.happens("later", 30, terminates=[f])
+        ec.happens("earlier", 10, initiates=[f])
+        assert ec.holds_at(f, 20)
+        assert not ec.holds_at(f, 40)
+
+    def test_clipped(self, history):
+        ec, on = history
+        assert ec.clipped(on, 10, 30)
+        assert not ec.clipped(on, 21, 29)
+        with pytest.raises(TimeError):
+            ec.clipped(on, 30, 30)
+
+    def test_snapshot(self):
+        ec = EventCalculus()
+        a, b = Fluent("a"), Fluent("b")
+        ec.happens("e1", 1, initiates=[a, b])
+        ec.happens("e2", 5, terminates=[a])
+        assert ec.snapshot(3) == [a, b]
+        assert ec.snapshot(6) == [b]
+
+    def test_fluents_census(self, history):
+        ec, on = history
+        assert ec.fluents() == [on]
+
+    def test_same_instant_terminate_then_initiate(self):
+        ec = EventCalculus()
+        f = Fluent("f")
+        ec.happens("start", 5, initiates=[f])
+        ec.happens("switch", 9, initiates=[f], terminates=[f])
+        assert ec.holds_at(f, 12)
+
+    def test_initiated_terminated_lists(self, history):
+        ec, on = history
+        assert ec.initiated_at(on) == [10, 30]
+        assert ec.terminated_at(on) == [20]
+
+
+class TestCalculusInterface:
+    def test_get_calculus(self):
+        assert get_calculus("allen").name == "allen"
+        assert get_calculus("events").name == "events"
+
+    def test_unknown_calculus(self):
+        with pytest.raises(TimeError):
+            get_calculus("lightcone")
+
+    def test_allen_calculus_valid_at(self):
+        calc = AllenCalculus()
+        assert calc.valid_at(Interval.from_ticks(0, 5), 3)
+        assert not calc.valid_at(Interval.from_ticks(0, 5), 5)
+
+    def test_allen_calculus_network(self):
+        calc = AllenCalculus()
+        calc.assert_relation("v1", "v2", [AllenRelation.BEFORE])
+        calc.check_consistency()
+        assert calc.classify(
+            Interval.from_ticks(0, 2), Interval.from_ticks(3, 5)
+        ) is AllenRelation.BEFORE
+
+    def test_event_calculus_assert_retract(self):
+        calc = EventBasedCalculus()
+        calc.assert_proposition("p1", 10)
+        assert calc.currently_valid("p1", 15)
+        calc.retract_proposition("p1", 20)
+        assert not calc.currently_valid("p1", 25)
+        spans = calc.validity_intervals("p1")
+        assert len(spans) == 1
+        assert spans[0].contains_point(12)
+
+    def test_event_calculus_cooccur(self):
+        calc = EventBasedCalculus()
+        assert calc.cooccur(Interval.from_ticks(0, 5), Interval.from_ticks(3, 8))
+        assert not calc.cooccur(Interval.from_ticks(0, 3), Interval.from_ticks(3, 8))

@@ -1,0 +1,136 @@
+"""Unit tests for time points and intervals."""
+
+import pytest
+
+from repro.errors import TimeError
+from repro.timecalc import (
+    ALWAYS,
+    NEGATIVE_INFINITY,
+    POSITIVE_INFINITY,
+    Interval,
+    TimePoint,
+    parse_time,
+)
+
+
+class TestTimePoint:
+    def test_finite_points_order_by_value(self):
+        assert TimePoint(0, 1) < TimePoint(0, 2)
+        assert not TimePoint(0, 2) < TimePoint(0, 1)
+
+    def test_infinities_bound_everything(self):
+        p = TimePoint(0, 10**9)
+        assert NEGATIVE_INFINITY < p < POSITIVE_INFINITY
+
+    def test_infinities_equal_themselves(self):
+        assert POSITIVE_INFINITY == TimePoint(kind=1)
+        assert NEGATIVE_INFINITY == TimePoint(kind=-1)
+        assert not POSITIVE_INFINITY < TimePoint(kind=1)
+
+    def test_finite_point_requires_value(self):
+        with pytest.raises(TimeError):
+            TimePoint(0, None)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(TimeError):
+            TimePoint(kind=7, value=1)
+
+    def test_incomparable_values_raise(self):
+        with pytest.raises(TimeError):
+            _ = TimePoint(0, "abc") < TimePoint(0, 3)
+
+    def test_hashable(self):
+        assert len({TimePoint(0, 1), TimePoint(0, 1), POSITIVE_INFINITY}) == 2
+
+
+class TestInterval:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(TimeError):
+            Interval.from_ticks(5, 5)
+        with pytest.raises(TimeError):
+            Interval.from_ticks(6, 5)
+
+    def test_half_open_contains(self):
+        span = Interval.from_ticks(2, 5)
+        assert span.contains_point(2)
+        assert span.contains_point(4)
+        assert not span.contains_point(5)
+
+    def test_always_contains_everything(self):
+        assert ALWAYS.contains_point(-(10**12))
+        assert ALWAYS.contains_point(10**12)
+        assert ALWAYS.is_always
+
+    def test_contains_interval(self):
+        outer = Interval.from_ticks(0, 10)
+        inner = Interval.from_ticks(3, 7)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_overlap_and_meet_are_distinct(self):
+        a = Interval.from_ticks(0, 5)
+        b = Interval.from_ticks(5, 9)
+        assert not a.overlaps(b)
+        assert a.meets(b)
+        assert a.before(b)
+
+    def test_intersect(self):
+        a = Interval.from_ticks(0, 6)
+        b = Interval.from_ticks(4, 9)
+        both = a.intersect(b)
+        assert both is not None
+        assert both.contains_point(4) and both.contains_point(5)
+        assert not both.contains_point(6)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval.from_ticks(0, 2).intersect(Interval.from_ticks(3, 4)) is None
+
+    def test_clip_end(self):
+        span = Interval.since(10)
+        clipped = span.clip_end(20)
+        assert clipped is not None
+        assert clipped.contains_point(19)
+        assert not clipped.contains_point(20)
+
+    def test_clip_before_start_is_none(self):
+        assert Interval.from_ticks(10, 20).clip_end(10) is None
+
+    def test_since_and_until(self):
+        assert Interval.since(5).contains_point(10**9)
+        assert Interval.until(5).contains_point(-(10**9))
+        assert not Interval.until(5).contains_point(5)
+
+
+class TestParseTime:
+    def test_always(self):
+        assert parse_time("Always").is_always
+        assert parse_time("always").is_always
+
+    def test_paper_known_since_stamp(self):
+        span = parse_time("21-Sep-1987+")
+        assert span.contains_point(19870921)
+        assert span.contains_point(20260101)
+        assert not span.contains_point(19870920)
+
+    def test_single_day(self):
+        span = parse_time("21-Sep-1987")
+        assert span.contains_point(19870921)
+        assert not span.contains_point(19870922)
+
+    def test_tick_range(self):
+        span = parse_time("12..40")
+        assert span.contains_point(12)
+        assert not span.contains_point(40)
+
+    def test_single_tick(self):
+        span = parse_time("17")
+        assert span.contains_point(17)
+        assert not span.contains_point(18)
+
+    def test_bad_month(self):
+        with pytest.raises(TimeError):
+            parse_time("21-Xxx-1987")
+
+    def test_garbage(self):
+        with pytest.raises(TimeError):
+            parse_time("version seventeen")
