@@ -12,7 +12,6 @@ the paper's temporal stamps (``version17``, ``21-Sep-1987+``).
 """
 
 from repro.objects import ObjectProcessor
-from repro.propositions import Pattern
 from repro.timecalc import Interval, parse_time
 
 

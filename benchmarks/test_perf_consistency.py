@@ -73,6 +73,106 @@ def test_perf_consistency(benchmark, kb, set_oriented, size):
         assert evaluations >= size
 
 
+# ---------------------------------------------------------------------------
+# Perf-2b — constraint-relevance precompilation (the static-analysis half
+# of the set-oriented optimisation): constraints whose footprint does not
+# intersect the batch's touched attribute labels are never re-evaluated.
+# ---------------------------------------------------------------------------
+
+#: Labels the relevance-irrelevant constraints read; the batch only ever
+#: touches ``owner`` links, so these stay statically skippable.
+OTHER_LABELS = ["reviewer", "editor", "archivist", "typist", "referee"]
+
+
+def build_multi_constraint_kb():
+    proc = build_kb()
+    for label in OTHER_LABELS:
+        proc.tell_link("Doc", label, "Person", pid=f"Doc.{label}",
+                       of_class="Attribute")
+    return proc
+
+
+def attach_mixed_constraints(checker, tag):
+    """One constraint reading ``owner`` plus several reading other labels
+    (vacuously satisfied: no such links exist on any doc)."""
+    checker.attach_constraint("Doc", f"Owned_{tag}", "Known(self.owner)",
+                              document=False)
+    for label in OTHER_LABELS:
+        checker.attach_constraint(
+            "Doc", f"No_{label}_{tag}", f"not Known(self.{label})",
+            document=False,
+        )
+
+
+@pytest.fixture(scope="module")
+def relevance_kb():
+    proc = build_multi_constraint_kb()
+    return proc, make_batch(proc, max(BATCH_SIZES))
+
+
+@pytest.mark.parametrize("use_relevance", [False, True],
+                         ids=["full-rescan", "relevance-index"])
+def test_perf_relevance_index(benchmark, relevance_kb, use_relevance):
+    proc, batch = relevance_kb
+
+    def check():
+        checker = ConsistencyChecker(proc, set_oriented=True,
+                                     use_relevance=use_relevance)
+        attach_mixed_constraints(checker, f"bench_{use_relevance}")
+        return checker.check_batch(batch), checker.stats
+
+    violations, stats = benchmark(check)
+    assert violations == []
+    if use_relevance:
+        assert stats.skipped > 0
+
+
+def test_relevance_evaluates_strictly_fewer(relevance_kb):
+    """Acceptance: the relevance index evaluates strictly fewer
+    constraints per update than the full-rescan path, with unchanged
+    violation results."""
+    proc, batch = relevance_kb
+    results = {}
+    for use_relevance in (False, True):
+        checker = ConsistencyChecker(proc, set_oriented=True,
+                                     use_relevance=use_relevance)
+        attach_mixed_constraints(checker, f"cmp_{use_relevance}")
+        violations = checker.check_batch(batch)
+        results[use_relevance] = (checker.stats.evaluations,
+                                  [repr(v) for v in violations])
+    evals_full, violations_full = results[False]
+    evals_relevance, violations_relevance = results[True]
+    assert violations_relevance == violations_full
+    assert evals_relevance < evals_full
+    # only the owner constraint survives the footprint filter: one
+    # evaluation per touched instance vs one per (constraint, instance)
+    assert evals_relevance * len(OTHER_LABELS) <= evals_full
+    print(f"\nPerf-2b evaluations over a batch of {len(batch)}: "
+          f"relevance-index={evals_relevance}, full-rescan={evals_full}")
+
+
+def test_relevance_preserves_violations_when_relevant(relevance_kb):
+    """A constraint whose footprint matches the touched label is still
+    evaluated — and still reports its violation — under the index."""
+    proc, batch = relevance_kb
+    reports = {}
+    for use_relevance in (False, True):
+        checker = ConsistencyChecker(proc, set_oriented=True,
+                                     use_relevance=use_relevance)
+        # Violated for every doc: owner links exist but point at alice,
+        # who is no Doc.
+        checker.attach_constraint(
+            "Doc", f"OwnerIsDoc_{use_relevance}", "In(self.owner, Doc)",
+            document=False,
+        )
+        reports[use_relevance] = sorted(
+            (v.constraint.rsplit("_", 1)[0], v.instance)
+            for v in checker.check_batch(batch)
+        )
+    assert reports[True] == reports[False]
+    assert reports[True]  # the violation is genuinely reported
+
+
 @pytest.mark.parametrize("axioms", [True, False], ids=["axioms-on", "axioms-off"])
 def test_perf_axiom_checking(benchmark, axioms):
     """Ablation (DESIGN.md §5): the cost of validating every create

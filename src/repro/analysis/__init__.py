@@ -1,0 +1,59 @@
+"""Static model analysis ("CML lint") for the ConceptBase kernel.
+
+Runs at definition/commit time, before anything touches the knowledge
+base: rule stratification and safety, constraint safety and relevance
+footprints, schema/frame lint, and temporal prechecks.  See
+``python -m repro.analysis --codes`` for the diagnostic catalogue.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    SourceSpan,
+)
+from repro.analysis.relevance import (
+    ConstraintFootprint,
+    LabelDependencies,
+    RelevanceIndex,
+    footprint_of,
+)
+from repro.analysis.rules import (
+    RuleGraph,
+    RuleSpec,
+    analyze_rules,
+    check_rule,
+    spec_from_rule,
+    spec_from_text,
+)
+from repro.analysis.constraints import check_constraint
+from repro.analysis.schema import check_frame, check_frames, check_processor
+from repro.analysis.temporal import check_link_validity, check_network
+from repro.analysis.analyzer import ModelAnalyzer, analyze_model
+
+__all__ = [
+    "CODES",
+    "ConstraintFootprint",
+    "Diagnostic",
+    "DiagnosticReport",
+    "LabelDependencies",
+    "ModelAnalyzer",
+    "RelevanceIndex",
+    "RuleGraph",
+    "RuleSpec",
+    "Severity",
+    "SourceSpan",
+    "analyze_model",
+    "analyze_rules",
+    "check_constraint",
+    "check_frame",
+    "check_frames",
+    "check_link_validity",
+    "check_network",
+    "check_processor",
+    "check_rule",
+    "footprint_of",
+    "spec_from_rule",
+    "spec_from_text",
+]

@@ -1,0 +1,204 @@
+"""``python -m repro.analysis`` — the CML lint command line.
+
+Accepts model files in two forms:
+
+- **model scripts** (any non-``.py`` file): ``TELL ... END`` frames
+  interleaved with ``RULE [name:] head :- body.`` and
+  ``CONSTRAINT Class Name: assertion`` directives (``%`` comments);
+- **python modules** (``.py``): the file is executed (with
+  ``__name__`` set to ``__repro_analysis__`` so ``main()`` guards do
+  not fire) and the resulting namespace is scanned for ``ConceptBase``
+  / ``GKBMS`` instances, TELL scripts and TaxisDL designs.
+
+Exit status: 0 clean, 1 error diagnostics (with ``--strict``: also on
+warnings), 2 when an input could not be loaded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from typing import List, Tuple
+
+from repro.errors import ReproError
+from repro.analysis.analyzer import ModelAnalyzer
+from repro.analysis.diagnostics import CODES, DiagnosticReport, make
+from repro.objects.frame import parse_frames
+
+
+def _split_directives(text: str) -> Tuple[str, List[Tuple[str, str]],
+                                          List[Tuple[str, str, str]]]:
+    """Split a model script into (frame text, rules, constraints)."""
+    frame_lines: List[str] = []
+    rules: List[Tuple[str, str]] = []
+    constraints: List[Tuple[str, str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if line.startswith("%"):
+            continue
+        if line.upper().startswith("RULE "):
+            body = line[5:].strip()
+            name = f"rule@{lineno}"
+            if ":" in body and ":-" not in body.split(":", 1)[0]:
+                maybe_name, rest = body.split(":", 1)
+                if maybe_name.strip().isidentifier():
+                    name, body = maybe_name.strip(), rest.strip()
+            rules.append((name, body))
+        elif line.upper().startswith("CONSTRAINT "):
+            body = line[11:].strip()
+            header, _, assertion = body.partition(":")
+            parts = header.split()
+            if len(parts) != 2 or not assertion.strip():
+                raise ReproError(
+                    f"line {lineno}: expected "
+                    f"'CONSTRAINT Class Name: assertion', got {line!r}"
+                )
+            constraints.append((parts[0], parts[1], assertion.strip()))
+        else:
+            frame_lines.append(raw)
+    return "\n".join(frame_lines), rules, constraints
+
+
+def _analyze_script(text: str) -> DiagnosticReport:
+    """Analyze one model script: tell frames, then lint everything."""
+    from repro.conceptbase import ConceptBase
+
+    frame_text, rules, constraints = _split_directives(text)
+    cb = ConceptBase()
+    report = DiagnosticReport()
+    frames = parse_frames(frame_text) if frame_text.strip() else []
+    analyzer = ModelAnalyzer(cb.propositions)
+    for frame in frames:
+        analyzer.add_frame(frame)
+    # Pre-lint the frames, then tell the clean ones so constraints and
+    # rules see the declared classes.
+    pre = analyzer.analyze()
+    report.merge(pre)
+    flagged = {d.subject for d in pre.errors()}
+    for frame in frames:
+        if frame.name in flagged:
+            continue
+        try:
+            cb.objects.tell(frame)
+        except ReproError as exc:
+            report.add(make("CML035", f"telling {frame.name!r} failed: {exc}",
+                            subject=frame.name))
+    final = ModelAnalyzer(cb.propositions)
+    for name, rule_text in rules:
+        final.add_rule_text(name, rule_text)
+    for cls, name, assertion in constraints:
+        final.add_constraint_text(name, cls, assertion)
+    report.merge(final.analyze())
+    return report
+
+
+def _analyze_python(path: str) -> DiagnosticReport:
+    """Execute a python model module and analyze what it defines."""
+    from repro.conceptbase import ConceptBase
+    from repro.core.gkbms import GKBMS
+    from repro.languages.taxisdl.ast import TDLModel
+    from repro.languages.taxisdl.parser import parse_taxisdl
+
+    namespace = runpy.run_path(path, run_name="__repro_analysis__")
+    report = DiagnosticReport()
+    analyzed = 0
+    for name, value in sorted(namespace.items()):
+        if isinstance(value, ConceptBase):
+            analyzed += 1
+            report.merge(_analyze_conceptbase(value))
+        elif isinstance(value, GKBMS):
+            analyzed += 1
+            analyzer = ModelAnalyzer(value.processor)
+            analyzer.add_rules(value.rules.rules().items())
+            analyzer.add_constraint_defs(value.consistency.constraints().values())
+            report.merge(analyzer.analyze())
+        elif isinstance(value, TDLModel):
+            analyzed += 1
+            report.extend(_lint_design(value))
+        elif isinstance(value, str) and "TELL" in value and "END" in value:
+            analyzed += 1
+            report.merge(_analyze_script(value))
+        elif isinstance(value, str) and "entity class" in value:
+            analyzed += 1
+            try:
+                report.extend(_lint_design(parse_taxisdl(value, model_name=name)))
+            except ReproError as exc:
+                report.add(make("CML035",
+                                f"TaxisDL source {name!r} failed to parse: {exc}",
+                                subject=name))
+    if not analyzed:
+        print(f"note: {path}: no model objects found to analyze",
+              file=sys.stderr)
+    return report
+
+
+def _lint_design(model) -> List:
+    """TaxisDL design lint: attribute targets must be entity classes."""
+    known = set(model.classes)
+    out = []
+    for cls_name in sorted(model.classes):
+        for attr in model.classes[cls_name].attributes:
+            if attr.target not in known:
+                out.append(
+                    make("CML033",
+                         f"design attribute {cls_name}.{attr.name} targets "
+                         f"undefined entity class {attr.target!r}",
+                         subject=cls_name)
+                )
+    return out
+
+
+def _analyze_conceptbase(cb) -> DiagnosticReport:
+    analyzer = ModelAnalyzer(cb.propositions)
+    analyzer.add_rules(cb.rules.rules().items())
+    analyzer.add_constraint_defs(cb.consistency.constraints().values())
+    return analyzer.analyze()
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis (CML lint) for conceptual models.",
+    )
+    parser.add_argument("paths", nargs="*", help="model scripts or .py modules")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as fatal")
+    parser.add_argument("--codes", action="store_true",
+                        help="list all diagnostic codes and exit")
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        for code, (severity, description) in sorted(CODES.items()):
+            print(f"{code}  {str(severity):7}  {description}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    report = DiagnosticReport()
+    for path in args.paths:
+        try:
+            if path.endswith(".py"):
+                report.merge(_analyze_python(path))
+            else:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+                report.merge(_analyze_script(text))
+        except (OSError, ReproError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+
+    print(report.to_json() if args.json else report.render_text())
+    if report.errors():
+        return 1
+    if args.strict and report.warnings():
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""The model analyzer: one object running every static check.
+
+:class:`ModelAnalyzer` collects the pieces of a conceptual model — a
+proposition base, deduction rules, constraints, frames not yet told,
+temporal networks — and produces one
+:class:`~repro.analysis.diagnostics.DiagnosticReport`.  The
+``ConceptBase`` facade builds one from its live components
+(``cb.analyze()``); the CLI builds one from model files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import DeductionError
+from repro.analysis.constraints import check_constraint
+from repro.analysis.diagnostics import DiagnosticReport, SourceSpan, make
+from repro.analysis.rules import (
+    RuleGraph,
+    RuleSpec,
+    analyze_rules,
+    spec_from_rule,
+    spec_from_text,
+)
+from repro.analysis.schema import check_frames, check_processor
+from repro.analysis.temporal import check_link_validity, check_network
+from repro.assertions.ast import Expression
+from repro.objects.frame import ObjectFrame
+from repro.propositions.processor import PropositionProcessor
+from repro.timecalc.allen import AllenNetwork
+
+
+class ModelAnalyzer:
+    """Accumulates model components, then analyzes them together."""
+
+    def __init__(self, processor: Optional[PropositionProcessor] = None,
+                 check_times: bool = False) -> None:
+        self.processor = processor
+        self.check_times = check_times
+        self._specs: List[RuleSpec] = []
+        self._constraints: List[Tuple[str, str, Expression, str]] = []
+        self._frames: List[ObjectFrame] = []
+        self._networks: List[AllenNetwork] = []
+        self._pre_report = DiagnosticReport()  # syntax errors found on add
+        self.graph: Optional[RuleGraph] = None
+
+    # -- collection ------------------------------------------------------
+
+    def add_rule_text(self, name: str, text: str) -> None:
+        """Add rule source; syntax errors become CML008 diagnostics."""
+        try:
+            self._specs.append(spec_from_text(name, text))
+        except DeductionError as exc:
+            self._pre_report.add(
+                make("CML008", str(exc), subject=name,
+                     span=SourceSpan(text=text.strip()))
+            )
+
+    def add_rule(self, name: str, rule) -> None:
+        """Add an already-parsed :class:`~repro.deduction.terms.Rule`."""
+        self._specs.append(spec_from_rule(name, rule))
+
+    def add_rules(self, rules: Iterable[Tuple[str, object]]) -> None:
+        """Add several ``(name, Rule)`` pairs."""
+        for name, rule in rules:
+            self.add_rule(name, rule)
+
+    def add_constraint(self, name: str, attached_to: str,
+                       expression: Expression, source: str = "") -> None:
+        """Add a parsed constraint expression."""
+        self._constraints.append((name, attached_to, expression, source))
+
+    def add_constraint_text(self, name: str, attached_to: str,
+                            text: str) -> None:
+        """Add constraint source; syntax errors become CML010."""
+        from repro.errors import AssertionSyntaxError
+        from repro.assertions.parser import parse_assertion
+
+        try:
+            self._constraints.append(
+                (name, attached_to, parse_assertion(text), text)
+            )
+        except AssertionSyntaxError as exc:
+            self._pre_report.add(
+                make("CML010", str(exc), subject=name,
+                     span=SourceSpan(text=text.strip()))
+            )
+
+    def add_constraint_defs(self, definitions: Iterable[object]) -> None:
+        """Add constraint definitions (duck-typed
+        :class:`~repro.consistency.checker.ConstraintDef`)."""
+        for definition in definitions:
+            self._constraints.append(
+                (definition.name, definition.attached_to,
+                 definition.expression, definition.source)
+            )
+
+    def add_frame(self, frame: ObjectFrame) -> None:
+        """Add a frame to lint before it is told."""
+        self._frames.append(frame)
+
+    def add_network(self, network: AllenNetwork) -> None:
+        """Add a temporal constraint network to precheck."""
+        self._networks.append(network)
+
+    # -- analysis --------------------------------------------------------
+
+    def analyze(self) -> DiagnosticReport:
+        """Run all checks; returns the combined report."""
+        report = DiagnosticReport()
+        report.merge(self._pre_report)
+
+        report, self.graph = analyze_rules(self._specs, report)
+
+        exists = self.processor.exists if self.processor is not None else None
+        for name, attached_to, expression, source in self._constraints:
+            report.extend(
+                check_constraint(name, attached_to, expression,
+                                 source=source, exists=exists)
+            )
+
+        if self.processor is not None:
+            report.extend(check_processor(self.processor))
+            if self.check_times:
+                report.extend(check_link_validity(self.processor))
+        if self._frames:
+            report.extend(check_frames(self._frames, self.processor))
+        for network in self._networks:
+            report.extend(check_network(network))
+        return report
+
+    def strata(self) -> Optional[List[List[str]]]:
+        """Predicate strata of the analyzed rule set, if stratifiable."""
+        graph = self.graph if self.graph is not None else RuleGraph(self._specs)
+        try:
+            return graph.strata()
+        except DeductionError:
+            return None
+
+
+def analyze_model(
+    processor: Optional[PropositionProcessor] = None,
+    rules: Iterable[Tuple[str, object]] = (),
+    constraint_defs: Iterable[object] = (),
+    frames: Sequence[ObjectFrame] = (),
+    networks: Sequence[AllenNetwork] = (),
+    check_times: bool = False,
+) -> DiagnosticReport:
+    """One-shot analysis over ready-made components."""
+    analyzer = ModelAnalyzer(processor, check_times=check_times)
+    analyzer.add_rules(rules)
+    analyzer.add_constraint_defs(constraint_defs)
+    for frame in frames:
+        analyzer.add_frame(frame)
+    for network in networks:
+        analyzer.add_network(network)
+    return analyzer.analyze()

@@ -1,0 +1,118 @@
+"""Safety / range-restriction lint for assertion-language constraints.
+
+A constraint may use the distinguished free variable ``self`` (bound to
+each checked instance) and quantifier-bound variables; every *other*
+free identifier must name an object that exists in the knowledge base,
+otherwise the evaluator would silently treat it as an opaque constant
+and the constraint can never mean what its author intended.  These
+checks run at attach time (strict mode) and from :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic, SourceSpan, make
+from repro.assertions.ast import (
+    BinaryOp,
+    Expression,
+    InAtom,
+    Not,
+    Quantifier,
+)
+from repro.consistency.checker import SELF
+
+#: Predicate answering "does this name exist in the model?".
+ExistsOracle = Callable[[str], bool]
+
+
+def _collect(expr: Expression, quantified: List[Quantifier],
+             in_classes: Set[str]) -> None:
+    if isinstance(expr, Quantifier):
+        quantified.append(expr)
+        _collect(expr.body, quantified, in_classes)
+    elif isinstance(expr, BinaryOp):
+        _collect(expr.left, quantified, in_classes)
+        _collect(expr.right, quantified, in_classes)
+    elif isinstance(expr, Not):
+        _collect(expr.operand, quantified, in_classes)
+    elif isinstance(expr, InAtom):
+        in_classes.add(expr.class_name)
+
+
+def check_constraint(
+    name: str,
+    attached_to: str,
+    expression: Expression,
+    source: str = "",
+    exists: Optional[ExistsOracle] = None,
+) -> List[Diagnostic]:
+    """Lint one constraint definition.
+
+    ``exists`` is an oracle over the knowledge base (e.g.
+    ``processor.exists``); without it, every non-``self`` free variable
+    is flagged since nothing can vouch for it.
+    """
+    span = SourceSpan(text=source) if source else None
+    out: List[Diagnostic] = []
+
+    free = set(expression.free_variables()) - {SELF}
+    unbound = sorted(
+        var for var in free
+        if not isinstance(var, str) or exists is None or not exists(var)
+    )
+    if unbound:
+        out.append(
+            make(
+                "CML011",
+                f"free variables {unbound} are neither 'self', "
+                "quantifier-bound, nor names of existing objects",
+                subject=name,
+                span=span,
+                hint="bind them with forall/exists var/Class or define "
+                     "the objects first",
+            )
+        )
+
+    quantified: List[Quantifier] = []
+    referenced_classes: Set[str] = set()
+    _collect(expression, quantified, referenced_classes)
+    for quant in quantified:
+        body_free = quant.body.free_variables()
+        for var, cls in quant.bindings:
+            referenced_classes.add(cls)
+            if var not in body_free:
+                out.append(
+                    make(
+                        "CML013",
+                        f"quantifier variable {var!r} (over {cls}) is never "
+                        "used in the body",
+                        subject=name,
+                        span=span,
+                        hint="drop the binding or use the variable",
+                    )
+                )
+
+    if exists is not None:
+        for cls in sorted(referenced_classes):
+            if not exists(cls):
+                out.append(
+                    make(
+                        "CML012",
+                        f"references undefined class {cls!r}",
+                        subject=name,
+                        span=span,
+                        hint="define the class before attaching the constraint",
+                    )
+                )
+        if not exists(attached_to):
+            out.append(
+                make(
+                    "CML014",
+                    f"attached to undefined class {attached_to!r}",
+                    subject=name,
+                    span=span,
+                    hint="define the class before attaching the constraint",
+                )
+            )
+    return out

@@ -1,0 +1,222 @@
+"""Diagnostic objects for the static model analyzer ("CML lint").
+
+Every finding of the analyzer is a frozen :class:`Diagnostic` carrying a
+stable code (``CML001``...), a severity, the subject it is about (a rule
+name, constraint name or object name), an optional source span and a fix
+hint.  Codes are registered in :data:`CODES` so the CLI can print a
+one-line description per code and tests can assert stability.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordering supports ``max()`` over a report."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: code -> (default severity, one-line description)
+CODES: Dict[str, Tuple[Severity, str]] = {
+    # -- rule safety and stratification (CML00x) ------------------------
+    "CML001": (Severity.ERROR,
+               "unsafe rule: head variable not bound in a positive body literal"),
+    "CML002": (Severity.ERROR,
+               "unsafe negation: negated literal uses an unbound variable"),
+    "CML003": (Severity.WARNING,
+               "singleton variable: body variable used exactly once"),
+    "CML004": (Severity.ERROR,
+               "recursion through negation: rule set is not stratifiable"),
+    "CML005": (Severity.INFO,
+               "stratification: evaluation order of rule strata"),
+    "CML006": (Severity.WARNING,
+               "rule derives a reserved EDB predicate that is never "
+               "materialised as propositions"),
+    "CML007": (Severity.ERROR,
+               "rule head may not be negated"),
+    "CML008": (Severity.ERROR,
+               "rule syntax error"),
+    # -- constraint safety (CML01x) -------------------------------------
+    "CML010": (Severity.ERROR,
+               "constraint syntax error"),
+    "CML011": (Severity.ERROR,
+               "unbound variable: constraint uses a free variable that is "
+               "neither 'self' nor quantifier-bound"),
+    "CML012": (Severity.ERROR,
+               "constraint quantifies over or tests membership in an "
+               "undefined class"),
+    "CML013": (Severity.WARNING,
+               "quantifier variable never used in the body"),
+    "CML014": (Severity.ERROR,
+               "constraint attached to an undefined class"),
+    # -- schema / frame lint (CML03x) -----------------------------------
+    "CML030": (Severity.ERROR, "isa cycle in the specialization graph"),
+    "CML031": (Severity.ERROR, "instanceof of an undefined class"),
+    "CML032": (Severity.ERROR, "undefined attribute category"),
+    "CML033": (Severity.WARNING, "attribute target is undefined"),
+    "CML034": (Severity.ERROR, "isa of an undefined class"),
+    "CML035": (Severity.ERROR, "frame syntax error"),
+    # -- temporal prechecks (CML04x) ------------------------------------
+    "CML040": (Severity.ERROR,
+               "temporal constraint network is path-inconsistent"),
+    "CML041": (Severity.WARNING,
+               "link validity extends outside its endpoints' validity"),
+}
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """Where a diagnostic points in model source text."""
+
+    line: int = 0
+    column: int = 0
+    text: str = ""
+
+    def __repr__(self) -> str:
+        where = f"{self.line}:{self.column}" if self.line else "-"
+        return f"<{where} {self.text!r}>" if self.text else f"<{where}>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    span: Optional[SourceSpan] = None
+    hint: str = ""
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    @property
+    def is_error(self) -> bool:
+        """Error severity?"""
+        return self.severity is Severity.ERROR
+
+    def render(self) -> str:
+        """One human-readable line."""
+        subject = f" [{self.subject}]" if self.subject else ""
+        hint = f"  (hint: {self.hint})" if self.hint else ""
+        span = ""
+        if self.span is not None and self.span.text:
+            span = f"\n    at: {self.span.text}"
+        return f"{self.code} {self.severity}{subject}: {self.message}{hint}{span}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form."""
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "subject": self.subject,
+            "hint": self.hint,
+        }
+        if self.span is not None:
+            out["span"] = {
+                "line": self.span.line,
+                "column": self.span.column,
+                "text": self.span.text,
+            }
+        return out
+
+
+def make(code: str, message: str, subject: str = "",
+         span: Optional[SourceSpan] = None, hint: str = "") -> Diagnostic:
+    """A diagnostic with the code's registered default severity."""
+    severity, _ = CODES[code]
+    return Diagnostic(code, severity, message, subject=subject,
+                      span=span, hint=hint)
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with rendering helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        """Append one diagnostic; returns it."""
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append several diagnostics."""
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "DiagnosticReport") -> "DiagnosticReport":
+        """Append another report's diagnostics; returns self."""
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    def errors(self) -> List[Diagnostic]:
+        """Error-level diagnostics only."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Diagnostic]:
+        """Warning-level diagnostics only."""
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        """Diagnostics carrying one code."""
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def ok(self) -> bool:
+        """No error-level diagnostics?"""
+        return not self.errors()
+
+    def raise_if_errors(self) -> None:
+        """Raise :class:`~repro.errors.AnalysisError` on errors."""
+        from repro.errors import AnalysisError
+
+        errors = self.errors()
+        if errors:
+            raise AnalysisError(errors)
+
+    def render_text(self) -> str:
+        """A human-readable multi-line report."""
+        if not self.diagnostics:
+            return "analysis: clean (no diagnostics)"
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(
+            f"analysis: {len(self.errors())} error(s), "
+            f"{len(self.warnings())} warning(s), "
+            f"{len(self.diagnostics)} total"
+        )
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """A machine-readable JSON report."""
+        return json.dumps(
+            {
+                "ok": self.ok,
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings()),
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=indent,
+        )
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __repr__(self) -> str:
+        return (f"DiagnosticReport(errors={len(self.errors())}, "
+                f"warnings={len(self.warnings())}, total={len(self)})")

@@ -1,0 +1,293 @@
+"""Rule dependency graph, stratification check and safety lint.
+
+The dynamic engines already refuse unsafe rules (at construction) and
+unstratifiable programs (at materialisation) — but only one problem at a
+time, and only once a query arrives.  This module analyses a whole rule
+set *statically*: it builds the predicate dependency graph, finds every
+strongly connected component that contains a negative edge (recursion
+through negation, code ``CML004``), reports the stratum ordering, and
+turns every range-restriction violation into a diagnostic rather than an
+exception.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DeductionError
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    SourceSpan,
+    make,
+)
+from repro.deduction.parser import parse_rule_parts
+from repro.deduction.terms import Literal, Rule, safety_issues
+
+#: EDB predicates of the knowledge view whose derivations are *not*
+#: materialised back into propositions (only ``attr`` conclusions are).
+RESERVED_EDB = frozenset({"prop", "in", "isa", "isa_star", "attr_of"})
+
+_SAFETY_CODES = {
+    "unbound-head": "CML001",
+    "unbound-negation": "CML002",
+    "negated-head": "CML007",
+}
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A loosely parsed rule: name, literals and original source."""
+
+    name: str
+    head: Literal
+    body: Tuple[Literal, ...]
+    source: str = ""
+
+    @property
+    def predicate(self) -> str:
+        """The head predicate."""
+        return self.head.predicate
+
+
+def spec_from_text(name: str, text: str) -> RuleSpec:
+    """Parse rule source into a :class:`RuleSpec` (no safety checks).
+
+    Raises :class:`~repro.errors.DeductionError` on syntax errors; the
+    analyzer converts those into ``CML008`` diagnostics.
+    """
+    head, body = parse_rule_parts(text)
+    return RuleSpec(name, head, body, source=text.strip())
+
+
+def spec_from_rule(name: str, rule: Rule) -> RuleSpec:
+    """Wrap an already-constructed (hence safe) rule."""
+    return RuleSpec(name, rule.head, rule.body, source=repr(rule))
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """One edge of the dependency graph: head depends on body predicate."""
+
+    head: str
+    body: str
+    negated: bool
+    rule: str  # name of the rule contributing the edge
+
+
+class RuleGraph:
+    """Predicate dependency graph of a rule set."""
+
+    def __init__(self, specs: Iterable[RuleSpec]) -> None:
+        self.specs = list(specs)
+        self.edges: List[Dependency] = []
+        self.idb: Set[str] = {spec.predicate for spec in self.specs}
+        for spec in self.specs:
+            for lit in spec.body:
+                self.edges.append(
+                    Dependency(spec.predicate, lit.predicate, lit.negated,
+                               spec.name)
+                )
+
+    # -- strongly connected components ---------------------------------
+
+    def sccs(self) -> List[List[str]]:
+        """Tarjan's SCCs over IDB predicates, in reverse topological
+        order (dependencies before dependents)."""
+        graph: Dict[str, List[str]] = defaultdict(list)
+        for edge in self.edges:
+            if edge.body in self.idb:
+                graph[edge.head].append(edge.body)
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        result: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(node: str) -> None:
+            # Iterative Tarjan: (node, iterator position) frames.
+            work = [(node, 0)]
+            while work:
+                current, pos = work.pop()
+                if pos == 0:
+                    index[current] = low[current] = counter[0]
+                    counter[0] += 1
+                    stack.append(current)
+                    on_stack.add(current)
+                recurse = False
+                successors = graph.get(current, [])
+                for i in range(pos, len(successors)):
+                    succ = successors[i]
+                    if succ not in index:
+                        work.append((current, i + 1))
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if succ in on_stack:
+                        low[current] = min(low[current], index[succ])
+                if recurse:
+                    continue
+                if low[current] == index[current]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == current:
+                            break
+                    result.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[current])
+
+        for pred in sorted(self.idb):
+            if pred not in index:
+                strongconnect(pred)
+        return result
+
+    def negative_cycles(self) -> List[Tuple[List[str], List[Dependency]]]:
+        """SCCs containing an internal negative edge, with those edges."""
+        out: List[Tuple[List[str], List[Dependency]]] = []
+        for component in self.sccs():
+            members = set(component)
+            if len(members) == 1:
+                # A singleton is cyclic only if it depends on itself.
+                pred = component[0]
+                internal = [e for e in self.edges
+                            if e.head == pred and e.body == pred]
+            else:
+                internal = [e for e in self.edges
+                            if e.head in members and e.body in members]
+            negative = [e for e in internal if e.negated]
+            if negative:
+                out.append((component, negative))
+        return out
+
+    def strata(self) -> List[List[str]]:
+        """Predicates grouped by stratum, lowest first.
+
+        Raises :class:`~repro.errors.DeductionError` when the program is
+        not stratifiable; call :meth:`negative_cycles` first for a
+        diagnostic-friendly answer.
+        """
+        if self.negative_cycles():
+            raise DeductionError("program is not stratifiable (negative cycle)")
+        stratum: Dict[str, int] = {pred: 0 for pred in self.idb}
+        changed = True
+        while changed:
+            changed = False
+            for edge in self.edges:
+                if edge.body not in self.idb:
+                    continue
+                required = stratum[edge.body] + (1 if edge.negated else 0)
+                if stratum[edge.head] < required:
+                    stratum[edge.head] = required
+                    changed = True
+        layers: Dict[int, List[str]] = defaultdict(list)
+        for pred, level in stratum.items():
+            layers[level].append(pred)
+        return [sorted(layers[level]) for level in sorted(layers)]
+
+    def rule_strata(self) -> List[List[str]]:
+        """Rule names grouped by the stratum of their head predicate."""
+        by_pred = {pred: i for i, layer in enumerate(self.strata())
+                   for pred in layer}
+        layers: Dict[int, List[str]] = defaultdict(list)
+        for spec in self.specs:
+            layers[by_pred[spec.predicate]].append(spec.name)
+        return [layers[level] for level in sorted(layers)]
+
+
+def _singleton_variables(spec: RuleSpec) -> List[str]:
+    counts: Counter = Counter()
+    for lit in (spec.head, *spec.body):
+        for var in lit.variables():
+            counts[var.name] += 1
+    return sorted(
+        name for name, count in counts.items()
+        if count == 1 and not name.startswith("_")
+    )
+
+
+def check_rule(spec: RuleSpec) -> List[Diagnostic]:
+    """Per-rule lint: safety/range restriction plus style warnings."""
+    span = SourceSpan(text=spec.source) if spec.source else None
+    out: List[Diagnostic] = []
+    for issue in safety_issues(spec.head, spec.body):
+        out.append(
+            make(
+                _SAFETY_CODES[issue.kind],
+                issue.message,
+                subject=spec.name,
+                span=span,
+                hint="bind every head and negated variable in a positive "
+                     "body literal",
+            )
+        )
+    singletons = _singleton_variables(spec)
+    if spec.body and singletons:
+        out.append(
+            make(
+                "CML003",
+                f"variables {singletons} occur exactly once",
+                subject=spec.name,
+                span=span,
+                hint="prefix intentional don't-care variables with '_'",
+            )
+        )
+    if spec.predicate in RESERVED_EDB:
+        out.append(
+            make(
+                "CML006",
+                f"rule derives reserved predicate {spec.predicate!r}; only "
+                "'attr' conclusions are materialised as propositions",
+                subject=spec.name,
+                span=span,
+                hint="derive 'attr(...)' or a fresh IDB predicate instead",
+            )
+        )
+    return out
+
+
+def analyze_rules(
+    specs: Sequence[RuleSpec],
+    report: Optional[DiagnosticReport] = None,
+) -> Tuple[DiagnosticReport, RuleGraph]:
+    """Full rule-set analysis: per-rule lint + stratification.
+
+    Returns the report and the dependency graph (for callers that want
+    the strata programmatically).
+    """
+    report = report if report is not None else DiagnosticReport()
+    for spec in specs:
+        report.extend(check_rule(spec))
+    graph = RuleGraph(specs)
+    cycles = graph.negative_cycles()
+    for component, negative in cycles:
+        rules = sorted({e.rule for e in negative})
+        edges = ", ".join(f"{e.head} -> not {e.body}" for e in negative)
+        report.add(
+            make(
+                "CML004",
+                f"recursion through negation among predicates {component} "
+                f"(negative edges: {edges}; rules: {rules})",
+                subject=rules[0] if rules else "",
+                hint="break the cycle or move the negated predicate to a "
+                     "lower stratum",
+            )
+        )
+    if not cycles and graph.specs:
+        ordering = " | ".join(
+            ", ".join(layer) for layer in graph.strata() if layer
+        )
+        report.add(
+            make(
+                "CML005",
+                f"stratified evaluation order: {ordering}",
+                hint="",
+            )
+        )
+    return report, graph

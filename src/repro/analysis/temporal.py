@@ -1,0 +1,67 @@
+"""Temporal prechecks: Allen path consistency and validity containment.
+
+Two static checks over the time dimension:
+
+- :func:`check_network` runs Allen's path-consistency algorithm on a
+  *copy* of a qualitative constraint network and reports inconsistency
+  as a diagnostic instead of a :class:`~repro.errors.TimeError` — the
+  commit-time precheck for symbolic temporal models;
+- :func:`check_link_validity` scans a proposition base for links whose
+  validity interval sticks out of their endpoints' validity (legal, but
+  almost always an authoring mistake when versioning models).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TimeError
+from repro.analysis.diagnostics import Diagnostic, make
+from repro.propositions.processor import PropositionProcessor
+from repro.timecalc.allen import AllenNetwork
+
+
+def check_network(network: AllenNetwork) -> List[Diagnostic]:
+    """Path-consistency precheck; the input network is left untouched."""
+    scratch = AllenNetwork()
+    for node in network.nodes:
+        scratch.add_interval(node)
+    try:
+        for (a, b), relations in network._edges.items():
+            scratch.constrain(a, b, relations)
+        scratch.propagate()
+    except TimeError as exc:
+        return [
+            make(
+                "CML040",
+                f"temporal network inconsistent: {exc}",
+                subject=",".join(network.nodes),
+                hint="relax one of the interval constraints",
+            )
+        ]
+    return []
+
+
+def check_link_validity(processor: PropositionProcessor) -> List[Diagnostic]:
+    """Links whose validity exceeds their endpoints' validity."""
+    out: List[Diagnostic] = []
+    for prop in processor.store:
+        if not prop.is_link or prop.is_individual:
+            continue
+        for role in ("source", "destination"):
+            other = getattr(prop, role)
+            if not processor.exists(other):
+                continue
+            endpoint = processor.get(other)
+            if not endpoint.time.contains(prop.time):
+                out.append(
+                    make(
+                        "CML041",
+                        f"link {prop.pid!r} ({prop.source} --{prop.label}--> "
+                        f"{prop.destination}) is valid on {prop.time!r} but "
+                        f"its {role} only on {endpoint.time!r}",
+                        subject=prop.pid,
+                        hint="clip the link's validity to the endpoint's",
+                    )
+                )
+    return out

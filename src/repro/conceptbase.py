@@ -24,6 +24,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import ReproError
+from repro.analysis.analyzer import ModelAnalyzer
+from repro.analysis.diagnostics import DiagnosticReport
 from repro.assertions.ast import Quantifier
 from repro.assertions.evaluator import Bindings, Evaluator
 from repro.assertions.parser import parse_assertion
@@ -45,15 +47,20 @@ from repro.timecalc.interval import ALWAYS, Interval
 class ConceptBase:
     """The conceptual model base management system, in one object."""
 
-    def __init__(self, store: Optional[PropositionStore] = None) -> None:
+    def __init__(self, store: Optional[PropositionStore] = None,
+                 strict: bool = False) -> None:
         self.propositions = PropositionProcessor(store=store)
         self.objects = ObjectProcessor(self.propositions)
         self.rules = RuleEngine(self.propositions)
         self.rules.install_hook()
         self.consistency = ConsistencyChecker(self.propositions)
+        self.consistency.set_rule_source(self.rules.rules)
         self.behaviours = BehaviourBase(self.propositions)
         self.view = RelationalView(self.propositions)
         self._evaluator = Evaluator(self.propositions)
+        #: Strict mode refuses to commit rules, constraints and frames
+        #: that carry error-level static diagnostics.
+        self.strict = strict
 
     # ------------------------------------------------------------------
     # Telling (object processor level)
@@ -70,7 +77,19 @@ class ConceptBase:
 
     def tell(self, frames: Union[str, ObjectFrame],
              time: Interval = ALWAYS) -> List[Proposition]:
-        """Tell one frame or a script of frames."""
+        """Tell one frame or a script of frames.
+
+        In strict mode the frames are linted first and error-level
+        diagnostics refuse the whole telling."""
+        if self.strict:
+            from repro.analysis.schema import check_frames
+            from repro.objects.frame import parse_frames
+
+            parsed = (parse_frames(frames) if isinstance(frames, str)
+                      else [frames])
+            report = DiagnosticReport()
+            report.extend(check_frames(parsed, self.propositions))
+            report.raise_if_errors()
         if isinstance(frames, str) and frames.count("TELL") > 1:
             return self.objects.tell_all(frames, time=time)
         return self.objects.tell(frames, time=time)
@@ -120,16 +139,47 @@ class ConceptBase:
 
     def add_rule(self, rule: str, name: Optional[str] = None,
                  attached_to: str = "Proposition") -> None:
-        """Register a deduction rule (documented as a rule proposition)."""
+        """Register a deduction rule (documented as a rule proposition).
+
+        In strict mode the rule is first analyzed together with the
+        already-registered rules; unsafe rules and recursion through
+        negation refuse the commit with an
+        :class:`~repro.errors.AnalysisError`."""
+        if self.strict:
+            analyzer = ModelAnalyzer(self.propositions)
+            analyzer.add_rules(self.rules.rules().items())
+            rule_name = name or f"rule_{len(self.rules.rules()) + 1}"
+            if isinstance(rule, str):
+                analyzer.add_rule_text(rule_name, rule)
+            else:
+                analyzer.add_rule(rule_name, rule)
+            analyzer.analyze().raise_if_errors()
         self.rules.add_rule(rule, name=name, attached_to=attached_to)
 
     def add_constraint(self, cls: str, name: str, text: str) -> None:
-        """Attach a first-order constraint to a class."""
+        """Attach a first-order constraint to a class.
+
+        In strict mode the constraint is statically checked first
+        (unbound variables, undefined classes) and error diagnostics
+        refuse the attachment."""
+        if self.strict:
+            analyzer = ModelAnalyzer(self.propositions)
+            analyzer.add_constraint_text(name, cls, text)
+            analyzer.analyze().raise_if_errors()
         self.consistency.attach_constraint(cls, name, text)
 
     def check(self) -> List[Violation]:
         """Check every attached constraint over its extent."""
         return self.consistency.check_all()
+
+    def analyze(self, check_times: bool = False) -> DiagnosticReport:
+        """Static analysis of the whole model: rule stratification and
+        safety, constraint safety, schema lint and (optionally) validity
+        containment — without evaluating anything against extents."""
+        analyzer = ModelAnalyzer(self.propositions, check_times=check_times)
+        analyzer.add_rules(self.rules.rules().items())
+        analyzer.add_constraint_defs(self.consistency.constraints().values())
+        return analyzer.analyze()
 
     def enforce_on_commit(self) -> None:
         """Reject inconsistent tellings at commit (set-oriented)."""

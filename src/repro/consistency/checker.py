@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConsistencyError
@@ -56,6 +56,7 @@ class CheckStats:
     evaluations: int = 0
     instances_checked: int = 0
     batches: int = 0
+    skipped: int = 0  # constraints pruned by the relevance index
 
 
 class ConsistencyChecker:
@@ -66,6 +67,13 @@ class ConsistencyChecker:
     batch of updates before evaluating; ``set_oriented=False`` naively
     re-evaluates per updated proposition, which is the ablation measured
     by benchmark Perf-2.
+
+    ``use_relevance=True`` additionally consults the statically compiled
+    :class:`~repro.analysis.relevance.RelevanceIndex`: a batch of pure
+    attribute updates only re-evaluates constraints whose footprint
+    (closed under rule-derived labels, see :meth:`set_rule_source`)
+    intersects the touched labels — the precompiled half of the paper's
+    set-oriented optimisation.
     """
 
     def __init__(
@@ -73,12 +81,19 @@ class ConsistencyChecker:
         processor: PropositionProcessor,
         set_oriented: bool = True,
         include_deduced: bool = True,
+        use_relevance: bool = True,
     ) -> None:
+        from repro.analysis.relevance import RelevanceIndex
+
         self.processor = processor
         self.set_oriented = set_oriented
+        self.use_relevance = use_relevance
         self.evaluator = Evaluator(processor, include_deduced=include_deduced)
         self._constraints: Dict[str, ConstraintDef] = {}
         self._by_class: Dict[str, List[str]] = {}
+        self.relevance = RelevanceIndex()
+        self._rule_source = None
+        self._rule_signature: Optional[Tuple[str, ...]] = None
         self.stats = CheckStats()
 
     # ------------------------------------------------------------------
@@ -95,6 +110,7 @@ class ConsistencyChecker:
         definition = ConstraintDef(name, cls, parse_assertion(text), text)
         self._constraints[name] = definition
         self._by_class.setdefault(cls, []).append(name)
+        self.relevance.add(name, cls, definition.expression)
         if document:
             holder = f"Assertion_{name}"
             if not self.processor.exists(holder):
@@ -114,6 +130,29 @@ class ConsistencyChecker:
         if definition is None:
             raise ConsistencyError(name, ["unknown constraint"])
         self._by_class[definition.attached_to].remove(name)
+        self.relevance.remove(name)
+
+    def set_rule_source(self, source) -> None:
+        """Tell the relevance index where deduction rules come from.
+
+        ``source`` is a zero-argument callable returning the registered
+        rules by name (e.g. ``RuleEngine.rules``); the label-derivation
+        closure is rebuilt whenever the rule set changes, so footprint
+        matching stays sound in the presence of derived attributes.
+        """
+        self._rule_source = source
+        self._rule_signature = None
+
+    def _refresh_label_deps(self) -> None:
+        if self._rule_source is None:
+            return
+        from repro.analysis.relevance import LabelDependencies
+
+        rules = self._rule_source()
+        signature = tuple(sorted(rules))
+        if signature != self._rule_signature:
+            self._rule_signature = signature
+            self.relevance.label_deps = LabelDependencies(rules.values())
 
     def constraints_for(self, cls: str) -> List[ConstraintDef]:
         """Constraints attached to ``cls`` or any of its generalizations
@@ -209,8 +248,18 @@ class ConsistencyChecker:
         props = list(props)
         if self.set_oriented:
             affected: Set[str] = set()
+            structural = False
+            touched_labels: Set[str] = set()
             for prop in props:
                 affected |= self._affected_instances(prop)
+                if prop.is_link and not prop.is_instanceof and not prop.is_isa:
+                    touched_labels.add(prop.label)
+                else:
+                    structural = True
+            closed_labels = None
+            if self.use_relevance and not structural:
+                self._refresh_label_deps()
+                closed_labels = self.relevance.closed_labels(touched_labels)
             seen: Set[Tuple[str, Optional[str]]] = set()
             violations: List[Violation] = []
             for instance in sorted(affected):
@@ -224,6 +273,11 @@ class ConsistencyChecker:
                         if key in seen:
                             continue
                         seen.add(key)
+                        if self.use_relevance and not self.relevance.relevant(
+                            definition.name, closed_labels, structural
+                        ):
+                            self.stats.skipped += 1
+                            continue
                         violation = self._evaluate(definition, subject)
                         if violation is not None:
                             violations.append(violation)

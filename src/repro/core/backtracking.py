@@ -18,7 +18,7 @@ the paper's versioning story (fig 3-4) requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import List, Set
 
 from repro.errors import BacktrackError
 from repro.core.decisions import DecisionEngine, DecisionRecord

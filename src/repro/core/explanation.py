@@ -117,7 +117,6 @@ class Explainer:
             return f"{indent}{name} (see above)"
         seen.add(name)
         lines = [f"{indent}{name}"]
-        did = None
         producers = self.gkbms.decisions.producers_of(name)
         active = [r for r in producers if not r.is_retracted]
         if active:

@@ -23,7 +23,7 @@ A :class:`GKBMS` owns:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.errors import GKBMSError
 from repro.assertions.evaluator import Evaluator
@@ -56,6 +56,7 @@ class GKBMS:
         self.objects = ObjectProcessor(self.processor)
         self.rules = RuleEngine(self.processor)
         self.consistency = ConsistencyChecker(self.processor)
+        self.consistency.set_rule_source(self.rules.rules)
         self.tools = ToolRegistry(self.processor)
         self.decisions = DecisionEngine(self)
         self.backtracker = Backtracker(self)

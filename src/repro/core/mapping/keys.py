@@ -31,7 +31,6 @@ from repro.languages.dbpl.ast import (
     Join,
     Project,
     RelationDecl,
-    RelationRef,
     Rename,
     Select,
     SelectorDecl,

@@ -18,7 +18,7 @@ that are applicable to the current focus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.metamodel import LEVEL_OF_CLASS, level_of

@@ -17,7 +17,7 @@ before loading a history that references them.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.errors import GKBMSError
 from repro.core.decisions import DecisionRecord, Obligation

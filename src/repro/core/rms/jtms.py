@@ -12,8 +12,8 @@ assumption sets underlying the contradiction so one can be retracted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.errors import RMSError
 

@@ -16,7 +16,7 @@ no proof when the decision is executed by this tool.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional
 
 from repro.errors import DecisionError

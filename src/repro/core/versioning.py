@@ -185,7 +185,7 @@ class VersionManager:
             if "~" in name:
                 continue  # version tokens are bookkeeping, not components
             try:
-                current = self.current(name)
+                self.current(name)  # raises when no version is active
             except VersionError:
                 continue
             # the *module-level* artefact keeps the base name; include

@@ -106,8 +106,8 @@ class _RuleParser:
         self._expect(")")
         return Literal(predicate, tuple(args), negated=negated)
 
-    def parse_rule(self) -> Rule:
-        """``head [:- body].``."""
+    def parse_rule_parts(self) -> Tuple[Literal, Tuple[Literal, ...]]:
+        """``head [:- body].`` as raw literals, without safety checks."""
         head = self.parse_literal()
         body: List[Literal] = []
         if self._peek()[0] == "neck":
@@ -117,7 +117,12 @@ class _RuleParser:
                 self._advance()
                 body.append(self.parse_literal())
         self._expect(".")
-        return Rule(head, tuple(body))
+        return head, tuple(body)
+
+    def parse_rule(self) -> Rule:
+        """``head [:- body].``."""
+        head, body = self.parse_rule_parts()
+        return Rule(head, body)
 
     def parse_program(self) -> List[Rule]:
         """All rules until EOF."""
@@ -134,6 +139,20 @@ def parse_rule(text: str) -> Rule:
     if not parser.at_end():
         raise DeductionError(f"trailing input after rule: {text!r}")
     return rule
+
+
+def parse_rule_parts(text: str) -> Tuple[Literal, Tuple[Literal, ...]]:
+    """Parse a rule into ``(head, body)`` literals *without* the safety
+    checks of the :class:`~repro.deduction.terms.Rule` constructor.
+
+    The static analyzer uses this to diagnose unsafe rules instead of
+    dying on the first problem.
+    """
+    parser = _RuleParser(text)
+    parts = parser.parse_rule_parts()
+    if not parser.at_end():
+        raise DeductionError(f"trailing input after rule: {text!r}")
+    return parts
 
 
 def parse_program(text: str) -> List[Rule]:

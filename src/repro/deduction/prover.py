@@ -26,7 +26,6 @@ from repro.deduction.terms import (
     Literal,
     Rule,
     Substitution,
-    Variable,
     resolve,
     unify,
 )

@@ -19,9 +19,7 @@ from repro.deduction.terms import (
     Literal,
     Rule,
     Substitution,
-    Variable,
     ground_tuple,
-    resolve,
     unify,
 )
 

@@ -100,6 +100,64 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class SafetyIssue:
+    """One range-restriction problem found in a ``head :- body`` pair.
+
+    ``kind`` is one of ``negated-head``, ``unbound-head`` or
+    ``unbound-negation``; ``variables`` names the offending variables
+    (empty for ``negated-head``).
+    """
+
+    kind: str
+    message: str
+    variables: Tuple[str, ...] = ()
+
+
+def safety_issues(head: Literal, body: Tuple[Literal, ...]) -> Tuple[SafetyIssue, ...]:
+    """Range-restriction violations of a prospective rule.
+
+    This is the single source of truth for rule safety: the
+    :class:`Rule` constructor raises on the first issue, while the
+    static analyzer reports all of them as diagnostics.
+    """
+    issues = []
+    if head.negated:
+        issues.append(
+            SafetyIssue("negated-head", f"rule head may not be negated: {head!r}")
+        )
+    head_vars = {v.name for v in head.variables()}
+    positive_vars = {
+        v.name
+        for lit in body
+        if not lit.negated
+        for v in lit.variables()
+    }
+    unsafe = head_vars - positive_vars
+    if body and unsafe:
+        issues.append(
+            SafetyIssue(
+                "unbound-head",
+                f"unsafe rule: head variables {sorted(unsafe)} not bound "
+                "by a positive body literal",
+                tuple(sorted(unsafe)),
+            )
+        )
+    for lit in body:
+        if lit.negated:
+            loose = {v.name for v in lit.variables()} - positive_vars
+            if loose:
+                issues.append(
+                    SafetyIssue(
+                        "unbound-negation",
+                        f"unsafe negation: {lit!r} uses variables not bound "
+                        "positively",
+                        tuple(sorted(loose)),
+                    )
+                )
+    return tuple(issues)
+
+
+@dataclass(frozen=True)
 class Rule:
     """A Horn rule ``head :- body``; facts have an empty body."""
 
@@ -108,29 +166,8 @@ class Rule:
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.head.negated:
-            raise DeductionError(f"rule head may not be negated: {self.head!r}")
-        head_vars = {v.name for v in self.head.variables()}
-        positive_vars = {
-            v.name
-            for lit in self.body
-            if not lit.negated
-            for v in lit.variables()
-        }
-        unsafe = head_vars - positive_vars
-        if self.body and unsafe:
-            raise DeductionError(
-                f"unsafe rule: head variables {sorted(unsafe)} not bound "
-                f"by a positive body literal in {self!r}"
-            )
-        for lit in self.body:
-            if lit.negated:
-                neg_vars = {v.name for v in lit.variables()}
-                if neg_vars - positive_vars:
-                    raise DeductionError(
-                        f"unsafe negation: {lit!r} uses variables not bound "
-                        f"positively in {self!r}"
-                    )
+        for issue in safety_issues(self.head, self.body):
+            raise DeductionError(f"{issue.message} in {self!r}")
 
     @property
     def is_fact(self) -> bool:

@@ -51,6 +51,25 @@ class DeductionError(ReproError):
     """Rule compilation or evaluation failed (e.g. unstratified negation)."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis found error-level diagnostics; carries them.
+
+    Raised by strict mode (``ConceptBase(strict=True)``) when a rule,
+    constraint or frame would be committed despite error diagnostics.
+    """
+
+    def __init__(self, diagnostics: list | None = None) -> None:
+        self.diagnostics = list(diagnostics or [])
+        codes = ", ".join(
+            sorted({getattr(d, "code", "?") for d in self.diagnostics})
+        )
+        detail = f" [{codes}]" if codes else ""
+        super().__init__(
+            f"static analysis found {len(self.diagnostics)} "
+            f"error-level diagnostic(s){detail}"
+        )
+
+
 class ConsistencyError(ReproError):
     """A constraint was violated; carries the violating objects."""
 

@@ -20,7 +20,7 @@ Accepted forms (semicolons terminate declarations)::
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.errors import LanguageError
 from repro.languages.dbpl.ast import (

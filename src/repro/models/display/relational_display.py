@@ -13,7 +13,7 @@ control and row scrolling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.objects.relational import RelationalView
 

@@ -15,7 +15,7 @@ and recovery" the paper promises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ModelError
 

@@ -16,7 +16,7 @@ makes the view *deductive*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Tuple
 
 from repro.errors import PropositionError
 from repro.propositions.processor import PropositionProcessor

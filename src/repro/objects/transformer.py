@@ -17,7 +17,7 @@ one of the object's classes — the instantiation principle at work).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.errors import PropositionError
 from repro.objects.frame import AttributeDecl, ObjectFrame

@@ -15,7 +15,7 @@ the library itself ever uses).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import PropositionError
 from repro.propositions.axioms import KERNEL_PIDS

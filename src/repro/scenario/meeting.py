@@ -17,7 +17,7 @@ Replays section 2.1 against a :class:`~repro.core.gkbms.GKBMS`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.gkbms import GKBMS
 from repro.core.decisions import DecisionRecord

@@ -28,7 +28,6 @@ Commands::
 from __future__ import annotations
 
 import shlex
-import sys
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.gkbms import GKBMS

@@ -1,0 +1,465 @@
+"""Tier-1 — static model analysis ("CML lint").
+
+Covers the analyzer subsystem end to end: diagnostic plumbing, rule
+stratification and safety, constraint safety, the relevance index the
+consistency checker consults (including soundness under rule-derived
+labels), schema/frame lint, strict-mode commit refusal and the
+``python -m repro.analysis`` command line.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    LabelDependencies,
+    ModelAnalyzer,
+    RelevanceIndex,
+    RuleGraph,
+    Severity,
+    analyze_rules,
+    check_frames,
+    check_rule,
+    footprint_of,
+    spec_from_text,
+)
+from repro.analysis.__main__ import main as analysis_main
+from repro.assertions.parser import parse_assertion
+from repro.conceptbase import ConceptBase
+from repro.consistency import ConsistencyChecker
+from repro.errors import AnalysisError
+from repro.objects.frame import parse_frames
+from repro.propositions import PropositionProcessor
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics
+# ---------------------------------------------------------------------------
+
+class TestDiagnostics:
+    def test_codes_registered_with_severities(self):
+        assert CODES["CML001"][0] is Severity.ERROR
+        assert CODES["CML003"][0] is Severity.WARNING
+        assert CODES["CML005"][0] is Severity.INFO
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(Exception):
+            Diagnostic(code="CML999", severity=Severity.ERROR, message="x")
+
+    def test_report_partitions_and_serialises(self):
+        report = DiagnosticReport()
+        from repro.analysis.diagnostics import make
+        report.add(make("CML001", "unbound head variable", subject="r1"))
+        report.add(make("CML003", "singleton", subject="r2"))
+        assert len(report.errors()) == 1
+        assert len(report.warnings()) == 1
+        assert not report.ok
+        payload = json.loads(report.to_json())
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert codes == {"CML001", "CML003"}
+        assert "CML001" in report.render_text()
+
+    def test_raise_if_errors_carries_diagnostics(self):
+        report = DiagnosticReport()
+        from repro.analysis.diagnostics import make
+        report.add(make("CML004", "negative cycle"))
+        with pytest.raises(AnalysisError) as excinfo:
+            report.raise_if_errors()
+        assert excinfo.value.diagnostics[0].code == "CML004"
+
+
+# ---------------------------------------------------------------------------
+# Rule safety and stratification
+# ---------------------------------------------------------------------------
+
+class TestRuleAnalysis:
+    def test_unbound_head_variable_is_cml001(self):
+        spec = spec_from_text(
+            "r", "attr(?x, informed, ?y) :- attr(?x, sender, ?z).")
+        codes = [d.code for d in check_rule(spec)]
+        assert "CML001" in codes
+        assert all(CODES[c][0] is not Severity.ERROR or c == "CML001"
+                   for c in codes)
+
+    def test_unbound_negated_variable_is_cml002(self):
+        spec = spec_from_text(
+            "r", "p(?x) :- q(?x), not r(?y).")
+        assert "CML002" in [d.code for d in check_rule(spec)]
+
+    def test_singleton_variable_warns_cml003_unless_underscored(self):
+        noisy = spec_from_text("r", "p(?x) :- q(?x, ?extra).")
+        assert "CML003" in [d.code for d in check_rule(noisy)]
+        quiet = spec_from_text("r", "p(?x) :- q(?x, ?_extra).")
+        assert "CML003" not in [d.code for d in check_rule(quiet)]
+
+    def test_reserved_edb_head_is_cml006(self):
+        spec = spec_from_text("r", "isa(?x, ?y) :- attr(?x, parent, ?y).")
+        assert "CML006" in [d.code for d in check_rule(spec)]
+
+    def test_recursion_through_negation_rejected(self):
+        specs = [spec_from_text(
+            "win", "win(?x) :- attr(?x, move, ?y), not win(?y).")]
+        report, graph = analyze_rules(specs)
+        assert [d.code for d in report.errors()] == ["CML004"]
+        assert graph.negative_cycles()
+        with pytest.raises(Exception):
+            graph.strata()
+
+    def test_mutual_negative_recursion_rejected(self):
+        specs = [
+            spec_from_text("p", "p(?x) :- base(?x), not q(?x)."),
+            spec_from_text("q", "q(?x) :- base(?x), not p(?x)."),
+        ]
+        report, _graph = analyze_rules(specs)
+        assert "CML004" in [d.code for d in report.errors()]
+
+    def test_stratified_program_reports_order(self):
+        specs = [
+            spec_from_text("reach", "reach(?x, ?y) :- edge(?x, ?y)."),
+            spec_from_text(
+                "reach2", "reach(?x, ?z) :- edge(?x, ?y), reach(?y, ?z)."),
+            spec_from_text(
+                "cut", "unreachable(?x, ?y) :- node(?x), node(?y), "
+                       "not reach(?x, ?y)."),
+        ]
+        report, graph = analyze_rules(specs)
+        assert report.ok
+        assert "CML005" in [d.code for d in report.diagnostics]
+        strata = graph.strata()
+        level = {pred: i for i, layer in enumerate(strata) for pred in layer}
+        assert level["reach"] < level["unreachable"]
+
+    def test_rule_strata_groups_rule_names(self):
+        graph = RuleGraph([
+            spec_from_text("a", "p(?x) :- base(?x)."),
+            spec_from_text("b", "q(?x) :- base(?x), not p(?x)."),
+        ])
+        strata = graph.rule_strata()
+        assert strata[0] == ["a"] and strata[-1] == ["b"]
+
+
+# ---------------------------------------------------------------------------
+# Constraint footprints and the relevance index
+# ---------------------------------------------------------------------------
+
+class TestRelevance:
+    def test_footprint_extracts_labels_and_classes(self):
+        expr = parse_assertion(
+            "forall p/Person (Known(self.owner) and In(p.boss, Manager))")
+        fp = footprint_of("C", "Doc", expr)
+        assert fp.labels == {"owner", "boss"}
+        assert {"Doc", "Person", "Manager"} <= set(fp.classes)
+        assert not fp.opaque
+
+    def test_relevant_filters_by_label(self):
+        index = RelevanceIndex()
+        index.add("C", "Doc", parse_assertion("Known(self.owner)"))
+        closed = index.closed_labels(["reviewer"])
+        assert index.relevant("C", closed, structural=False) is False
+        closed = index.closed_labels(["owner"])
+        assert index.relevant("C", closed, structural=False) is True
+
+    def test_structural_updates_are_conservative(self):
+        index = RelevanceIndex()
+        index.add("C", "Doc", parse_assertion("Known(self.owner)"))
+        assert index.relevant("C", frozenset(), structural=True) is True
+
+    def test_unknown_constraint_is_relevant(self):
+        index = RelevanceIndex()
+        assert index.relevant("missing", frozenset({"x"}),
+                              structural=False) is True
+
+    def test_label_dependencies_close_over_rules(self):
+        from repro.deduction.parser import parse_rule
+        deps = LabelDependencies([
+            parse_rule("attr(?x, informed, ?y) :- attr(?x, sender, ?y)."),
+        ])
+        assert deps.affected_labels("sender") == {"sender", "informed"}
+        assert deps.affected_labels("owner") == {"owner"}
+
+    def test_variable_label_head_makes_closure_conservative(self):
+        from repro.deduction.parser import parse_rule
+        deps = LabelDependencies([
+            parse_rule("attr(?x, ?l, ?y) :- attr(?y, ?l, ?x), sym(?l)."),
+        ])
+        assert deps.affected_labels("anything") is None
+
+
+def _relevance_kb():
+    proc = PropositionProcessor()
+    proc.define_class("Doc")
+    proc.define_class("Person")
+    for label in ("owner", "reviewer", "sender", "informed"):
+        proc.tell_link("Doc", label, "Person", pid=f"Doc.{label}",
+                       of_class="Attribute")
+    proc.tell_individual("alice", in_class="Person")
+    proc.tell_individual("d1", in_class="Doc")
+    proc.tell_link("d1", "owner", "alice", of_class="Doc.owner")
+    proc.tell_link("d1", "sender", "alice", of_class="Doc.sender")
+    return proc
+
+
+class TestCheckerIntegration:
+    def test_irrelevant_constraint_skipped_relevant_rechecked(self):
+        proc = _relevance_kb()
+        checker = ConsistencyChecker(proc, set_oriented=True,
+                                     use_relevance=True)
+        checker.attach_constraint("Doc", "HasOwner", "Known(self.owner)",
+                                  document=False)
+        checker.attach_constraint("Doc", "NoReviewer",
+                                  "not Known(self.reviewer)", document=False)
+        batch = proc.attributes_of("d1", label="owner")
+        assert checker.check_batch(batch) == []
+        assert checker.stats.skipped == 1  # NoReviewer pruned
+        assert checker.stats.evaluations == 1  # HasOwner evaluated
+
+    def test_full_rescan_mode_skips_nothing(self):
+        proc = _relevance_kb()
+        checker = ConsistencyChecker(proc, set_oriented=True,
+                                     use_relevance=False)
+        checker.attach_constraint("Doc", "HasOwner", "Known(self.owner)",
+                                  document=False)
+        checker.attach_constraint("Doc", "NoReviewer",
+                                  "not Known(self.reviewer)", document=False)
+        checker.check_batch(proc.attributes_of("d1", label="owner"))
+        assert checker.stats.skipped == 0
+        assert checker.stats.evaluations == 2
+
+    def test_rule_derived_label_keeps_constraint_relevant(self):
+        """An update to ``sender`` must still re-check a constraint
+        reading ``informed`` when a rule derives one from the other."""
+        cb = ConceptBase()
+        cb.define_class("Doc")
+        cb.define_class("Person")
+        proc = cb.propositions
+        for label in ("sender", "informed"):
+            proc.tell_link("Doc", label, "Person", pid=f"Doc.{label}",
+                           of_class="Attribute")
+        proc.tell_individual("alice", in_class="Person")
+        proc.tell_individual("d1", in_class="Doc")
+        proc.tell_link("d1", "sender", "alice", of_class="Doc.sender")
+        cb.add_rule("attr(?x, informed, ?y) :- attr(?x, sender, ?y).")
+        cb.consistency.attach_constraint(
+            "Doc", "Informs", "Known(self.informed)", document=False)
+        batch = proc.attributes_of("d1", label="sender")
+        cb.consistency.check_batch(batch)
+        assert cb.consistency.stats.skipped == 0
+        assert cb.consistency.stats.evaluations >= 1
+
+    def test_violations_identical_with_and_without_relevance(self):
+        reports = {}
+        for use_relevance in (False, True):
+            proc = _relevance_kb()
+            checker = ConsistencyChecker(proc, set_oriented=True,
+                                         use_relevance=use_relevance)
+            checker.attach_constraint("Doc", "OwnerIsDoc",
+                                      "In(self.owner, Doc)", document=False)
+            violations = checker.check_batch(
+                proc.attributes_of("d1", label="owner"))
+            reports[use_relevance] = sorted(
+                (v.constraint, v.instance) for v in violations)
+        assert reports[True] == reports[False]
+        assert reports[True]  # genuinely violated, genuinely reported
+
+
+# ---------------------------------------------------------------------------
+# Constraint safety
+# ---------------------------------------------------------------------------
+
+class TestConstraintAnalysis:
+    def test_unbound_variable_is_cml011(self):
+        analyzer = ModelAnalyzer()
+        analyzer.add_constraint_text(
+            "Ghost", "Doc", "exists p/Person (Known(q.owner))")
+        assert "CML011" in [d.code for d in analyzer.analyze().errors()]
+
+    def test_unused_quantifier_variable_warns_cml013(self):
+        analyzer = ModelAnalyzer()
+        analyzer.add_constraint_text(
+            "Lazy", "Doc", "exists p/Person (Known(self.owner))")
+        assert "CML013" in [d.code for d in analyzer.analyze().warnings()]
+
+    def test_undefined_class_is_cml012_with_processor(self):
+        proc = PropositionProcessor()
+        proc.define_class("Doc")
+        analyzer = ModelAnalyzer(proc)
+        analyzer.add_constraint_text(
+            "Typed", "Doc", "exists p/Phantom (Known(p))")
+        assert "CML012" in [d.code for d in analyzer.analyze().errors()]
+
+    def test_syntax_error_is_cml010(self):
+        analyzer = ModelAnalyzer()
+        analyzer.add_constraint_text("Broken", "Doc", "exists (((")
+        assert "CML010" in [d.code for d in analyzer.analyze().errors()]
+
+
+# ---------------------------------------------------------------------------
+# Schema / frame lint
+# ---------------------------------------------------------------------------
+
+class TestSchemaLint:
+    def test_frame_into_undefined_class_is_cml031(self):
+        proc = PropositionProcessor()
+        frames = parse_frames("""
+            TELL invite1 IN Invitation WITH
+              attribute sender : alice
+            END
+        """)
+        codes = [d.code for d in check_frames(frames, proc)]
+        assert "CML031" in codes
+
+    def test_frame_isa_undefined_class_is_cml034(self):
+        proc = PropositionProcessor()
+        proc.define_class("Doc")
+        frames = parse_frames("""
+            TELL Report IN SimpleClass ISA Missive WITH
+            END
+        """)
+        codes = [d.code for d in check_frames(frames, proc)]
+        assert "CML034" in codes
+
+    def test_frames_defined_in_same_script_are_not_flagged(self):
+        proc = PropositionProcessor()
+        frames = parse_frames("""
+            TELL Invitation IN SimpleClass WITH
+            END
+
+            TELL invite1 IN Invitation WITH
+            END
+        """)
+        assert check_frames(frames, proc) == []
+
+    def test_isa_cycle_in_store_is_cml030(self):
+        from repro.analysis import check_processor
+        proc = PropositionProcessor()
+        for name in proc.axioms.names():
+            proc.axioms.disable(name)
+        proc.define_class("A")
+        proc.define_class("B", isa=["A"])
+        proc.tell_isa("A", "B")
+        assert "CML030" in [d.code for d in check_processor(proc)]
+
+
+# ---------------------------------------------------------------------------
+# Strict mode (commit refusal) and ConceptBase.analyze()
+# ---------------------------------------------------------------------------
+
+class TestStrictMode:
+    def test_strict_refuses_unstratifiable_rule(self):
+        cb = ConceptBase(strict=True)
+        with pytest.raises(AnalysisError) as excinfo:
+            cb.add_rule("win(?x) :- attr(?x, move, ?y), not win(?y).")
+        assert any(d.code == "CML004" for d in excinfo.value.diagnostics)
+        assert cb.rules.rules() == {}  # nothing committed
+
+    def test_strict_refuses_unsafe_constraint(self):
+        cb = ConceptBase(strict=True)
+        cb.define_class("Doc")
+        with pytest.raises(AnalysisError) as excinfo:
+            cb.add_constraint("Doc", "Ghost", "Known(q.owner)")
+        assert any(d.code == "CML011" for d in excinfo.value.diagnostics)
+
+    def test_strict_refuses_frame_into_undefined_class(self):
+        cb = ConceptBase(strict=True)
+        with pytest.raises(AnalysisError):
+            cb.tell("""
+                TELL invite1 IN Phantom WITH
+                END
+            """)
+        assert not cb.propositions.exists("invite1")
+
+    def test_strict_accepts_clean_commits(self):
+        cb = ConceptBase(strict=True)
+        cb.define_class("Doc")
+        cb.tell("TELL d1 IN Doc WITH\nEND")
+        cb.add_rule("related(?x, ?y) :- attr(?x, cites, ?y).")
+        cb.add_constraint("Doc", "SelfKnown", "Known(self)")
+        assert cb.propositions.exists("d1")
+
+    def test_analyze_reports_on_live_model(self):
+        cb = ConceptBase()
+        cb.define_class("Doc")
+        cb.add_rule("related(?x, ?y) :- attr(?x, cites, ?y).")
+        report = cb.analyze()
+        assert report.ok
+        assert "CML005" in [d.code for d in report.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+BROKEN_SCRIPT = """\
+% a model with seeded problems
+TELL Doc IN SimpleClass WITH
+END
+
+TELL d1 IN Ghost WITH
+END
+
+RULE bad: attr(?x, informed, ?y) :- attr(?x, sender, ?z).
+RULE win: win(?x) :- attr(?x, move, ?y), not win(?y).
+CONSTRAINT Doc Unbound: Known(q.owner)
+"""
+
+CLEAN_SCRIPT = """\
+TELL Doc IN SimpleClass WITH
+END
+
+TELL d1 IN Doc WITH
+END
+
+RULE related: related(?x, ?y) :- attr(?x, cites, ?y).
+CONSTRAINT Doc SelfKnown: Known(self)
+"""
+
+
+class TestCLI:
+    def test_broken_script_exits_1_with_stable_codes(self, tmp_path, capsys):
+        model = tmp_path / "broken.model"
+        model.write_text(BROKEN_SCRIPT)
+        assert analysis_main([str(model)]) == 1
+        out = capsys.readouterr().out
+        for code in ("CML031", "CML001", "CML004", "CML011"):
+            assert code in out
+
+    def test_clean_script_exits_0(self, tmp_path):
+        model = tmp_path / "clean.model"
+        model.write_text(CLEAN_SCRIPT)
+        assert analysis_main([str(model)]) == 0
+
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        model = tmp_path / "broken.model"
+        model.write_text(BROKEN_SCRIPT)
+        analysis_main(["--json", str(model)])
+        payload = json.loads(capsys.readouterr().out)
+        assert {"CML001", "CML004"} <= {d["code"]
+                                        for d in payload["diagnostics"]}
+
+    def test_strict_promotes_warnings_to_failure(self, tmp_path):
+        model = tmp_path / "warn.model"
+        model.write_text(
+            "RULE r: related(?x, ?y) :- attr(?x, cites, ?y), p(?odd).\n")
+        assert analysis_main([str(model)]) == 0
+        assert analysis_main(["--strict", str(model)]) == 1
+
+    def test_missing_file_exits_2(self):
+        assert analysis_main(["/nonexistent/model.file"]) == 2
+
+    def test_codes_listing(self, capsys):
+        assert analysis_main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "CML001" in out and "CML040" in out
+
+    def test_python_module_input(self, tmp_path):
+        module = tmp_path / "model.py"
+        module.write_text(
+            "from repro.conceptbase import ConceptBase\n"
+            "cb = ConceptBase()\n"
+            "cb.define_class('Doc')\n"
+            "cb.add_rule('related(?x, ?y) :- attr(?x, cites, ?y).')\n"
+        )
+        assert analysis_main([str(module)]) == 0

@@ -11,7 +11,6 @@ from repro.languages.taxisdl import (
     print_model,
 )
 from repro.languages.dbpl import (
-    ConstructorDecl,
     DBPLModule,
     Field,
     ForeignKey,
@@ -19,7 +18,6 @@ from repro.languages.dbpl import (
     Project,
     RelationDecl,
     RelationRef,
-    SelectorDecl,
     parse_dbpl,
     print_module,
     print_relation,

@@ -210,7 +210,7 @@ class TestRelationalDisplay:
     def test_first_normal_form_explodes_sets(self, populated_objects):
         display = RelationalDisplay(RelationalView(populated_objects.propositions))
         text = display.render("Invitation", first_normal_form=True)
-        lines = [l for l in text.splitlines() if "ann" in l or "eva" in l]
+        lines = [ln for ln in text.splitlines() if "ann" in ln or "eva" in ln]
         assert len(lines) == 2  # one row per receiver
 
     def test_column_width_clipping(self, populated_objects):

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import PropositionError
 from repro.objects import ObjectProcessor, RelationalView, parse_frame
 from repro.objects.frame import parse_frames
-from repro.propositions import Pattern
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ together (e.g. top-down prover vs bottom-up Datalog, event-calculus
 design depends on (backtracking removes exactly the consequents).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.deduction import Database, Prover, evaluate, parse_literal, parse_program
@@ -14,7 +13,6 @@ from repro.objects import ObjectProcessor
 from repro.objects.frame import AttributeDecl, ObjectFrame
 from repro.propositions import PropositionProcessor
 from repro.timecalc import (
-    ALLEN_RELATIONS,
     AllenNetwork,
     EventCalculus,
     Fluent,

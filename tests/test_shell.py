@@ -1,6 +1,5 @@
 """Tests for the GKBMS shell (scripted, via run_commands)."""
 
-import pytest
 
 from repro.shell import GKBMSShell, run_commands
 

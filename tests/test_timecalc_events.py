@@ -6,7 +6,6 @@ from repro.errors import TimeError
 from repro.timecalc import (
     AllenCalculus,
     AllenRelation,
-    Event,
     EventBasedCalculus,
     EventCalculus,
     Fluent,
