@@ -3,10 +3,18 @@
 Each figure benchmark rebuilds its figure's content from the public API
 inside the timed section and asserts the *shape* reported by the paper
 (same objects, same typed dependencies, same retained/retracted sets).
-The performance benchmarks (Perf-1 ... Perf-5) sweep the parameters of
+The performance benchmarks (Perf-1 ... Perf-6) sweep the parameters of
 the efficiency questions the paper raises in sections 3.1, 3.3.3 and 4.
+
+``--bench-json=BENCH_PRn.json`` records the run: per-benchmark wall
+timings (from pytest-benchmark, when it ran) plus every structural
+counter a test registered through the ``perf_counters`` fixture.  The
+committed ``BENCH_*.json`` files are the repo's perf trajectory —
+counters are machine-independent, so regressions in evaluation counts
+diff cleanly across PRs even when wall clocks do not.
 """
 
+import json
 import os
 import sys
 
@@ -17,6 +25,64 @@ if _SRC not in sys.path:
 import pytest
 
 from repro.scenario import MeetingScenario
+
+#: nodeid -> {counter name: value}, collected via the perf_counters fixture.
+_COUNTERS = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write per-benchmark timings and structural perf counters "
+             "(cache hits, BFS expansions, join probes) to a JSON file",
+    )
+
+
+@pytest.fixture
+def perf_counters(request):
+    """Record structural counters for the --bench-json report.
+
+    Usage: ``perf_counters(isa_expansions_cached=8, ...)``; values are
+    merged per test, so a test may record in several steps.
+    """
+
+    def record(**counters):
+        _COUNTERS.setdefault(request.node.nodeid, {}).update(counters)
+
+    return record
+
+
+def _benchmark_entries(config):
+    session = getattr(config, "_benchmarksession", None)
+    entries = []
+    for bench in getattr(session, "benchmarks", None) or []:
+        stats = getattr(bench, "stats", None)
+        entry = {
+            "name": getattr(bench, "name", None),
+            "group": getattr(bench, "group", None),
+        }
+        for field in ("min", "max", "mean", "stddev", "rounds"):
+            value = getattr(stats, field, None)
+            if value is not None:
+                entry[field] = value
+        entries.append(entry)
+    return entries
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    payload = {
+        "benchmarks": _benchmark_entries(session.config),
+        "counters": _COUNTERS,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture

@@ -1,0 +1,176 @@
+"""Perf-6 — the query-optimisation layer (sections 3.1, 4).
+
+Two ablations, both asserted structurally via counters rather than wall
+clock:
+
+- **Closure caches** (``PropositionProcessor(optimise=...)``): a
+  Perf-5-style batch load (class hierarchies, then attribute-typed
+  instance links, every create validated against the CML axiom base)
+  with the epoch-validated closure caches on vs off.  The cached
+  processor must perform at least 5x fewer raw isa-BFS expansions while
+  producing an identical base.
+- **Compiled semi-naive joins** (``evaluate(..., optimise=...)``): a
+  recursive reachability + same-generation program over growing edge
+  sets, compiled join plans vs the interpreted unify-per-row baseline.
+  The compiled path must examine at least 3x fewer rows (join probes)
+  at the largest size, on an identical fixpoint.
+"""
+
+import pytest
+
+from repro.deduction import Database, evaluate, parse_program
+from repro.deduction.seminaive import new_stats
+from repro.propositions import PropositionProcessor
+
+# ---------------------------------------------------------------------------
+# Part A: closure caches under batch load
+# ---------------------------------------------------------------------------
+
+HIERARCHIES = 4
+LOAD_SIZES = [20, 60, 180]  # objects per batch load
+
+
+def batch_load(optimise: bool, objects: int) -> PropositionProcessor:
+    """Perf-5-style load: entity hierarchies, attribute classes, then a
+    stream of classified objects with typed attribute links."""
+    proc = PropositionProcessor(optimise=optimise)
+    for h in range(HIERARCHIES):
+        proc.define_class(f"Base{h}")
+        proc.define_class(f"Leaf{h}", isa=[f"Base{h}"])
+        proc.tell_link(f"Base{h}", "owner", f"Base{h}",
+                       pid=f"Base{h}.owner", of_class="Attribute")
+    previous = {}
+    for index in range(objects):
+        name = f"obj{index}"
+        hierarchy = index % HIERARCHIES
+        proc.tell_individual(name, in_class=f"Leaf{hierarchy}")
+        if hierarchy in previous:
+            proc.tell_link(previous[hierarchy], "owner", name,
+                           of_class=f"Base{hierarchy}.owner")
+        previous[hierarchy] = name
+    return proc
+
+
+@pytest.mark.parametrize("objects", LOAD_SIZES)
+@pytest.mark.parametrize("optimise", [False, True],
+                         ids=["closure-uncached", "closure-cached"])
+def test_perf_closure_cache(benchmark, optimise, objects):
+    proc = benchmark(batch_load, optimise, objects)
+    assert len(proc.store) > objects
+
+
+def test_closure_cache_expansion_ratio(perf_counters):
+    """Acceptance: >=5x fewer isa-BFS expansions on the largest batch
+    load, with a bit-identical proposition base."""
+    objects = max(LOAD_SIZES)
+    cached = batch_load(True, objects)
+    uncached = batch_load(False, objects)
+    assert cached.summary() == uncached.summary()
+    assert {p.pid for p in cached.store} == {p.pid for p in uncached.store}
+    expansions_cached = cached.stats["isa_expansions"]
+    expansions_uncached = uncached.stats["isa_expansions"]
+    assert expansions_cached * 5 <= expansions_uncached
+    assert cached.stats["closure_hits"] > 0
+    perf_counters(
+        isa_expansions_cached=expansions_cached,
+        isa_expansions_uncached=expansions_uncached,
+        closure_hits=cached.stats["closure_hits"],
+        closure_misses=cached.stats["closure_misses"],
+        closure_invalidations=cached.stats["closure_invalidations"],
+    )
+    print(f"\nPerf-6a isa-BFS expansions over a {objects}-object load: "
+          f"cached={expansions_cached}, uncached={expansions_uncached}")
+
+
+def test_closure_queries_identical_after_load():
+    """Cached and uncached processors agree on every closure query."""
+    cached = batch_load(True, 40)
+    uncached = batch_load(False, 40)
+    for h in range(HIERARCHIES):
+        assert (cached.instances_of(f"Base{h}")
+                == uncached.instances_of(f"Base{h}"))
+        assert (cached.specializations(f"Base{h}")
+                == uncached.specializations(f"Base{h}"))
+        assert ([p.pid for p in cached.attribute_classes(f"Leaf{h}")]
+                == [p.pid for p in uncached.attribute_classes(f"Leaf{h}")])
+    for index in range(40):
+        assert cached.classes_of(f"obj{index}") == uncached.classes_of(f"obj{index}")
+
+
+# ---------------------------------------------------------------------------
+# Part B: compiled semi-naive join plans
+# ---------------------------------------------------------------------------
+
+FIXPOINT_SIZES = [16, 32, 48]  # nodes in the edge graph
+
+PROGRAM = parse_program(
+    """
+    path(?x, ?y) :- edge(?x, ?y).
+    path(?x, ?z) :- path(?x, ?y), edge(?y, ?z).
+    sg(?x, ?x) :- node(?x).
+    sg(?x, ?y) :- edge(?px, ?x), sg(?px, ?py), edge(?py, ?y).
+    """
+)
+
+
+def edge_database(nodes: int) -> Database:
+    """A chain with deterministic shortcut edges (branching for sg)."""
+    edges = {(f"n{i}", f"n{i + 1}") for i in range(nodes - 1)}
+    edges |= {(f"n{i}", f"n{(i * 3 + 7) % nodes}") for i in range(0, nodes, 5)}
+    return Database({
+        "edge": edges,
+        "node": {(f"n{i}",) for i in range(nodes)},
+    })
+
+
+def fixpoint(optimise: bool, nodes: int):
+    stats = new_stats()
+    idb = evaluate(PROGRAM, edge_database(nodes), optimise=optimise,
+                   stats=stats)
+    return idb, stats
+
+
+@pytest.mark.parametrize("nodes", FIXPOINT_SIZES)
+@pytest.mark.parametrize("optimise", [False, True],
+                         ids=["join-interpreted", "join-compiled"])
+def test_perf_seminaive_joins(benchmark, optimise, nodes):
+    if optimise:
+        idb, _stats = benchmark(fixpoint, optimise, nodes)
+    else:
+        # The interpreted baseline is orders of magnitude slower; one
+        # measured round keeps the sweep bounded.
+        idb, _stats = benchmark.pedantic(
+            fixpoint, args=(optimise, nodes), rounds=1, iterations=1
+        )
+    assert len(idb.rows("path")) > nodes
+
+
+def test_seminaive_join_probe_ratio(perf_counters):
+    """Acceptance: >=3x fewer join probes at the largest swept size,
+    with bit-identical fixpoints."""
+    nodes = max(FIXPOINT_SIZES)
+    compiled_idb, compiled_stats = fixpoint(True, nodes)
+    interpreted_idb, interpreted_stats = fixpoint(False, nodes)
+    for predicate in set(compiled_idb.predicates()) | set(
+        interpreted_idb.predicates()
+    ):
+        assert compiled_idb.rows(predicate) == interpreted_idb.rows(predicate)
+    probes_compiled = compiled_stats["join_probes"]
+    probes_interpreted = interpreted_stats["join_probes"]
+    assert probes_compiled * 3 <= probes_interpreted
+    perf_counters(
+        join_probes_compiled=probes_compiled,
+        join_probes_interpreted=probes_interpreted,
+        index_probes=compiled_stats["index_probes"],
+        fixpoint_iterations=compiled_stats["iterations"],
+    )
+    print(f"\nPerf-6b join probes over a {nodes}-node fixpoint: "
+          f"compiled={probes_compiled}, interpreted={probes_interpreted}")
+
+
+def test_seminaive_fixpoints_identical_across_sizes():
+    for nodes in FIXPOINT_SIZES:
+        compiled_idb, _ = fixpoint(True, nodes)
+        interpreted_idb, _ = fixpoint(False, nodes)
+        assert compiled_idb.rows("path") == interpreted_idb.rows("path")
+        assert compiled_idb.rows("sg") == interpreted_idb.rows("sg")

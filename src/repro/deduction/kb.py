@@ -23,7 +23,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 from repro.errors import DeductionError
 from repro.deduction.parser import parse_rule
 from repro.deduction.prover import Prover
-from repro.deduction.seminaive import Database, evaluate
+from repro.deduction.seminaive import Database, evaluate, new_stats
 from repro.deduction.terms import Rule
 from repro.propositions.processor import PropositionProcessor
 from repro.propositions.proposition import Pattern, Proposition
@@ -102,11 +102,20 @@ class KnowledgeView:
 
 
 class RuleEngine:
-    """Rule propositions + deduced propositions for a processor."""
+    """Rule propositions + deduced propositions for a processor.
 
-    def __init__(self, processor: PropositionProcessor) -> None:
+    ``optimise`` selects the compiled join-plan evaluator for bottom-up
+    materialisation (the default) or the interpreted baseline; ``stats``
+    accumulates the evaluator's join/index-probe counters across
+    :meth:`materialise` calls, next to the prover's lemma statistics.
+    """
+
+    def __init__(self, processor: PropositionProcessor,
+                 optimise: bool = True) -> None:
         self.processor = processor
         self.view = KnowledgeView(processor)
+        self.optimise = optimise
+        self.stats = new_stats()
         self._rules: Dict[str, Rule] = {}
         self._idb_epoch = -1
         self._idb: Optional[Database] = None
@@ -169,7 +178,10 @@ class RuleEngine:
     def materialise(self) -> Database:
         """Bottom-up IDB (cached per knowledge-base epoch)."""
         if self._idb is None or self._idb_epoch != self.processor.epoch:
-            self._idb = evaluate(list(self._rules.values()), self.view.database())
+            self._idb = evaluate(
+                list(self._rules.values()), self.view.database(),
+                optimise=self.optimise, stats=self.stats,
+            )
             self._idb_epoch = self.processor.epoch
         return self._idb
 

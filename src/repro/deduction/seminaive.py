@@ -6,12 +6,26 @@ only joins against the *delta* of the previous iteration, which is the
 standard optimisation over naive iteration; negation is handled by
 stratification (a rule may only negate predicates fully computed in
 earlier strata).
+
+Two evaluation paths share the same stratified fixpoint loop:
+
+- the **compiled** path (default): each rule is compiled once into join
+  plans — one per delta focus — with literals reordered greedily by the
+  number of bound argument positions, and each join step probing a
+  per-predicate argument-position hash index on the
+  :class:`Database` instead of scanning and unifying row by row;
+- the **interpreted** path (``optimise=False``): the original
+  per-row ``unify`` loop, kept as the ablation baseline benchmark
+  Perf-6 compares join-probe counts against.
+
+Both paths count every examined row in ``stats["join_probes"]`` and
+produce bit-identical fixpoints.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DeductionError
 from repro.deduction.terms import (
@@ -19,36 +33,87 @@ from repro.deduction.terms import (
     Literal,
     Rule,
     Substitution,
+    Variable,
     ground_tuple,
     unify,
 )
 
 Fact = Tuple[Any, ...]
 
+_EMPTY_ROWS: frozenset = frozenset()
+
 
 class Database:
-    """Predicate-indexed fact storage."""
+    """Predicate-indexed fact storage.
+
+    Beyond the per-predicate fact sets, the database maintains lazy
+    *argument-position indexes*: ``index("edge", (0,))`` maps each value
+    of the first argument to the matching rows.  Indexes are built on
+    first use and maintained incrementally by :meth:`add`, which is what
+    makes the compiled join plans O(matching rows) per probe.
+    """
 
     def __init__(self, facts: Optional[Dict[str, Set[Fact]]] = None) -> None:
-        self._facts: Dict[str, Set[Fact]] = defaultdict(set)
+        self._facts: Dict[str, Set[Fact]] = {}
+        # predicate -> positions-tuple -> key-tuple -> rows
+        self._indexes: Dict[str, Dict[Tuple[int, ...], Dict[Tuple, List[Fact]]]] = {}
+        self._frozen: Dict[str, frozenset] = {}
         for pred, rows in (facts or {}).items():
             self._facts[pred] = set(rows)
 
     def add(self, predicate: str, row: Fact) -> bool:
         """Insert; return True when the fact is new."""
-        rows = self._facts[predicate]
+        rows = self._facts.get(predicate)
+        if rows is None:
+            rows = self._facts[predicate] = set()
         if row in rows:
             return False
         rows.add(row)
+        self._frozen.pop(predicate, None)
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            for positions, table in indexes.items():
+                if not positions or positions[-1] < len(row):
+                    key = tuple(row[p] for p in positions)
+                    table.setdefault(key, []).append(row)
         return True
 
-    def rows(self, predicate: str) -> Set[Fact]:
-        """The fact set of one predicate."""
-        return self._facts.get(predicate, set())
+    def rows(self, predicate: str) -> frozenset:
+        """The fact set of one predicate, as an immutable snapshot.
+
+        Always a ``frozenset`` — previously this leaked the live
+        internal set for known predicates (mutating it corrupted the
+        indexes) but a fresh set for unknown ones.  The snapshot is
+        cached per predicate and invalidated on the next insert.
+        """
+        frozen = self._frozen.get(predicate)
+        if frozen is None:
+            frozen = self._frozen[predicate] = frozenset(
+                self._facts.get(predicate, ())
+            )
+        return frozen
+
+    def _live_rows(self, predicate: str) -> Iterable[Fact]:
+        """Internal read-only access without snapshot cost."""
+        return self._facts.get(predicate, _EMPTY_ROWS)
+
+    def index(self, predicate: str, positions: Tuple[int, ...]) -> Dict[Tuple, List[Fact]]:
+        """The hash index of ``predicate`` on ``positions`` (lazily built)."""
+        indexes = self._indexes.setdefault(predicate, {})
+        table = indexes.get(positions)
+        if table is None:
+            table = indexes[positions] = {}
+            last = positions[-1] if positions else -1
+            for row in self._facts.get(predicate, ()):
+                if last < len(row):
+                    key = tuple(row[p] for p in positions)
+                    table.setdefault(key, []).append(row)
+        return table
 
     def contains(self, predicate: str, row: Fact) -> bool:
         """Membership test for one fact."""
-        return row in self._facts.get(predicate, set())
+        rows = self._facts.get(predicate)
+        return rows is not None and row in rows
 
     def predicates(self) -> List[str]:
         """Predicates with at least one fact."""
@@ -59,9 +124,17 @@ class Database:
         return Database({p: set(rows) for p, rows in self._facts.items()})
 
     def merge(self, other: "Database") -> None:
-        """Union another database in, in place."""
+        """Union another database in, in place (indexes kept current)."""
         for pred in other.predicates():
-            self._facts[pred] |= other.rows(pred)
+            incoming = other._live_rows(pred)
+            if self._indexes.get(pred):
+                for row in incoming:
+                    self.add(pred, row)
+            else:
+                rows = self._facts.setdefault(pred, set())
+                if incoming - rows:
+                    self._frozen.pop(pred, None)
+                    rows |= incoming
 
     def __len__(self) -> int:
         return sum(len(rows) for rows in self._facts.values())
@@ -104,12 +177,208 @@ def stratify(rules: Iterable[Rule]) -> List[List[Rule]]:
     return [layers[level] for level in sorted(layers)]
 
 
+# ---------------------------------------------------------------------------
+# Compiled join plans
+# ---------------------------------------------------------------------------
+#
+# Substitutions on the compiled path are plain ``{variable name: value}``
+# dicts — no ``Constant`` wrapping, no ``unify`` call per row.  A literal
+# compiled against a known set of already-bound variables splits its
+# argument positions into
+#
+# - *key* positions (constants and bound variables): probed through the
+#   database's argument-position index;
+# - *binder* positions (first occurrence of a new variable): bound from
+#   the row;
+# - *check* positions (repeated occurrence of a new variable within the
+#   same literal): compared against the binder position.
+
+
+class _JoinStep:
+    """One positive body literal, compiled for a fixed binding context."""
+
+    __slots__ = ("predicate", "arity", "positions", "key_parts", "binders",
+                 "checks", "body_index")
+
+    def __init__(self, literal: Literal, bound_vars: Set[str], body_index: int) -> None:
+        self.predicate = literal.predicate
+        self.arity = len(literal.args)
+        self.body_index = body_index  # position among the rule's positives
+        positions: List[int] = []
+        key_parts: List[Tuple[bool, Any]] = []  # (is_variable, value-or-name)
+        binders: List[Tuple[int, str]] = []
+        checks: List[Tuple[int, int]] = []
+        first_seen: Dict[str, int] = {}
+        for pos, arg in enumerate(literal.args):
+            if isinstance(arg, Constant):
+                positions.append(pos)
+                key_parts.append((False, arg.value))
+            elif arg.name in bound_vars:
+                positions.append(pos)
+                key_parts.append((True, arg.name))
+            elif arg.name in first_seen:
+                checks.append((pos, first_seen[arg.name]))
+            else:
+                first_seen[arg.name] = pos
+                binders.append((pos, arg.name))
+        self.positions = tuple(positions)
+        self.key_parts = tuple(key_parts)
+        self.binders = tuple(binders)
+        self.checks = tuple(checks)
+
+    def extend(self, db: Database, env: Dict[str, Any],
+               stats: Dict[str, int]) -> Iterator[Dict[str, Any]]:
+        """All extensions of ``env`` over matching rows of ``db``."""
+        if self.positions:
+            key = tuple(
+                env[part] if is_var else part
+                for is_var, part in self.key_parts
+            )
+            stats["index_probes"] += 1
+            candidates = db.index(self.predicate, self.positions).get(key, ())
+        else:
+            candidates = db._live_rows(self.predicate)
+        arity = self.arity
+        for row in candidates:
+            stats["join_probes"] += 1
+            if len(row) != arity:
+                continue
+            ok = True
+            for pos, first in self.checks:
+                if row[pos] != row[first]:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            out = dict(env)
+            for pos, name in self.binders:
+                out[name] = row[pos]
+            yield out
+
+
+class _TupleBuilder:
+    """Grounds a literal whose variables are all bound (heads, negation)."""
+
+    __slots__ = ("predicate", "parts")
+
+    def __init__(self, literal: Literal) -> None:
+        self.predicate = literal.predicate
+        self.parts = tuple(
+            (True, arg.name) if isinstance(arg, Variable) else (False, arg.value)
+            for arg in literal.args
+        )
+
+    def build(self, env: Dict[str, Any]) -> Fact:
+        return tuple(env[part] if is_var else part for is_var, part in self.parts)
+
+
+class _CompiledRule:
+    """A rule compiled into one join plan per semi-naive focus."""
+
+    def __init__(self, rule: Rule) -> None:
+        self.rule = rule
+        self.positive = [lit for lit in rule.body if not lit.negated]
+        self.negative = [_TupleBuilder(lit) for lit in rule.body if lit.negated]
+        self.head = _TupleBuilder(rule.head)
+        # focus (None or positive-literal index) -> ordered join steps
+        self._plans: Dict[Optional[int], List[_JoinStep]] = {}
+
+    def _bound_count(self, literal: Literal, bound_vars: Set[str]) -> int:
+        count = 0
+        for arg in literal.args:
+            if isinstance(arg, Constant) or arg.name in bound_vars:
+                count += 1
+        return count
+
+    def plan(self, focus: Optional[int]) -> List[_JoinStep]:
+        """The join order for ``focus``: the delta literal leads, the
+        rest follow greedily by bound-position count (selectivity)."""
+        try:
+            return self._plans[focus]
+        except KeyError:
+            pass
+        remaining = list(range(len(self.positive)))
+        order: List[int] = []
+        bound_vars: Set[str] = set()
+        if focus is not None:
+            order.append(focus)
+            remaining.remove(focus)
+            bound_vars |= {v.name for v in self.positive[focus].variables()}
+        while remaining:
+            best = max(
+                remaining,
+                key=lambda i: (self._bound_count(self.positive[i], bound_vars), -i),
+            )
+            order.append(best)
+            remaining.remove(best)
+            bound_vars |= {v.name for v in self.positive[best].variables()}
+        steps: List[_JoinStep] = []
+        bound_vars = set()
+        for body_index in order:
+            steps.append(_JoinStep(self.positive[body_index], bound_vars, body_index))
+            bound_vars |= {v.name for v in self.positive[body_index].variables()}
+        self._plans[focus] = steps
+        return steps
+
+
+def _evaluate_compiled(
+    crule: _CompiledRule,
+    full: Database,
+    delta: Optional[Database],
+    derived: Database,
+    stats: Dict[str, int],
+) -> List[Fact]:
+    """One semi-naive pass of a compiled rule (see ``_evaluate_rule``)."""
+    new_facts: List[Fact] = []
+    focus_positions: List[Optional[int]]
+    if delta is None or not crule.positive:
+        focus_positions = [None]
+    else:
+        focus_positions = list(range(len(crule.positive)))
+    head_pred = crule.rule.head.predicate
+    for focus in focus_positions:
+        envs: List[Dict[str, Any]] = [{}]
+        for step in crule.plan(focus):
+            db = delta if (focus is not None and step.body_index == focus) else full
+            next_envs: List[Dict[str, Any]] = []
+            for env in envs:
+                next_envs.extend(step.extend(db, env, stats))
+            envs = next_envs
+            if not envs:
+                break
+        for env in envs:
+            blocked = False
+            for builder in crule.negative:
+                if full.contains(builder.predicate, builder.build(env)):
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            row = crule.head.build(env)
+            if not full.contains(head_pred, row) and not derived.contains(
+                head_pred, row
+            ):
+                derived.add(head_pred, row)
+                new_facts.append(row)
+    return new_facts
+
+
+# ---------------------------------------------------------------------------
+# Interpreted path (the optimise=False ablation baseline)
+# ---------------------------------------------------------------------------
+
+
 def _match_literal(
-    literal: Literal, rows: Set[Fact], theta: Substitution
+    literal: Literal,
+    rows: Iterable[Fact],
+    theta: Substitution,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Iterable[Substitution]:
     """All extensions of ``theta`` matching ``literal`` against ``rows``."""
     bound = literal.substitute(theta)
     for row in rows:
+        if stats is not None:
+            stats["join_probes"] += 1
         candidate = Literal(
             literal.predicate, tuple(Constant(v) for v in row)
         )
@@ -125,6 +394,7 @@ def _evaluate_rule(
     full: Database,
     delta: Optional[Database],
     derived: Database,
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[Fact]:
     """One semi-naive pass of ``rule``; ``delta`` focuses one positive
     literal on the last iteration's new facts (None = naive first round)."""
@@ -132,10 +402,10 @@ def _evaluate_rule(
     positive = [lit for lit in rule.body if not lit.negated]
     negative = [lit for lit in rule.body if lit.negated]
 
-    def lookup(lit: Literal, use_delta: bool) -> Set[Fact]:
+    def lookup(lit: Literal, use_delta: bool) -> Iterable[Fact]:
         if use_delta and delta is not None:
-            return delta.rows(lit.predicate)
-        return full.rows(lit.predicate)
+            return delta._live_rows(lit.predicate)
+        return full._live_rows(lit.predicate)
 
     focus_positions: List[Optional[int]]
     if delta is None or not positive:
@@ -149,7 +419,7 @@ def _evaluate_rule(
             rows = lookup(lit, use_delta=(focus == index))
             next_subs: List[Substitution] = []
             for theta in substitutions:
-                next_subs.extend(_match_literal(lit, rows, theta))
+                next_subs.extend(_match_literal(lit, rows, theta, stats))
             substitutions = next_subs
             if not substitutions:
                 break
@@ -171,19 +441,57 @@ def _evaluate_rule(
     return new_facts
 
 
-def evaluate(rules: Iterable[Rule], edb: Database) -> Database:
-    """Compute the full IDB: ``edb`` plus everything the rules derive."""
+# ---------------------------------------------------------------------------
+# The stratified fixpoint
+# ---------------------------------------------------------------------------
+
+
+def new_stats() -> Dict[str, int]:
+    """A fresh evaluation-statistics dict (all counters zero)."""
+    return {"join_probes": 0, "index_probes": 0, "iterations": 0,
+            "derived_facts": 0}
+
+
+def evaluate(
+    rules: Iterable[Rule],
+    edb: Database,
+    optimise: bool = True,
+    stats: Optional[Dict[str, int]] = None,
+) -> Database:
+    """Compute the full IDB: ``edb`` plus everything the rules derive.
+
+    ``optimise`` selects the compiled join-plan path (default) or the
+    interpreted unify-per-row baseline; both produce identical
+    databases.  ``stats`` (a dict, see :func:`new_stats`) accumulates
+    join-probe / index-probe / iteration counters for structural
+    performance assertions.
+    """
+    if stats is None:
+        stats = new_stats()
+    else:
+        for key, value in new_stats().items():
+            stats.setdefault(key, value)
     full = edb.copy()
     for layer in stratify(rules):
         facts = [rule for rule in layer if rule.is_fact]
         proper = [rule for rule in layer if not rule.is_fact]
+        compiled = [_CompiledRule(rule) for rule in proper] if optimise else []
         for fact in facts:
             full.add(fact.head.predicate, ground_tuple(fact.head, {}))
         delta: Optional[Database] = None
         while True:
+            stats["iterations"] += 1
             derived = Database()
-            for rule in proper:
-                _evaluate_rule(rule, full, delta, derived)
+            if optimise:
+                for crule in compiled:
+                    stats["derived_facts"] += len(
+                        _evaluate_compiled(crule, full, delta, derived, stats)
+                    )
+            else:
+                for rule in proper:
+                    stats["derived_facts"] += len(
+                        _evaluate_rule(rule, full, delta, derived, stats)
+                    )
             if len(derived) == 0:
                 break
             full.merge(derived)

@@ -131,6 +131,7 @@ def load_processor(
         for prop in props:
             if prop.pid not in proc.store:
                 proc.store.create(prop)
+                proc._note_change(prop)
         proc._bump()
         return proc
     # dependency order: individuals first, then links whose endpoints

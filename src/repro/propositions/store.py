@@ -22,7 +22,6 @@ proposition base from the proposition processor.
 from __future__ import annotations
 
 import abc
-from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import PropositionError, UnknownPropositionError
@@ -31,6 +30,14 @@ from repro.propositions.proposition import Pattern, Proposition
 
 class PropositionStore(abc.ABC):
     """Interface every physical representation must export."""
+
+    @property
+    def visibility_epoch(self) -> int:
+        """Counter bumped when the *visible* content changes without a
+        create/delete going through the owning processor (e.g. workspace
+        activation).  Stores without such a mechanism stay at 0; caches
+        above the store fold this into their validation stamps."""
+        return 0
 
     @abc.abstractmethod
     def create(self, prop: Proposition) -> None:
@@ -74,37 +81,44 @@ class MemoryStore(PropositionStore):
     Maintains secondary indexes on source, label, destination and the
     (source, label) pair, so the common access paths of the object
     processor (all attributes of an object; all instanceof links of a
-    class) are O(result).
+    class) are O(result).  Index buckets are pruned when they empty, so
+    index dictionaries never grow beyond the live proposition set under
+    create/delete churn.
     """
 
     def __init__(self) -> None:
         self._by_pid: Dict[str, Proposition] = {}
-        self._by_source: Dict[str, set] = defaultdict(set)
-        self._by_label: Dict[str, set] = defaultdict(set)
-        self._by_destination: Dict[str, set] = defaultdict(set)
-        self._by_source_label: Dict[Tuple[str, str], set] = defaultdict(set)
-        self._by_label_destination: Dict[Tuple[str, str], set] = defaultdict(set)
+        self._by_source: Dict[str, set] = {}
+        self._by_label: Dict[str, set] = {}
+        self._by_destination: Dict[str, set] = {}
+        self._by_source_label: Dict[Tuple[str, str], set] = {}
+        self._by_label_destination: Dict[Tuple[str, str], set] = {}
+
+    def _index_entries(self, prop: Proposition):
+        yield self._by_source, prop.source
+        yield self._by_label, prop.label
+        yield self._by_destination, prop.destination
+        yield self._by_source_label, (prop.source, prop.label)
+        yield self._by_label_destination, (prop.label, prop.destination)
 
     def create(self, prop: Proposition) -> None:
         """Store; reject duplicate identifiers."""
         if prop.pid in self._by_pid:
             raise PropositionError(f"duplicate proposition identifier {prop.pid!r}")
         self._by_pid[prop.pid] = prop
-        self._by_source[prop.source].add(prop.pid)
-        self._by_label[prop.label].add(prop.pid)
-        self._by_destination[prop.destination].add(prop.pid)
-        self._by_source_label[(prop.source, prop.label)].add(prop.pid)
-        self._by_label_destination[(prop.label, prop.destination)].add(prop.pid)
+        for index, key in self._index_entries(prop):
+            index.setdefault(key, set()).add(prop.pid)
 
     def delete(self, pid: str) -> Proposition:
-        """Remove and return by identifier."""
+        """Remove and return by identifier; empty buckets are pruned."""
         prop = self.get(pid)
         del self._by_pid[pid]
-        self._by_source[prop.source].discard(pid)
-        self._by_label[prop.label].discard(pid)
-        self._by_destination[prop.destination].discard(pid)
-        self._by_source_label[(prop.source, prop.label)].discard(pid)
-        self._by_label_destination[(prop.label, prop.destination)].discard(pid)
+        for index, key in self._index_entries(prop):
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(pid)
+                if not bucket:
+                    del index[key]
         return prop
 
     def get(self, pid: str) -> Proposition:
@@ -228,6 +242,13 @@ class WorkspaceStore(PropositionStore):
         self._active: Dict[str, bool] = {self.DEFAULT: True}
         self._location: Dict[str, str] = {}
         self._current = self.DEFAULT
+        self._visibility_epoch = 0
+
+    @property
+    def visibility_epoch(self) -> int:
+        """Bumped on activate/deactivate: visible content changed without
+        any create/delete, so processor-level caches must revalidate."""
+        return self._visibility_epoch
 
     # -- workspace management ---------------------------------------------
 
@@ -252,6 +273,8 @@ class WorkspaceStore(PropositionStore):
         """Make a partition visible."""
         if name not in self._spaces:
             raise PropositionError(f"unknown workspace {name!r}")
+        if not self._active[name]:
+            self._visibility_epoch += 1
         self._active[name] = True
 
     def deactivate(self, name: str) -> None:
@@ -260,6 +283,8 @@ class WorkspaceStore(PropositionStore):
             raise PropositionError(f"unknown workspace {name!r}")
         if name == self.DEFAULT:
             raise PropositionError("the kernel workspace cannot be deactivated")
+        if self._active[name]:
+            self._visibility_epoch += 1
         self._active[name] = False
 
     def workspace_of(self, pid: str) -> str:
@@ -300,7 +325,21 @@ class WorkspaceStore(PropositionStore):
         return self._spaces[space].get(pid)
 
     def retrieve(self, pattern: Pattern) -> Iterator[Proposition]:
-        """Query the union of active partitions."""
+        """Query the union of active partitions.
+
+        A pid-bound pattern short-circuits straight to the owning
+        partition via the location map instead of probing every active
+        space; other patterns use each partition's own secondary indexes
+        (candidate selection stays per-space, never a unioned scan).
+        """
+        if pattern.pid is not None:
+            space = self._location.get(pattern.pid)
+            if space is None or not self._active[space]:
+                return
+            prop = self._spaces[space].get(pattern.pid)
+            if pattern.matches(prop):
+                yield prop
+            return
         for space in self._active_spaces():
             yield from space.retrieve(pattern)
 

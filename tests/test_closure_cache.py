@@ -1,0 +1,297 @@
+"""Closure-cache correctness: cached == uncached on every edge.
+
+The epoch-validated memo caches of the proposition processor must be
+observationally invisible: a processor with ``optimise=True`` answers
+every closure query exactly like the ``optimise=False`` ablation, across
+creates, retracts, validity clipping, telling rollback and workspace
+(de)activation.  The randomized driver replays identical operation
+sequences against both and compares the full query surface after every
+step.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import AxiomViolation, PropositionError
+from repro.propositions import PropositionProcessor, WorkspaceStore
+from repro.propositions.axioms import KERNEL_PIDS
+from repro.timecalc.interval import Interval
+
+
+def make_pair():
+    return PropositionProcessor(optimise=True), PropositionProcessor(optimise=False)
+
+
+def assert_same_answers(cached, uncached, names):
+    """The whole closure-query surface agrees on the given names."""
+    for name in names:
+        assert cached.generalizations(name) == uncached.generalizations(name)
+        assert cached.specializations(name) == uncached.specializations(name)
+        assert cached.classes_of(name) == uncached.classes_of(name)
+        assert cached.is_class(name) == uncached.is_class(name)
+        assert cached.instances_of(name) == uncached.instances_of(name)
+        assert cached.instances_of(name, direct=True) == uncached.instances_of(
+            name, direct=True
+        )
+        assert ([p.pid for p in cached.attribute_classes(name)]
+                == [p.pid for p in uncached.attribute_classes(name)])
+    for name in names[:4]:
+        for cls in names[:4]:
+            assert cached.is_instance_of(name, cls) == uncached.is_instance_of(
+                name, cls
+            )
+
+
+# ---------------------------------------------------------------------------
+# Directed invalidation edges
+# ---------------------------------------------------------------------------
+
+
+class TestInvalidationEdges:
+    def test_create_invalidates_isa_closure(self):
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.define_class("B")
+        assert "A" not in proc.generalizations("B")  # warm the cache
+        proc.tell_isa("B", "A")
+        assert "A" in proc.generalizations("B")
+        assert "B" in proc.specializations("A")
+
+    def test_retract_invalidates_closures(self):
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.define_class("B")
+        link = proc.tell_isa("B", "A")
+        proc.tell_individual("x", in_class="B")
+        assert "x" in proc.instances_of("A")  # warm
+        assert "A" in proc.classes_of("x")
+        proc.retract(link.pid)
+        assert "x" not in proc.instances_of("A")
+        assert "A" not in proc.classes_of("x")
+
+    def test_attribute_tell_preserves_isa_cache(self):
+        """Fine granularity: a plain attribute create keeps the
+        specialization closures warm (no invalidation, only hits)."""
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.define_class("B", isa=["A"])
+        proc.tell_individual("x", in_class="B")
+        proc.tell_individual("y", in_class="B")
+        proc.generalizations("B")
+        baseline = dict(proc.stats)
+        proc.tell_link("x", "likes", "y")
+        proc.generalizations("B")
+        assert proc.stats["closure_invalidations"] == baseline["closure_invalidations"]
+        assert proc.stats["closure_hits"] > baseline["closure_hits"]
+
+    def test_instanceof_tell_preserves_isa_cache_but_not_classes(self):
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.tell_individual("x")
+        proc.generalizations("A")          # warm isa family
+        proc.classes_of("x")               # warm classification family
+        invalidations = proc.stats["closure_invalidations"]
+        hits = proc.stats["closure_hits"]
+        proc.tell_instanceof("x", "A")     # classification change only
+        assert "A" in proc.classes_of("x")
+        proc.generalizations("A")
+        # the isa family survived (served from cache) ...
+        assert proc.stats["closure_hits"] > hits
+        # ... while the classification family was rebuilt.
+        assert proc.stats["closure_invalidations"] > invalidations
+
+    def test_clip_validity_invalidates(self):
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.tell_individual("x")
+        link = proc.tell_instanceof("x", "A", time=Interval.since(0))
+        assert "x" in proc.instances_of("A")  # warm
+        proc.clip_validity(link.pid, 10)
+        assert "x" in proc.instances_of("A")  # at=None unaffected
+        assert "x" not in proc.instances_of("A", at=20)
+        assert "x" in proc.instances_of("A", at=5)
+
+    def test_rollback_invalidates(self):
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.define_class("B")
+        with pytest.raises(RuntimeError):
+            with proc.telling():
+                proc.tell_isa("B", "A")
+                assert "A" in proc.generalizations("B")  # warm mid-telling
+                raise RuntimeError("abort")
+        assert "A" not in proc.generalizations("B")
+        assert "B" not in proc.specializations("A")
+
+    def test_workspace_deactivation_invalidates(self):
+        store = WorkspaceStore()
+        proc = PropositionProcessor(store=store)
+        proc.define_class("A")
+        store.add_workspace("scratch")
+        store.set_current("scratch")
+        proc.define_class("B", isa=["A"])
+        proc.tell_individual("x", in_class="B")
+        assert "x" in proc.instances_of("A")  # warm
+        assert "A" in proc.generalizations("B")
+        store.deactivate("scratch")
+        assert "x" not in proc.instances_of("A")
+        assert proc.generalizations("B") == {"B"}
+        store.activate("scratch")
+        assert "x" in proc.instances_of("A")
+        assert "A" in proc.generalizations("B")
+
+    def test_stats_count_hits_and_misses(self):
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.define_class("B", isa=["A"])
+        before = proc.stats["closure_misses"]
+        proc.generalizations("B")
+        proc.generalizations("B")
+        proc.generalizations("B")
+        assert proc.stats["closure_misses"] >= before + 1
+        assert proc.stats["closure_hits"] >= 2
+
+    def test_unoptimised_processor_never_caches(self):
+        proc = PropositionProcessor(optimise=False)
+        proc.define_class("A")
+        proc.generalizations("A")
+        proc.generalizations("A")
+        assert proc.stats["closure_hits"] == 0
+        assert proc.stats["closure_misses"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Randomized equivalence
+# ---------------------------------------------------------------------------
+
+
+def apply_to_both(pair, op):
+    """Run ``op`` against both processors; outcomes must agree."""
+    outcomes = []
+    for proc in pair:
+        try:
+            op(proc)
+            outcomes.append(None)
+        except (AxiomViolation, PropositionError) as exc:
+            outcomes.append(type(exc))
+    assert outcomes[0] == outcomes[1]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 23, 99])
+def test_randomized_tell_retract_equivalence(seed):
+    rng = random.Random(seed)
+    pair = make_pair()
+    classes = []
+    individuals = []
+    retractable = []
+
+    def new_class(proc, name, sups):
+        proc.define_class(name, isa=sups)
+
+    for step in range(60):
+        roll = rng.random()
+        if roll < 0.25 or not classes:
+            name = f"C{step}"
+            sups = rng.sample(classes, k=min(len(classes), rng.randrange(3)))
+            apply_to_both(pair, lambda p: new_class(p, name, list(sups)))
+            classes.append(name)
+        elif roll < 0.45:
+            name = f"i{step}"
+            cls = rng.choice(classes)
+            apply_to_both(pair, lambda p: p.tell_individual(name, in_class=cls))
+            individuals.append(name)
+        elif roll < 0.6 and len(classes) >= 2:
+            sub, sup = rng.sample(classes, 2)
+            apply_to_both(pair, lambda p: p.tell_isa(sub, sup))
+        elif roll < 0.75 and len(individuals) >= 2:
+            source, destination = rng.sample(individuals, 2)
+            label = rng.choice(["likes", "knows", "owns"])
+            pid = f"l{step}"
+            apply_to_both(
+                pair,
+                lambda p: p.tell_link(source, label, destination, pid=pid),
+            )
+            retractable.append(pid)
+        elif roll < 0.85 and retractable:
+            victim = rng.choice(retractable)
+            retractable.remove(victim)
+
+            def retract(p):
+                if victim in p.store:
+                    removed = p.retract(victim)
+                    assert all(r.pid not in KERNEL_PIDS for r in removed)
+
+            apply_to_both(pair, retract)
+        elif roll < 0.93 and individuals:
+            victim = rng.choice(individuals)
+            individuals.remove(victim)
+            apply_to_both(
+                pair, lambda p: p.retract(victim) if victim in p.store else None
+            )
+        else:
+            # telling rollback: created propositions must vanish again
+            name = f"r{step}"
+
+            def failed_telling(p):
+                try:
+                    with p.telling():
+                        p.tell_individual(name, in_class=rng.choice(classes)
+                                          if classes else None)
+                        raise KeyboardInterrupt  # any non-axiom error
+                except KeyboardInterrupt:
+                    pass
+
+            seed_state = rng.getstate()
+            for proc in pair:
+                rng.setstate(seed_state)  # same random class for both
+                failed_telling(proc)
+            assert name not in pair[0].store and name not in pair[1].store
+        if step % 10 == 0:
+            sample = (classes + individuals)[-8:]
+            assert_same_answers(pair[0], pair[1], sample)
+
+    cached, uncached = pair
+    assert {p.pid for p in cached.store} == {p.pid for p in uncached.store}
+    assert_same_answers(cached, uncached, classes[-10:] + individuals[-10:])
+    assert cached.summary() == uncached.summary()
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_randomized_clip_and_retract_equivalence(seed):
+    rng = random.Random(seed)
+    pair = make_pair()
+    for proc in pair:
+        proc.define_class("Doc")
+        proc.define_class("Note", isa=["Doc"])
+    links = []
+    for index in range(20):
+        name = f"d{index}"
+        cls = rng.choice(["Doc", "Note"])
+        apply_to_both(
+            pair,
+            lambda p: p.tell_individual(
+                name, in_class=cls, time=Interval.since(index)
+            ),
+        )
+        links.append(f"p{index}")
+    for _ in range(12):
+        if rng.random() < 0.5 and links:
+            victim = rng.choice(links)
+
+            def clip(p):
+                for prop in list(p.store):
+                    if prop.is_instanceof and prop.source == victim.replace("p", "d"):
+                        try:
+                            p.clip_validity(prop.pid, rng.randrange(5, 40))
+                        except PropositionError:
+                            pass
+
+            state = rng.getstate()
+            for proc in pair:
+                rng.setstate(state)
+                clip(proc)
+        at = rng.randrange(0, 40)
+        assert (pair[0].instances_of("Doc", at=at)
+                == pair[1].instances_of("Doc", at=at))
+        assert pair[0].instances_of("Doc") == pair[1].instances_of("Doc")

@@ -191,3 +191,102 @@ def test_stores_equivalent_to_memory(store_cls, ops):
                 with pytest.raises(UnknownPropositionError):
                     candidate.delete(name)
     assert {p.pid for p in reference} == {p.pid for p in candidate}
+
+
+class TestMemoryStoreIndexPruning:
+    """Create/delete churn must not leave empty buckets behind."""
+
+    INDEXES = (
+        "_by_source",
+        "_by_label",
+        "_by_destination",
+        "_by_source_label",
+        "_by_label_destination",
+    )
+
+    def sizes(self, store):
+        return {name: len(getattr(store, name)) for name in self.INDEXES}
+
+    def test_delete_prunes_empty_buckets(self):
+        store = populate(MemoryStore())
+        grown = self.sizes(store)
+        for pid in ["p1", "p2", "p3", "Paper", "Invitation", "Person"]:
+            store.delete(pid)
+        for name, size in self.sizes(store).items():
+            assert size == 0, f"{name} kept {size} empty buckets"
+        assert all(grown[name] > 0 for name in self.INDEXES)
+
+    def test_churn_keeps_index_size_bounded(self):
+        store = MemoryStore()
+        store.create(individual("Anchor"))
+        baseline = self.sizes(store)
+        for round_no in range(25):
+            pid = f"tmp{round_no}"
+            store.create(link(pid, "Anchor", f"label{round_no}", "Anchor"))
+            store.delete(pid)
+        assert self.sizes(store) == baseline
+
+    def test_shared_bucket_survives_partial_delete(self):
+        store = MemoryStore()
+        store.create(individual("A"))
+        store.create(link("p1", "A", "attr", "A"))
+        store.create(link("p2", "A", "attr", "A"))
+        store.delete("p1")
+        assert store._by_source_label[("A", "attr")] == {"p2"}
+        assert list(store.retrieve(Pattern(source="A", label="attr")))[0].pid == "p2"
+
+
+class TestVisibilityEpoch:
+    def test_memory_store_visibility_is_constant(self):
+        store = populate(MemoryStore())
+        assert store.visibility_epoch == 0
+        store.delete("p1")
+        assert store.visibility_epoch == 0
+
+    def test_workspace_toggle_bumps_epoch(self):
+        store = WorkspaceStore()
+        store.add_workspace("scratch")
+        before = store.visibility_epoch
+        store.deactivate("scratch")
+        assert store.visibility_epoch == before + 1
+        store.activate("scratch")
+        assert store.visibility_epoch == before + 2
+
+    def test_noop_toggle_does_not_bump(self):
+        store = WorkspaceStore()
+        store.add_workspace("scratch")
+        before = store.visibility_epoch
+        store.activate("scratch")  # already active
+        assert store.visibility_epoch == before
+
+
+class TestWorkspacePidRetrieve:
+    def test_pid_pattern_finds_prop_in_active_space(self):
+        store = WorkspaceStore()
+        store.create(individual("Paper"))
+        store.add_workspace("scratch")
+        store.set_current("scratch")
+        store.create(individual("Draft"))
+        assert [p.pid for p in store.retrieve(Pattern(pid="Draft"))] == ["Draft"]
+        assert [p.pid for p in store.retrieve(Pattern(pid="Paper"))] == ["Paper"]
+
+    def test_pid_pattern_hides_inactive_space(self):
+        store = WorkspaceStore()
+        store.add_workspace("scratch")
+        store.set_current("scratch")
+        store.create(individual("Draft"))
+        store.deactivate("scratch")
+        assert list(store.retrieve(Pattern(pid="Draft"))) == []
+        store.activate("scratch")
+        assert [p.pid for p in store.retrieve(Pattern(pid="Draft"))] == ["Draft"]
+
+    def test_pid_pattern_respects_other_fields(self):
+        store = WorkspaceStore()
+        store.create(individual("A"))
+        store.create(link("p1", "A", "attr", "A"))
+        assert list(store.retrieve(Pattern(pid="p1", label="other"))) == []
+        assert [p.pid for p in store.retrieve(Pattern(pid="p1", label="attr"))] == ["p1"]
+
+    def test_unknown_pid_yields_nothing(self):
+        store = WorkspaceStore()
+        assert list(store.retrieve(Pattern(pid="ghost"))) == []

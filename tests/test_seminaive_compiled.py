@@ -1,0 +1,200 @@
+"""Compiled join-plan evaluation vs the interpreted baseline.
+
+``evaluate(..., optimise=True)`` compiles each rule into an index-joined
+plan; ``optimise=False`` keeps the original unify-per-row interpreter.
+Both must compute bit-identical stratified fixpoints on every program
+shape: recursion, negation across strata, constants in body literals,
+repeated variables, and cross-products.
+"""
+
+from repro.deduction import Database, evaluate, parse_program
+from repro.deduction.seminaive import new_stats
+
+
+def both(program_text, edb_facts):
+    rules = parse_program(program_text)
+    results = []
+    for optimise in (True, False):
+        edb = Database({pred: set(rows) for pred, rows in edb_facts.items()})
+        results.append(evaluate(rules, edb, optimise=optimise))
+    return results
+
+
+def assert_identical(compiled, interpreted):
+    predicates = set(compiled.predicates()) | set(interpreted.predicates())
+    for predicate in predicates:
+        assert compiled.rows(predicate) == interpreted.rows(predicate), predicate
+
+
+class TestEquivalence:
+    def test_linear_recursion(self):
+        compiled, interpreted = both(
+            """
+            path(?x, ?y) :- edge(?x, ?y).
+            path(?x, ?z) :- path(?x, ?y), edge(?y, ?z).
+            """,
+            {"edge": {("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")}},
+        )
+        assert_identical(compiled, interpreted)
+        assert ("a", "d") in compiled.rows("path")
+
+    def test_negation_across_strata(self):
+        compiled, interpreted = both(
+            """
+            reach(?x) :- start(?x).
+            reach(?y) :- reach(?x), edge(?x, ?y).
+            unreached(?x) :- node(?x), not reach(?x).
+            """,
+            {
+                "edge": {("a", "b"), ("c", "d")},
+                "start": {("a",)},
+                "node": {("a",), ("b",), ("c",), ("d",)},
+            },
+        )
+        assert_identical(compiled, interpreted)
+        assert compiled.rows("unreached") == frozenset({("c",), ("d",)})
+
+    def test_constants_in_body(self):
+        compiled, interpreted = both(
+            """
+            special(?x) :- edge(?x, hub).
+            onward(?x, ?y) :- edge(hub, ?y), special(?x).
+            """,
+            {"edge": {("a", "hub"), ("b", "hub"), ("hub", "z"), ("a", "b")}},
+        )
+        assert_identical(compiled, interpreted)
+        assert compiled.rows("special") == frozenset({("a",), ("b",)})
+        assert compiled.rows("onward") == frozenset({("a", "z"), ("b", "z")})
+
+    def test_repeated_variables(self):
+        compiled, interpreted = both(
+            """
+            loop(?x) :- edge(?x, ?x).
+            mirror(?x, ?y) :- pair(?x, ?y, ?x).
+            """,
+            {
+                "edge": {("a", "a"), ("a", "b"), ("b", "b")},
+                "pair": {("a", "b", "a"), ("a", "b", "c"), ("d", "d", "d")},
+            },
+        )
+        assert_identical(compiled, interpreted)
+        assert compiled.rows("loop") == frozenset({("a",), ("b",)})
+        assert compiled.rows("mirror") == frozenset({("a", "b"), ("d", "d")})
+
+    def test_cross_product_body(self):
+        compiled, interpreted = both(
+            "combo(?x, ?y) :- left(?x), right(?y).",
+            {"left": {("a",), ("b",)}, "right": {("1",), ("2",)}},
+        )
+        assert_identical(compiled, interpreted)
+        assert len(compiled.rows("combo")) == 4
+
+    def test_same_generation(self):
+        compiled, interpreted = both(
+            """
+            sg(?x, ?x) :- node(?x).
+            sg(?x, ?y) :- edge(?px, ?x), sg(?px, ?py), edge(?py, ?y).
+            """,
+            {
+                "edge": {("r", "a"), ("r", "b"), ("a", "c"), ("b", "d")},
+                "node": {("r",), ("a",), ("b",), ("c",), ("d",)},
+            },
+        )
+        assert_identical(compiled, interpreted)
+        assert ("c", "d") in compiled.rows("sg")
+
+    def test_empty_program_and_empty_edb(self):
+        compiled, interpreted = both("p(?x) :- q(?x).", {})
+        assert_identical(compiled, interpreted)
+        assert compiled.rows("p") == frozenset()
+
+    def test_stats_populated_only_when_requested(self):
+        rules = parse_program(
+            """
+            path(?x, ?y) :- edge(?x, ?y).
+            path(?x, ?z) :- path(?x, ?y), edge(?y, ?z).
+            """
+        )
+        edb = Database({"edge": {(f"n{i}", f"n{i+1}") for i in range(10)}})
+        stats = new_stats()
+        evaluate(rules, edb, optimise=True, stats=stats)
+        assert stats["join_probes"] > 0
+        assert stats["index_probes"] > 0
+        assert stats["iterations"] > 0
+        assert stats["derived_facts"] >= 10
+
+    def test_compiled_probes_fewer_rows(self):
+        rules = parse_program(
+            """
+            path(?x, ?y) :- edge(?x, ?y).
+            path(?x, ?z) :- path(?x, ?y), edge(?y, ?z).
+            """
+        )
+        edge = {(f"n{i}", f"n{i+1}") for i in range(24)}
+        compiled_stats, interpreted_stats = new_stats(), new_stats()
+        a = evaluate(rules, Database({"edge": set(edge)}),
+                     optimise=True, stats=compiled_stats)
+        b = evaluate(rules, Database({"edge": set(edge)}),
+                     optimise=False, stats=interpreted_stats)
+        assert a.rows("path") == b.rows("path")
+        assert compiled_stats["join_probes"] < interpreted_stats["join_probes"]
+
+
+class TestDatabase:
+    def test_rows_returns_frozenset_snapshot(self):
+        db = Database({"p": {("a",)}})
+        snapshot = db.rows("p")
+        assert isinstance(snapshot, frozenset)
+        db.add("p", ("b",))
+        # the old snapshot is immutable and unchanged...
+        assert snapshot == frozenset({("a",)})
+        # ...and a fresh call sees the new row.
+        assert db.rows("p") == frozenset({("a",), ("b",)})
+
+    def test_rows_unknown_predicate(self):
+        db = Database()
+        assert db.rows("nope") == frozenset()
+
+    def test_rows_snapshot_cached_until_mutation(self):
+        db = Database({"p": {("a",), ("b",)}})
+        first = db.rows("p")
+        assert db.rows("p") is first  # no re-freeze on a quiet database
+        db.add("p", ("c",))
+        assert db.rows("p") is not first
+
+    def test_index_maintained_on_add(self):
+        db = Database({"edge": {("a", "b"), ("a", "c")}})
+        index = db.index("edge", (0,))
+        assert {row for row in index[("a",)]} == {("a", "b"), ("a", "c")}
+        db.add("edge", ("a", "d"))
+        assert ("a", "d") in db.index("edge", (0,))[("a",)]
+        db.add("edge", ("z", "z"))
+        assert db.index("edge", (0,))[("z",)] == [("z", "z")]
+
+    def test_index_maintained_on_merge(self):
+        db = Database({"edge": {("a", "b")}})
+        db.index("edge", (1,))
+        other = Database({"edge": {("c", "b"), ("d", "e")}})
+        db.merge(other)
+        by_dest = db.index("edge", (1,))
+        assert {row for row in by_dest[("b",)]} == {("a", "b"), ("c", "b")}
+        assert by_dest[("e",)] == [("d", "e")]
+
+    def test_add_is_idempotent_for_indexes(self):
+        db = Database()
+        db.index("p", (0,))
+        assert db.add("p", ("a", "b"))
+        assert not db.add("p", ("a", "b"))  # duplicate rejected
+        assert db.index("p", (0,))[("a",)] == [("a", "b")]
+
+    def test_copy_is_independent(self):
+        db = Database({"p": {("a",)}})
+        clone = db.copy()
+        clone.add("p", ("b",))
+        assert db.rows("p") == frozenset({("a",)})
+        assert clone.rows("p") == frozenset({("a",), ("b",)})
+
+    def test_mixed_arity_rows_do_not_break_indexes(self):
+        db = Database({"p": {("a",), ("a", "b")}})
+        index = db.index("p", (1,))
+        assert index[("b",)] == [("a", "b")]  # short row skipped, no crash
