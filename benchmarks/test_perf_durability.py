@@ -1,0 +1,163 @@
+"""Perf-7 — the durability layer (WAL, recovery, checkpointing).
+
+Two sweeps plus structural acceptance tests:
+
+- **Recovery time vs journal length**: reopening a :class:`WalStore`
+  replays the log; the sweep shows replay cost growing with journal
+  length and collapsing after a checkpoint.
+- **Fsync policy vs tell throughput**: the ``always``/``commit``/
+  ``never`` policies write identical bytes but force them at different
+  boundaries; the sweep quantifies the durability/throughput trade-off.
+
+The gated tests assert structure, not wall clock: fsync *counts* are
+strictly ordered across policies, recovery yields bit-identical rows
+under every policy, and a checkpoint makes recovery replay strictly
+fewer records.
+"""
+
+import pytest
+
+from repro.propositions import PropositionProcessor, WalStore
+
+JOURNAL_LENGTHS = [10, 40, 120]  # tellings in the log before reopen
+FSYNC_POLICIES = ["always", "commit", "never"]
+
+
+def grow_base(store: WalStore, tellings: int) -> PropositionProcessor:
+    """A telling-structured load: 3 creates + 1 link per telling."""
+    proc = PropositionProcessor(store=store)
+    previous = None
+    for step in range(tellings):
+        with proc.telling():
+            for i in range(3):
+                proc.tell_individual(f"obj{step}_{i}")
+            if previous is not None:
+                proc.tell_link(previous, "next", f"obj{step}_0")
+            previous = f"obj{step}_0"
+    return proc
+
+
+# ---------------------------------------------------------------------------
+# Part A: recovery time vs journal length
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("tellings", JOURNAL_LENGTHS)
+def test_perf_recovery_vs_journal_length(benchmark, tmp_path, tellings):
+    path = str(tmp_path / "perf.wal")
+    store = WalStore(path, fsync="never")
+    grow_base(store, tellings)
+    store.close()
+
+    def reopen():
+        recovered = WalStore(path, fsync="never")
+        recovered.close()
+        return recovered
+
+    recovered = benchmark(reopen)
+    assert recovered.stats["replayed"] > tellings
+
+
+@pytest.mark.parametrize("tellings", JOURNAL_LENGTHS)
+def test_perf_recovery_after_checkpoint(benchmark, tmp_path, tellings):
+    path = str(tmp_path / "perf.wal")
+    store = WalStore(path, fsync="never")
+    grow_base(store, tellings)
+    store.checkpoint()
+    store.close()
+
+    def reopen():
+        recovered = WalStore(path, fsync="never")
+        recovered.close()
+        return recovered
+
+    recovered = benchmark(reopen)
+    assert recovered.stats["replayed"] == 0  # all folded into the snapshot
+
+
+# ---------------------------------------------------------------------------
+# Part B: fsync policy vs tell throughput
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fsync", FSYNC_POLICIES)
+def test_perf_tell_throughput_by_policy(benchmark, tmp_path, fsync):
+    counter = iter(range(10**6))
+
+    def load():
+        path = str(tmp_path / f"policy{next(counter)}.wal")
+        store = WalStore(path, fsync=fsync)
+        grow_base(store, 25)
+        store.close()
+        return store
+
+    store = benchmark(load)
+    assert len(store) > 75
+
+
+# ---------------------------------------------------------------------------
+# Gated structural acceptance (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_fsync_policy_sync_counts(tmp_path, perf_counters):
+    """``always`` forces every record, ``commit`` only telling
+    boundaries, ``never`` nothing — strictly ordered counts, identical
+    logical state."""
+    fsyncs = {}
+    rows = {}
+    for policy in FSYNC_POLICIES:
+        path = str(tmp_path / f"{policy}.wal")
+        store = WalStore(path, fsync=policy)
+        grow_base(store, 20)
+        rows[policy] = store.rows()
+        store.close()
+        fsyncs[policy] = store.stats["fsyncs"]
+    assert fsyncs["always"] > fsyncs["commit"] > fsyncs["never"] == 0
+    assert rows["always"] == rows["commit"] == rows["never"]
+    perf_counters(
+        fsyncs_always=fsyncs["always"],
+        fsyncs_commit=fsyncs["commit"],
+        fsyncs_never=fsyncs["never"],
+    )
+
+
+def test_recovered_rows_identical(tmp_path, perf_counters):
+    """Recovery is exact under every fsync policy (clean shutdown)."""
+    for policy in FSYNC_POLICIES:
+        path = str(tmp_path / f"{policy}.wal")
+        store = WalStore(path, fsync=policy)
+        grow_base(store, 15)
+        expected = store.rows()
+        store.close()
+        recovered = WalStore(path)
+        assert recovered.rows() == expected
+        perf_counters(**{f"replayed_{policy}": recovered.stats["replayed"]})
+        recovered.close()
+
+
+def test_checkpoint_replays_fewer(tmp_path, perf_counters):
+    """A checkpoint strictly reduces recovery replay work while leaving
+    the recovered rows identical."""
+    plain = str(tmp_path / "plain.wal")
+    store = WalStore(plain, fsync="never")
+    grow_base(store, 40)
+    rows = store.rows()
+    store.close()
+    reopened_plain = WalStore(plain, fsync="never")
+
+    ckpt = str(tmp_path / "ckpt.wal")
+    store = WalStore(ckpt, fsync="never")
+    grow_base(store, 40)
+    dropped = store.checkpoint()
+    assert store.rows() == rows
+    store.close()
+    reopened_ckpt = WalStore(ckpt, fsync="never")
+
+    assert reopened_plain.rows() == reopened_ckpt.rows() == rows
+    assert reopened_ckpt.stats["replayed"] < reopened_plain.stats["replayed"]
+    assert dropped > 0
+    perf_counters(
+        replayed_without_checkpoint=reopened_plain.stats["replayed"],
+        replayed_with_checkpoint=reopened_ckpt.stats["replayed"],
+        checkpoint_dropped_records=dropped,
+    )
+    reopened_plain.close()
+    reopened_ckpt.close()

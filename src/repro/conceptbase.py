@@ -103,6 +103,17 @@ class ConceptBase:
         the consistency hook is installed)."""
         return self.propositions.telling()
 
+    def transaction(self):
+        """A savepoint-scoped update: nests freely (each level rolls
+        back independently), and a consistency-check failure at commit
+        (after :meth:`enforce_on_commit`) automatically rolls the whole
+        unit back before the :class:`~repro.errors.ConsistencyError`
+        propagates — unlike :meth:`telling`, which leaves the batch
+        committed for the caller to repair.  With a durable store
+        (:class:`~repro.propositions.wal.WalStore`), commit is also the
+        durability boundary under the ``commit`` fsync policy."""
+        return self.propositions.telling(rollback_on_listener_error=True)
+
     # ------------------------------------------------------------------
     # Asking
     # ------------------------------------------------------------------

@@ -16,9 +16,9 @@ before loading a history that references them.
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, Optional
 
+from repro.atomicio import FileIO, atomic_write_json, read_checked_json
 from repro.errors import GKBMSError
 from repro.core.decisions import DecisionRecord, Obligation
 from repro.core.gkbms import GKBMS
@@ -214,13 +214,27 @@ def load_gkbms(data: Dict[str, Any],
     return gkbms
 
 
-def save_to_file(gkbms: GKBMS, path: str) -> None:
-    """Write :func:`save_gkbms` output to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(save_gkbms(gkbms), handle, indent=1)
+STATE_KIND = "gkbms-state"
 
 
-def load_from_file(path: str, gkbms: Optional[GKBMS] = None) -> GKBMS:
-    """Read a JSON file written by :func:`save_to_file`."""
-    with open(path) as handle:
-        return load_gkbms(json.load(handle), gkbms=gkbms)
+def save_to_file(gkbms: GKBMS, path: str, io: Optional[FileIO] = None) -> None:
+    """Write :func:`save_gkbms` output atomically to a checksummed file.
+
+    The state is serialised in memory first, written to a ``*.tmp``
+    sibling, fsynced and only then renamed over ``path`` — so neither a
+    serialisation error nor a crash mid-write can corrupt a previously
+    saved history (the documentation-service guarantee).
+    """
+    atomic_write_json(path, STATE_KIND, save_gkbms(gkbms), io=io)
+
+
+def load_from_file(path: str, gkbms: Optional[GKBMS] = None,
+                   io: Optional[FileIO] = None) -> GKBMS:
+    """Read a file written by :func:`save_to_file`.
+
+    The envelope's kind, version and checksum are validated
+    (:class:`~repro.errors.PersistenceError` on corruption); legacy
+    files written before the envelope format load unchanged.
+    """
+    payload = read_checked_json(path, STATE_KIND, io=io, allow_legacy=True)
+    return load_gkbms(payload, gkbms=gkbms)

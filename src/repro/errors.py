@@ -34,6 +34,12 @@ class AxiomViolation(PropositionError):
         self.axiom = axiom
 
 
+class PersistenceError(ReproError):
+    """A durable representation (snapshot, WAL, dump file) is missing,
+    malformed, truncated or failed a checksum — the on-disk counterpart
+    of :class:`PropositionError`."""
+
+
 class AssertionSyntaxError(ReproError):
     """The assertion-language parser rejected an expression."""
 

@@ -1,0 +1,221 @@
+"""Deterministic fault injection for the durability layer.
+
+Crash recovery cannot be trusted until the crash paths have actually
+run.  This module makes them run *in process* and *reproducibly*: a
+:class:`FaultyIO` wraps the :class:`~repro.atomicio.FileIO` interface
+the WAL and snapshot writers already use, counts every state-changing
+IO operation, and consults a :class:`FaultPlan` to decide, per
+operation, whether to
+
+- succeed normally,
+- fail cleanly (an ``OSError``-shaped :class:`WriteFault` the caller
+  can handle and recover from),
+- lie about fsync (report success without forcing anything), or
+- **crash the process**: write a seeded-random *prefix* of the data
+  (a torn write, exactly what a power cut leaves behind) and raise
+  :class:`CrashPoint`; every subsequent operation on the same IO raises
+  too, because a dead process issues no more IO.
+
+:class:`CrashPoint` deliberately derives from ``BaseException`` so no
+library ``except Exception`` handler can swallow the simulated death —
+the kill propagates to the test harness the way SIGKILL would.
+
+The recovery property tests sweep ``crash_at`` over the whole IO-op
+range of a workload and assert that reopening the store always yields
+exactly the last committed prefix.  Plans are pure data; the same seed
+always produces the same torn-prefix lengths, so every failure is
+replayable (the discipline of :mod:`repro.scenario.workload`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.atomicio import REAL_IO, FileIO
+from repro.errors import PersistenceError
+
+
+class CrashPoint(BaseException):
+    """The simulated process death.
+
+    A ``BaseException`` (like ``KeyboardInterrupt``) so that no
+    ``except Exception`` in library or workload code can absorb it.
+    """
+
+
+class WriteFault(OSError):
+    """A clean, recoverable IO failure injected by a :class:`FaultPlan`."""
+
+
+@dataclass
+class FaultPlan:
+    """Pure-data schedule of injected faults, keyed by IO-op index.
+
+    Operation indexes are 1-based and count only state-changing calls
+    (writes, fsyncs, replaces, removes, truncates) — reads are free.
+    """
+
+    #: Kill the process at this op (the op may tear; later ops never run).
+    crash_at: Optional[int] = None
+    #: When crashing mid-write, leave a seeded-random prefix on disk.
+    torn_writes: bool = True
+    #: Raise a clean :class:`WriteFault` at this op instead of writing.
+    fail_write_at: Optional[int] = None
+    #: Make every fsync a silent no-op (the lying-disk scenario).
+    lying_fsyncs: bool = False
+    #: Seed for the torn-prefix lengths; same plan -> same bytes on disk.
+    seed: int = 0
+
+    def action(self, op: int) -> str:
+        """``ok`` | ``crash`` | ``fail`` for the op with this index."""
+        if self.crash_at is not None and op >= self.crash_at:
+            return "crash"
+        if self.fail_write_at is not None and op == self.fail_write_at:
+            return "fail"
+        return "ok"
+
+
+@dataclass
+class FaultyIO(FileIO):
+    """A :class:`FileIO` that executes a :class:`FaultPlan`.
+
+    Wraps a real IO (writes go to actual files, so recovery tests can
+    reopen the same path with a clean IO afterwards) while counting
+    operations and injecting the planned faults deterministically.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    real: FileIO = field(default_factory=lambda: REAL_IO)
+    ops: int = 0
+    crashed: bool = False
+    counters: Dict[str, int] = field(default_factory=lambda: {
+        "writes": 0, "fsyncs": 0, "torn_writes": 0,
+        "lied_fsyncs": 0, "failed_writes": 0,
+    })
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _tick(self) -> str:
+        if self.crashed:
+            raise CrashPoint("process already crashed; no further IO")
+        self.ops += 1
+        action = self.plan.action(self.ops)
+        if action == "crash":
+            self.crashed = True
+        return action
+
+    def _torn_prefix(self, data: bytes) -> bytes:
+        rng = random.Random((self.plan.seed << 20) ^ self.ops)
+        return data[: rng.randrange(0, len(data))] if data else data
+
+    # -- read-side (never faulted; a dead process still leaves its files) --
+
+    def exists(self, path: str) -> bool:
+        return self.real.exists(path)
+
+    def size(self, path: str) -> int:
+        return self.real.size(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        return self.real.read_bytes(path)
+
+    def open_append(self, path: str):
+        if self.crashed:
+            raise CrashPoint("process already crashed; no further IO")
+        return self.real.open_append(path)
+
+    def open_truncate(self, path: str):
+        if self.crashed:
+            raise CrashPoint("process already crashed; no further IO")
+        return self.real.open_truncate(path)
+
+    def close(self, handle) -> None:
+        self.real.close(handle)
+
+    # -- write-side (faulted) ----------------------------------------------
+
+    def write(self, handle, data: bytes) -> None:
+        action = self._tick()
+        if action == "crash":
+            if self.plan.torn_writes:
+                self.counters["torn_writes"] += 1
+                self.real.write(handle, self._torn_prefix(data))
+            raise CrashPoint(f"crashed during write (op {self.ops})")
+        if action == "fail":
+            self.counters["failed_writes"] += 1
+            raise WriteFault(f"injected write failure (op {self.ops})")
+        self.counters["writes"] += 1
+        self.real.write(handle, data)
+
+    def fsync(self, handle) -> None:
+        action = self._tick()
+        if action == "crash":
+            raise CrashPoint(f"crashed during fsync (op {self.ops})")
+        if action == "fail":
+            self.counters["failed_writes"] += 1
+            raise WriteFault(f"injected fsync failure (op {self.ops})")
+        if self.plan.lying_fsyncs:
+            self.counters["lied_fsyncs"] += 1
+            return
+        self.counters["fsyncs"] += 1
+        self.real.fsync(handle)
+
+    def write_bytes(self, path: str, data: bytes) -> None:
+        action = self._tick()
+        if action == "crash":
+            if self.plan.torn_writes:
+                self.counters["torn_writes"] += 1
+                try:
+                    self.real.write_bytes(path, self._torn_prefix(data))
+                except OSError:
+                    pass
+            raise CrashPoint(f"crashed during write_bytes (op {self.ops})")
+        if action == "fail":
+            self.counters["failed_writes"] += 1
+            raise WriteFault(f"injected write failure (op {self.ops})")
+        self.counters["writes"] += 1
+        self.real.write_bytes(path, data)
+
+    def replace(self, src: str, dst: str) -> None:
+        action = self._tick()
+        if action == "crash":
+            raise CrashPoint(f"crashed before replace (op {self.ops})")
+        if action == "fail":
+            self.counters["failed_writes"] += 1
+            raise WriteFault(f"injected replace failure (op {self.ops})")
+        self.real.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        action = self._tick()
+        if action == "crash":
+            raise CrashPoint(f"crashed before remove (op {self.ops})")
+        if action == "fail":
+            self.counters["failed_writes"] += 1
+            raise WriteFault(f"injected remove failure (op {self.ops})")
+        self.real.remove(path)
+
+    def truncate(self, path: str, size: int) -> None:
+        action = self._tick()
+        if action == "crash":
+            raise CrashPoint(f"crashed before truncate (op {self.ops})")
+        if action == "fail":
+            self.counters["failed_writes"] += 1
+            raise WriteFault(f"injected truncate failure (op {self.ops})")
+        self.real.truncate(path, size)
+
+
+def count_ops(run, *args, **kwargs) -> int:
+    """Run ``run(io, *args, **kwargs)`` under a fault-free counting IO
+    and return how many state-changing IO ops it issued — the op-range
+    a crash sweep should cover."""
+    io = FaultyIO(FaultPlan())
+    run(io, *args, **kwargs)
+    return io.ops
+
+
+__all__ = [
+    "CrashPoint", "FaultPlan", "FaultyIO", "WriteFault",
+    "PersistenceError", "count_ops",
+]

@@ -36,6 +36,7 @@ from repro.propositions.store import (
 )
 from repro.propositions.axioms import AxiomBase, BOOTSTRAP, CMLAxiom
 from repro.propositions.processor import PropositionProcessor, Telling
+from repro.propositions.wal import WalStore
 
 __all__ = [
     "ATTRIBUTE",
@@ -48,6 +49,7 @@ __all__ = [
     "LogStore",
     "MemoryStore",
     "PropositionStore",
+    "WalStore",
     "WorkspaceStore",
     "AxiomBase",
     "BOOTSTRAP",

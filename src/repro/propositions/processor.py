@@ -52,17 +52,42 @@ DeductionHook = Callable[["PropositionProcessor", Pattern], Iterable[Proposition
 class Telling:
     """A batched update (the unit the consistency checker optimises over).
 
-    Collects the propositions created inside a ``with`` block; on error
-    the created propositions are removed again (single-level rollback).
-    Registered commit listeners (e.g. the consistency checker) see the
+    Collects every mutation — creates, deletes (retractions) and
+    validity clips — performed inside a ``with`` block; on error they
+    are undone again in reverse order.  Tellings nest: an inner telling
+    is a **savepoint** whose rollback undoes only its own mutations
+    while the enclosing telling keeps going, and whose commit merges
+    its batch into the parent.  Registered commit listeners (e.g. the
+    consistency checker) fire once, at the outermost commit, seeing the
     whole batch at once — the paper's "set-oriented optimization of the
-    consistency check".
+    consistency check".  Durable stores receive matching transaction
+    markers (``begin``/``commit``/``abort`` at the outermost level,
+    ``save``/``release``/``rollback`` for savepoints) so crash recovery
+    can discard exactly the uncommitted suffix.
     """
 
-    def __init__(self, processor: "PropositionProcessor") -> None:
+    def __init__(self, processor: "PropositionProcessor",
+                 rollback_on_listener_error: bool = False) -> None:
         self._processor = processor
         self.created: List[Proposition] = []
+        #: Every mutation in order: ("create", prop) | ("delete", prop)
+        #: | ("clip", old, new).
+        self.ops: List[Tuple] = []
         self._active = False
+        self._parent: Optional["Telling"] = None
+        self._depth = 0
+        self._epochs: Optional[Tuple[int, int, int]] = None
+        self._rollback_on_listener_error = rollback_on_listener_error
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth while active (1 = outermost telling)."""
+        return self._depth
+
+    def __repr__(self) -> str:
+        state = "active" if self._active else "closed"
+        return (f"<Telling depth={self._depth} created={len(self.created)} "
+                f"ops={len(self.ops)} {state}>")
 
     def __enter__(self) -> "Telling":
         self._processor._begin(self)
@@ -81,6 +106,21 @@ class Telling:
         """Track a proposition created inside this telling."""
         if self._active:
             self.created.append(prop)
+            self.ops.append(("create", prop))
+
+    def record_delete(self, prop: Proposition) -> None:
+        """Track a deletion, so rollback can restore the proposition."""
+        if self._active:
+            self.ops.append(("delete", prop))
+
+    def record_clip(self, old: Proposition, new: Proposition) -> None:
+        """Track a validity clip, so rollback can restore the interval."""
+        if self._active:
+            self.ops.append(("clip", old, new))
+
+    def _merge_into(self, parent: "Telling") -> None:
+        parent.created.extend(self.created)
+        parent.ops.extend(self.ops)
 
 
 class _ClosureCache:
@@ -126,9 +166,17 @@ class PropositionProcessor:
                 "instances_of", "is_class", "attribute_classes",
             )
         }
-        self._telling: Optional[Telling] = None
+        self._tellings: List[Telling] = []
         self._commit_listeners: List[Callable[[List[Proposition]], None]] = []
         self._deduction_hooks: List[DeductionHook] = []
+        # A durable store (WalStore) carries recovery/durability
+        # counters; adopt its dict so they surface on processor.stats
+        # and keep updating live.
+        store_stats = getattr(self.store, "stats", None)
+        if isinstance(store_stats, dict):
+            for key, value in self.stats.items():
+                store_stats.setdefault(key, value)
+            self.stats = store_stats
         if bootstrap:
             for prop in BOOTSTRAP:
                 if prop.pid not in self.store:
@@ -203,28 +251,125 @@ class PropositionProcessor:
         self.stats["closure_hits"] += 1
         return value
 
-    def telling(self) -> Telling:
-        """Open a batched update; use as a context manager."""
-        return Telling(self)
+    def telling(self, rollback_on_listener_error: bool = False) -> Telling:
+        """Open a batched update; use as a context manager.
+
+        Tellings nest freely: an inner telling acts as a savepoint —
+        its rollback undoes only its own mutations.  With
+        ``rollback_on_listener_error=True`` a commit-listener failure
+        (e.g. the consistency checker's hook rejecting the batch) also
+        rolls the whole telling back before the error propagates, which
+        is the behaviour :meth:`repro.conceptbase.ConceptBase.transaction`
+        exposes.
+        """
+        return Telling(self, rollback_on_listener_error=rollback_on_listener_error)
+
+    @property
+    def in_telling(self) -> bool:
+        """Is a telling (at any nesting depth) currently open?"""
+        return bool(self._tellings)
 
     def _begin(self, telling: Telling) -> None:
-        if self._telling is not None:
-            raise PropositionError("nested tellings are not supported here; "
-                                   "nest decisions at the GKBMS level instead")
-        self._telling = telling
+        telling._parent = self._tellings[-1] if self._tellings else None
+        telling._depth = len(self._tellings) + 1
+        telling._epochs = (
+            self._isa_epoch, self._instanceof_epoch, self._attribute_epoch
+        )
+        self.store.txn("begin" if telling._parent is None else "save")
+        self._tellings.append(telling)
 
     def _commit(self, telling: Telling) -> None:
-        self._telling = None
-        for listener in self._commit_listeners:
-            listener(list(telling.created))
+        if not self._tellings or self._tellings[-1] is not telling:
+            raise PropositionError("telling commit out of nesting order")
+        self._tellings.pop()
+        if telling._parent is not None:
+            # Savepoint release: fold the batch into the enclosing
+            # telling; listeners fire only at the outermost commit.
+            telling._merge_into(telling._parent)
+            self.store.txn("release")
+            return
+        try:
+            for listener in self._commit_listeners:
+                listener(list(telling.created))
+        except Exception:
+            if telling._rollback_on_listener_error:
+                self._undo(telling)
+                self.store.txn("abort")
+                raise
+            # Legacy telling() semantics: the batch stays committed and
+            # the error surfaces to the caller, who may retract.  The
+            # durable commit marker must reflect that.
+            self.store.txn("commit")
+            raise
+        self.store.txn("commit")
 
     def _rollback(self, telling: Telling) -> None:
-        self._telling = None
-        for prop in reversed(telling.created):
-            if prop.pid in self.store:
-                self.store.delete(prop.pid)
-                self._note_change(prop)
+        if self._tellings and self._tellings[-1] is telling:
+            self._tellings.pop()
+        self._undo(telling)
+        self.store.txn("abort" if telling._parent is None else "rollback")
+
+    def _undo(self, telling: Telling) -> None:
+        """Physically reverse a telling's mutations (newest first), then
+        restore the fine-grained epoch counters it bumped."""
+        for op in reversed(telling.ops):
+            kind = op[0]
+            if kind == "create":
+                prop = op[1]
+                if prop.pid in self.store:
+                    self.store.delete(prop.pid)
+                    self._note_change(prop)
+            elif kind == "delete":
+                prop = op[1]
+                if prop.pid not in self.store:
+                    self.store.create(prop)
+                    self._note_change(prop)
+            else:  # clip
+                old = op[1]
+                self.store.replace(old)
+                self._note_change(old)
+        if telling._epochs is not None:
+            self._restore_epochs(telling._epochs)
         self._bump()
+
+    #: Which fine-grained sub-epochs feed each closure family (mirrors
+    #: :meth:`_stamp`); used to clear exactly the caches a rolled-back
+    #: telling could have polluted.
+    _FAMILY_DEPS = {
+        "generalizations": frozenset({"isa"}),
+        "specializations": frozenset({"isa"}),
+        "attribute_classes": frozenset({"isa", "attribute"}),
+        "classes_of": frozenset({"isa", "instanceof"}),
+        "instances_of": frozenset({"isa", "instanceof"}),
+        "is_class": frozenset({"isa", "instanceof"}),
+    }
+
+    def _restore_epochs(self, snapshot: Tuple[int, int, int]) -> None:
+        """Roll the fine-grained counters back to their pre-telling
+        values — rollback restored the exact pre-telling network, so
+        caches stamped *before* the telling are valid again.  Any family
+        whose counter moved during the telling is cleared outright
+        first: a memo computed mid-telling must not be revalidated later
+        merely because an unrelated bump lands on the same counter
+        value."""
+        current = {
+            "isa": self._isa_epoch,
+            "instanceof": self._instanceof_epoch,
+            "attribute": self._attribute_epoch,
+        }
+        changed = {
+            name for name, value in zip(
+                ("isa", "instanceof", "attribute"), snapshot
+            ) if current[name] != value
+        }
+        if changed:
+            self.stats["closure_invalidations"] += 1
+            for family, deps in self._FAMILY_DEPS.items():
+                if deps & changed:
+                    cache = self._caches[family]
+                    cache.table.clear()
+                    cache.stamp = None
+        self._isa_epoch, self._instanceof_epoch, self._attribute_epoch = snapshot
 
     def on_commit(self, listener: Callable[[List[Proposition]], None]) -> None:
         """Register a listener for committed tellings."""
@@ -247,8 +392,8 @@ class PropositionProcessor:
         self.store.create(prop)
         self._note_change(prop)
         self._bump()
-        if self._telling is not None:
-            self._telling.record(prop)
+        if self._tellings:
+            self._tellings[-1].record(prop)
         return prop
 
     def tell_individual(
@@ -380,6 +525,8 @@ class PropositionProcessor:
             prop = props[current]
             removed.append(self.store.delete(current))
             self._note_change(prop)
+            if self._tellings:
+                self._tellings[-1].record_delete(prop)
             remaining.discard(current)
             for target in {prop.source, prop.destination}:
                 refs = referenced_by.get(target)
@@ -402,6 +549,8 @@ class PropositionProcessor:
         updated = prop.with_time(clipped)
         self.store.replace(updated)
         self._note_change(updated)
+        if self._tellings:
+            self._tellings[-1].record_clip(prop, updated)
         self._bump()
         return updated
 

@@ -17,7 +17,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
-from repro.errors import PropositionError
+from repro.atomicio import FileIO, atomic_write_json, read_checked_json
+from repro.errors import PersistenceError, PropositionError
 from repro.propositions.axioms import KERNEL_PIDS
 from repro.propositions.processor import PropositionProcessor
 from repro.propositions.proposition import Proposition
@@ -60,6 +61,8 @@ def _interval_to_json(interval: Interval) -> Dict[str, Any]:
 
 
 def _interval_from_json(data: Dict[str, Any]) -> Interval:
+    if not isinstance(data, dict) or "start" not in data or "end" not in data:
+        raise PropositionError(f"bad serialized interval {data!r}")
     return Interval(
         _point_from_json(data["start"]),
         _point_from_json(data["end"]),
@@ -83,7 +86,18 @@ def proposition_to_json(prop: Proposition) -> Dict[str, Any]:
 
 
 def proposition_from_json(data: Dict[str, Any]) -> Proposition:
-    """Inverse of :func:`proposition_to_json`."""
+    """Inverse of :func:`proposition_to_json`; typed errors on bad input."""
+    if not isinstance(data, dict):
+        raise PropositionError(
+            f"serialized proposition must be an object, got {data!r}"
+        )
+    missing = [key for key in ("pid", "source", "label", "destination")
+               if key not in data]
+    if missing:
+        raise PropositionError(
+            f"serialized proposition {data.get('pid', '?')!r} is missing "
+            f"field(s) {missing}"
+        )
     kwargs: Dict[str, Any] = {}
     if "time" in data:
         kwargs["time"] = _interval_from_json(data["time"])
@@ -121,10 +135,14 @@ def load_processor(
     order would otherwise matter); pass ``validate=True`` to replay
     them through ``create_proposition``, in dependency order.
     """
+    if not isinstance(data, dict):
+        raise PropositionError(f"dump must be a JSON object, got {data!r}")
     if data.get("format") != FORMAT_VERSION:
         raise PropositionError(
             f"unsupported dump format {data.get('format')!r}"
         )
+    if not isinstance(data.get("propositions"), list):
+        raise PropositionError("dump is missing its 'propositions' list")
     proc = processor if processor is not None else PropositionProcessor()
     props = [proposition_from_json(item) for item in data["propositions"]]
     if not validate:
@@ -159,5 +177,39 @@ def dumps(processor: PropositionProcessor, **options) -> str:
 
 
 def loads(text: str, **options) -> PropositionProcessor:
-    """Inverse of :func:`dumps`."""
-    return load_processor(json.loads(text), **options)
+    """Inverse of :func:`dumps`; malformed JSON raises a typed
+    :class:`~repro.errors.PersistenceError`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"malformed proposition dump: {exc}") from None
+    return load_processor(data, **options)
+
+
+DUMP_KIND = "proposition-dump"
+
+
+def save_to_file(processor: PropositionProcessor, path: str,
+                 io: Optional[FileIO] = None, **options) -> None:
+    """Write a checksummed dump atomically (tmp + fsync + replace).
+
+    The dump is fully serialised in memory first, so a failure can
+    never leave a truncated file behind, and an existing file at
+    ``path`` survives any failed save untouched.
+    """
+    atomic_write_json(path, DUMP_KIND, dump_processor(processor, **options),
+                      io=io)
+
+
+def load_from_file(path: str,
+                   processor: Optional[PropositionProcessor] = None,
+                   validate: bool = False,
+                   io: Optional[FileIO] = None) -> PropositionProcessor:
+    """Read a file written by :func:`save_to_file`.
+
+    Validates the envelope (kind, format version, checksum) and raises
+    :class:`~repro.errors.PersistenceError` on any corruption; legacy
+    un-enveloped dumps are still accepted.
+    """
+    payload = read_checked_json(path, DUMP_KIND, io=io, allow_legacy=True)
+    return load_processor(payload, processor=processor, validate=validate)

@@ -22,6 +22,7 @@ proposition base from the proposition processor.
 from __future__ import annotations
 
 import abc
+import json
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import PropositionError, UnknownPropositionError
@@ -67,6 +68,27 @@ class PropositionStore(abc.ABC):
         except UnknownPropositionError:
             return False
         return True
+
+    def txn(self, kind: str) -> None:
+        """Transaction boundary hook, driven by the proposition
+        processor's tellings: ``begin``/``commit``/``abort`` for the
+        outermost telling, ``save``/``release``/``rollback`` for nested
+        savepoints.  Purely in-memory stores need no boundaries (their
+        state *is* the current state); durable stores override this to
+        write transaction markers into their journal."""
+
+    def rows(self) -> Tuple[str, ...]:
+        """The visible propositions in canonical serialized form, sorted.
+
+        Two stores hold bit-identical content iff their ``rows()`` are
+        equal — the comparison the crash-recovery and replay tests use.
+        """
+        from repro.propositions.serialization import proposition_to_json
+
+        return tuple(sorted(
+            json.dumps(proposition_to_json(prop), sort_keys=True)
+            for prop in self
+        ))
 
     def replace(self, prop: Proposition) -> Proposition:
         """Swap the stored proposition with the same pid for ``prop``."""
@@ -178,6 +200,23 @@ class LogStore(PropositionStore):
     def __init__(self) -> None:
         self._journal: List[Tuple[str, Proposition]] = []
         self._state = MemoryStore()
+
+    @classmethod
+    def from_journal(
+        cls, entries: Iterable[Tuple[str, Proposition]]
+    ) -> "LogStore":
+        """Reconstruct a store by replaying ``(op, proposition)`` journal
+        entries — the recovery constructor.  ``from_journal(s.journal)``
+        reproduces both ``s``'s state and its journal exactly."""
+        store = cls()
+        for op, prop in entries:
+            if op == "create":
+                store.create(prop)
+            elif op == "delete":
+                store.delete(prop.pid)
+            else:
+                raise PropositionError(f"unknown journal op {op!r}")
+        return store
 
     @property
     def journal(self) -> Tuple[Tuple[str, Proposition], ...]:

@@ -1,0 +1,468 @@
+"""A durable physical representation: write-ahead logged propositions.
+
+Section 3.1 gives the proposition base "several physical
+representations (e.g. Prolog workspaces, external databases)"; §1 (4)
+makes the GKBMS a long-lived *documentation service*.  The in-memory
+stores satisfy the first requirement, :class:`WalStore` the second: a
+store whose every mutation is appended to an on-disk write-ahead log
+*before* success is reported, so the proposition base survives process
+death, torn writes and corrupted journal tails.
+
+**Log format.**  A WAL is a sequence of length-prefixed, checksummed
+records: 4-byte big-endian payload length, 4-byte CRC-32 of the
+payload, then the payload (canonical JSON).  Payloads are one of::
+
+    {"op": "header", "gen": G, "version": 1}   # first record of a log
+    {"op": "create", "prop": {...}}            # serialized proposition
+    {"op": "delete", "pid": "..."}
+    {"op": "clip",   "prop": {...}}            # replace (validity clip)
+    {"op": "txn",    "kind": "begin|commit|abort|save|release|rollback"}
+
+**Recovery.**  Opening a store loads the newest *valid* snapshot (the
+current one, else the previous — both checksummed envelopes written
+atomically), then replays the log on top.  Replay buffers records
+between transaction markers so an uncommitted tail — a telling cut off
+by a crash — is discarded wholesale, and it *stops* (rather than
+raising) at the first torn or checksum-failed record; the log is then
+physically truncated back to the last durable boundary so new appends
+extend a clean prefix.  A log whose header generation does not match
+the snapshot (a crash inside :meth:`checkpoint`) is discarded as stale.
+Recovery outcomes land in :attr:`stats` (``replayed``,
+``truncated_tail``, ``checksum_failures``, ``discarded_uncommitted``,
+``snapshot_fallbacks``, ``stale_logs``, ``fsyncs``, ...), which the
+owning :class:`~repro.propositions.processor.PropositionProcessor`
+adopts as its own ``stats`` dict.
+
+**Fsync policy.**  ``"always"`` forces every record, ``"commit"`` (the
+default) forces transaction commit/abort boundaries, ``"never"`` leaves
+durability to the OS (checkpoint still forces).  Policies only change
+*when* the data is forced, never what is written — the Perf-7 benchmark
+sweeps the throughput/durability trade-off.
+
+All file access goes through :class:`~repro.atomicio.FileIO`, so the
+fault-injection harness (:mod:`repro.faults`) can tear writes and kill
+the "process" at any operation while exercising exactly this code.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.atomicio import (
+    FileIO,
+    REAL_IO,
+    atomic_write_json,
+    canonical_json,
+    checksum,
+    read_checked_json,
+)
+from repro.errors import PersistenceError, PropositionError
+from repro.propositions.proposition import Pattern, Proposition
+from repro.propositions.store import MemoryStore, PropositionStore
+
+_RECORD_HEADER = struct.Struct(">II")  # payload length, CRC-32
+_MAX_RECORD = 1 << 26  # 64 MiB: anything larger is a corrupt length field
+
+WAL_VERSION = 1
+SNAPSHOT_KIND = "wal-snapshot"
+
+FSYNC_POLICIES = ("always", "commit", "never")
+
+
+def encode_record(payload: Dict[str, Any]) -> bytes:
+    """One length-prefixed, checksummed log record."""
+    body = canonical_json(payload)
+    return _RECORD_HEADER.pack(len(body), checksum(body)) + body
+
+
+def scan_records(data: bytes) -> Tuple[List[Tuple[int, Dict[str, Any]]], int, str]:
+    """Decode a log image into ``(end_offset, payload)`` pairs.
+
+    Stops at the first torn or checksum-failed record and reports how:
+    returns ``(records, valid_offset, corruption)`` where ``corruption``
+    is ``""`` (clean end), ``"torn"`` (short header/body or absurd
+    length) or ``"checksum"`` (CRC mismatch).
+    """
+    records: List[Tuple[int, Dict[str, Any]]] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _RECORD_HEADER.size > total:
+            return records, offset, "torn"
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        if length > _MAX_RECORD:
+            return records, offset, "torn"
+        body_start = offset + _RECORD_HEADER.size
+        body_end = body_start + length
+        if body_end > total:
+            return records, offset, "torn"
+        body = data[body_start:body_end]
+        if checksum(body) != crc:
+            return records, offset, "checksum"
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, offset, "checksum"
+        records.append((body_end, payload))
+        offset = body_end
+    return records, offset, ""
+
+
+class WalStore(PropositionStore):
+    """Write-ahead logged proposition store with crash recovery.
+
+    State lives in an internal :class:`MemoryStore` (reads are as fast
+    as the default store); every mutation is mirrored into the log.  A
+    clean write failure (``OSError``) rolls the in-memory change back
+    and raises :class:`~repro.errors.PersistenceError`, so memory and
+    disk never diverge on a survivable error.
+    """
+
+    def __init__(self, path: str, fsync: str = "commit",
+                 io: Optional[FileIO] = None) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise PersistenceError(
+                f"unknown fsync policy {fsync!r} (choose from {FSYNC_POLICIES})"
+            )
+        self._path = str(path)
+        self._fsync_policy = fsync
+        self._io = io if io is not None else REAL_IO
+        self._state = MemoryStore()
+        self._generation = 0
+        self._txn_depth = 0
+        self._log_offset = 0
+        self._handle = None
+        self._records_at_checkpoint = 0
+        #: Recovery and durability counters; the owning processor
+        #: adopts this dict so they surface on ``processor.stats``.
+        self.stats: Dict[str, int] = {
+            "replayed": 0,
+            "truncated_tail": 0,
+            "checksum_failures": 0,
+            "discarded_uncommitted": 0,
+            "replay_errors": 0,
+            "snapshot_fallbacks": 0,
+            "stale_logs": 0,
+            "fsyncs": 0,
+            "wal_records": 0,
+            "checkpoints": 0,
+        }
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # Paths and low-level log IO
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def snapshot_path(self) -> str:
+        return self._path + ".snapshot"
+
+    @property
+    def previous_snapshot_path(self) -> str:
+        return self._path + ".snapshot.prev"
+
+    @property
+    def log_offset(self) -> int:
+        """Bytes successfully appended to the log so far."""
+        return self._log_offset
+
+    @property
+    def generation(self) -> int:
+        """Checkpoint generation (bumped by every :meth:`checkpoint`)."""
+        return self._generation
+
+    @property
+    def fsync_policy(self) -> str:
+        return self._fsync_policy
+
+    def _append(self, payload: Dict[str, Any], force: bool = False) -> None:
+        data = encode_record(payload)
+        try:
+            self._io.write(self._handle, data)
+        except OSError as exc:
+            raise PersistenceError(
+                f"WAL append failed on {self._path!r}: {exc}"
+            ) from exc
+        self._log_offset += len(data)
+        self.stats["wal_records"] += 1
+        if force or self._fsync_policy == "always":
+            self._force()
+
+    def _force(self) -> None:
+        try:
+            self._io.fsync(self._handle)
+        except OSError as exc:
+            raise PersistenceError(
+                f"WAL fsync failed on {self._path!r}: {exc}"
+            ) from exc
+        self.stats["fsyncs"] += 1
+
+    def _start_log(self, generation: int) -> None:
+        """Truncate the log and write a fresh header for ``generation``."""
+        if self._handle is not None:
+            self._io.close(self._handle)
+        self._handle = self._io.open_truncate(self._path)
+        self._log_offset = 0
+        self._append(
+            {"op": "header", "gen": generation, "version": WAL_VERSION},
+            force=self._fsync_policy != "never",
+        )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _load_snapshot(self) -> int:
+        """Load the newest valid snapshot into state; return its
+        generation (0 when starting empty)."""
+        for fallback, path in enumerate(
+            (self.snapshot_path, self.previous_snapshot_path)
+        ):
+            if not self._io.exists(path):
+                continue
+            try:
+                payload = read_checked_json(path, SNAPSHOT_KIND, io=self._io)
+            except PersistenceError:
+                self.stats["checksum_failures"] += 1
+                continue
+            from repro.propositions.serialization import proposition_from_json
+
+            try:
+                generation = int(payload["generation"])
+                props = [proposition_from_json(item)
+                         for item in payload["propositions"]]
+            except (KeyError, TypeError, ValueError, PropositionError):
+                self.stats["checksum_failures"] += 1
+                continue
+            if fallback:
+                self.stats["snapshot_fallbacks"] += 1
+            for prop in props:
+                self._state.create(prop)
+            return generation
+        return 0
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        from repro.propositions.serialization import proposition_from_json
+
+        op = record.get("op")
+        if op == "create":
+            self._state.create(proposition_from_json(record["prop"]))
+        elif op == "delete":
+            self._state.delete(record["pid"])
+        elif op == "clip":
+            prop = proposition_from_json(record["prop"])
+            self._state.delete(prop.pid)
+            self._state.create(prop)
+        else:
+            raise PropositionError(f"unknown WAL op {op!r}")
+
+    def _replay(self, records: List[Tuple[int, Dict[str, Any]]],
+                header_end: int) -> int:
+        """Apply records with transaction buffering; returns the offset
+        of the last durable boundary (end of the last record applied or
+        discarded at top level)."""
+        stack: List[List[Dict[str, Any]]] = []
+        applied_offset = header_end
+        for end_offset, record in records:
+            op = record.get("op")
+            if op == "header":
+                applied_offset = end_offset
+                continue
+            if op == "txn":
+                kind = record.get("kind")
+                if kind in ("begin", "save"):
+                    stack.append([])
+                elif kind in ("commit", "release"):
+                    if stack:
+                        buffered = stack.pop()
+                        if stack:
+                            stack[-1].extend(buffered)
+                        else:
+                            for item in buffered:
+                                self._apply_counted(item)
+                    if not stack:
+                        applied_offset = end_offset
+                elif kind in ("abort", "rollback"):
+                    if stack:
+                        stack.pop()
+                    if not stack:
+                        applied_offset = end_offset
+                continue
+            if stack:
+                stack[-1].append(record)
+            else:
+                self._apply_counted(record)
+                applied_offset = end_offset
+        self.stats["discarded_uncommitted"] += sum(len(b) for b in stack)
+        return applied_offset
+
+    def _apply_counted(self, record: Dict[str, Any]) -> None:
+        try:
+            self._apply(record)
+        except (PropositionError, KeyError, TypeError):
+            self.stats["replay_errors"] += 1
+        else:
+            self.stats["replayed"] += 1
+
+    def _recover(self) -> None:
+        self._generation = self._load_snapshot()
+        if not self._io.exists(self._path):
+            self._start_log(self._generation)
+            return
+        data = self._io.read_bytes(self._path)
+        records, valid_offset, corruption = scan_records(data)
+        if corruption == "torn":
+            self.stats["truncated_tail"] += 1
+        elif corruption == "checksum":
+            self.stats["truncated_tail"] += 1
+            self.stats["checksum_failures"] += 1
+        if not records:
+            # Empty or unreadable-from-the-start log: restart it.
+            self._start_log(self._generation)
+            return
+        first = records[0][1]
+        has_header = first.get("op") == "header"
+        log_generation = first.get("gen", 0) if has_header else 0
+        if log_generation != self._generation:
+            # A crash inside checkpoint(): the snapshot already contains
+            # everything this stale log described.  Discard it.
+            self.stats["stale_logs"] += 1
+            self._start_log(self._generation)
+            return
+        applied_offset = self._replay(records, records[0][0] if has_header else 0)
+        if applied_offset < len(data):
+            # Drop the torn/uncommitted tail physically so future
+            # appends extend a clean, fully-durable prefix.
+            self._io.truncate(self._path, applied_offset)
+        self._handle = self._io.open_append(self._path)
+        self._log_offset = applied_offset
+
+    # ------------------------------------------------------------------
+    # Checkpoint / compaction
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Fold the log into an atomic snapshot; returns records dropped.
+
+        Ordering is crash-safe at every step: the previous snapshot is
+        rotated aside first, the new one is written atomically, and only
+        then is the log reset under a new generation.  A crash between
+        snapshot and log reset leaves a *stale* log (older generation)
+        that recovery discards, because the snapshot already covers it.
+        """
+        dropped = self.stats["wal_records"] - self._records_at_checkpoint
+        new_generation = self._generation + 1
+        payload = {
+            "generation": new_generation,
+            "propositions": [
+                json.loads(row) for row in self.rows()
+            ],
+        }
+        try:
+            if self._io.exists(self.snapshot_path):
+                self._io.replace(self.snapshot_path,
+                                 self.previous_snapshot_path)
+            atomic_write_json(self.snapshot_path, SNAPSHOT_KIND, payload,
+                              io=self._io)
+        except OSError as exc:
+            raise PersistenceError(f"checkpoint failed: {exc}") from exc
+        self._generation = new_generation
+        self._start_log(new_generation)
+        self.stats["checkpoints"] += 1
+        self._records_at_checkpoint = self.stats["wal_records"]
+        return dropped
+
+    def close(self) -> None:
+        """Force and release the log handle."""
+        if self._handle is not None:
+            if self._fsync_policy != "never":
+                self._force()
+            self._io.close(self._handle)
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Transaction markers (driven by the proposition processor)
+    # ------------------------------------------------------------------
+
+    def txn(self, kind: str) -> None:
+        """Record a transaction boundary.
+
+        ``begin``/``save`` open a (nested) unit, ``commit``/``release``
+        close one, ``abort``/``rollback`` discard one.  Under the
+        ``commit`` fsync policy the outermost commit/abort forces the
+        log, making the whole telling durable at once.
+        """
+        if kind in ("begin", "save"):
+            self._append({"op": "txn", "kind": kind})
+            self._txn_depth += 1
+            return
+        if kind not in ("commit", "release", "abort", "rollback"):
+            raise PropositionError(f"unknown transaction marker {kind!r}")
+        self._txn_depth = max(0, self._txn_depth - 1)
+        force = (
+            self._txn_depth == 0
+            and kind in ("commit", "abort")
+            and self._fsync_policy == "commit"
+        )
+        self._append({"op": "txn", "kind": kind}, force=force)
+
+    # ------------------------------------------------------------------
+    # Store interface
+    # ------------------------------------------------------------------
+
+    @property
+    def visibility_epoch(self) -> int:
+        return 0
+
+    def create(self, prop: Proposition) -> None:
+        """Store and log; a clean log failure undoes the memory change."""
+        from repro.propositions.serialization import proposition_to_json
+
+        self._state.create(prop)
+        try:
+            self._append({"op": "create", "prop": proposition_to_json(prop)})
+        except PersistenceError:
+            self._state.delete(prop.pid)
+            raise
+
+    def delete(self, pid: str) -> Proposition:
+        """Remove and log; a clean log failure undoes the memory change."""
+        prop = self._state.delete(pid)
+        try:
+            self._append({"op": "delete", "pid": pid})
+        except PersistenceError:
+            self._state.create(prop)
+            raise
+        return prop
+
+    def replace(self, prop: Proposition) -> Proposition:
+        """Swap in place, logged as a single ``clip`` record."""
+        from repro.propositions.serialization import proposition_to_json
+
+        old = self._state.delete(prop.pid)
+        self._state.create(prop)
+        try:
+            self._append({"op": "clip", "prop": proposition_to_json(prop)})
+        except PersistenceError:
+            self._state.delete(prop.pid)
+            self._state.create(old)
+            raise
+        return old
+
+    def get(self, pid: str) -> Proposition:
+        return self._state.get(pid)
+
+    def retrieve(self, pattern: Pattern) -> Iterator[Proposition]:
+        return self._state.retrieve(pattern)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def __iter__(self) -> Iterator[Proposition]:
+        return iter(self._state)

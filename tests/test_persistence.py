@@ -249,3 +249,41 @@ class TestSingleRelationStrategy:
         assert {"DecMoveDown", "DecDistribute", "DecSingleRelation"} <= set(
             names
         )
+
+
+class TestAtomicSave:
+    """Regression: a failed save must never clobber the previous dump."""
+
+    @pytest.fixture
+    def saved(self, tmp_path):
+        gkbms = GKBMS()
+        gkbms.register_standard_library()
+        path = str(tmp_path / "state.json")
+        save_to_file(gkbms, path)
+        return gkbms, path
+
+    def test_unserialisable_state_leaves_old_file_intact(self, saved):
+        gkbms, path = saved
+        before = open(path, "rb").read()
+        gkbms._assumptions["poison"] = object()  # not JSON-serialisable
+        with pytest.raises(TypeError):
+            save_to_file(gkbms, path)
+        assert open(path, "rb").read() == before
+        load_from_file(path)  # still loadable
+
+    def test_failed_write_leaves_old_file_intact(self, saved):
+        from repro.faults import FaultPlan, FaultyIO, WriteFault
+
+        gkbms, path = saved
+        before = open(path, "rb").read()
+        with pytest.raises(WriteFault):
+            save_to_file(gkbms, path, io=FaultyIO(FaultPlan(fail_write_at=1)))
+        assert open(path, "rb").read() == before
+        load_from_file(path)
+
+    def test_no_tmp_file_left_behind(self, saved, tmp_path):
+        gkbms, path = saved
+        gkbms._assumptions["poison"] = object()
+        with pytest.raises(TypeError):
+            save_to_file(gkbms, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["state.json"]

@@ -143,11 +143,17 @@ class TestTelling:
         assert len(batches) == 1
         assert [p.pid for p in batches[0]] == ["a"]
 
-    def test_nested_telling_rejected(self, proc):
-        with pytest.raises(PropositionError):
-            with proc.telling():
+    def test_nested_telling_is_a_savepoint(self, proc):
+        with proc.telling() as outer:
+            proc.tell_individual("kept")
+            with pytest.raises(PropositionError):
                 with proc.telling():
-                    pass
+                    proc.tell_individual("doomed")
+                    raise PropositionError("boom")
+            assert not proc.exists("doomed")
+            assert proc.exists("kept")
+        assert proc.exists("kept")
+        assert [p.pid for p in outer.created] == ["kept"]
 
 
 class TestIntrospection:

@@ -107,6 +107,48 @@ class TestLogStore:
         assert len(store.journal) == 5
         assert {p.pid for p in store.replay()} == {p.pid for p in store}
 
+    def test_from_journal_reproduces_rows_and_journal(self):
+        store = populate(LogStore())
+        store.delete("p3")
+        store.create(individual("late"))
+        rebuilt = LogStore.from_journal(store.journal)
+        assert rebuilt.rows() == store.rows()
+        assert rebuilt.journal == store.journal
+
+    def test_from_journal_after_compact(self):
+        store = populate(LogStore())
+        store.delete("p2")
+        store.compact()
+        rebuilt = LogStore.from_journal(store.journal)
+        assert rebuilt.rows() == store.rows()
+
+    def test_from_journal_rejects_unknown_op(self):
+        with pytest.raises(PropositionError):
+            LogStore.from_journal([("mangle", individual("x"))])
+
+
+class TestRows:
+    def test_rows_identical_across_store_kinds(self):
+        stores = [populate(cls()) for cls in ALL_STORES]
+        rows = {store.rows() for store in stores}
+        assert len(rows) == 1
+
+    def test_rows_are_order_insensitive(self):
+        forward = LogStore()
+        forward.create(individual("a"))
+        forward.create(individual("b"))
+        backward = LogStore()
+        backward.create(individual("b"))
+        backward.create(individual("a"))
+        assert forward.rows() == backward.rows()
+
+    def test_rows_reflect_deletes(self):
+        store = populate(MemoryStore())
+        before = store.rows()
+        store.delete("p3")
+        assert store.rows() != before
+        assert len(store.rows()) == len(before) - 1
+
 
 class TestWorkspaceStore:
     def test_partitioning(self):

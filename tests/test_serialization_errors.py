@@ -1,0 +1,156 @@
+"""Error paths of the proposition serialisation and envelope layers.
+
+Corrupt, truncated or hand-edited dump files must surface as *typed*
+errors (:class:`~repro.errors.PersistenceError` for the container,
+:class:`~repro.errors.PropositionError` for bad proposition content) —
+never as raw ``KeyError``/``JSONDecodeError`` leaking implementation
+detail, and never as silent misloads.
+"""
+
+import json
+
+import pytest
+
+from repro.atomicio import (
+    atomic_write_json,
+    decode_envelope,
+    encode_envelope,
+    read_checked_json,
+)
+from repro.errors import PersistenceError, PropositionError
+from repro.propositions import PropositionProcessor
+from repro.propositions.serialization import (
+    dumps,
+    load_from_file,
+    load_processor,
+    loads,
+    proposition_from_json,
+    save_to_file,
+)
+
+
+@pytest.fixture
+def proc():
+    p = PropositionProcessor()
+    p.define_class("Doc")
+    p.tell_individual("d1", in_class="Doc")
+    p.tell_link("d1", "title", "Doc")
+    return p
+
+
+class TestDumpErrors:
+    def test_malformed_json_is_a_persistence_error(self):
+        with pytest.raises(PersistenceError):
+            loads("{not json at all")
+
+    def test_non_object_dump_rejected(self):
+        with pytest.raises(PropositionError):
+            load_processor([1, 2, 3])
+
+    def test_unknown_format_version_rejected(self):
+        with pytest.raises(PropositionError):
+            load_processor({"format": 99, "propositions": []})
+
+    def test_missing_propositions_list_rejected(self):
+        with pytest.raises(PropositionError):
+            load_processor({"format": 1})
+
+    def test_proposition_must_be_an_object(self):
+        with pytest.raises(PropositionError):
+            proposition_from_json("d1")
+
+    def test_proposition_missing_fields_named_in_error(self):
+        with pytest.raises(PropositionError) as err:
+            proposition_from_json({"pid": "d1", "source": "d1"})
+        assert "label" in str(err.value)
+        assert "destination" in str(err.value)
+
+    def test_bad_time_point_rejected(self):
+        data = {"pid": "d1", "source": "d1", "label": "d1",
+                "destination": "d1",
+                "time": {"start": ["oops"], "end": ["+inf"]}}
+        with pytest.raises(PropositionError):
+            proposition_from_json(data)
+
+    def test_bad_interval_shape_rejected(self):
+        data = {"pid": "d1", "source": "d1", "label": "d1",
+                "destination": "d1", "time": ["not", "a", "dict"]}
+        with pytest.raises(PropositionError):
+            proposition_from_json(data)
+
+    def test_roundtrip_still_works(self, proc):
+        restored = loads(dumps(proc))
+        assert restored.store.rows() == proc.store.rows()
+
+
+class TestEnvelopeErrors:
+    def test_tampered_payload_fails_checksum(self):
+        data = encode_envelope("thing", {"value": 1})
+        tampered = data.replace(b'"value": 1', b'"value": 2')
+        assert tampered != data
+        with pytest.raises(PersistenceError) as err:
+            decode_envelope(tampered, "thing")
+        assert "checksum" in str(err.value)
+
+    def test_wrong_kind_rejected(self):
+        data = encode_envelope("thing", {})
+        with pytest.raises(PersistenceError) as err:
+            decode_envelope(data, "other")
+        assert "kind" in str(err.value)
+
+    def test_unknown_version_rejected(self):
+        data = encode_envelope("thing", {}, version=42)
+        with pytest.raises(PersistenceError) as err:
+            decode_envelope(data, "thing")
+        assert "version" in str(err.value)
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(PersistenceError):
+            decode_envelope(b"[1, 2]", "thing")
+
+    def test_legacy_document_passthrough(self):
+        legacy = json.dumps({"format": 1, "propositions": []}).encode()
+        assert decode_envelope(legacy, "thing", allow_legacy=True) == {
+            "format": 1, "propositions": [],
+        }
+        with pytest.raises(PersistenceError):
+            decode_envelope(legacy, "thing")
+
+    def test_missing_file_is_a_persistence_error(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            read_checked_json(str(tmp_path / "absent.json"), "thing")
+
+
+class TestDumpFiles:
+    def test_save_load_roundtrip(self, proc, tmp_path):
+        path = str(tmp_path / "dump.json")
+        save_to_file(proc, path)
+        restored = load_from_file(path)
+        assert restored.store.rows() == proc.store.rows()
+
+    def test_save_leaves_no_tmp_file(self, proc, tmp_path):
+        path = str(tmp_path / "dump.json")
+        save_to_file(proc, path)
+        assert list(tmp_path.iterdir()) == [tmp_path / "dump.json"]
+
+    def test_corrupt_dump_file_is_typed(self, proc, tmp_path):
+        path = str(tmp_path / "dump.json")
+        save_to_file(proc, path)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(PersistenceError):
+            load_from_file(path)
+
+    def test_legacy_dump_file_loads(self, proc, tmp_path):
+        path = str(tmp_path / "legacy.json")
+        with open(path, "w") as handle:
+            handle.write(dumps(proc))  # raw pre-envelope format
+        restored = load_from_file(path)
+        assert restored.store.rows() == proc.store.rows()
+
+    def test_wrong_kind_file_rejected(self, proc, tmp_path):
+        path = str(tmp_path / "other.json")
+        atomic_write_json(path, "some-other-kind", {"format": 1})
+        with pytest.raises(PersistenceError):
+            load_from_file(path)
