@@ -12,6 +12,14 @@ counter a test registered through the ``perf_counters`` fixture.  The
 committed ``BENCH_*.json`` files are the repo's perf trajectory —
 counters are machine-independent, so regressions in evaluation counts
 diff cleanly across PRs even when wall clocks do not.
+
+Since PR 4 the payload carries a ``schema`` stamp and a ``metrics``
+section: tests that hold a :class:`~repro.obs.metrics.MetricsRegistry`
+record point-in-time snapshots through the ``registry_metrics``
+fixture, so the counter *names* in BENCH files are exactly the
+registry's ``<component>.<counter>`` names (``proposition.closure_hits``,
+``deduction.join_probes``, ...) — the same names ``python -m repro.obs
+diff`` and the EXPLAIN attribution use.
 """
 
 import json
@@ -26,8 +34,18 @@ import pytest
 
 from repro.scenario import MeetingScenario
 
+#: The BENCH payload layout; bump when sections change incompatibly.
+BENCH_SCHEMA = {
+    "version": 2,
+    "sections": ["benchmarks", "counters", "metrics"],
+    "metric_names": "<component>.<counter> (repro.obs.metrics registry)",
+}
+
 #: nodeid -> {counter name: value}, collected via the perf_counters fixture.
 _COUNTERS = {}
+
+#: nodeid -> {full metric name: value}, via the registry_metrics fixture.
+_METRICS = {}
 
 
 def pytest_addoption(parser):
@@ -55,6 +73,22 @@ def perf_counters(request):
     return record
 
 
+@pytest.fixture
+def registry_metrics(request):
+    """Record a registry snapshot for the --bench-json ``metrics``
+    section, keyed by the registry's own stable metric names.
+
+    Usage: ``registry_metrics(cb.registry)`` or
+    ``registry_metrics(proc.registry, prefix="proposition")``.
+    """
+
+    def record(registry, prefix=""):
+        snapshot = registry.snapshot(prefix)
+        _METRICS.setdefault(request.node.nodeid, {}).update(snapshot)
+
+    return record
+
+
 def _benchmark_entries(config):
     session = getattr(config, "_benchmarksession", None)
     entries = []
@@ -77,8 +111,10 @@ def pytest_sessionfinish(session, exitstatus):
     if not path:
         return
     payload = {
+        "schema": BENCH_SCHEMA,
         "benchmarks": _benchmark_entries(session.config),
         "counters": _COUNTERS,
+        "metrics": _METRICS,
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

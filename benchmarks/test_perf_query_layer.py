@@ -59,7 +59,7 @@ def test_perf_closure_cache(benchmark, optimise, objects):
     assert len(proc.store) > objects
 
 
-def test_closure_cache_expansion_ratio(perf_counters):
+def test_closure_cache_expansion_ratio(perf_counters, registry_metrics):
     """Acceptance: >=5x fewer isa-BFS expansions on the largest batch
     load, with a bit-identical proposition base."""
     objects = max(LOAD_SIZES)
@@ -78,6 +78,8 @@ def test_closure_cache_expansion_ratio(perf_counters):
         closure_misses=cached.stats["closure_misses"],
         closure_invalidations=cached.stats["closure_invalidations"],
     )
+    # the same numbers under their stable registry names
+    registry_metrics(cached.registry, prefix="proposition")
     print(f"\nPerf-6a isa-BFS expansions over a {objects}-object load: "
           f"cached={expansions_cached}, uncached={expansions_uncached}")
 
@@ -174,3 +176,62 @@ def test_seminaive_fixpoints_identical_across_sizes():
         interpreted_idb, _ = fixpoint(False, nodes)
         assert compiled_idb.rows("path") == interpreted_idb.rows("path")
         assert compiled_idb.rows("sg") == interpreted_idb.rows("sg")
+
+
+# ---------------------------------------------------------------------------
+# Part C: the same headlines, attributed through EXPLAIN alone
+# ---------------------------------------------------------------------------
+
+
+def test_explain_reproduces_headlines_from_registry(perf_counters,
+                                                    registry_metrics):
+    """Both ablation headlines re-derived purely from EXPLAIN metric
+    deltas — no reach into component stats dicts."""
+    from repro.obs.explain import QueryExplain
+    from repro.obs.metrics import MetricsRegistry, StatsView
+
+    objects = max(LOAD_SIZES)
+    expansions = {}
+    for optimise in (True, False):
+        proc = PropositionProcessor(optimise=optimise)
+        report = QueryExplain(proc.registry).explain(
+            lambda: _load_into(proc, objects), label="batch-load")
+        expansions[optimise] = report.delta("proposition.isa_expansions")
+    assert expansions[True] * 5 <= expansions[False]
+
+    nodes = max(FIXPOINT_SIZES)
+    probes = {}
+    for optimise in (True, False):
+        registry = MetricsRegistry()
+        stats = StatsView(registry.namespace("deduction"))
+        explain = QueryExplain(registry)
+        report = explain.explain(
+            lambda: evaluate(PROGRAM, edge_database(nodes),
+                             optimise=optimise, stats=stats),
+            label="fixpoint")
+        probes[optimise] = report.delta("deduction.join_probes")
+    assert probes[True] * 3 <= probes[False]
+    perf_counters(
+        explain_isa_expansions_cached=expansions[True],
+        explain_isa_expansions_uncached=expansions[False],
+        explain_join_probes_compiled=probes[True],
+        explain_join_probes_interpreted=probes[False],
+    )
+
+
+def _load_into(proc: PropositionProcessor, objects: int) -> None:
+    """The Perf-6a batch load against an existing processor."""
+    for h in range(HIERARCHIES):
+        proc.define_class(f"Base{h}")
+        proc.define_class(f"Leaf{h}", isa=[f"Base{h}"])
+        proc.tell_link(f"Base{h}", "owner", f"Base{h}",
+                       pid=f"Base{h}.owner", of_class="Attribute")
+    previous = {}
+    for index in range(objects):
+        name = f"obj{index}"
+        hierarchy = index % HIERARCHIES
+        proc.tell_individual(name, in_class=f"Leaf{hierarchy}")
+        if hierarchy in previous:
+            proc.tell_link(previous[hierarchy], "owner", name,
+                           of_class=f"Base{hierarchy}.owner")
+        previous[hierarchy] = name

@@ -24,6 +24,7 @@ from typing import List, Tuple
 from repro.errors import ReproError
 from repro.analysis.analyzer import ModelAnalyzer
 from repro.analysis.diagnostics import CODES, DiagnosticReport, make
+from repro.obs.logging import StreamSink, log, set_sink
 from repro.objects.frame import parse_frames
 
 
@@ -128,8 +129,8 @@ def _analyze_python(path: str) -> DiagnosticReport:
                                 f"TaxisDL source {name!r} failed to parse: {exc}",
                                 subject=name))
     if not analyzed:
-        print(f"note: {path}: no model objects found to analyze",
-              file=sys.stderr)
+        log("warning", f"{path}: no model objects found to analyze",
+            logger="repro.analysis")
     return report
 
 
@@ -170,10 +171,21 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--codes", action="store_true",
                         help="list all diagnostic codes and exit")
     args = parser.parse_args(argv)
+    # a CLI is an application: its output is invited, via a stream sink
+    # for the duration of the run (libraries importing this module stay
+    # silent — NullSink default — and in-process callers get it back)
+    previous = set_sink(StreamSink())
+    try:
+        return _run(parser, args)
+    finally:
+        set_sink(previous)
 
+
+def _run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.codes:
         for code, (severity, description) in sorted(CODES.items()):
-            print(f"{code}  {str(severity):7}  {description}")
+            log("info", f"{code}  {str(severity):7}  {description}",
+                logger="repro.analysis")
         return 0
     if not args.paths:
         parser.print_usage(sys.stderr)
@@ -189,10 +201,11 @@ def main(argv: List[str] | None = None) -> int:
                     text = handle.read()
                 report.merge(_analyze_script(text))
         except (OSError, ReproError) as exc:
-            print(f"error: {path}: {exc}", file=sys.stderr)
+            log("error", f"{path}: {exc}", logger="repro.analysis")
             return 2
 
-    print(report.to_json() if args.json else report.render_text())
+    log("info", report.to_json() if args.json else report.render_text(),
+        logger="repro.analysis")
     if report.errors():
         return 1
     if args.strict and report.warnings():

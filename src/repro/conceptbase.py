@@ -34,6 +34,8 @@ from repro.deduction.kb import RuleEngine
 from repro.deduction.parser import parse_literal
 from repro.models.display.relational_display import RelationalDisplay
 from repro.models.display.text_dag import TextDAGBrowser
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.objects.behaviours import BehaviourBase
 from repro.objects.frame import ObjectFrame
 from repro.objects.object_processor import ObjectProcessor
@@ -48,12 +50,24 @@ class ConceptBase:
     """The conceptual model base management system, in one object."""
 
     def __init__(self, store: Optional[PropositionStore] = None,
-                 strict: bool = False) -> None:
-        self.propositions = PropositionProcessor(store=store)
+                 strict: bool = False,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        #: One registry for the whole facade: each component writes its
+        #: own namespace (proposition.*, deduction.*, consistency.*, …),
+        #: so ``cb.registry.snapshot()`` is the full system census.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer
+        self.propositions = PropositionProcessor(
+            store=store, registry=self.registry, tracer=tracer
+        )
         self.objects = ObjectProcessor(self.propositions)
-        self.rules = RuleEngine(self.propositions)
+        self.rules = RuleEngine(self.propositions, registry=self.registry,
+                                tracer=tracer)
         self.rules.install_hook()
-        self.consistency = ConsistencyChecker(self.propositions)
+        self.consistency = ConsistencyChecker(
+            self.propositions, registry=self.registry, tracer=tracer
+        )
         self.consistency.set_rule_source(self.rules.rules)
         self.behaviours = BehaviourBase(self.propositions)
         self.view = RelationalView(self.propositions)
@@ -61,6 +75,28 @@ class ConceptBase:
         #: Strict mode refuses to commit rules, constraints and frames
         #: that carry error-level static diagnostics.
         self.strict = strict
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Pin a tracer on every component (``None`` = process default)."""
+        self._tracer = tracer
+        self.propositions.set_tracer(tracer)
+        self.rules.set_tracer(tracer)
+        self.consistency.set_tracer(tracer)
+
+    def explain(self):
+        """A :class:`~repro.obs.explain.QueryExplain` bound to this
+        facade's registry (and pinned tracer, if any)."""
+        from repro.obs.explain import QueryExplain
+
+        return QueryExplain(self.registry, tracer=self._tracer)
+
+    def metrics_snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """Point-in-time values of every metric the facade owns."""
+        return self.registry.snapshot(prefix)
+
+    def reset_stats(self) -> None:
+        """Zero every counter in the facade's registry."""
+        self.registry.reset()
 
     # ------------------------------------------------------------------
     # Telling (object processor level)

@@ -9,6 +9,8 @@ from repro.errors import ConsistencyError
 from repro.assertions.ast import Expression
 from repro.assertions.evaluator import Evaluator
 from repro.assertions.parser import parse_assertion
+from repro.obs.metrics import MetricsRegistry, Namespace
+from repro.obs.tracing import Tracer, get_tracer
 from repro.propositions.processor import PropositionProcessor
 from repro.propositions.proposition import Proposition
 
@@ -49,14 +51,46 @@ class Violation:
         return f"Violation({self.constraint} on {subject})"
 
 
-@dataclass
 class CheckStats:
-    """Counters for the set-oriented vs per-proposition comparison."""
+    """Counters for the set-oriented vs per-proposition comparison.
 
-    evaluations: int = 0
-    instances_checked: int = 0
-    batches: int = 0
-    skipped: int = 0  # constraints pruned by the relevance index
+    Keeps the attribute API (``stats.evaluations += 1``) but stores each
+    counter in a registry namespace, so the numbers also appear in
+    metric snapshots and two checkers never share state by accident.
+    ``skipped`` counts constraints pruned by the relevance index.
+    """
+
+    FIELDS = ("evaluations", "instances_checked", "batches", "skipped")
+
+    def __init__(self, namespace: Optional[Namespace] = None) -> None:
+        if namespace is None:
+            namespace = MetricsRegistry().namespace("consistency")
+        object.__setattr__(self, "_counters",
+                           {f: namespace.counter(f) for f in self.FIELDS})
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return counters[name].value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: int) -> None:
+        if name not in self._counters:
+            raise AttributeError(f"CheckStats has no counter {name!r}")
+        self._counters[name].set(value)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for counter in self._counters.values():
+            counter.reset()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of the counters."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"CheckStats({body})"
 
 
 class ConsistencyChecker:
@@ -82,6 +116,8 @@ class ConsistencyChecker:
         set_oriented: bool = True,
         include_deduced: bool = True,
         use_relevance: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from repro.analysis.relevance import RelevanceIndex
 
@@ -94,7 +130,22 @@ class ConsistencyChecker:
         self.relevance = RelevanceIndex()
         self._rule_source = None
         self._rule_signature: Optional[Tuple[str, ...]] = None
-        self.stats = CheckStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer
+        self.stats = CheckStats(self.registry.namespace("consistency"))
+
+    @property
+    def tracer(self) -> Tracer:
+        """The checker's tracer (falls back to the process default)."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Pin a tracer for this checker (``None`` = process default)."""
+        self._tracer = tracer
+
+    def reset_stats(self) -> None:
+        """Zero this checker's counters."""
+        self.stats.reset()
 
     # ------------------------------------------------------------------
     # Constraint management
@@ -190,6 +241,12 @@ class ConsistencyChecker:
 
     def check_class(self, cls: str) -> List[Violation]:
         """Check all constraints of ``cls`` over its current extent."""
+        with self.tracer.span("consistency.check_class", cls=cls) as span:
+            violations = self._check_class(cls)
+            span.set(violations=len(violations))
+        return violations
+
+    def _check_class(self, cls: str) -> List[Violation]:
         violations: List[Violation] = []
         definitions = self.constraints_for(cls)
         if not definitions:
@@ -210,6 +267,14 @@ class ConsistencyChecker:
 
     def check_all(self) -> List[Violation]:
         """Check every attached constraint over its class extent."""
+        with self.tracer.span(
+            "consistency.check_all", constraints=len(self._constraints)
+        ) as span:
+            violations = self._check_all()
+            span.set(violations=len(violations))
+        return violations
+
+    def _check_all(self) -> List[Violation]:
         violations: List[Violation] = []
         for cls in list(self._by_class):
             for definition in self._by_class_direct(cls):
@@ -244,8 +309,21 @@ class ConsistencyChecker:
         the whole batch; the naive mode evaluates per proposition, doing
         redundant work proportional to batch overlap.
         """
-        self.stats.batches += 1
         props = list(props)
+        evals_before = self.stats.evaluations
+        skipped_before = self.stats.skipped
+        with self.tracer.span(
+            "consistency.check_batch",
+            props=len(props), set_oriented=self.set_oriented,
+        ) as span:
+            violations = self._check_batch(props)
+            span.set(violations=len(violations),
+                     evaluations=self.stats.evaluations - evals_before,
+                     skipped=self.stats.skipped - skipped_before)
+        return violations
+
+    def _check_batch(self, props: List[Proposition]) -> List[Violation]:
+        self.stats.batches += 1
         if self.set_oriented:
             affected: Set[str] = set()
             structural = False

@@ -25,6 +25,8 @@ from repro.deduction.parser import parse_rule
 from repro.deduction.prover import Prover
 from repro.deduction.seminaive import Database, evaluate, new_stats
 from repro.deduction.terms import Rule
+from repro.obs.metrics import MetricsRegistry, StatsView
+from repro.obs.tracing import Tracer, get_tracer
 from repro.propositions.processor import PropositionProcessor
 from repro.propositions.proposition import Pattern, Proposition
 
@@ -108,18 +110,45 @@ class RuleEngine:
     materialisation (the default) or the interpreted baseline; ``stats``
     accumulates the evaluator's join/index-probe counters across
     :meth:`materialise` calls, next to the prover's lemma statistics.
+
+    Counters live in the engine's own ``deduction`` namespace of a
+    :class:`~repro.obs.metrics.MetricsRegistry` (private by default, or
+    a shared registry passed in); ``stats`` is a
+    :class:`~repro.obs.metrics.StatsView` over that namespace, so two
+    engines never alias each other's dict.
     """
 
     def __init__(self, processor: PropositionProcessor,
-                 optimise: bool = True) -> None:
+                 optimise: bool = True,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.processor = processor
         self.view = KnowledgeView(processor)
         self.optimise = optimise
-        self.stats = new_stats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer
+        self._metrics = self.registry.namespace("deduction")
+        for key in new_stats():
+            self._metrics.counter(key)
+        self._c_materialisations = self._metrics.counter("materialisations")
+        self.stats = StatsView(self._metrics)
         self._rules: Dict[str, Rule] = {}
         self._idb_epoch = -1
         self._idb: Optional[Database] = None
         self._hooked = False
+
+    @property
+    def tracer(self) -> Tracer:
+        """The engine's tracer (falls back to the process default)."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Pin a tracer for this engine (``None`` = process default)."""
+        self._tracer = tracer
+
+    def reset_stats(self) -> None:
+        """Zero this engine's own counters."""
+        self.stats.reset()
 
     # -- rule management -------------------------------------------------
 
@@ -178,10 +207,16 @@ class RuleEngine:
     def materialise(self) -> Database:
         """Bottom-up IDB (cached per knowledge-base epoch)."""
         if self._idb is None or self._idb_epoch != self.processor.epoch:
-            self._idb = evaluate(
-                list(self._rules.values()), self.view.database(),
-                optimise=self.optimise, stats=self.stats,
-            )
+            with self.tracer.span(
+                "deduction.materialise",
+                rules=len(self._rules), epoch=self.processor.epoch,
+            ):
+                self._c_materialisations.inc()
+                self._idb = evaluate(
+                    list(self._rules.values()), self.view.database(),
+                    optimise=self.optimise, stats=self.stats,
+                    tracer=self._tracer,
+                )
             self._idb_epoch = self.processor.epoch
         return self._idb
 

@@ -28,6 +28,7 @@ from collections import defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import DeductionError
+from repro.obs.tracing import Tracer, get_tracer
 from repro.deduction.terms import (
     Constant,
     Literal,
@@ -457,45 +458,62 @@ def evaluate(
     edb: Database,
     optimise: bool = True,
     stats: Optional[Dict[str, int]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Database:
     """Compute the full IDB: ``edb`` plus everything the rules derive.
 
     ``optimise`` selects the compiled join-plan path (default) or the
     interpreted unify-per-row baseline; both produce identical
-    databases.  ``stats`` (a dict, see :func:`new_stats`) accumulates
-    join-probe / index-probe / iteration counters for structural
-    performance assertions.
+    databases.  ``stats`` (any mutable mapping, see :func:`new_stats`)
+    accumulates join-probe / index-probe / iteration counters for
+    structural performance assertions.  Counters are gathered in a plain
+    local dict during the fixpoint (one dict op per probe, even when
+    ``stats`` is a registry-backed view) and folded into ``stats`` once
+    at the end; the whole evaluation runs under a
+    ``deduction.evaluate`` span with one ``deduction.round`` child per
+    semi-naive iteration.
     """
-    if stats is None:
-        stats = new_stats()
-    else:
-        for key, value in new_stats().items():
-            stats.setdefault(key, value)
-    full = edb.copy()
-    for layer in stratify(rules):
-        facts = [rule for rule in layer if rule.is_fact]
-        proper = [rule for rule in layer if not rule.is_fact]
-        compiled = [_CompiledRule(rule) for rule in proper] if optimise else []
-        for fact in facts:
-            full.add(fact.head.predicate, ground_tuple(fact.head, {}))
-        delta: Optional[Database] = None
-        while True:
-            stats["iterations"] += 1
-            derived = Database()
-            if optimise:
-                for crule in compiled:
-                    stats["derived_facts"] += len(
-                        _evaluate_compiled(crule, full, delta, derived, stats)
-                    )
-            else:
-                for rule in proper:
-                    stats["derived_facts"] += len(
-                        _evaluate_rule(rule, full, delta, derived, stats)
-                    )
-            if len(derived) == 0:
-                break
-            full.merge(derived)
-            delta = derived
-        # First round after facts: run once naive, then semi-naive rounds.
-        # (handled above: delta None = naive round.)
+    local = new_stats()
+    rules = list(rules)
+    active_tracer = tracer if tracer is not None else get_tracer()
+    with active_tracer.span("deduction.evaluate", rules=len(rules),
+                            optimise=optimise) as evaluate_span:
+        full = edb.copy()
+        for stratum_index, layer in enumerate(stratify(rules)):
+            facts = [rule for rule in layer if rule.is_fact]
+            proper = [rule for rule in layer if not rule.is_fact]
+            compiled = [_CompiledRule(r) for r in proper] if optimise else []
+            for fact in facts:
+                full.add(fact.head.predicate, ground_tuple(fact.head, {}))
+            delta: Optional[Database] = None
+            while True:
+                local["iterations"] += 1
+                derived = Database()
+                with active_tracer.span(
+                    "deduction.round", stratum=stratum_index,
+                    seminaive=delta is not None,
+                ) as round_span:
+                    if optimise:
+                        for crule in compiled:
+                            local["derived_facts"] += len(
+                                _evaluate_compiled(crule, full, delta,
+                                                   derived, local)
+                            )
+                    else:
+                        for rule in proper:
+                            local["derived_facts"] += len(
+                                _evaluate_rule(rule, full, delta, derived,
+                                               local)
+                            )
+                    round_span.set(derived=len(derived))
+                if len(derived) == 0:
+                    break
+                full.merge(derived)
+                delta = derived
+            # First round after facts: run once naive, then semi-naive
+            # rounds (handled above: delta None = naive round).
+        evaluate_span.set(**local)
+    if stats is not None:
+        for key, value in local.items():
+            stats[key] = stats.get(key, 0) + value
     return full

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.obs.tracing import get_tracer
 from repro.objects.relational import RelationalView
 
 
@@ -60,24 +61,30 @@ class RelationalDisplay:
         blanks), which is how a 1NF display must show them; the default
         NF2 display keeps value sets inline as ``{a,b}``.
         """
-        schema = self.view.schema(cls)
-        heading = [("object", self._width("object"))]
-        heading += [(c, self._width(c)) for c in schema.columns]
-        lines = [" | ".join(_clip(name, width) for name, width in heading)]
-        lines.append("-+-".join("-" * width for _name, width in heading))
-        for row in self.page(cls):
-            if first_normal_form:
-                lines.extend(self._explode(row, heading))
-            else:
-                cells = [row[0]] + [
-                    "{" + ",".join(sorted(v)) + "}" if v else "-" for v in row[1:]
-                ]
-                lines.append(
-                    " | ".join(
-                        _clip(str(cell), width)
-                        for cell, (_name, width) in zip(cells, heading)
+        with get_tracer().span(
+            "models.display", cls=cls, form="1nf" if first_normal_form else "nf2"
+        ) as span:
+            schema = self.view.schema(cls)
+            heading = [("object", self._width("object"))]
+            heading += [(c, self._width(c)) for c in schema.columns]
+            lines = [" | ".join(_clip(name, width) for name, width in heading)]
+            lines.append("-+-".join("-" * width for _name, width in heading))
+            rows = self.page(cls)
+            for row in rows:
+                if first_normal_form:
+                    lines.extend(self._explode(row, heading))
+                else:
+                    cells = [row[0]] + [
+                        "{" + ",".join(sorted(v)) + "}" if v else "-"
+                        for v in row[1:]
+                    ]
+                    lines.append(
+                        " | ".join(
+                            _clip(str(cell), width)
+                            for cell, (_name, width) in zip(cells, heading)
+                        )
                     )
-                )
+            span.set(rows=len(rows))
         return "\n".join(lines)
 
     def _explode(self, row: Tuple, heading: List[Tuple[str, int]]) -> List[str]:

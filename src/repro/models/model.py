@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.errors import ModelError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, get_tracer
 from repro.propositions.processor import PropositionProcessor
 from repro.propositions.store import WorkspaceStore
 
@@ -48,15 +50,33 @@ class ModelBase:
         base.configure(["system"])     # world activated transitively
     """
 
-    def __init__(self, processor: Optional[PropositionProcessor] = None) -> None:
+    def __init__(self, processor: Optional[PropositionProcessor] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if processor is None:
-            processor = PropositionProcessor(store=WorkspaceStore())
+            processor = PropositionProcessor(
+                store=WorkspaceStore(registry=registry), registry=registry
+            )
         store = processor.store
         if not isinstance(store, WorkspaceStore):
             raise ModelError("ModelBase requires a WorkspaceStore-backed processor")
         self.processor = processor
         self.store: WorkspaceStore = store
+        self.registry = registry if registry is not None else processor.registry
+        self._metrics = self.registry.namespace("models")
+        self._c_configurations = self._metrics.counter("configurations")
+        self._c_definitions = self._metrics.counter("definitions")
+        self._tracer = tracer
         self._models: Dict[str, Model] = {}
+
+    @property
+    def tracer(self) -> Tracer:
+        """The model base's tracer (falls back to the process default)."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Pin a tracer for this model base (``None`` = process default)."""
+        self._tracer = tracer
 
     # ------------------------------------------------------------------
     # Lattice construction
@@ -74,6 +94,7 @@ class ModelBase:
         model = Model(name, submodels, description)
         self._models[name] = model
         self.store.add_workspace(name, active=True)
+        self._c_definitions.inc()
         return model
 
     def add_submodel(self, name: str, submodel: str) -> None:
@@ -140,12 +161,16 @@ class ModelBase:
     def configure(self, names: Iterable[str]) -> Set[str]:
         """Activate exactly the given models (plus transitive submodels
         and the system kernel); returns the active set."""
-        active = self.closure(list(names))
-        for model in self._models:
-            if model in active:
-                self.store.activate(model)
-            else:
-                self.store.deactivate(model)
+        names = list(names)
+        with self.tracer.span("models.configure", requested=len(names)) as span:
+            active = self.closure(names)
+            for model in self._models:
+                if model in active:
+                    self.store.activate(model)
+                else:
+                    self.store.deactivate(model)
+            self._c_configurations.inc()
+            span.set(active=len(active), defined=len(self._models))
         return active
 
     def activate_all(self) -> None:

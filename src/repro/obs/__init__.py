@@ -1,0 +1,72 @@
+"""Observability layer: metrics registry, span tracer, EXPLAIN.
+
+One substrate for every number this reproduction reports about itself:
+
+- :mod:`repro.obs.metrics` — typed, named, thread-safe counters /
+  gauges / histograms in per-component-instance namespaces, with
+  snapshot/diff (the replacement for the aliased ``stats`` dicts);
+- :mod:`repro.obs.tracing` — nested context-manager spans with an
+  injectable clock and JSONL export, disabled by default;
+- :mod:`repro.obs.logging` — structured log sinks so library code
+  never writes to stdout uninvited;
+- :mod:`repro.obs.explain` — ``QueryExplain``: per-query span trees
+  with cache-hit / probe / expansion attribution from registry deltas;
+- ``python -m repro.obs`` — dump/diff/check exported traces and metric
+  snapshots, and run the traced smoke workload CI gates on.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Namespace,
+    StatsView,
+    diff_snapshots,
+    dump_snapshot,
+    load_snapshot,
+)
+from repro.obs.tracing import (
+    Span,
+    TraceError,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    load_jsonl,
+    render_tree,
+    set_tracer,
+    span_tree,
+)
+from repro.obs.logging import (
+    CollectingSink,
+    LogRecord,
+    LogSink,
+    NullSink,
+    StreamSink,
+    get_sink,
+    log,
+    set_sink,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricError", "MetricsRegistry",
+    "Namespace", "StatsView", "diff_snapshots", "dump_snapshot",
+    "load_snapshot",
+    "Span", "TraceError", "Tracer", "disable", "enable", "get_tracer",
+    "load_jsonl", "render_tree", "set_tracer", "span_tree",
+    "CollectingSink", "LogRecord", "LogSink", "NullSink", "StreamSink",
+    "get_sink", "log", "set_sink",
+    "QueryExplain", "ExplainReport",
+]
+
+
+def __getattr__(name):
+    # QueryExplain imports processor modules; lazy import avoids cycles
+    # (processor -> obs.metrics -> obs -> explain -> processor).
+    if name in ("QueryExplain", "ExplainReport"):
+        from repro.obs import explain
+
+        return getattr(explain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,135 @@
+"""Structured logging sinks: library code never prints uninvited.
+
+Before PR 4 a handful of ``print(`` calls sat inside importable modules
+(the shell loop, the analysis CLI); anything embedding those modules got
+stdout noise it never asked for.  This module is the replacement: code
+emits :class:`LogRecord`\\ s to a *sink*, and only a process entry point
+decides whether that sink is a terminal stream, a collecting buffer for
+tests, or nothing at all.
+
+The process-default sink is :class:`NullSink` — silence — exactly
+because importing a library must not produce output.  CLIs
+(``python -m repro.analysis``, ``python -m repro.obs``, the GKBMS
+shell) install :class:`StreamSink`\\ s explicitly; that is the "invited"
+write.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TextIO
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+@dataclass
+class LogRecord:
+    """One structured event: a level, a message, and typed fields."""
+
+    level: str
+    message: str
+    logger: str = "repro"
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human form: ``message key=value ...`` (level elided for
+        ``info`` so CLI output reads like plain text)."""
+        suffix = "".join(
+            f" {key}={self.fields[key]}" for key in sorted(self.fields)
+        )
+        prefix = "" if self.level == "info" else f"{self.level}: "
+        return f"{prefix}{self.message}{suffix}"
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"level": self.level, "logger": self.logger,
+             "message": self.message, **self.fields},
+            sort_keys=True,
+        )
+
+
+class LogSink:
+    """Sink interface; also usable as a no-op base."""
+
+    def emit(self, record: LogRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class NullSink(LogSink):
+    """Swallow everything (the library default)."""
+
+    def emit(self, record: LogRecord) -> None:
+        pass
+
+
+class StreamSink(LogSink):
+    """Write rendered records to a text stream (a CLI's choice).
+
+    ``structured=True`` writes JSON lines instead of the human form.
+    ``stream=None`` resolves ``sys.stdout``/``sys.stderr`` *at emit
+    time* (by ``error_stream`` routing), so capsys-style stream
+    swapping in tests keeps working.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 structured: bool = False,
+                 route_errors: bool = True) -> None:
+        self._stream = stream
+        self._structured = structured
+        self._route_errors = route_errors
+
+    def _target(self, record: LogRecord) -> TextIO:
+        if self._stream is not None:
+            return self._stream
+        if self._route_errors and record.level in ("warning", "error"):
+            return sys.stderr
+        return sys.stdout
+
+    def emit(self, record: LogRecord) -> None:
+        text = record.to_json() if self._structured else record.render()
+        target = self._target(record)
+        target.write(text + "\n")
+
+
+class CollectingSink(LogSink):
+    """Buffer records in memory (tests, EXPLAIN transcripts)."""
+
+    def __init__(self) -> None:
+        self.records: List[LogRecord] = []
+
+    def emit(self, record: LogRecord) -> None:
+        self.records.append(record)
+
+    def messages(self, level: Optional[str] = None) -> List[str]:
+        return [r.message for r in self.records
+                if level is None or r.level == level]
+
+
+_DEFAULT: LogSink = NullSink()
+
+
+def get_sink() -> LogSink:
+    """The process-default sink (a :class:`NullSink` unless a CLI or a
+    test installed something)."""
+    return _DEFAULT
+
+
+def set_sink(sink: LogSink) -> LogSink:
+    """Install a process-default sink; returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = sink
+    return previous
+
+
+def log(level: str, message: str, logger: str = "repro",
+        sink: Optional[LogSink] = None, **fields: Any) -> LogRecord:
+    """Emit one structured record to ``sink`` (default: process sink)."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choose from {LEVELS})")
+    record = LogRecord(level=level, message=message, logger=logger,
+                       fields=dict(fields))
+    (sink if sink is not None else _DEFAULT).emit(record)
+    return record

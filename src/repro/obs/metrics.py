@@ -1,0 +1,431 @@
+"""A process-wide metrics registry: named, typed, zero-dependency.
+
+The paper's claims — set-oriented consistency checking, lemma-generating
+deduction, "as fast as the hardware allows" — are only claims until they
+are measured, and until PR 4 every component measured itself through an
+ad-hoc ``stats`` dict.  Those dicts were aliased between layers (a
+processor adopting its store's dict), reset by benchmarks mid-flight,
+and carried no types or naming discipline.  This module replaces them:
+
+- :class:`Counter` — monotone-by-convention integer (``inc``), with a
+  guarded ``set``/``reset`` for view compatibility;
+- :class:`Gauge` — a level (``set``/``inc``/``dec``), e.g. live sizes;
+- :class:`Histogram` — observations summarised as count/sum/min/max
+  plus a *bounded reservoir* (uniform sample, deterministic per-metric
+  RNG) for quantiles without unbounded memory;
+- :class:`MetricsRegistry` — a thread-safe name → metric table with
+  dotted-name :class:`Namespace` views, point-in-time :meth:`snapshot`
+  and :func:`diff_snapshots` for before/after attribution.
+
+**Metric name schema.**  ``<component>.<counter>`` with dots separating
+namespace segments: ``proposition.closure_hits``,
+``deduction.join_probes``, ``consistency.evaluations``, ``wal.fsyncs``,
+``store.retrievals``, ``models.configurations``.  The component prefix
+is the *subsystem* key the trace tooling groups by; everything after it
+is free-form but stable — BENCH_*.json files and the
+``python -m repro.obs`` snapshot differ rely on these names not moving.
+
+Every component instance owns its *own* namespace (usually on its own
+private registry), which is what structurally rules out the
+shared-mutable-dict aliasing class of bugs: two processors opened on
+the same store can no longer double-count each other's closures,
+because there is no shared dict left to adopt.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from typing import Any, Callable, Dict, Iterator, List, Mapping, MutableMapping, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class MetricError(ReproError):
+    """Metric misuse: type conflicts, writes to read-only views."""
+
+
+class Counter:
+    """A locked integer counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, amount: int = 1) -> int:
+        """Add ``amount``; returns the new value."""
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    def set(self, value: int) -> None:
+        """Overwrite the value (used by dict-style stats views and
+        :meth:`MetricsRegistry.reset`; prefer :meth:`inc`)."""
+        with self._lock:
+            self._value = int(value)
+
+    def reset(self) -> None:
+        self.set(0)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A locked level: goes up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    def reset(self) -> None:
+        self.set(0.0)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Observation summary with a bounded uniform reservoir.
+
+    The reservoir holds at most ``reservoir_size`` observations; once
+    full, observation *i* replaces a random slot with probability
+    ``size/i`` (Vitter's algorithm R), so the sample stays uniform over
+    the whole stream while memory stays bounded.  The RNG is seeded from
+    the metric name, so identical runs produce identical snapshots.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_reservoir", "_size", "_rng", "_lock")
+
+    def __init__(self, name: str, reservoir_size: int = 256) -> None:
+        if reservoir_size < 1:
+            raise MetricError(f"histogram {name!r}: reservoir must hold >= 1")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._size = reservoir_size
+        self._rng = random.Random(name)
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._reservoir) < self._size:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._size:
+                    self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The ``q``-quantile (0..1) of the reservoir sample."""
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q!r} outside [0, 1]")
+        with self._lock:
+            if not self._reservoir:
+                return None
+            ordered = sorted(self._reservoir)
+            index = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[index]
+
+    def summary(self) -> Dict[str, Any]:
+        """The snapshot form: count/sum/mean/min/max + p50/p95."""
+        with self._lock:
+            ordered = sorted(self._reservoir)
+
+        def pick(q: float) -> Optional[float]:
+            if not ordered:
+                return None
+            return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": pick(0.5),
+            "p95": pick(0.95),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self._reservoir = []
+            self._rng = random.Random(self.name)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Thread-safe name → metric table.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object; asking for an existing
+    name as a different type raises :class:`MetricError` (names are the
+    contract BENCH files and snapshot diffs are built on).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: str, factory: Callable[[], Any]):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif metric.kind != kind:
+                raise MetricError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, "gauge", lambda: Gauge(name))
+
+    def histogram(self, name: str, reservoir_size: int = 256) -> Histogram:
+        return self._get_or_create(
+            name, "histogram", lambda: Histogram(name, reservoir_size)
+        )
+
+    def namespace(self, prefix: str) -> "Namespace":
+        """A dotted-prefix view: ``ns.counter("x")`` is
+        ``registry.counter(prefix + ".x")``."""
+        return Namespace(self, prefix)
+
+    def metrics(self) -> Dict[str, Any]:
+        """All registered metric objects by full name."""
+        with self._lock:
+            return dict(self._metrics)
+
+    def snapshot(self, prefix: str = "") -> Dict[str, Any]:
+        """Point-in-time values: counters/gauges as numbers, histograms
+        as summary dicts.  ``prefix`` restricts to one namespace."""
+        out: Dict[str, Any] = {}
+        for name, metric in sorted(self.metrics().items()):
+            if prefix and not name.startswith(prefix):
+                continue
+            if metric.kind == "histogram":
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every metric (optionally only under ``prefix``)."""
+        for name, metric in self.metrics().items():
+            if prefix and not name.startswith(prefix):
+                continue
+            metric.reset()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+class Namespace:
+    """A prefixed view of a registry (one per component instance)."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    def _full(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self._full(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(self._full(name))
+
+    def histogram(self, name: str, reservoir_size: int = 256) -> Histogram:
+        return self.registry.histogram(self._full(name), reservoir_size)
+
+    def namespace(self, prefix: str) -> "Namespace":
+        return Namespace(self.registry, self._full(prefix))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Snapshot of this namespace with the prefix *stripped*."""
+        skip = len(self.prefix) + 1 if self.prefix else 0
+        return {
+            name[skip:]: value
+            for name, value in self.registry.snapshot(
+                self.prefix + "." if self.prefix else ""
+            ).items()
+        }
+
+    def reset(self) -> None:
+        self.registry.reset(self.prefix + "." if self.prefix else "")
+
+
+class StatsView(MutableMapping):
+    """Dict-compatible view over a namespace's counters.
+
+    The legacy ``component.stats`` dicts survive as these views: reads
+    and ``+=`` writes go straight to the underlying registry counters,
+    so the same numbers surface through both the old dict idiom and the
+    registry snapshot.  Optional *read-only* backing mappings merge in
+    counters owned by another component (a processor showing its durable
+    store's recovery counters) without making them writable — writing to
+    a read-only key raises :class:`MetricError`, which is exactly the
+    aliasing bug class this replaces.
+    """
+
+    __slots__ = ("_namespace", "_readonly")
+
+    def __init__(self, namespace: Namespace,
+                 readonly: Tuple[Mapping, ...] = ()) -> None:
+        self._namespace = namespace
+        self._readonly = tuple(readonly)
+
+    def _own_counters(self) -> Dict[str, Counter]:
+        prefix = self._namespace.prefix + "." if self._namespace.prefix else ""
+        skip = len(prefix)
+        return {
+            name[skip:]: metric
+            for name, metric in self._namespace.registry.metrics().items()
+            if name.startswith(prefix) and metric.kind == "counter"
+        }
+
+    def __getitem__(self, key: str) -> int:
+        own = self._own_counters()
+        if key in own:
+            return own[key].value
+        for backing in self._readonly:
+            if key in backing:
+                return backing[key]
+        raise KeyError(key)
+
+    def __setitem__(self, key: str, value: int) -> None:
+        if key not in self._own_counters():
+            for backing in self._readonly:
+                if key in backing:
+                    raise MetricError(
+                        f"stats key {key!r} is read-only here: it is owned "
+                        f"by another component's namespace"
+                    )
+        self._namespace.counter(key).set(value)
+
+    def __delitem__(self, key: str) -> None:
+        raise MetricError("registry-backed stats cannot drop counters")
+
+    def __iter__(self) -> Iterator[str]:
+        seen = set(self._own_counters())
+        yield from sorted(seen)
+        for backing in self._readonly:
+            for key in backing:
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:
+        return f"StatsView({dict(self)!r})"
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy, detached from the live counters — what
+        benchmarks should compare instead of mutating live stats."""
+        return dict(self)
+
+    def reset(self) -> None:
+        """Zero the *owned* counters (read-only backings untouched)."""
+        for metric in self._own_counters().values():
+            metric.reset()
+
+
+def diff_snapshots(before: Mapping[str, Any],
+                   after: Mapping[str, Any]) -> Dict[str, Any]:
+    """Per-name deltas between two :meth:`MetricsRegistry.snapshot`\\ s.
+
+    Numeric values subtract; histogram summaries subtract count/sum and
+    keep the after-side quantiles.  Names present on one side only are
+    reported against an implicit zero.
+    """
+    out: Dict[str, Any] = {}
+    for name in sorted(set(before) | set(after)):
+        b, a = before.get(name), after.get(name)
+        if isinstance(a, Mapping) or isinstance(b, Mapping):
+            a = a or {}
+            b = b or {}
+            entry = dict(a)
+            entry["count"] = a.get("count", 0) - b.get("count", 0)
+            entry["sum"] = a.get("sum", 0.0) - b.get("sum", 0.0)
+            out[name] = entry
+        else:
+            out[name] = (a or 0) - (b or 0)
+    return out
+
+
+def dump_snapshot(path: str, snapshot: Mapping[str, Any]) -> None:
+    """Write a snapshot as sorted JSON (the ``repro.obs diff`` input)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dict(snapshot), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read a snapshot written by :func:`dump_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise MetricError(f"{path}: snapshot must be a JSON object")
+    return payload

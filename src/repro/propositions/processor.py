@@ -30,9 +30,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set,
+    Tuple,
+)
 
 from repro.errors import PropositionError, UnknownPropositionError
+from repro.obs.metrics import MetricsRegistry, StatsView
+from repro.obs.tracing import Tracer, get_tracer
 from repro.propositions.axioms import AxiomBase, BOOTSTRAP, KERNEL_CLASSES, KERNEL_PIDS
 from repro.propositions.proposition import (
     INSTANCEOF,
@@ -142,8 +147,12 @@ class PropositionProcessor:
         axiom_base: Optional[AxiomBase] = None,
         bootstrap: bool = True,
         optimise: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        self.store = store if store is not None else MemoryStore()
+        if registry is None:
+            registry = MetricsRegistry()
+        self.store = store if store is not None else MemoryStore(registry=registry)
         self.axioms = axiom_base if axiom_base is not None else AxiomBase()
         self._ids = itertools.count(1)
         self._epoch = 0
@@ -152,13 +161,29 @@ class PropositionProcessor:
         self._instanceof_epoch = 0
         self._attribute_epoch = 0
         self._optimise = optimise
-        #: Structural performance counters, next to the prover's ``stats``.
-        self.stats: Dict[str, int] = {
-            "closure_hits": 0,
-            "closure_misses": 0,
-            "closure_invalidations": 0,
-            "isa_expansions": 0,
-        }
+        # Structural performance counters live in this instance's own
+        # registry namespace — never a dict shared with (or adopted
+        # from) the store, so two processors on one store count
+        # independently.  The store's durability counters stay visible
+        # through ``stats``, read-only.
+        self.registry = registry
+        self._metrics = self.registry.namespace("proposition")
+        self._tracer = tracer
+        counter = self._metrics.counter
+        self._c_closure_hits = counter("closure_hits")
+        self._c_closure_misses = counter("closure_misses")
+        self._c_closure_invalidations = counter("closure_invalidations")
+        self._c_isa_expansions = counter("isa_expansions")
+        self._c_tells = counter("tells")
+        self._c_retracts = counter("retracts")
+        self._c_clips = counter("clips")
+        self._c_commits = counter("tellings_committed")
+        self._c_rollbacks = counter("tellings_rolled_back")
+        store_stats = getattr(self.store, "stats", None)
+        readonly = (store_stats,) if isinstance(store_stats, Mapping) else ()
+        #: Dict-compatible view: this processor's counters (writable)
+        #: merged with the store's durability counters (read-only).
+        self.stats: StatsView = StatsView(self._metrics, readonly=readonly)
         self._caches: Dict[str, _ClosureCache] = {
             family: _ClosureCache()
             for family in (
@@ -169,14 +194,6 @@ class PropositionProcessor:
         self._tellings: List[Telling] = []
         self._commit_listeners: List[Callable[[List[Proposition]], None]] = []
         self._deduction_hooks: List[DeductionHook] = []
-        # A durable store (WalStore) carries recovery/durability
-        # counters; adopt its dict so they surface on processor.stats
-        # and keep updating live.
-        store_stats = getattr(self.store, "stats", None)
-        if isinstance(store_stats, dict):
-            for key, value in self.stats.items():
-                store_stats.setdefault(key, value)
-            self.stats = store_stats
         if bootstrap:
             for prop in BOOTSTRAP:
                 if prop.pid not in self.store:
@@ -193,6 +210,22 @@ class PropositionProcessor:
     def epoch(self) -> int:
         """Monotone counter bumped on every mutation (cache invalidation)."""
         return self._epoch
+
+    @property
+    def tracer(self) -> Tracer:
+        """This processor's tracer (the process default unless one was
+        injected at construction or via :meth:`set_tracer`)."""
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Install (or with ``None`` clear) an instance-level tracer."""
+        self._tracer = tracer
+
+    def reset_stats(self) -> None:
+        """Zero this processor's own counters.  The read-only durability
+        counters surfaced from the store are untouched — reset those on
+        the store itself."""
+        self.stats.reset()
 
     def _bump(self) -> None:
         self._epoch += 1
@@ -232,23 +265,35 @@ class PropositionProcessor:
         return (self._isa_epoch, self._instanceof_epoch, visibility)
 
     def _cached(self, family: str, key: Any, compute: Callable[[], Any]) -> Any:
-        """Memoise ``compute()`` under ``key``, validated per stamp."""
+        """Memoise ``compute()`` under ``key``, validated per stamp.
+
+        A cache *miss* (and every call on the ``optimise=False``
+        ablation path) runs the closure computation under a
+        ``proposition.closure`` span, so a traced query shows exactly
+        which closures went cold; hits only move the hit counter — a
+        warm query trace is span-free at this level, which is how
+        :class:`~repro.obs.explain.QueryExplain` tells cached from cold.
+        """
         if not self._optimise:
-            return compute()
+            with self.tracer.span("proposition.closure", family=family,
+                                  key=repr(key), cache="off"):
+                return compute()
         cache = self._caches[family]
         stamp = self._stamp(family)
         if cache.stamp != stamp:
             if cache.table:
-                self.stats["closure_invalidations"] += 1
+                self._c_closure_invalidations.inc()
                 cache.table.clear()
             cache.stamp = stamp
         try:
             value = cache.table[key]
         except KeyError:
-            self.stats["closure_misses"] += 1
-            value = cache.table[key] = compute()
+            self._c_closure_misses.inc()
+            with self.tracer.span("proposition.closure", family=family,
+                                  key=repr(key), cache="miss"):
+                value = cache.table[key] = compute()
             return value
-        self.stats["closure_hits"] += 1
+        self._c_closure_hits.inc()
         return value
 
     def telling(self, rollback_on_listener_error: bool = False) -> Telling:
@@ -295,19 +340,23 @@ class PropositionProcessor:
             if telling._rollback_on_listener_error:
                 self._undo(telling)
                 self.store.txn("abort")
+                self._c_rollbacks.inc()
                 raise
             # Legacy telling() semantics: the batch stays committed and
             # the error surfaces to the caller, who may retract.  The
             # durable commit marker must reflect that.
             self.store.txn("commit")
+            self._c_commits.inc()
             raise
         self.store.txn("commit")
+        self._c_commits.inc()
 
     def _rollback(self, telling: Telling) -> None:
         if self._tellings and self._tellings[-1] is telling:
             self._tellings.pop()
         self._undo(telling)
         self.store.txn("abort" if telling._parent is None else "rollback")
+        self._c_rollbacks.inc()
 
     def _undo(self, telling: Telling) -> None:
         """Physically reverse a telling's mutations (newest first), then
@@ -363,7 +412,7 @@ class PropositionProcessor:
             ) if current[name] != value
         }
         if changed:
-            self.stats["closure_invalidations"] += 1
+            self._c_closure_invalidations.inc()
             for family, deps in self._FAMILY_DEPS.items():
                 if deps & changed:
                     cache = self._caches[family]
@@ -388,13 +437,15 @@ class PropositionProcessor:
 
     def create_proposition(self, prop: Proposition) -> Proposition:
         """Validate ``prop`` against the axiom base and store it."""
-        self.axioms.validate(self, prop)
-        self.store.create(prop)
-        self._note_change(prop)
-        self._bump()
-        if self._tellings:
-            self._tellings[-1].record(prop)
-        return prop
+        with self.tracer.span("proposition.tell", pid=prop.pid):
+            self.axioms.validate(self, prop)
+            self.store.create(prop)
+            self._note_change(prop)
+            self._bump()
+            self._c_tells.inc()
+            if self._tellings:
+                self._tellings[-1].record(prop)
+            return prop
 
     def tell_individual(
         self,
@@ -487,6 +538,15 @@ class PropositionProcessor:
             raise PropositionError(f"kernel proposition {pid!r} cannot be retracted")
         if pid not in self.store:
             raise UnknownPropositionError(f"unknown proposition {pid!r}")
+        with self.tracer.span("proposition.retract", pid=pid,
+                              cascade=cascade) as span:
+            removed = self._retract_closure(pid, cascade)
+            span.set(removed=len(removed))
+        self._c_retracts.inc()
+        self._bump()
+        return removed
+
+    def _retract_closure(self, pid: str, cascade: bool) -> List[Proposition]:
         # Single pass: BFS over structural dependents, recording for each
         # member the set of closure members that reference it.
         closure: Set[str] = {pid}
@@ -534,7 +594,6 @@ class PropositionProcessor:
                     refs.discard(current)
                     if not refs and target in remaining:
                         heapq.heappush(ready, target)
-        self._bump()
         return removed
 
     def clip_validity(self, pid: str, at) -> Proposition:
@@ -547,11 +606,13 @@ class PropositionProcessor:
                 f"proposition {pid!r} was never valid before {at!r}"
             )
         updated = prop.with_time(clipped)
-        self.store.replace(updated)
-        self._note_change(updated)
-        if self._tellings:
-            self._tellings[-1].record_clip(prop, updated)
-        self._bump()
+        with self.tracer.span("proposition.clip", pid=pid):
+            self.store.replace(updated)
+            self._note_change(updated)
+            self._c_clips.inc()
+            if self._tellings:
+                self._tellings[-1].record_clip(prop, updated)
+            self._bump()
         return updated
 
     # ------------------------------------------------------------------
@@ -612,7 +673,7 @@ class PropositionProcessor:
                     if neighbour not in result and neighbour != name:
                         result.add(neighbour)
                         frontier.append(neighbour)
-            self.stats["isa_expansions"] += expansions
+            self._c_isa_expansions.inc(expansions)
             return frozenset(result)
 
         family = "specializations" if down else "generalizations"

@@ -26,6 +26,7 @@ import json
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import PropositionError, UnknownPropositionError
+from repro.obs.metrics import MetricsRegistry, StatsView
 from repro.propositions.proposition import Pattern, Proposition
 
 
@@ -106,15 +107,32 @@ class MemoryStore(PropositionStore):
     class) are O(result).  Index buckets are pruned when they empty, so
     index dictionaries never grow beyond the live proposition set under
     create/delete churn.
+
+    Access counters (creates / deletes / retrievals / scans) live in
+    ``namespace`` of ``registry`` — private per store unless a shared
+    registry is passed in — and surface through ``stats``, a
+    :class:`~repro.obs.metrics.StatsView`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 namespace: str = "store") -> None:
         self._by_pid: Dict[str, Proposition] = {}
         self._by_source: Dict[str, set] = {}
         self._by_label: Dict[str, set] = {}
         self._by_destination: Dict[str, set] = {}
         self._by_source_label: Dict[Tuple[str, str], set] = {}
         self._by_label_destination: Dict[Tuple[str, str], set] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._metrics = self.registry.namespace(namespace)
+        self._c_creates = self._metrics.counter("creates")
+        self._c_deletes = self._metrics.counter("deletes")
+        self._c_retrievals = self._metrics.counter("retrievals")
+        self._c_scans = self._metrics.counter("scans")
+        self.stats = StatsView(self._metrics)
+
+    def reset_stats(self) -> None:
+        """Zero this store's access counters."""
+        self.stats.reset()
 
     def _index_entries(self, prop: Proposition):
         yield self._by_source, prop.source
@@ -130,6 +148,7 @@ class MemoryStore(PropositionStore):
         self._by_pid[prop.pid] = prop
         for index, key in self._index_entries(prop):
             index.setdefault(key, set()).add(prop.pid)
+        self._c_creates.inc()
 
     def delete(self, pid: str) -> Proposition:
         """Remove and return by identifier; empty buckets are pruned."""
@@ -141,6 +160,7 @@ class MemoryStore(PropositionStore):
                 bucket.discard(pid)
                 if not bucket:
                     del index[key]
+        self._c_deletes.inc()
         return prop
 
     def get(self, pid: str) -> Proposition:
@@ -170,8 +190,10 @@ class MemoryStore(PropositionStore):
 
     def retrieve(self, pattern: Pattern) -> Iterator[Proposition]:
         """Yield matches via the most selective index."""
+        self._c_retrievals.inc()
         candidates = self._candidate_pids(pattern)
         if candidates is None:
+            self._c_scans.inc()
             yield from pattern.filter(iter(self._by_pid.values()))
             return
         for pid in list(candidates):
@@ -197,9 +219,20 @@ class LogStore(PropositionStore):
     representation with different write/read trade-offs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._journal: List[Tuple[str, Proposition]] = []
-        self._state = MemoryStore()
+        self._state = MemoryStore(registry=self.registry)
+        self._c_compactions = self.registry.namespace("store").counter("compactions")
+
+    @property
+    def stats(self) -> StatsView:
+        """Access counters of the replayed state (plus ``compactions``)."""
+        return self._state.stats
+
+    def reset_stats(self) -> None:
+        """Zero the store's access counters."""
+        self._state.reset_stats()
 
     @classmethod
     def from_journal(
@@ -256,6 +289,7 @@ class LogStore(PropositionStore):
         """Drop superseded journal entries; return entries removed."""
         before = len(self._journal)
         self._journal = [("create", prop) for prop in self._state]
+        self._c_compactions.inc()
         return before - len(self._journal)
 
     def __len__(self) -> int:
@@ -276,12 +310,31 @@ class WorkspaceStore(PropositionStore):
 
     DEFAULT = "__kernel__"
 
-    def __init__(self) -> None:
-        self._spaces: Dict[str, MemoryStore] = {self.DEFAULT: MemoryStore()}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._metrics = self.registry.namespace("store")
+        self._c_activations = self._metrics.counter("activations")
+        self._c_deactivations = self._metrics.counter("deactivations")
+        self.stats = StatsView(self._metrics)
+        self._spaces: Dict[str, MemoryStore] = {
+            self.DEFAULT: self._new_space(self.DEFAULT)
+        }
         self._active: Dict[str, bool] = {self.DEFAULT: True}
         self._location: Dict[str, str] = {}
         self._current = self.DEFAULT
         self._visibility_epoch = 0
+
+    def _new_space(self, name: str) -> MemoryStore:
+        # one metrics namespace per partition: "store.<name>.creates" etc.
+        return MemoryStore(registry=self.registry, namespace=f"store.{name}")
+
+    def snapshot(self) -> Dict[str, int]:
+        """All ``store.*`` counters (union + per-partition) by full name."""
+        return self.registry.snapshot("store")
+
+    def reset_stats(self) -> None:
+        """Zero the union-level and per-partition counters."""
+        self.registry.reset("store")
 
     @property
     def visibility_epoch(self) -> int:
@@ -295,7 +348,7 @@ class WorkspaceStore(PropositionStore):
         """Create a named partition."""
         if name in self._spaces:
             raise PropositionError(f"workspace {name!r} already exists")
-        self._spaces[name] = MemoryStore()
+        self._spaces[name] = self._new_space(name)
         self._active[name] = active
 
     def workspaces(self) -> List[str]:
@@ -314,6 +367,7 @@ class WorkspaceStore(PropositionStore):
             raise PropositionError(f"unknown workspace {name!r}")
         if not self._active[name]:
             self._visibility_epoch += 1
+            self._c_activations.inc()
         self._active[name] = True
 
     def deactivate(self, name: str) -> None:
@@ -324,6 +378,7 @@ class WorkspaceStore(PropositionStore):
             raise PropositionError("the kernel workspace cannot be deactivated")
         if self._active[name]:
             self._visibility_epoch += 1
+            self._c_deactivations.inc()
         self._active[name] = False
 
     def workspace_of(self, pid: str) -> str:

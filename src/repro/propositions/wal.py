@@ -27,11 +27,15 @@ raising) at the first torn or checksum-failed record; the log is then
 physically truncated back to the last durable boundary so new appends
 extend a clean prefix.  A log whose header generation does not match
 the snapshot (a crash inside :meth:`checkpoint`) is discarded as stale.
-Recovery outcomes land in :attr:`stats` (``replayed``,
-``truncated_tail``, ``checksum_failures``, ``discarded_uncommitted``,
-``snapshot_fallbacks``, ``stale_logs``, ``fsyncs``, ...), which the
-owning :class:`~repro.propositions.processor.PropositionProcessor`
-adopts as its own ``stats`` dict.
+Recovery outcomes land in the store's ``wal.*`` metrics namespace
+(``replayed``, ``truncated_tail``, ``checksum_failures``,
+``discarded_uncommitted``, ``snapshot_fallbacks``, ``stale_logs``,
+``fsyncs``, ...), surfaced dict-style on :attr:`stats`; the owning
+:class:`~repro.propositions.processor.PropositionProcessor` shows the
+same counters *read-only* on its own ``stats`` view (it used to adopt
+the dict by reference, which double-counted closures whenever two
+processors shared one store).  Recovery, checkpoint, append and fsync
+also run under :mod:`repro.obs.tracing` spans.
 
 **Fsync policy.**  ``"always"`` forces every record, ``"commit"`` (the
 default) forces transaction commit/abort boundaries, ``"never"`` leaves
@@ -59,6 +63,8 @@ from repro.atomicio import (
     read_checked_json,
 )
 from repro.errors import PersistenceError, PropositionError
+from repro.obs.metrics import MetricsRegistry, StatsView
+from repro.obs.tracing import Tracer, get_tracer
 from repro.propositions.proposition import Pattern, Proposition
 from repro.propositions.store import MemoryStore, PropositionStore
 
@@ -120,8 +126,17 @@ class WalStore(PropositionStore):
     disk never diverge on a survivable error.
     """
 
+    #: Durability / recovery counter names (the ``wal.*`` namespace).
+    COUNTERS = (
+        "replayed", "truncated_tail", "checksum_failures",
+        "discarded_uncommitted", "replay_errors", "snapshot_fallbacks",
+        "stale_logs", "fsyncs", "wal_records", "checkpoints",
+    )
+
     def __init__(self, path: str, fsync: str = "commit",
-                 io: Optional[FileIO] = None) -> None:
+                 io: Optional[FileIO] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if fsync not in FSYNC_POLICIES:
             raise PersistenceError(
                 f"unknown fsync policy {fsync!r} (choose from {FSYNC_POLICIES})"
@@ -129,27 +144,33 @@ class WalStore(PropositionStore):
         self._path = str(path)
         self._fsync_policy = fsync
         self._io = io if io is not None else REAL_IO
-        self._state = MemoryStore()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._state = MemoryStore(registry=self.registry)
         self._generation = 0
         self._txn_depth = 0
         self._log_offset = 0
         self._handle = None
         self._records_at_checkpoint = 0
-        #: Recovery and durability counters; the owning processor
-        #: adopts this dict so they surface on ``processor.stats``.
-        self.stats: Dict[str, int] = {
-            "replayed": 0,
-            "truncated_tail": 0,
-            "checksum_failures": 0,
-            "discarded_uncommitted": 0,
-            "replay_errors": 0,
-            "snapshot_fallbacks": 0,
-            "stale_logs": 0,
-            "fsyncs": 0,
-            "wal_records": 0,
-            "checkpoints": 0,
-        }
+        # Recovery and durability counters live in this store's own
+        # registry namespace.  The owning processor surfaces them
+        # *read-only* on its ``stats`` view — it no longer adopts the
+        # dict itself, so reopening a processor (or opening two) never
+        # mixes closure counters into durability counters again.
+        self._metrics = self.registry.namespace("wal")
+        self._tracer = tracer
+        self._c = {name: self._metrics.counter(name) for name in self.COUNTERS}
+        #: Dict-compatible view over the ``wal.*`` counters.
+        self.stats: StatsView = StatsView(self._metrics)
         self._recover()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def reset_stats(self) -> None:
+        """Zero the durability counters (benchmarks should snapshot via
+        ``stats.snapshot()`` instead of mutating live counters)."""
+        self.stats.reset()
 
     # ------------------------------------------------------------------
     # Paths and low-level log IO
@@ -183,25 +204,28 @@ class WalStore(PropositionStore):
 
     def _append(self, payload: Dict[str, Any], force: bool = False) -> None:
         data = encode_record(payload)
-        try:
-            self._io.write(self._handle, data)
-        except OSError as exc:
-            raise PersistenceError(
-                f"WAL append failed on {self._path!r}: {exc}"
-            ) from exc
-        self._log_offset += len(data)
-        self.stats["wal_records"] += 1
-        if force or self._fsync_policy == "always":
-            self._force()
+        with self.tracer.span("wal.append", op=payload.get("op"),
+                              bytes=len(data)):
+            try:
+                self._io.write(self._handle, data)
+            except OSError as exc:
+                raise PersistenceError(
+                    f"WAL append failed on {self._path!r}: {exc}"
+                ) from exc
+            self._log_offset += len(data)
+            self._c["wal_records"].inc()
+            if force or self._fsync_policy == "always":
+                self._force()
 
     def _force(self) -> None:
-        try:
-            self._io.fsync(self._handle)
-        except OSError as exc:
-            raise PersistenceError(
-                f"WAL fsync failed on {self._path!r}: {exc}"
-            ) from exc
-        self.stats["fsyncs"] += 1
+        with self.tracer.span("wal.fsync"):
+            try:
+                self._io.fsync(self._handle)
+            except OSError as exc:
+                raise PersistenceError(
+                    f"WAL fsync failed on {self._path!r}: {exc}"
+                ) from exc
+            self._c["fsyncs"].inc()
 
     def _start_log(self, generation: int) -> None:
         """Truncate the log and write a fresh header for ``generation``."""
@@ -229,7 +253,7 @@ class WalStore(PropositionStore):
             try:
                 payload = read_checked_json(path, SNAPSHOT_KIND, io=self._io)
             except PersistenceError:
-                self.stats["checksum_failures"] += 1
+                self._c["checksum_failures"].inc()
                 continue
             from repro.propositions.serialization import proposition_from_json
 
@@ -238,10 +262,10 @@ class WalStore(PropositionStore):
                 props = [proposition_from_json(item)
                          for item in payload["propositions"]]
             except (KeyError, TypeError, ValueError, PropositionError):
-                self.stats["checksum_failures"] += 1
+                self._c["checksum_failures"].inc()
                 continue
             if fallback:
-                self.stats["snapshot_fallbacks"] += 1
+                self._c["snapshot_fallbacks"].inc()
             for prop in props:
                 self._state.create(prop)
             return generation
@@ -299,18 +323,25 @@ class WalStore(PropositionStore):
             else:
                 self._apply_counted(record)
                 applied_offset = end_offset
-        self.stats["discarded_uncommitted"] += sum(len(b) for b in stack)
+        self._c["discarded_uncommitted"].inc(sum(len(b) for b in stack))
         return applied_offset
 
     def _apply_counted(self, record: Dict[str, Any]) -> None:
         try:
             self._apply(record)
         except (PropositionError, KeyError, TypeError):
-            self.stats["replay_errors"] += 1
+            self._c["replay_errors"].inc()
         else:
-            self.stats["replayed"] += 1
+            self._c["replayed"].inc()
 
     def _recover(self) -> None:
+        with self.tracer.span("wal.recover", path=self._path) as span:
+            self._do_recover()
+            span.set(replayed=self._c["replayed"].value,
+                     truncated_tail=self._c["truncated_tail"].value,
+                     generation=self._generation)
+
+    def _do_recover(self) -> None:
         self._generation = self._load_snapshot()
         if not self._io.exists(self._path):
             self._start_log(self._generation)
@@ -318,10 +349,10 @@ class WalStore(PropositionStore):
         data = self._io.read_bytes(self._path)
         records, valid_offset, corruption = scan_records(data)
         if corruption == "torn":
-            self.stats["truncated_tail"] += 1
+            self._c["truncated_tail"].inc()
         elif corruption == "checksum":
-            self.stats["truncated_tail"] += 1
-            self.stats["checksum_failures"] += 1
+            self._c["truncated_tail"].inc()
+            self._c["checksum_failures"].inc()
         if not records:
             # Empty or unreadable-from-the-start log: restart it.
             self._start_log(self._generation)
@@ -332,7 +363,7 @@ class WalStore(PropositionStore):
         if log_generation != self._generation:
             # A crash inside checkpoint(): the snapshot already contains
             # everything this stale log described.  Discard it.
-            self.stats["stale_logs"] += 1
+            self._c["stale_logs"].inc()
             self._start_log(self._generation)
             return
         applied_offset = self._replay(records, records[0][0] if has_header else 0)
@@ -356,26 +387,28 @@ class WalStore(PropositionStore):
         snapshot and log reset leaves a *stale* log (older generation)
         that recovery discards, because the snapshot already covers it.
         """
-        dropped = self.stats["wal_records"] - self._records_at_checkpoint
+        dropped = self._c["wal_records"].value - self._records_at_checkpoint
         new_generation = self._generation + 1
-        payload = {
-            "generation": new_generation,
-            "propositions": [
-                json.loads(row) for row in self.rows()
-            ],
-        }
-        try:
-            if self._io.exists(self.snapshot_path):
-                self._io.replace(self.snapshot_path,
-                                 self.previous_snapshot_path)
-            atomic_write_json(self.snapshot_path, SNAPSHOT_KIND, payload,
-                              io=self._io)
-        except OSError as exc:
-            raise PersistenceError(f"checkpoint failed: {exc}") from exc
-        self._generation = new_generation
-        self._start_log(new_generation)
-        self.stats["checkpoints"] += 1
-        self._records_at_checkpoint = self.stats["wal_records"]
+        with self.tracer.span("wal.checkpoint", generation=new_generation,
+                              dropped=dropped):
+            payload = {
+                "generation": new_generation,
+                "propositions": [
+                    json.loads(row) for row in self.rows()
+                ],
+            }
+            try:
+                if self._io.exists(self.snapshot_path):
+                    self._io.replace(self.snapshot_path,
+                                     self.previous_snapshot_path)
+                atomic_write_json(self.snapshot_path, SNAPSHOT_KIND, payload,
+                                  io=self._io)
+            except OSError as exc:
+                raise PersistenceError(f"checkpoint failed: {exc}") from exc
+            self._generation = new_generation
+            self._start_log(new_generation)
+            self._c["checkpoints"].inc()
+            self._records_at_checkpoint = self._c["wal_records"].value
         return dropped
 
     def close(self) -> None:

@@ -31,6 +31,7 @@ import shlex
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.gkbms import GKBMS
+from repro.obs.logging import StreamSink, log, set_sink
 
 
 class GKBMSShell:
@@ -239,17 +240,26 @@ def run_commands(lines: Iterable[str],
 
 
 def main() -> None:  # pragma: no cover - interactive entry point
-    """Interactive read-eval-print loop over one GKBMS session."""
-    shell = GKBMSShell()
-    print("GKBMS shell — 'help' lists commands, 'quit' exits.")
-    while not shell.done:
-        try:
-            line = input("gkbms> ")
-        except EOFError:
-            break
-        output = shell.execute(line)
-        if output:
-            print(output)
+    """Interactive read-eval-print loop over one GKBMS session.
+
+    The REPL is an application, so it installs a stream sink for its
+    own output; importing this module emits nothing (the
+    :mod:`repro.obs.logging` process default is silence)."""
+    previous = set_sink(StreamSink())
+    try:
+        shell = GKBMSShell()
+        log("info", "GKBMS shell — 'help' lists commands, 'quit' exits.",
+            logger="repro.shell")
+        while not shell.done:
+            try:
+                line = input("gkbms> ")
+            except EOFError:
+                break
+            output = shell.execute(line)
+            if output:
+                log("info", output, logger="repro.shell")
+    finally:
+        set_sink(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

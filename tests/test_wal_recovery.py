@@ -25,6 +25,7 @@ import pytest
 
 from repro.core.gkbms import GKBMS
 from repro.errors import PersistenceError
+from repro.obs.metrics import MetricError
 from repro.faults import CrashPoint, FaultPlan, FaultyIO, WriteFault
 from repro.propositions import PropositionProcessor, WalStore
 from repro.propositions.proposition import individual
@@ -354,11 +355,57 @@ class TestCleanFailures:
 
 
 class TestProcessorIntegration:
-    def test_processor_adopts_store_stats(self, tmp_path):
+    def test_processor_surfaces_store_stats_read_only(self, tmp_path):
         store = WalStore(str(tmp_path / "s.wal"))
         proc = PropositionProcessor(store=store)
-        assert proc.stats is store.stats
+        # The durability counters are visible through the processor's
+        # stats view, but NOT by dict aliasing: the view is a distinct
+        # object and the durable keys are read-only on it.
+        assert proc.stats is not store.stats
         assert "replayed" in proc.stats and "closure_hits" in proc.stats
+        assert proc.stats["wal_records"] == store.stats["wal_records"]
+        with pytest.raises(MetricError):
+            proc.stats["replayed"] = 99
+
+    def test_two_processors_one_store_count_independently(self, tmp_path):
+        """Regression for the PR 3 aliasing bug: two processors opened on
+        the same WalStore shared one stats dict and double-counted
+        closure work.  Each must now own its counters."""
+        store = WalStore(str(tmp_path / "shared.wal"))
+        first = PropositionProcessor(store=store)
+        first.define_class("A")
+        first.define_class("B", isa=["A"])
+        first.specializations("A")
+        assert first.stats["isa_expansions"] > 0
+        second = PropositionProcessor(store=store, bootstrap=False)
+        assert second.stats["isa_expansions"] == 0
+        assert second.stats["closure_misses"] == 0
+        before = first.stats["isa_expansions"]
+        second.specializations("A")
+        assert second.stats["isa_expansions"] > 0
+        assert first.stats["isa_expansions"] == before  # no cross-count
+
+    def test_reopened_processor_starts_with_fresh_closure_counters(
+            self, tmp_path):
+        """Regression: a processor reopened after recovery used to
+        inherit the previous processor's closure numbers through the
+        store's surviving stats dict."""
+        path = str(tmp_path / "reopen.wal")
+        store = WalStore(path)
+        proc = PropositionProcessor(store=store)
+        proc.define_class("Thing")
+        proc.classes_of("Thing")
+        assert proc.stats["closure_misses"] > 0
+        store.close()
+        recovered_store = WalStore(path)
+        reopened = PropositionProcessor(store=recovered_store,
+                                        bootstrap=False)
+        assert reopened.stats["closure_misses"] == 0
+        assert reopened.stats["closure_hits"] == 0
+        assert reopened.stats["isa_expansions"] == 0
+        # ... while the recovery counters of the *new* store are live.
+        assert reopened.stats["replayed"] > 0
+        recovered_store.close()
 
     def test_s28_workload_survives_reopen(self, tmp_path):
         path = str(tmp_path / "s28.wal")
