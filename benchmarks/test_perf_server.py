@@ -1,0 +1,184 @@
+"""Perf-8 — the concurrent service layer (PR 5).
+
+Two sweeps plus the gated acceptance criteria of the service layer:
+
+- **Concurrent throughput vs thread count**: the seeded mixed workload
+  (autocommit tells, contended transactions, snapshot reads) through
+  in-process clients, at 1/4/8 workers.
+- **Group-commit amortisation**: the same WAL-backed commit volume with
+  and without batching; the structural claim is *fewer fsyncs than
+  commits* and a mean batch size above one.
+
+Gates (run in CI with ``--benchmark-disable``): zero unexpected request
+errors under load, zero torn reads, final state identical to the
+single-threaded oracle replay, mean ``server.commit.batch_size`` > 1,
+and strictly fewer WAL fsyncs than committed groups of one would need.
+"""
+
+import pytest
+
+from repro.conceptbase import ConceptBase
+from repro.obs.metrics import MetricsRegistry
+from repro.propositions.wal import WalStore
+from repro.scenario.workload import ConcurrentLoadGenerator
+from repro.server.client import LocalClient
+from repro.server.service import GKBMSService
+
+THREAD_SWEEP = [1, 4, 8]
+OPS_PER_THREAD = 25
+
+
+def run_load(service, threads, ops=OPS_PER_THREAD, seed=7):
+    generator = ConcurrentLoadGenerator(
+        client_factory=lambda: LocalClient(service),
+        threads=threads,
+        ops_per_thread=ops,
+        seed=seed,
+    )
+    return generator.run()
+
+
+def wal_service(tmp_path, name, **kw):
+    registry = MetricsRegistry()
+    store = WalStore(str(tmp_path / f"{name}.wal"), fsync="commit",
+                     registry=registry)
+    return GKBMSService(ConceptBase(store=store, registry=registry), **kw)
+
+
+# ---------------------------------------------------------------------------
+# Part A: concurrent throughput vs thread count
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("threads", THREAD_SWEEP)
+def test_perf_throughput_vs_threads(benchmark, threads):
+    def load():
+        service = GKBMSService(batch_window=0.002)
+        try:
+            return run_load(service, threads)
+        finally:
+            service.close()
+
+    stats = benchmark(load)
+    assert stats.unexpected_errors == 0
+    assert stats.requests >= threads * OPS_PER_THREAD
+
+
+# ---------------------------------------------------------------------------
+# Part B: group commit amortisation
+# ---------------------------------------------------------------------------
+
+def test_perf_group_commit_amortises_fsyncs(benchmark, tmp_path):
+    counter = iter(range(10**6))
+
+    def load():
+        service = wal_service(tmp_path, f"grp{next(counter)}",
+                              batch_window=0.002)
+        try:
+            run_load(service, threads=8)
+            return service.registry.snapshot()
+        finally:
+            service.close()
+
+    snapshot = benchmark(load)
+    assert snapshot["server.commit.batch_size"]["mean"] > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Gated structural acceptance (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_concurrent_load_meets_acceptance(tmp_path, perf_counters,
+                                          registry_metrics):
+    """The PR 5 acceptance bar, measured end to end on a WAL-backed
+    service: no errors, no torn reads, oracle-equal final state, real
+    batching, fewer fsyncs than commits."""
+    service = wal_service(tmp_path, "accept", batch_window=0.002)
+    try:
+        stats = run_load(service, threads=8, ops=30)
+        registry = service.registry
+        snapshot = registry.snapshot()
+        log = service.pipeline.commit_log()
+        live_rows = service.cb.propositions.store.rows()
+    finally:
+        service.close()
+
+    # 1) clean run: protocol and request errors at zero, reads untorn
+    assert stats.unexpected_errors == 0
+    assert snapshot["server.torn_reads"] == 0
+
+    # 2) the live store equals the single-threaded oracle replay
+    oracle = ConceptBase()
+    for _seq, _sid, ops in log:
+        with oracle.transaction():
+            for kind, arg in ops:
+                if kind == "tell":
+                    oracle.tell(arg)
+                else:
+                    oracle.untell(arg)
+    assert oracle.propositions.store.rows() == live_rows
+
+    # 3) group commit did real grouping
+    batch = snapshot["server.commit.batch_size"]
+    committed = snapshot["server.commit.committed"]
+    fsyncs = snapshot["wal.fsyncs"]
+    assert batch["count"] > 0
+    assert batch["mean"] > 1.0
+    assert fsyncs < committed
+
+    latency = stats.latency_summary()
+    perf_counters(
+        requests=stats.requests,
+        commits_accepted=committed,
+        conflicts=stats.conflicts,
+        wal_fsyncs=fsyncs,
+        wal_group_batches=snapshot["wal.group_batches"],
+        batch_mean_milli=int(batch["mean"] * 1000),
+        throughput_rps=int(stats.throughput),
+        latency_p50_us=int(latency["p50_ms"] * 1000),
+        latency_p99_us=int(latency["p99_ms"] * 1000),
+    )
+    registry_metrics(registry, prefix="server")
+    registry_metrics(registry, prefix="wal")
+
+
+def test_conflict_rejection_is_exact(perf_counters):
+    """Racing transactions over one hot key: exactly the losers are
+    refused, winners all land, nothing is double-applied."""
+    service = GKBMSService(batch_window=0.0)
+    try:
+        primer = LocalClient(service)
+        primer.tell("TELL Doc IN SimpleClass END")
+        stats = run_load(service, threads=8, ops=20, seed=11)
+        snapshot = service.registry.snapshot()
+        assert stats.unexpected_errors == 0
+        assert snapshot["server.commit.conflicts"] == stats.conflicts
+        assert (snapshot["server.commit.committed"]
+                == service.pipeline.commit_seq)
+        perf_counters(
+            raced_commits=int(snapshot["server.commit.committed"]),
+            raced_conflicts=stats.conflicts,
+        )
+    finally:
+        service.close()
+
+
+def test_load_shedding_bounds_the_queue(perf_counters):
+    """A tiny admission envelope under full load sheds typed errors
+    instead of stalling, and the shed count is visible in metrics."""
+    service = GKBMSService(
+        batch_window=0.02, max_in_flight=2, max_waiting=1, max_wait=0.02,
+    )
+    try:
+        stats = run_load(service, threads=8, ops=15, seed=3)
+        snapshot = service.registry.snapshot()
+        assert stats.unexpected_errors == 0
+        total_shed = (snapshot["server.shed"]
+                      + snapshot["server.commit.shed"])
+        assert stats.shed > 0
+        assert total_shed >= stats.shed
+        perf_counters(
+            shed_requests=stats.shed,
+            admitted=int(snapshot["server.admitted"]),
+        )
+    finally:
+        service.close()

@@ -132,3 +132,34 @@ class VersionError(GKBMSError):
 
 class RMSError(ReproError):
     """Reason-maintenance failure (e.g. contradictory premises)."""
+
+
+class ServerError(ReproError):
+    """Base class for GKBMS service-layer errors: anything that makes a
+    request fail without implying the knowledge base itself is wrong."""
+
+
+class ServerOverloaded(ServerError):
+    """Admission control shed the request: the in-flight cap, waiting
+    queue or commit queue is full.  Retry later; nothing was applied."""
+
+
+class DeadlineExceeded(ServerError):
+    """The request's deadline passed before it could be admitted or
+    committed.  Nothing was applied."""
+
+
+class SessionError(ServerError):
+    """Unknown or misused session (bad id, nested begin, commit without
+    begin, session cap reached)."""
+
+
+class CommitConflict(ServerError):
+    """First-committer-wins validation rejected a commit: a proposition
+    key in its write-set was committed by another session after this
+    session pinned its read epoch.  Re-pin (begin again) and retry."""
+
+
+class ProtocolError(ServerError):
+    """A malformed wire frame: not JSON, not an object, missing required
+    fields, or oversized."""

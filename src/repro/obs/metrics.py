@@ -157,7 +157,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> Optional[float]:
         """The ``q``-quantile (0..1) of the reservoir sample."""
@@ -171,9 +172,16 @@ class Histogram:
             return ordered[index]
 
     def summary(self) -> Dict[str, Any]:
-        """The snapshot form: count/sum/mean/min/max + p50/p95."""
+        """The snapshot form: count/sum/mean/min/max + p50/p95.
+
+        The whole read happens under the metric's lock so a snapshot
+        taken while another thread observes never mixes a new count
+        with an old sum.
+        """
         with self._lock:
             ordered = sorted(self._reservoir)
+            count, total = self.count, self.total
+            low, high = self.min, self.max
 
         def pick(q: float) -> Optional[float]:
             if not ordered:
@@ -181,11 +189,11 @@ class Histogram:
             return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
 
         return {
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else 0.0,
+            "min": low,
+            "max": high,
             "p50": pick(0.5),
             "p95": pick(0.95),
         }

@@ -20,7 +20,6 @@ subsystem, mirroring the metric name schema of
 
 from __future__ import annotations
 
-import itertools
 import json
 import threading
 import time
@@ -128,7 +127,7 @@ class Tracer:
         self.max_spans = max_spans
         self.spans: List[Span] = []
         self.dropped = 0
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self._local = threading.local()
         self._lock = threading.Lock()
 
@@ -140,13 +139,22 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def _allocate_id(self) -> int:
+        # Locked allocation: server worker threads open spans
+        # concurrently, and span ids must stay unique for the parent
+        # links in exported trees to resolve.
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            return span_id
+
     def span(self, name: str, **attrs: Any) -> Union[Span, _NoopSpan]:
         """A context-manager span; nests under the current span."""
         if not self.enabled:
             return _NOOP_SPAN
         stack = self._stack()
         parent_id = stack[-1].span_id if stack else None
-        return Span(self, name, next(self._ids), parent_id,
+        return Span(self, name, self._allocate_id(), parent_id,
                     self.clock(), attrs)
 
     def current(self) -> Optional[Span]:

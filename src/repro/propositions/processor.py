@@ -138,6 +138,40 @@ class _ClosureCache:
         self.table: Dict[Any, Any] = {}
 
 
+class PinnedRead:
+    """An epoch-pinned read: the snapshot-consistency witness.
+
+    Entering records the processor's mutation epoch and the store's
+    visibility epoch; exiting records whether both survived unchanged.
+    A read whose :attr:`consistent` flag is ``False`` overlapped a
+    mutation — a *torn read*.  The service layer runs every read under
+    its reader/writer lock and asserts the flag, which is how the
+    stress tests prove "every ask sees a consistent epoch" structurally
+    instead of by hoping.
+    """
+
+    __slots__ = ("_processor", "epoch", "visibility", "consistent")
+
+    def __init__(self, processor: "PropositionProcessor") -> None:
+        self._processor = processor
+        self.epoch: Optional[int] = None
+        self.visibility: Optional[int] = None
+        self.consistent: Optional[bool] = None
+
+    def __enter__(self) -> "PinnedRead":
+        self.epoch = self._processor._epoch
+        self.visibility = self._processor.store.visibility_epoch
+        self.consistent = None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.consistent = (
+            self._processor._epoch == self.epoch
+            and self._processor.store.visibility_epoch == self.visibility
+        )
+        return False
+
+
 class PropositionProcessor:
     """Create/retrieve propositions subject to the CML axiom base."""
 
@@ -193,6 +227,7 @@ class PropositionProcessor:
         }
         self._tellings: List[Telling] = []
         self._commit_listeners: List[Callable[[List[Proposition]], None]] = []
+        self._commit_validators: List[Callable[[List[Proposition]], None]] = []
         self._deduction_hooks: List[DeductionHook] = []
         if bootstrap:
             for prop in BOOTSTRAP:
@@ -334,6 +369,11 @@ class PropositionProcessor:
             self.store.txn("release")
             return
         try:
+            # Validators first (stale-epoch / conflict rejection), then
+            # listeners (the consistency checker): a conflicting commit
+            # should be refused before any constraint work is spent.
+            for validator in self._commit_validators:
+                validator(list(telling.created))
             for listener in self._commit_listeners:
                 listener(list(telling.created))
         except Exception:
@@ -423,6 +463,23 @@ class PropositionProcessor:
     def on_commit(self, listener: Callable[[List[Proposition]], None]) -> None:
         """Register a listener for committed tellings."""
         self._commit_listeners.append(listener)
+
+    def add_commit_validator(
+        self, validator: Callable[[List[Proposition]], None]
+    ) -> None:
+        """Register a commit *validator*: called at the outermost commit
+        with the telling's created propositions, before any listener.
+        Raising refuses the commit with the telling's error semantics
+        (``rollback_on_listener_error=True`` tellings roll the whole
+        batch back) — the hook the service layer's first-committer-wins
+        validation plugs into."""
+        self._commit_validators.append(validator)
+
+    def read_transaction(self) -> PinnedRead:
+        """An epoch-pinned read scope: ``with proc.read_transaction() as
+        pin: ...`` then check ``pin.consistent`` — ``False`` means a
+        mutation landed mid-read (a torn read)."""
+        return PinnedRead(self)
 
     # ------------------------------------------------------------------
     # Creation

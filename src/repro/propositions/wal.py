@@ -116,6 +116,23 @@ def scan_records(data: bytes) -> Tuple[List[Tuple[int, Dict[str, Any]]], int, st
     return records, offset, ""
 
 
+class _WalBatch:
+    """Context manager for :meth:`WalStore.batch` (group commit)."""
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "WalStore") -> None:
+        self._store = store
+
+    def __enter__(self) -> "_WalBatch":
+        self._store._batch_enter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._store._batch_exit()
+        return False
+
+
 class WalStore(PropositionStore):
     """Write-ahead logged proposition store with crash recovery.
 
@@ -131,6 +148,7 @@ class WalStore(PropositionStore):
         "replayed", "truncated_tail", "checksum_failures",
         "discarded_uncommitted", "replay_errors", "snapshot_fallbacks",
         "stale_logs", "fsyncs", "wal_records", "checkpoints",
+        "group_batches", "deferred_fsyncs",
     )
 
     def __init__(self, path: str, fsync: str = "commit",
@@ -151,6 +169,8 @@ class WalStore(PropositionStore):
         self._log_offset = 0
         self._handle = None
         self._records_at_checkpoint = 0
+        self._batch_depth = 0
+        self._force_pending = False
         # Recovery and durability counters live in this store's own
         # registry namespace.  The owning processor surfaces them
         # *read-only* on its ``stats`` view — it no longer adopts the
@@ -214,8 +234,41 @@ class WalStore(PropositionStore):
                 ) from exc
             self._log_offset += len(data)
             self._c["wal_records"].inc()
-            if force or self._fsync_policy == "always":
+            if self._fsync_policy == "always":
+                # "always" is a per-record promise; group batching never
+                # weakens it.
                 self._force()
+            elif force:
+                if self._batch_depth:
+                    self._force_pending = True
+                    self._c["deferred_fsyncs"].inc()
+                else:
+                    self._force()
+
+    def batch(self) -> "_WalBatch":
+        """Group-commit scope: ``with store.batch(): ...``.
+
+        Inside the scope, forces that the ``commit`` policy would issue
+        at transaction boundaries are *deferred*; leaving the scope
+        issues at most one fsync covering every record appended inside
+        it.  This is how the service layer's commit pipeline turns N
+        session commits into one fsync.  The ``always`` policy is
+        unaffected (its per-record promise stands), and ``never`` still
+        never forces.  Nesting is allowed; only the outermost exit
+        forces.
+        """
+        return _WalBatch(self)
+
+    def _batch_enter(self) -> None:
+        self._batch_depth += 1
+
+    def _batch_exit(self) -> None:
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            if self._force_pending:
+                self._force_pending = False
+                self._force()
+            self._c["group_batches"].inc()
 
     def _force(self) -> None:
         with self.tracer.span("wal.fsync"):

@@ -14,10 +14,13 @@ never from global state, so every failure is replayable.
 from __future__ import annotations
 
 import random
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.gkbms import GKBMS
+from repro.errors import CommitConflict, DeadlineExceeded, ReproError, ServerOverloaded
 
 STRATEGIES = {
     "DecMoveDown": "MoveDownMapper",
@@ -183,3 +186,204 @@ class DesignEvolutionWorkload:
                 if value.startswith("Root") and value not in mapped:
                     mapped.append(value)
         return WorkloadEvent("replay", f"{record.did}: {outcome.status}")
+
+
+# ----------------------------------------------------------------------
+# Concurrent service-layer load (PR 5)
+# ----------------------------------------------------------------------
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadStats:
+    """What a concurrent run did, with latency percentiles."""
+
+    requests: int = 0
+    commits: int = 0
+    conflicts: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    expected_rejections: int = 0
+    unexpected_errors: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    def merge(self, other: "LoadStats") -> None:
+        self.requests += other.requests
+        self.commits += other.commits
+        self.conflicts += other.conflicts
+        self.shed += other.shed
+        self.deadline_exceeded += other.deadline_exceeded
+        self.expected_rejections += other.expected_rejections
+        self.unexpected_errors += other.unexpected_errors
+        self.latencies_ms.extend(other.latencies_ms)
+
+    @property
+    def throughput(self) -> float:
+        """Requests per second over the whole run."""
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    def latency_summary(self) -> Dict[str, float]:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "p50_ms": _percentile(ordered, 0.50),
+            "p99_ms": _percentile(ordered, 0.99),
+            "max_ms": ordered[-1] if ordered else 0.0,
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "requests": self.requests,
+            "commits": self.commits,
+            "conflicts": self.conflicts,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "expected_rejections": self.expected_rejections,
+            "unexpected_errors": self.unexpected_errors,
+            "duration_s": round(self.duration_s, 6),
+            "throughput_rps": round(self.throughput, 3),
+        }
+        out.update(
+            {k: round(v, 3) for k, v in self.latency_summary().items()}
+        )
+        return out
+
+
+@dataclass
+class ConcurrentLoadGenerator:
+    """Seeded multi-client load against the GKBMS service layer.
+
+    ``client_factory`` yields one connected client per worker thread —
+    a :class:`~repro.server.client.LocalClient` for in-process stress,
+    a :class:`~repro.server.client.TCPClient` for the smoke run against
+    a real socket.  Each worker runs a seeded random mix of autocommit
+    tells, multi-op transactions over a small *hot set* of shared
+    objects (the contention that exercises first-committer-wins) and
+    snapshot reads.  Conflicts, shedding and deadline refusals are
+    *expected* outcomes and counted separately; anything else counts as
+    an unexpected error, which the stress tests and the CI smoke gate
+    at zero.
+    """
+
+    client_factory: Callable[[], Any]
+    threads: int = 8
+    ops_per_thread: int = 40
+    seed: int = 0
+    write_ratio: float = 0.5
+    transaction_ratio: float = 0.5
+    hot_keys: int = 4
+    class_name: str = "LoadObject"
+
+    def prime(self, client: Any) -> None:
+        """Create the class and hot objects every worker touches."""
+        client.tell(f"TELL {self.class_name} IN SimpleClass END")
+        for k in range(self.hot_keys):
+            client.tell(f"TELL Hot{k} IN {self.class_name} END")
+
+    def run(self, prime: bool = True) -> LoadStats:
+        """Drive the workload; returns merged statistics."""
+        if prime:
+            primer = self.client_factory()
+            try:
+                self.prime(primer)
+            finally:
+                primer.close()
+        per_worker = [LoadStats() for _ in range(self.threads)]
+        barrier = threading.Barrier(self.threads + 1)
+        workers = [
+            threading.Thread(
+                target=self._worker, name=f"loadgen-{wid}",
+                args=(wid, per_worker[wid], barrier), daemon=True,
+            )
+            for wid in range(self.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait()
+        start = time.monotonic()
+        for worker in workers:
+            worker.join()
+        total = LoadStats()
+        for stats in per_worker:
+            total.merge(stats)
+        total.duration_s = time.monotonic() - start
+        return total
+
+    # ------------------------------------------------------------------
+
+    def _worker(self, wid: int, stats: LoadStats,
+                barrier: threading.Barrier) -> None:
+        rng = random.Random(self.seed * 1009 + wid)
+        client = self.client_factory()
+        try:
+            barrier.wait()
+            for n in range(self.ops_per_thread):
+                self._one_op(client, rng, wid, n, stats)
+        finally:
+            client.close()
+
+    def _timed(self, stats: LoadStats, fn: Callable[[], Any]) -> Any:
+        start = time.monotonic()
+        try:
+            return fn()
+        finally:
+            stats.latencies_ms.append((time.monotonic() - start) * 1000.0)
+            stats.requests += 1
+
+    def _one_op(self, client: Any, rng: random.Random, wid: int,
+                n: int, stats: LoadStats) -> None:
+        try:
+            if rng.random() >= self.write_ratio:
+                self._timed(stats, lambda: client.instances(self.class_name))
+                return
+            if rng.random() < self.transaction_ratio:
+                self._transaction_op(client, rng, wid, n, stats)
+            else:
+                source = f"TELL W{wid}x{n} IN {self.class_name} END"
+                self._timed(stats, lambda: client.tell(source))
+                stats.commits += 1
+        except CommitConflict:
+            stats.conflicts += 1
+            stats.expected_rejections += 1
+        except ServerOverloaded:
+            stats.shed += 1
+            stats.expected_rejections += 1
+        except DeadlineExceeded:
+            stats.deadline_exceeded += 1
+            stats.expected_rejections += 1
+        except ReproError:
+            stats.unexpected_errors += 1
+        except Exception:
+            stats.unexpected_errors += 1
+
+    def _transaction_op(self, client: Any, rng: random.Random, wid: int,
+                        n: int, stats: LoadStats) -> None:
+        """A pinned transaction touching a hot shared object — the
+        contended path where first-committer-wins bites."""
+        hot = f"Hot{rng.randrange(self.hot_keys)}"
+        self._timed(stats, client.begin)
+        try:
+            self._timed(stats, lambda: client.tell(
+                f"TELL T{wid}x{n} IN {self.class_name} END"
+            ))
+            self._timed(stats, lambda: client.tell(
+                f"TELL {hot} IN {self.class_name} END"
+            ))
+            self._timed(stats, client.commit)
+        except BaseException:
+            # A refused commit already ended the transaction server-side;
+            # any earlier failure leaves it open — either way the session
+            # must be clean for the next op.
+            try:
+                client.abort()
+            except ReproError:
+                pass
+            raise
+        stats.commits += 1

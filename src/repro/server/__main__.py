@@ -1,0 +1,199 @@
+"""``python -m repro.server`` — serve, load-test, or smoke-check.
+
+Sub-commands::
+
+    serve    run the GKBMS service on a TCP port (optionally WAL-backed)
+    loadgen  drive a running server with the concurrent workload
+    smoke    self-contained check: in-process server + TCP load, gated
+
+``smoke`` is what CI runs: it starts a WAL-backed server on an
+ephemeral port, drives the seeded concurrent workload over real
+sockets, and fails unless there were zero protocol errors, zero
+unexpected request errors, and the commit pipeline actually batched
+(non-zero ``server.commit.batch_size`` samples and fewer WAL fsyncs
+than committed groups would need individually).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.conceptbase import ConceptBase
+from repro.obs.logging import StreamSink, log, set_sink
+from repro.obs.metrics import MetricsRegistry
+from repro.propositions.wal import WalStore
+from repro.scenario.workload import ConcurrentLoadGenerator
+from repro.server.client import TCPClient
+from repro.server.service import GKBMSService
+from repro.server.tcp import GKBMSServer
+
+
+def _build_service(args: argparse.Namespace,
+                   wal_path: Optional[str]) -> GKBMSService:
+    registry = MetricsRegistry()
+    store = None
+    if wal_path:
+        store = WalStore(wal_path, fsync=args.fsync, registry=registry)
+    cb = ConceptBase(store=store, registry=registry)
+    return GKBMSService(
+        cb,
+        check_consistency=args.check_consistency,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        max_in_flight=args.max_in_flight,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = _build_service(args, args.wal)
+    server = GKBMSServer((args.host, args.port), service)
+    log("info", f"GKBMS serving on {server.host}:{server.port} "
+        f"(wal={args.wal or 'none'}, batch={args.max_batch})",
+        logger="repro.server")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _run_load(host: str, port: int,
+              args: argparse.Namespace) -> Dict[str, Any]:
+    generator = ConcurrentLoadGenerator(
+        client_factory=lambda: TCPClient(host, port),
+        threads=args.threads,
+        ops_per_thread=args.ops,
+        seed=args.seed,
+        write_ratio=args.write_ratio,
+        transaction_ratio=args.txn_ratio,
+    )
+    return generator.run().to_json()
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    stats = _run_load(args.host, args.port, args)
+    log("info", json.dumps(stats, indent=2, sort_keys=True),
+        logger="repro.server")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0 if stats["unexpected_errors"] == 0 else 1
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    with tempfile.TemporaryDirectory(prefix="gkbms-smoke-") as tmp:
+        service = _build_service(args, os.path.join(tmp, "smoke.wal"))
+        with GKBMSServer(("127.0.0.1", 0), service) as server:
+            server.serve_in_thread()
+            load = _run_load(server.host, server.port, args)
+            snapshot = service.registry.snapshot()
+    batch = snapshot.get("server.commit.batch_size") or {}
+    committed = snapshot.get("server.commit.committed", 0)
+    fsyncs = snapshot.get("wal.fsyncs", 0)
+    protocol_errors = snapshot.get("server.protocol_errors", 0)
+    report = {
+        "load": load,
+        "committed": committed,
+        "conflicts": snapshot.get("server.commit.conflicts", 0),
+        "batch_samples": batch.get("count", 0),
+        "batch_mean": batch.get("mean", 0.0),
+        "wal_fsyncs": fsyncs,
+        "wal_group_batches": snapshot.get("wal.group_batches", 0),
+        "protocol_errors": protocol_errors,
+    }
+    failures = []
+    if load["unexpected_errors"]:
+        failures.append(f"{load['unexpected_errors']} unexpected "
+                        f"request errors")
+    if protocol_errors:
+        failures.append(f"{protocol_errors} protocol errors")
+    if not batch.get("count"):
+        failures.append("no server.commit.batch_size samples recorded")
+    if committed and fsyncs >= committed + 2:
+        # Group commit must not fsync per-commit; the +2 covers boot
+        # (recovery checkpoint) and priming.
+        failures.append(
+            f"group commit ineffective: {fsyncs} fsyncs for "
+            f"{committed} commits"
+        )
+    report["failures"] = failures
+    log("info", json.dumps(report, indent=2, sort_keys=True),
+        logger="repro.server")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 1 if failures else 0
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fsync", choices=("commit", "always"),
+                        default="commit", help="WAL fsync policy")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="max commits per group-commit batch")
+    parser.add_argument("--batch-window", type=float, default=0.002,
+                        help="seconds the writer waits for stragglers")
+    parser.add_argument("--max-in-flight", type=int, default=32,
+                        help="admission cap on concurrent requests")
+    parser.add_argument("--check-consistency", action="store_true",
+                        help="enforce constraints at commit")
+
+
+def _add_load_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--ops", type=int, default=40,
+                        help="operations per worker thread")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--write-ratio", type=float, default=0.5)
+    parser.add_argument("--txn-ratio", type=float, default=0.5)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the run report as JSON")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="The concurrent GKBMS service layer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the TCP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731)
+    serve.add_argument("--wal", metavar="PATH", default=None,
+                       help="back the knowledge base with this WAL file")
+    _add_service_options(serve)
+
+    loadgen = sub.add_parser("loadgen", help="drive a running server")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8731)
+    _add_load_options(loadgen)
+
+    smoke = sub.add_parser(
+        "smoke", help="start a server, load it, gate the outcome"
+    )
+    _add_service_options(smoke)
+    _add_load_options(smoke)
+
+    args = parser.parse_args(argv)
+    previous = set_sink(StreamSink())
+    try:
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
+        return _cmd_smoke(args)
+    finally:
+        set_sink(previous)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Admission control: the service's front door.
+
+Every request passes through :meth:`AdmissionController.admit` before
+touching the knowledge base.  The controller enforces three bounds and
+fails *typed* instead of stalling:
+
+- a global in-flight cap (``max_in_flight``) — past it, requests wait
+  in a bounded queue (``max_waiting``); a full queue sheds immediately
+  with :class:`~repro.errors.ServerOverloaded`;
+- a per-session in-flight cap, so one pathological client cannot
+  monopolise the worker pool;
+- deadlines — a request whose ``deadline_ms`` budget expires while
+  waiting raises :class:`~repro.errors.DeadlineExceeded`; one that
+  waits longer than ``max_wait`` without a client deadline is shed.
+
+The queue depth and in-flight level surface as ``server.queue_depth``
+and ``server.in_flight`` gauges, shed/deadline outcomes as counters —
+the load-shedding behaviour is observable, not inferred.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro.errors import DeadlineExceeded, ServerOverloaded
+from repro.obs.metrics import Namespace
+from repro.server.session import Session
+
+
+class AdmissionController:
+    """Bounded waiting, in-flight caps, deadlines, typed shedding."""
+
+    def __init__(self, metrics: Namespace,
+                 max_in_flight: int = 32,
+                 max_waiting: int = 64,
+                 per_session: int = 4,
+                 max_wait: float = 5.0,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self._cond = threading.Condition()
+        self._max_in_flight = max_in_flight
+        self._max_waiting = max_waiting
+        self._per_session = per_session
+        self._max_wait = max_wait
+        self._clock = clock if clock is not None else time.monotonic
+        self._in_flight = 0
+        self._waiting = 0
+        self._c_admitted = metrics.counter("admitted")
+        self._c_shed = metrics.counter("shed")
+        self._c_deadline = metrics.counter("deadline_exceeded")
+        self._g_in_flight = metrics.gauge("in_flight")
+        self._g_queue_depth = metrics.gauge("queue_depth")
+
+    def deadline_from(self, deadline_ms: Optional[float]) -> Optional[float]:
+        """An absolute deadline (controller clock) from a relative
+        millisecond budget; ``None`` means no client deadline."""
+        if deadline_ms is None:
+            return None
+        return self._clock() + max(0.0, float(deadline_ms)) / 1000.0
+
+    def _admissible(self, session: Optional[Session]) -> bool:
+        if self._in_flight >= self._max_in_flight:
+            return False
+        if session is not None and session.in_flight >= self._per_session:
+            return False
+        return True
+
+    @contextmanager
+    def admit(self, session: Optional[Session] = None,
+              deadline: Optional[float] = None) -> Iterator[None]:
+        """Hold an admission slot for the duration of the block."""
+        with self._cond:
+            if deadline is not None and self._clock() >= deadline:
+                self._c_deadline.inc()
+                raise DeadlineExceeded("deadline expired before admission")
+            if not self._admissible(session):
+                if self._waiting >= self._max_waiting:
+                    self._c_shed.inc()
+                    raise ServerOverloaded(
+                        f"admission queue full "
+                        f"({self._waiting} waiting, "
+                        f"{self._in_flight} in flight)"
+                    )
+                give_up = self._clock() + self._max_wait
+                if deadline is not None:
+                    give_up = min(give_up, deadline)
+                self._waiting += 1
+                self._g_queue_depth.set(self._waiting)
+                try:
+                    while not self._admissible(session):
+                        remaining = give_up - self._clock()
+                        if remaining <= 0:
+                            if deadline is not None \
+                                    and give_up >= deadline:
+                                self._c_deadline.inc()
+                                raise DeadlineExceeded(
+                                    "deadline expired while queued "
+                                    "for admission"
+                                )
+                            self._c_shed.inc()
+                            raise ServerOverloaded(
+                                f"admission wait exceeded "
+                                f"{self._max_wait:.3f}s"
+                            )
+                        self._cond.wait(remaining)
+                finally:
+                    self._waiting -= 1
+                    self._g_queue_depth.set(self._waiting)
+            self._in_flight += 1
+            if session is not None:
+                session.in_flight += 1
+            self._g_in_flight.set(self._in_flight)
+            self._c_admitted.inc()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._in_flight -= 1
+                if session is not None:
+                    session.in_flight -= 1
+                self._g_in_flight.set(self._in_flight)
+                self._cond.notify_all()

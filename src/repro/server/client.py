@@ -1,0 +1,223 @@
+"""Clients: the same API in-process and over TCP.
+
+:class:`LocalClient` talks to a :class:`~repro.server.service.GKBMSService`
+in the same process; :class:`TCPClient` talks to a
+``python -m repro.server`` instance over a socket.  Both speak the
+exact protocol frames of :mod:`repro.server.protocol` — the local
+client round-trips every request and response through the wire encoder,
+so anything that works locally works remotely (and a non-serializable
+result fails in the unit tests, not in production).
+
+Typed errors survive the wire: a refused commit raises
+:class:`~repro.errors.CommitConflict` from either client, a shed
+request raises :class:`~repro.errors.ServerOverloaded`, and so on.
+"""
+
+from __future__ import annotations
+
+import socket
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ProtocolError, ReproError, ServerError
+from repro.server.protocol import decode_frame, encode_frame, exception_for
+
+
+class _BaseClient:
+    """Request numbering, session bookkeeping, typed error raising."""
+
+    def __init__(self, deadline_ms: Optional[float] = None) -> None:
+        #: Default per-request deadline budget (ms); ``None`` = none.
+        self.deadline_ms = deadline_ms
+        self._req_id = 0
+        self._session: Optional[str] = None
+
+    # Transports implement exactly this.
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    @property
+    def session(self) -> Optional[str]:
+        return self._session
+
+    def _call(self, op: str, params: Optional[Dict[str, Any]] = None,
+              deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        self._req_id += 1
+        payload: Dict[str, Any] = {
+            "id": self._req_id, "op": op, "params": params or {},
+        }
+        if op not in ("hello", "ping"):
+            if self._session is None:
+                raise ServerError("no session: call hello() first")
+            payload["session"] = self._session
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if budget is not None:
+            payload["deadline_ms"] = budget
+        response = self._request(payload)
+        if response.get("id") != payload["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {payload['id']!r}"
+            )
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error")
+        raise exception_for(error if isinstance(error, dict) else {})
+
+    # -- session -----------------------------------------------------------
+
+    def hello(self) -> str:
+        result = self._call("hello")
+        self._session = str(result["session"])
+        return self._session
+
+    def ping(self) -> Dict[str, Any]:
+        return self._call("ping")
+
+    def bye(self) -> None:
+        if self._session is not None:
+            try:
+                self._call("bye")
+            finally:
+                self._session = None
+
+    # -- writes ------------------------------------------------------------
+
+    def tell(self, source: str, **kw: Any) -> Dict[str, Any]:
+        return self._call("tell", {"source": source}, **kw)
+
+    def untell(self, name: str, **kw: Any) -> Dict[str, Any]:
+        return self._call("untell", {"name": name}, **kw)
+
+    # -- reads -------------------------------------------------------------
+
+    def ask(self, assertion: str, **kw: Any) -> bool:
+        return bool(self._call("ask", {"assertion": assertion}, **kw)["holds"])
+
+    def ask_all(self, assertion: str, **kw: Any) -> List[Dict[str, str]]:
+        return list(
+            self._call("ask_all", {"assertion": assertion}, **kw)["witnesses"]
+        )
+
+    def query(self, literal: str, **kw: Any) -> List[List[Any]]:
+        return list(self._call("query", {"literal": literal}, **kw)["answers"])
+
+    def instances(self, cls: str, **kw: Any) -> List[str]:
+        return list(self._call("instances", {"cls": cls}, **kw)["instances"])
+
+    def frame(self, name: str, **kw: Any) -> str:
+        return str(self._call("frame", {"name": name}, **kw)["frame"])
+
+    def summary(self, **kw: Any) -> Dict[str, int]:
+        return dict(self._call("summary", **kw)["summary"])
+
+    def stats(self, prefix: str = "", **kw: Any) -> Dict[str, Any]:
+        return dict(self._call("stats", {"prefix": prefix}, **kw)["metrics"])
+
+    def explain(self, text: str, kind: str = "query",
+                **kw: Any) -> Dict[str, Any]:
+        return self._call("explain", {"kind": kind, "text": text}, **kw)
+
+    # -- transactions ------------------------------------------------------
+
+    def begin(self, **kw: Any) -> int:
+        return int(self._call("begin", **kw)["read_epoch"])
+
+    def staged(self, **kw: Any) -> Dict[str, Any]:
+        return self._call("staged", **kw)
+
+    def commit(self, **kw: Any) -> Dict[str, Any]:
+        return self._call("commit", **kw)
+
+    def abort(self, **kw: Any) -> Dict[str, Any]:
+        return self._call("abort", **kw)
+
+    @contextmanager
+    def transaction(self) -> Iterator["_BaseClient"]:
+        """``with client.transaction(): client.tell(...)`` — commits on
+        clean exit, aborts on exception.  A refused commit (conflict,
+        consistency) propagates; the server has already ended the
+        transaction, so a retry just opens a new one."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            try:
+                self.abort()
+            except ServerError:
+                pass
+            raise
+        else:
+            self.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Best effort: a farewell shed by admission control (or a dead
+        socket) must not mask the caller's own exception path."""
+        try:
+            self.bye()
+        except (ReproError, OSError):
+            pass
+
+    def __enter__(self) -> "_BaseClient":
+        if self._session is None:
+            self.hello()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.close()
+        return False
+
+
+class LocalClient(_BaseClient):
+    """In-process client: no sockets, same frames, same typed errors."""
+
+    def __init__(self, service: Any,
+                 deadline_ms: Optional[float] = None,
+                 auto_hello: bool = True) -> None:
+        super().__init__(deadline_ms=deadline_ms)
+        self._service = service
+        if auto_hello:
+            self.hello()
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        # Round-trip through the wire encoding on both legs: the local
+        # client must never accept a frame the TCP transport would not.
+        request = decode_frame(encode_frame(payload))
+        response = self._service.handle(request)
+        return decode_frame(encode_frame(response))
+
+
+class TCPClient(_BaseClient):
+    """Socket client for ``python -m repro.server``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731,
+                 deadline_ms: Optional[float] = None,
+                 timeout: float = 30.0,
+                 auto_hello: bool = True) -> None:
+        super().__init__(deadline_ms=deadline_ms)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        if auto_hello:
+            self.hello()
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._file.write(encode_frame(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServerError("server closed the connection")
+        return decode_frame(line)
+
+    def close(self) -> None:
+        try:
+            self.bye()
+        except (ReproError, OSError):
+            pass
+        finally:
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()

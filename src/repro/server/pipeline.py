@@ -1,0 +1,242 @@
+"""The single-writer commit pipeline with group commit.
+
+All mutations of the shared knowledge base funnel through one writer
+thread.  Sessions submit their staged operations as a
+:class:`PendingCommit` into a bounded queue and block; the writer
+drains up to ``max_batch`` commits at a time (waiting up to
+``batch_window`` seconds for stragglers), applies each one through the
+service's apply callback, and — when the store is a
+:class:`~repro.propositions.wal.WalStore` under the ``commit`` fsync
+policy — wraps the whole batch in :meth:`WalStore.batch`, so *one*
+fsync makes the entire group durable.  Submitters are woken only after
+that fsync: a positive acknowledgement always means durable.
+
+Before a commit is applied, its declared write-set keys are validated
+first-committer-wins: if any key was committed by another session after
+this transaction's pinned ``read_epoch``, the commit is refused with
+:class:`~repro.errors.CommitConflict` *without touching the knowledge
+base* — a rejected commit consumes no proposition identifiers, so a
+single-threaded replay of the accepted commit log reproduces the live
+store exactly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from contextlib import nullcontext
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CommitConflict, ServerError, ServerOverloaded
+from repro.obs.metrics import Namespace
+from repro.obs.tracing import Tracer
+from repro.propositions.wal import WalStore
+from repro.server.session import StagedOp
+
+#: Applies one commit to the knowledge base (held by the service; runs
+#: on the writer thread, under the write lock, inside a
+#: rollback-on-error transaction).  Receives the whole
+#: :class:`PendingCommit` and returns the result dict sent back to the
+#: client.
+ApplyFn = Callable[["PendingCommit"], Dict[str, Any]]
+
+_STOP = object()
+
+
+class PendingCommit:
+    """One session's commit, in flight through the pipeline."""
+
+    __slots__ = ("ops", "keys", "read_epoch", "session_id",
+                 "enqueued", "done", "result", "error", "seq")
+
+    def __init__(self, ops: List[StagedOp], keys: List[str],
+                 read_epoch: Optional[int], session_id: str) -> None:
+        self.ops = ops
+        self.keys = keys
+        #: Commit sequence number the transaction read from; ``None``
+        #: means an autocommit op reading the live head — those cannot
+        #: conflict (there is nothing stale to protect).
+        self.read_epoch = read_epoch
+        self.session_id = session_id
+        self.enqueued = time.monotonic()
+        self.done = threading.Event()
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+        self.seq: Optional[int] = None
+
+
+class CommitPipeline:
+    """Bounded queue in, one writer thread out, fsync per batch."""
+
+    def __init__(self, apply: ApplyFn, metrics: Namespace, tracer: Tracer,
+                 wal: Optional[WalStore] = None,
+                 max_batch: int = 8,
+                 batch_window: float = 0.0,
+                 max_queue: int = 128) -> None:
+        self._apply = apply
+        self._tracer = tracer
+        self._wal = wal
+        self._max_batch = max(1, max_batch)
+        self._batch_window = max(0.0, batch_window)
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue)
+        self._log_lock = threading.Lock()
+        #: Accepted commits, in apply order: (seq, session_id, ops).
+        #: Replaying these into a fresh ConceptBase reproduces the live
+        #: knowledge base — the oracle the stress tests check against.
+        self._commit_log: List[Tuple[int, str, List[StagedOp]]] = []
+        #: key -> commit seq that last wrote it (writer thread only).
+        self._last_write: Dict[str, int] = {}
+        self._commit_seq = 0
+        self._c_committed = metrics.counter("committed")
+        self._c_conflicts = metrics.counter("conflicts")
+        self._c_errors = metrics.counter("errors")
+        self._c_shed = metrics.counter("shed")
+        self._g_queue = metrics.gauge("queue_depth")
+        self._h_batch = metrics.histogram("batch_size")
+        self._h_latency = metrics.histogram("latency_ms")
+        self._closed = False
+        self._writer = threading.Thread(
+            target=self._run, name="gkbms-commit-writer", daemon=True
+        )
+        self._writer.start()
+
+    # -- submitter side ----------------------------------------------------
+
+    @property
+    def commit_seq(self) -> int:
+        """Sequence number of the latest accepted commit (0 = none)."""
+        return self._commit_seq
+
+    def commit_log(self) -> List[Tuple[int, str, List[StagedOp]]]:
+        """Snapshot of the accepted commit log, in apply order."""
+        with self._log_lock:
+            return list(self._commit_log)
+
+    def submit(self, ops: List[StagedOp], keys: List[str],
+               read_epoch: Optional[int], session_id: str) -> Dict[str, Any]:
+        """Enqueue one commit and block until it is durable (or refused).
+
+        A full queue sheds immediately with
+        :class:`~repro.errors.ServerOverloaded`; once enqueued, the
+        commit always runs to an answer (the bounded queue bounds the
+        wait), so an acknowledged submit is never ambiguous."""
+        if self._closed:
+            raise ServerError("commit pipeline is closed")
+        pending = PendingCommit(ops, keys, read_epoch, session_id)
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            self._c_shed.inc()
+            raise ServerOverloaded(
+                f"commit queue full ({self._queue.maxsize} pending)"
+            ) from None
+        self._g_queue.set(self._queue.qsize())
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain outstanding commits and stop the writer thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._writer.join(timeout)
+
+    # -- writer side -------------------------------------------------------
+
+    def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            head = self._queue.get()
+            if head is _STOP:
+                break
+            batch: List[PendingCommit] = [head]
+            stopping = self._fill_batch(batch)
+            self._g_queue.set(self._queue.qsize())
+            self._process(batch)
+
+    def _fill_batch(self, batch: List[PendingCommit]) -> bool:
+        """Collect up to ``max_batch`` commits, waiting ``batch_window``
+        seconds for stragglers; returns True if the stop sentinel was
+        seen while collecting."""
+        give_up = time.monotonic() + self._batch_window
+        while len(batch) < self._max_batch:
+            try:
+                if self._batch_window:
+                    remaining = give_up - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                return True
+            batch.append(item)
+        return False
+
+    def _process(self, batch: List[PendingCommit]) -> None:
+        with self._tracer.span("server.commit", batch=str(len(batch))):
+            durability = self._wal.batch() if self._wal is not None \
+                else nullcontext()
+            with durability:
+                for pending in batch:
+                    self._process_one(pending)
+            # The batch scope has forced the WAL: everything below is
+            # durable.  Only now may submitters be acknowledged.
+        now = time.monotonic()
+        self._h_batch.observe(len(batch))
+        for pending in batch:
+            self._h_latency.observe((now - pending.enqueued) * 1000.0)
+            pending.done.set()
+
+    def _process_one(self, pending: PendingCommit) -> None:
+        try:
+            self._validate(pending)
+            result = self._apply(pending)
+        except BaseException as exc:  # noqa: BLE001 - relayed to submitter
+            if isinstance(exc, CommitConflict):
+                self._c_conflicts.inc()
+            else:
+                self._c_errors.inc()
+            pending.error = exc
+            return
+        self._commit_seq += 1
+        pending.seq = self._commit_seq
+        for key in pending.keys:
+            self._last_write[key] = pending.seq
+        with self._log_lock:
+            self._commit_log.append(
+                (pending.seq, pending.session_id, list(pending.ops))
+            )
+        self._c_committed.inc()
+        result.setdefault("commit_seq", pending.seq)
+        pending.result = result
+
+    def stale_keys(self, keys: List[str],
+                   read_epoch: Optional[int]) -> List[str]:
+        """The subset of ``keys`` committed after ``read_epoch`` (the
+        conflict witness).  Only meaningful on the writer thread, where
+        the last-write map cannot move underfoot."""
+        if read_epoch is None:
+            return []
+        return sorted(
+            key for key in keys
+            if self._last_write.get(key, 0) > read_epoch
+        )
+
+    def _validate(self, pending: PendingCommit) -> None:
+        """First-committer-wins: refuse the commit if any declared key
+        was written after the transaction's pinned read epoch."""
+        stale = self.stale_keys(pending.keys, pending.read_epoch)
+        if stale:
+            raise CommitConflict(
+                f"write-set keys {', '.join(stale)} were committed after "
+                f"read epoch {pending.read_epoch} "
+                f"(head is {self._commit_seq}); retry the transaction"
+            )

@@ -1,0 +1,124 @@
+"""The newline-delimited-JSON wire protocol.
+
+One request or response per line, each a JSON object, UTF-8, ``\\n``
+terminated — trivially streamable, debuggable with ``nc``, and the same
+shape whether it crossed a socket or stayed in process (the
+:class:`~repro.server.client.LocalClient` passes exactly these dicts).
+
+Request frame::
+
+    {"id": 7, "op": "tell", "session": "s1",
+     "params": {"source": "TELL Doc9 IN Doc END"},
+     "deadline_ms": 2000}
+
+``id`` is echoed back verbatim; ``session`` is required for everything
+except ``hello``/``ping``; ``deadline_ms`` is an optional *relative*
+budget for admission + execution.
+
+Response frame::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": {"type": "ServerOverloaded",
+                                     "message": "..."}}
+
+``error.type`` is the exception class name from
+:mod:`repro.errors`; clients re-raise the matching typed error, so
+``except ServerOverloaded`` works identically against a local or remote
+server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Type
+
+from repro import errors as _errors
+from repro.errors import ProtocolError, ReproError
+
+PROTOCOL_VERSION = 1
+
+#: Frames above this are refused before parsing (a corrupt length is
+#: indistinguishable from a hostile one).
+MAX_FRAME = 1 << 20
+
+#: Every operation the service dispatches.
+OPS = (
+    "hello", "bye", "ping",
+    "tell", "untell", "ask", "ask_all", "query", "instances", "frame",
+    "begin", "commit", "abort", "staged",
+    "explain", "stats", "summary",
+)
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    data = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return data.encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one frame; typed errors for every malformation."""
+    if len(line) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(line)} bytes exceeds {MAX_FRAME}")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def validate_request(frame: Dict[str, Any]) -> Dict[str, Any]:
+    """Shape-check a request frame (op known, params an object)."""
+    op = frame.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request needs a string 'op'")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}")
+    params = frame.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be a JSON object")
+    deadline = frame.get("deadline_ms")
+    if deadline is not None and not isinstance(deadline, (int, float)):
+        raise ProtocolError("'deadline_ms' must be a number")
+    return frame
+
+
+def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """Map an exception onto the wire error shape."""
+    name = type(exc).__name__ if isinstance(exc, ReproError) else "InternalError"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": name, "message": str(exc)},
+    }
+
+
+def exception_for(error: Dict[str, Any]) -> ReproError:
+    """Rebuild the typed exception a wire error describes (client side).
+
+    Unknown types degrade to :class:`~repro.errors.ServerError` so a
+    newer server never crashes an older client with an unmappable name.
+    """
+    name = str(error.get("type", "ServerError"))
+    message = str(error.get("message", ""))
+    candidate: Optional[Type[BaseException]] = getattr(_errors, name, None)
+    if (
+        candidate is None
+        or not isinstance(candidate, type)
+        or not issubclass(candidate, ReproError)
+    ):
+        return _errors.ServerError(f"{name}: {message}")
+    try:
+        return candidate(message)
+    except Exception:
+        # Errors with structured constructors (diagnostics lists, ...)
+        # degrade to the base type rather than failing to deserialize.
+        return _errors.ServerError(f"{name}: {message}")

@@ -1,0 +1,400 @@
+"""The GKBMS service: one request handler, every transport.
+
+:class:`GKBMSService` owns a :class:`~repro.conceptbase.ConceptBase`
+and serves the wire-protocol operations against it concurrently:
+
+- *reads* (``ask``/``ask_all``/``query``/``instances``/``frame``) run
+  under the shared side of a writer-preferring
+  :class:`~repro.server.locks.ReadWriteLock`, inside an epoch-pinned
+  :meth:`~repro.propositions.processor.PropositionProcessor.read_transaction`
+  scope — many readers at once, and every read carries a structural
+  witness that no commit tore it (``server.torn_reads`` counts any that
+  were);
+- *writes* (``tell``/``untell``/transaction ``commit``) funnel through
+  the single-writer :class:`~repro.server.pipeline.CommitPipeline` with
+  group commit and first-committer-wins validation;
+- everything first passes the
+  :class:`~repro.server.admission.AdmissionController` front door.
+
+The handler's contract is total: :meth:`handle` maps any request dict
+to a response dict and never raises — errors become typed wire errors.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import ExitStack
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.conceptbase import ConceptBase
+from repro.errors import (
+    CommitConflict,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    SessionError,
+)
+from repro.obs.explain import QueryExplain
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.objects.frame import parse_frames
+from repro.propositions.wal import WalStore
+from repro.server.admission import AdmissionController
+from repro.server.locks import ReadWriteLock
+from repro.server.pipeline import CommitPipeline, PendingCommit
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from repro.server.session import Session, SessionManager
+
+#: Ops that run without a session (and without admission state tied to
+#: one).
+_SESSIONLESS = frozenset({"hello", "ping"})
+
+
+class GKBMSService:
+    """Concurrent request handler over one shared ConceptBase."""
+
+    def __init__(self, cb: Optional[ConceptBase] = None, *,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 check_consistency: bool = False,
+                 max_sessions: int = 64,
+                 max_in_flight: int = 32,
+                 max_waiting: int = 64,
+                 per_session: int = 4,
+                 max_wait: float = 5.0,
+                 max_batch: int = 8,
+                 batch_window: float = 0.0,
+                 max_queue: int = 128) -> None:
+        if cb is None:
+            cb = ConceptBase(registry=registry, tracer=tracer)
+        self.cb = cb
+        self.registry = cb.registry
+        self._tracer = tracer if tracer is not None else cb.propositions.tracer
+        self._rwlock = ReadWriteLock()
+        ns = self.registry.namespace("server")
+        self._c_requests = ns.counter("requests")
+        self._c_errors = ns.counter("request_errors")
+        self._c_torn = ns.counter("torn_reads")
+        self._h_request = ns.histogram("request_ms")
+        self.sessions = SessionManager(ns, max_sessions=max_sessions)
+        self.admission = AdmissionController(
+            ns, max_in_flight=max_in_flight, max_waiting=max_waiting,
+            per_session=per_session, max_wait=max_wait,
+        )
+        store = cb.propositions.store
+        self.pipeline = CommitPipeline(
+            self._apply_commit, ns.namespace("commit"), self._tracer,
+            wal=store if isinstance(store, WalStore) else None,
+            max_batch=max_batch, batch_window=batch_window,
+            max_queue=max_queue,
+        )
+        #: The commit currently applying on the writer thread — read by
+        #: the defence-in-depth validator below.
+        self._applying: Optional[PendingCommit] = None
+        if check_consistency:
+            cb.enforce_on_commit()
+        # Second line of first-committer-wins defence *inside* the
+        # processor's commit protocol: the pipeline already validated
+        # pre-apply (so refused commits burn no pids), and with a single
+        # writer nothing can invalidate that check mid-apply — but if a
+        # caller ever commits around the pipeline, this refuses the
+        # stale batch at the commit hook with full rollback.
+        cb.propositions.add_commit_validator(self._revalidate_applying)
+
+    # ------------------------------------------------------------------
+    # Request entry
+    # ------------------------------------------------------------------
+
+    def handle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One request dict in, one response dict out; never raises."""
+        request_id = frame.get("id") if isinstance(frame, dict) else None
+        start = self._clock()
+        self._c_requests.inc()
+        try:
+            if not isinstance(frame, dict):
+                raise ProtocolError("request must be a JSON object")
+            validate_request(frame)
+            op = frame["op"]
+            params = frame.get("params", {})
+            session: Optional[Session] = None
+            if op not in _SESSIONLESS:
+                session = self.sessions.get(frame.get("session"))
+            deadline = self.admission.deadline_from(frame.get("deadline_ms"))
+            with ExitStack() as stack:
+                with self._tracer.span("server.admit", op=op):
+                    stack.enter_context(
+                        self.admission.admit(session, deadline)
+                    )
+                with self._tracer.span("server.execute", op=op):
+                    result = self._dispatch(op, session, params)
+            return ok_response(request_id, result)
+        except BaseException as exc:  # noqa: BLE001 - total handler
+            self._c_errors.inc()
+            return error_response(request_id, exc)
+        finally:
+            self._h_request.observe((self._clock() - start) * 1000.0)
+
+    @staticmethod
+    def _clock() -> float:
+        return time.monotonic()
+
+    def close(self) -> None:
+        """Stop the writer thread and drop every session."""
+        self.pipeline.close()
+        self.sessions.close_all()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, op: str, session: Optional[Session],
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ProtocolError(f"op {op!r} not implemented")
+        if op in _SESSIONLESS:
+            return handler(params)
+        return handler(session, params)
+
+    @staticmethod
+    def _param(params: Dict[str, Any], name: str) -> str:
+        value = params.get(name)
+        if not isinstance(value, str) or not value.strip():
+            raise ProtocolError(f"param {name!r} must be a non-empty string")
+        return value
+
+    # -- sessionless -------------------------------------------------------
+
+    def _op_hello(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.sessions.open(self.pipeline.commit_seq)
+        return {
+            "session": session.sid,
+            "protocol": PROTOCOL_VERSION,
+            "commit_seq": self.pipeline.commit_seq,
+        }
+
+    def _op_ping(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "pong": True,
+            "epoch": self.cb.propositions.epoch,
+            "commit_seq": self.pipeline.commit_seq,
+        }
+
+    # -- session control ---------------------------------------------------
+
+    def _op_bye(self, session: Session,
+                params: Dict[str, Any]) -> Dict[str, Any]:
+        self.sessions.close(session.sid)
+        return {"closed": session.sid}
+
+    # -- reads -------------------------------------------------------------
+
+    def _read(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` under the shared lock inside an epoch-pinned read;
+        a torn read (epoch moved mid-read) is counted, never silent."""
+        with self._rwlock.read_locked():
+            with self.cb.propositions.read_transaction() as pin:
+                result = fn()
+        if pin.consistent is False:
+            self._c_torn.inc()
+        return result
+
+    def _op_ask(self, session: Session,
+                params: Dict[str, Any]) -> Dict[str, Any]:
+        assertion = self._param(params, "assertion")
+        return {"holds": bool(self._read(lambda: self.cb.ask(assertion)))}
+
+    def _op_ask_all(self, session: Session,
+                    params: Dict[str, Any]) -> Dict[str, Any]:
+        assertion = self._param(params, "assertion")
+        witnesses = self._read(lambda: self.cb.ask_all(assertion))
+        return {"witnesses": [dict(w) for w in witnesses]}
+
+    def _op_query(self, session: Session,
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+        literal = self._param(params, "literal")
+        answers = self._read(lambda: self.cb.query(literal))
+        return {"answers": [list(row) for row in answers]}
+
+    def _op_instances(self, session: Session,
+                      params: Dict[str, Any]) -> Dict[str, Any]:
+        cls = self._param(params, "cls")
+        return {"instances": self._read(lambda: self.cb.instances(cls))}
+
+    def _op_frame(self, session: Session,
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+        name = self._param(params, "name")
+        rendered = self._read(lambda: self.cb.ask_object(name).render())
+        return {"name": name, "frame": rendered}
+
+    def _op_summary(self, session: Session,
+                    params: Dict[str, Any]) -> Dict[str, Any]:
+        return {"summary": self._read(self.cb.summary)}
+
+    def _op_stats(self, session: Session,
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+        prefix = params.get("prefix", "")
+        if not isinstance(prefix, str):
+            raise ProtocolError("param 'prefix' must be a string")
+        return {"metrics": self.registry.snapshot(prefix)}
+
+    # -- writes ------------------------------------------------------------
+
+    def _op_tell(self, session: Session,
+                 params: Dict[str, Any]) -> Dict[str, Any]:
+        source = self._param(params, "source")
+        keys = [frame.name for frame in parse_frames(source)]
+        if session.in_transaction:
+            staged = session.stage("tell", source, keys)
+            return {"staged": staged}
+        return self.pipeline.submit(
+            [("tell", source)], keys, None, session.sid
+        )
+
+    def _op_untell(self, session: Session,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+        name = self._param(params, "name")
+        if session.in_transaction:
+            staged = session.stage("untell", name, [name])
+            return {"staged": staged}
+        return self.pipeline.submit(
+            [("untell", name)], [name], None, session.sid
+        )
+
+    # -- transactions ------------------------------------------------------
+
+    def _op_begin(self, session: Session,
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+        session.begin(self.pipeline.commit_seq)
+        return {"read_epoch": session.read_epoch}
+
+    def _op_staged(self, session: Session,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "ops": [list(op) for op in session.staged_ops()],
+            "keys": session.staged_keys(),
+        }
+
+    def _op_commit(self, session: Session,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+        if not session.in_transaction:
+            raise SessionError(
+                f"session {session.sid!r} has no open transaction to commit"
+            )
+        ops = session.staged_ops()
+        keys = session.staged_keys()
+        try:
+            if not ops:
+                return {"created": 0, "retracted": 0, "empty": True,
+                        "commit_seq": self.pipeline.commit_seq}
+            return self.pipeline.submit(
+                ops, keys, session.read_epoch, session.sid
+            )
+        finally:
+            # Commit ends the transaction either way: a refused commit
+            # (conflict, consistency, parse error) leaves the session
+            # clean for a retry against a fresh read epoch.
+            session.end_transaction()
+            session.read_epoch = self.pipeline.commit_seq
+
+    def _op_abort(self, session: Session,
+                  params: Dict[str, Any]) -> Dict[str, Any]:
+        dropped = session.end_transaction()
+        session.read_epoch = self.pipeline.commit_seq
+        return {"aborted": True, "dropped": dropped}
+
+    # -- explain -----------------------------------------------------------
+
+    def _op_explain(self, session: Session,
+                    params: Dict[str, Any]) -> Dict[str, Any]:
+        kind = params.get("kind", "query")
+        if kind not in ("ask", "query"):
+            raise ProtocolError("param 'kind' must be 'ask' or 'query'")
+        text = self._param(params, "text")
+
+        def fn() -> Any:
+            if kind == "ask":
+                return self.cb.ask(text)
+            return [list(row) for row in self.cb.query(text)]
+        # EXPLAIN captures exclusively (write side of the lock): the
+        # span tree and counter deltas must not interleave with other
+        # sessions' work.
+        capture_tracer = Tracer(enabled=True)
+        previous = self._tracer
+        with self._rwlock.write_locked():
+            self.cb.set_tracer(capture_tracer)
+            try:
+                report = QueryExplain(
+                    self.registry, tracer=capture_tracer
+                ).explain(fn, label=f"{kind}:{text}")
+            finally:
+                self.cb.set_tracer(previous)
+        return {
+            "label": report.label,
+            "result": report.result,
+            "headline": report.headline(),
+            "subsystems": report.subsystems(),
+            "render": report.render(),
+        }
+
+    # ------------------------------------------------------------------
+    # Writer-thread apply
+    # ------------------------------------------------------------------
+
+    def _apply_commit(self, pending: PendingCommit) -> Dict[str, Any]:
+        """Apply one accepted commit (writer thread, exclusive lock)."""
+        created = 0
+        retracted = 0
+        with self._rwlock.write_locked():
+            self._applying = pending
+            try:
+                with self.cb.transaction():
+                    for kind, arg in pending.ops:
+                        if kind == "tell":
+                            created += len(self.cb.tell(arg))
+                        elif kind == "untell":
+                            retracted += len(self.cb.untell(arg))
+                        else:
+                            raise ServerError(
+                                f"unknown staged op kind {kind!r}"
+                            )
+            finally:
+                self._applying = None
+        return {
+            "created": created,
+            "retracted": retracted,
+            "epoch": self.cb.propositions.epoch,
+        }
+
+    def _revalidate_applying(self, _created: List[Any]) -> None:
+        pending = self._applying
+        if pending is None or pending.read_epoch is None:
+            return
+        stale = self.pipeline.stale_keys(pending.keys, pending.read_epoch)
+        if stale:
+            raise CommitConflict(
+                f"write-set keys {', '.join(stale)} changed under "
+                f"read epoch {pending.read_epoch} during apply"
+            )
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The server-side metrics snapshot (``server.*`` only)."""
+        return self.registry.snapshot("server")
+
+    def __enter__(self) -> "GKBMSService":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<GKBMSService sessions={len(self.sessions)} "
+                f"commit_seq={self.pipeline.commit_seq}>")

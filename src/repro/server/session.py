@@ -1,0 +1,167 @@
+"""Sessions: one per connected client, with a staged-write overlay.
+
+A session carries exactly the state the shared knowledge base must not:
+the client's *pinned read epoch* (the commit sequence number its open
+transaction read from) and its *overlay* — a private
+:class:`~repro.propositions.store.WorkspaceStore` holding one workspace
+per open transaction, into which the write-set of every staged ``tell``
+and ``untell`` is materialised as stub propositions.  The overlay is
+the unit first-committer-wins validation reads (the touched proposition
+keys) and the unit an ``abort`` throws away:
+:meth:`~repro.propositions.store.WorkspaceStore.remove_workspace`
+discards it without bumping any global epoch, so an aborted transaction
+leaves no trace in the shared processor's closure caches.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SessionError
+from repro.obs.metrics import MetricsRegistry, Namespace
+from repro.propositions.proposition import individual
+from repro.propositions.store import WorkspaceStore
+
+#: A staged operation: ("tell", frame_source) | ("untell", object_name).
+StagedOp = Tuple[str, str]
+
+
+class Session:
+    """One client's server-side state."""
+
+    __slots__ = ("sid", "read_epoch", "in_flight", "overlay",
+                 "_txn_name", "_txn_counter", "_staged_ops")
+
+    def __init__(self, sid: str, read_epoch: int,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.sid = sid
+        #: The commit sequence number this session's open transaction
+        #: (or last acknowledged commit) read from.
+        self.read_epoch = read_epoch
+        #: Requests currently executing for this session (admission cap).
+        self.in_flight = 0
+        self.overlay = WorkspaceStore(registry=registry)
+        self._txn_name: Optional[str] = None
+        self._txn_counter = 0
+        self._staged_ops: List[StagedOp] = []
+
+    # -- transaction staging ----------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn_name is not None
+
+    def begin(self, read_epoch: int) -> None:
+        """Open a staged transaction pinned to ``read_epoch``."""
+        if self._txn_name is not None:
+            raise SessionError(
+                f"session {self.sid!r} already has an open transaction"
+            )
+        self._txn_counter += 1
+        name = f"txn{self._txn_counter}"
+        self.overlay.add_workspace(name, active=True)
+        self.overlay.set_current(name)
+        self._txn_name = name
+        self._staged_ops = []
+        self.read_epoch = read_epoch
+
+    def stage(self, kind: str, arg: str, keys: List[str]) -> int:
+        """Stage one operation and record its write-set keys in the
+        overlay workspace; returns how many ops are now staged."""
+        if self._txn_name is None:
+            raise SessionError(
+                f"session {self.sid!r} has no open transaction to stage into"
+            )
+        self._staged_ops.append((kind, arg))
+        for key in keys:
+            if key not in self.overlay:
+                self.overlay.create(individual(key))
+        return len(self._staged_ops)
+
+    def staged_ops(self) -> List[StagedOp]:
+        """The staged operations, in staging order."""
+        return list(self._staged_ops)
+
+    def staged_keys(self) -> List[str]:
+        """The write-set: every proposition key the staged ops touch."""
+        if self._txn_name is None:
+            return []
+        return sorted(
+            prop.pid for prop in self.overlay.propositions_in(self._txn_name)
+        )
+
+    def end_transaction(self) -> int:
+        """Discard the overlay workspace (after commit or on abort);
+        returns how many staged write-set entries were dropped."""
+        if self._txn_name is None:
+            raise SessionError(
+                f"session {self.sid!r} has no open transaction"
+            )
+        dropped = self.overlay.remove_workspace(self._txn_name)
+        self._txn_name = None
+        self._staged_ops = []
+        return dropped
+
+
+class SessionManager:
+    """Open/resolve/close sessions, under a cap, thread-safely."""
+
+    def __init__(self, metrics: Namespace, max_sessions: int = 64,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+        self._max_sessions = max_sessions
+        self._next_sid = 1
+        self._overlay_registry = registry
+        self._g_sessions = metrics.gauge("sessions")
+        self._c_opened = metrics.counter("sessions_opened")
+        self._c_closed = metrics.counter("sessions_closed")
+
+    def open(self, read_epoch: int) -> Session:
+        with self._lock:
+            if len(self._sessions) >= self._max_sessions:
+                raise SessionError(
+                    f"session cap reached ({self._max_sessions}); "
+                    f"close a session first"
+                )
+            sid = f"s{self._next_sid}"
+            self._next_sid += 1
+            session = Session(sid, read_epoch,
+                              registry=self._overlay_registry)
+            self._sessions[sid] = session
+            self._g_sessions.set(len(self._sessions))
+            self._c_opened.inc()
+            return session
+
+    def get(self, sid: Optional[str]) -> Session:
+        if not isinstance(sid, str):
+            raise SessionError("request carries no session id (send hello)")
+        with self._lock:
+            session = self._sessions.get(sid)
+        if session is None:
+            raise SessionError(f"unknown session {sid!r}")
+        return session
+
+    def close(self, sid: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(sid, None)
+            if session is None:
+                raise SessionError(f"unknown session {sid!r}")
+            self._g_sessions.set(len(self._sessions))
+            self._c_closed.inc()
+        if session.in_transaction:
+            session.end_transaction()
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+            self._g_sessions.set(0)
+        for session in sessions:
+            if session.in_transaction:
+                session.end_transaction()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -1,0 +1,103 @@
+"""The TCP transport: a threaded socket server speaking the protocol.
+
+One thread per connection (the service's admission controller, not the
+transport, bounds concurrency), newline-delimited JSON frames in both
+directions.  All knowledge-base semantics live in
+:class:`~repro.server.service.GKBMSService`; this module only frames
+bytes, counts protocol-level failures (``server.protocol_errors``) and
+answers malformed lines with typed wire errors instead of dropping the
+connection.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, Tuple
+
+from repro.errors import ProtocolError, ServerError
+from repro.server.protocol import MAX_FRAME, decode_frame, encode_frame, error_response
+from repro.server.service import GKBMSService
+
+
+class _ConnectionHandler(socketserver.StreamRequestHandler):
+    """One client connection: read a frame, answer a frame, repeat."""
+
+    server: "GKBMSServer"
+
+    def handle(self) -> None:
+        self.server.c_connections.inc()
+        while True:
+            try:
+                line = self.rfile.readline(MAX_FRAME + 2)
+            except (OSError, ValueError):
+                break
+            if not line:
+                break
+            try:
+                request = decode_frame(line)
+            except ProtocolError as exc:
+                self.server.c_protocol_errors.inc()
+                response = error_response(None, exc)
+            else:
+                response = self.server.service.handle(request)
+            try:
+                payload = encode_frame(response)
+            except (TypeError, ValueError) as exc:
+                # A handler produced a non-serializable result: answer
+                # with a typed error rather than tearing the stream.
+                self.server.c_protocol_errors.inc()
+                response = error_response(
+                    response.get("id"),
+                    ServerError(f"unserializable response: {exc}"),
+                )
+                payload = encode_frame(response)
+            try:
+                self.wfile.write(payload)
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError, OSError):
+                break
+
+
+class GKBMSServer(socketserver.ThreadingTCPServer):
+    """``python -m repro.server`` — the GKBMS over a socket."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: GKBMSService) -> None:
+        super().__init__(address, _ConnectionHandler)
+        self.service = service
+        ns = service.registry.namespace("server")
+        self.c_connections = ns.counter("connections")
+        self.c_protocol_errors = ns.counter("protocol_errors")
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Serve from a daemon thread; returns it (for tests/tools)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="gkbms-tcp-server", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        """Stop accepting, close the socket, stop the service."""
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "GKBMSServer":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.close()
+        return False

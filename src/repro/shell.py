@@ -22,6 +22,8 @@ Commands::
     backtrack <decision>                  selective backtracking
     obligations / sign <oid> <name>       verification obligations
     save <path> / load <path>             persistence
+    connect <host> <port> / disconnect    client mode (remote GKBMS)
+    rtell / rask / rquery / rinstances    remote ops over the connection
     help / quit
 """
 
@@ -43,6 +45,10 @@ class GKBMSShell:
             gkbms.register_standard_library()
         self.gkbms = gkbms
         self.done = False
+        #: Remote service connection (client mode); any object with the
+        #: :class:`repro.server.client._BaseClient` API works, so tests
+        #: plug a LocalClient in where the REPL would open a TCPClient.
+        self.client = None
         self._commands: Dict[str, Callable[[List[str]], str]] = {
             "design": self._cmd_design,
             "objects": self._cmd_objects,
@@ -59,6 +65,12 @@ class GKBMSShell:
             "sign": self._cmd_sign,
             "save": self._cmd_save,
             "load": self._cmd_load,
+            "connect": self._cmd_connect,
+            "disconnect": self._cmd_disconnect,
+            "rtell": self._cmd_rtell,
+            "rask": self._cmd_rask,
+            "rquery": self._cmd_rquery,
+            "rinstances": self._cmd_rinstances,
             "help": self._cmd_help,
             "quit": self._cmd_quit,
         }
@@ -219,11 +231,71 @@ class GKBMSShell:
         self.gkbms = load_from_file(args[0])
         return f"loaded from {args[0]} (clock t{self.gkbms.clock})"
 
+    # -- client mode (remote GKBMS service) ----------------------------
+
+    def _remote(self):
+        if self.client is None:
+            raise RuntimeError("not connected (use 'connect <host> <port>')")
+        return self.client
+
+    def _cmd_connect(self, args: List[str]) -> str:
+        if self.client is not None:
+            return "error: already connected (use 'disconnect' first)"
+        from repro.server.client import TCPClient
+
+        host = args[0] if args else "127.0.0.1"
+        port = int(args[1]) if len(args) > 1 else 8731
+        self.client = TCPClient(host, port)
+        return f"connected to {host}:{port} as session {self.client.session}"
+
+    def _cmd_disconnect(self, args: List[str]) -> str:
+        if self.client is None:
+            return "not connected"
+        session = self.client.session
+        try:
+            self.client.close()
+        finally:
+            self.client = None
+        return f"disconnected (session {session})"
+
+    def _cmd_rtell(self, args: List[str]) -> str:
+        source = " ".join(args)
+        if not source:
+            return "usage: rtell <TELL ... END>"
+        result = self._remote().tell(source)
+        if "staged" in result:
+            return f"staged ({result['staged']} op(s) pending)"
+        return (f"committed seq {result.get('commit_seq')}: "
+                f"{result.get('created', 0)} proposition(s)")
+
+    def _cmd_rask(self, args: List[str]) -> str:
+        assertion = " ".join(args)
+        if not assertion:
+            return "usage: rask <assertion>"
+        return "true" if self._remote().ask(assertion) else "false"
+
+    def _cmd_rquery(self, args: List[str]) -> str:
+        literal = " ".join(args)
+        if not literal:
+            return "usage: rquery <literal>"
+        answers = self._remote().query(literal)
+        if not answers:
+            return "(no answers)"
+        return "\n".join(", ".join(str(v) for v in row) for row in answers)
+
+    def _cmd_rinstances(self, args: List[str]) -> str:
+        if not args:
+            return "usage: rinstances <class>"
+        instances = self._remote().instances(args[0])
+        return ", ".join(instances) or "(none)"
+
     def _cmd_help(self, args: List[str]) -> str:
         return "commands: " + ", ".join(sorted(self._commands))
 
     def _cmd_quit(self, args: List[str]) -> str:
         self.done = True
+        if self.client is not None:
+            self._cmd_disconnect([])
         return "bye"
 
 

@@ -1,0 +1,188 @@
+"""Concurrency tests: multi-threaded service traffic checked against a
+fault-free single-threaded oracle.
+
+The oracle protocol: the commit pipeline keeps the accepted commit log
+(sequence, session, staged ops).  Replaying exactly those ops, in
+exactly that order, into a fresh single-threaded ConceptBase must
+reproduce the live store bit-for-bit (``rows()`` equality) — if any
+interleaving tore a commit, leaked an aborted overlay, or double-applied
+a batch entry, the serialized states diverge."""
+
+import threading
+
+import pytest
+
+from repro.conceptbase import ConceptBase
+from repro.errors import CommitConflict
+from repro.scenario.workload import ConcurrentLoadGenerator
+from repro.server.client import LocalClient
+from repro.server.service import GKBMSService
+
+THREADS = 8
+OPS_PER_THREAD = 30
+
+
+def replay_oracle(commit_log):
+    """Apply an accepted commit log single-threaded, in order."""
+    oracle = ConceptBase()
+    for _seq, _sid, ops in commit_log:
+        with oracle.transaction():
+            for kind, arg in ops:
+                if kind == "tell":
+                    oracle.tell(arg)
+                else:
+                    oracle.untell(arg)
+    return oracle
+
+
+@pytest.fixture
+def loaded_service():
+    """A service that has survived the seeded 8-thread mixed workload."""
+    service = GKBMSService(batch_window=0.002)
+    generator = ConcurrentLoadGenerator(
+        client_factory=lambda: LocalClient(service),
+        threads=THREADS,
+        ops_per_thread=OPS_PER_THREAD,
+        seed=42,
+    )
+    stats = generator.run()
+    yield service, stats
+    service.close()
+
+
+class TestStressVersusOracle:
+    def test_no_unexpected_errors(self, loaded_service):
+        _service, stats = loaded_service
+        assert stats.unexpected_errors == 0
+        assert stats.requests > THREADS * OPS_PER_THREAD / 2
+
+    def test_final_state_matches_single_threaded_oracle(self, loaded_service):
+        service, _stats = loaded_service
+        log = service.pipeline.commit_log()
+        assert len(log) > 0
+        assert [entry[0] for entry in log] == list(range(1, len(log) + 1))
+        oracle = replay_oracle(log)
+        assert (oracle.propositions.store.rows()
+                == service.cb.propositions.store.rows())
+        assert oracle.summary() == service.cb.summary()
+
+    def test_zero_torn_reads(self, loaded_service):
+        service, _stats = loaded_service
+        snapshot = service.registry.snapshot()
+        assert snapshot["server.torn_reads"] == 0
+
+    def test_group_commit_batched_under_load(self, loaded_service):
+        service, _stats = loaded_service
+        batch = service.registry.snapshot()["server.commit.batch_size"]
+        assert batch["count"] > 0
+        # The acceptance bar: commits actually grouped, not serialized
+        # one fsync each.
+        assert batch["mean"] > 1.0
+
+    def test_conflicts_happened_and_were_counted(self, loaded_service):
+        service, stats = loaded_service
+        snapshot = service.registry.snapshot()
+        # The hot-key transactions guarantee real write-write races.
+        assert stats.conflicts > 0
+        assert snapshot["server.commit.conflicts"] == stats.conflicts
+
+
+class TestTargetedRaces:
+    def test_concurrent_sessions_share_committed_state(self):
+        service = GKBMSService(batch_window=0.001)
+        try:
+            primer = LocalClient(service)
+            primer.tell("TELL Doc IN SimpleClass END")
+
+            def worker(wid):
+                client = LocalClient(service)
+                for n in range(10):
+                    client.tell(f"TELL W{wid}n{n} IN Doc END")
+                client.close()
+
+            threads = [
+                threading.Thread(target=worker, args=(wid,))
+                for wid in range(THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(primer.instances("Doc")) == THREADS * 10
+            oracle = replay_oracle(service.pipeline.commit_log())
+            assert (oracle.propositions.store.rows()
+                    == service.cb.propositions.store.rows())
+        finally:
+            service.close()
+
+    def test_racing_transactions_one_winner_per_round(self):
+        service = GKBMSService(batch_window=0.0)
+        try:
+            primer = LocalClient(service)
+            primer.tell("TELL Doc IN SimpleClass END")
+            outcomes = []
+            lock = threading.Lock()
+            rounds = 6
+            barriers = [threading.Barrier(2, timeout=10)
+                        for _ in range(rounds)]
+
+            def racer():
+                client = LocalClient(service)
+                for r in range(rounds):
+                    barriers[r].wait()
+                    client.begin()
+                    client.tell(f"TELL Contended{r} IN Doc END")
+                    try:
+                        client.commit()
+                        with lock:
+                            outcomes.append((r, "win"))
+                    except CommitConflict:
+                        with lock:
+                            outcomes.append((r, "conflict"))
+                client.close()
+
+            threads = [threading.Thread(target=racer) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for r in range(rounds):
+                per_round = [o for rr, o in outcomes if rr == r]
+                # Every round has a winner; conflicts only ever remove
+                # the second committer, never both.
+                assert "win" in per_round
+            oracle = replay_oracle(service.pipeline.commit_log())
+            assert (oracle.propositions.store.rows()
+                    == service.cb.propositions.store.rows())
+        finally:
+            service.close()
+
+    def test_readers_run_during_writes_without_tearing(self):
+        service = GKBMSService(batch_window=0.001)
+        try:
+            primer = LocalClient(service)
+            primer.tell("TELL Doc IN SimpleClass END")
+            stop = threading.Event()
+            seen = []
+
+            def reader():
+                client = LocalClient(service)
+                while not stop.is_set():
+                    seen.append(len(client.instances("Doc")))
+                client.close()
+
+            readers = [threading.Thread(target=reader) for _ in range(4)]
+            for t in readers:
+                t.start()
+            for n in range(30):
+                primer.tell(f"TELL R{n} IN Doc END")
+            stop.set()
+            for t in readers:
+                t.join(timeout=10)
+            # Reads observed monotonically growing prefixes, never a
+            # half-applied commit, and the structural witness agrees.
+            assert max(seen) <= 30
+            snapshot = service.registry.snapshot()
+            assert snapshot["server.torn_reads"] == 0
+        finally:
+            service.close()

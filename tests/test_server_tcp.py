@@ -1,0 +1,141 @@
+"""The TCP transport, the shell's client mode and the smoke command —
+everything over real sockets on an ephemeral port."""
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import CommitConflict, ServerError
+from repro.server.client import TCPClient
+from repro.server.service import GKBMSService
+from repro.server.tcp import GKBMSServer
+from repro.server.__main__ import main as server_main
+from repro.shell import GKBMSShell
+
+
+@pytest.fixture
+def server():
+    service = GKBMSService(batch_window=0.002)
+    tcp = GKBMSServer(("127.0.0.1", 0), service)
+    tcp.serve_in_thread()
+    yield tcp
+    tcp.close()
+
+
+class TestTCPTransport:
+    def test_round_trip_over_socket(self, server):
+        client = TCPClient(server.host, server.port)
+        client.tell("TELL Doc IN SimpleClass END")
+        client.tell("TELL D1 IN Doc END")
+        assert client.instances("Doc") == ["D1"]
+        assert client.ping()["pong"] is True
+        client.close()
+
+    def test_two_connections_share_the_base(self, server):
+        a = TCPClient(server.host, server.port)
+        b = TCPClient(server.host, server.port)
+        assert a.session != b.session
+        a.tell("TELL Doc IN SimpleClass END")
+        a.tell("TELL D1 IN Doc END")
+        assert b.instances("Doc") == ["D1"]
+        a.close()
+        b.close()
+
+    def test_conflict_travels_the_wire_typed(self, server):
+        writer = TCPClient(server.host, server.port)
+        racer = TCPClient(server.host, server.port)
+        writer.tell("TELL Doc IN SimpleClass END")
+        racer.begin()
+        racer.tell("TELL Shared IN Doc END")
+        writer.tell("TELL Shared IN Doc END")
+        with pytest.raises(CommitConflict):
+            racer.commit()
+        writer.close()
+        racer.close()
+
+    def test_transactions_over_the_wire(self, server):
+        client = TCPClient(server.host, server.port)
+        client.tell("TELL Doc IN SimpleClass END")
+        with client.transaction():
+            client.tell("TELL D1 IN Doc END")
+            client.tell("TELL D2 IN Doc END")
+        assert client.instances("Doc") == ["D1", "D2"]
+        client.close()
+
+    def test_malformed_line_answers_protocol_error(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as sock:
+            handle = sock.makefile("rwb")
+            handle.write(b"this is not json\n")
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            # The connection survives a bad frame.
+            handle.write(b'{"id": 1, "op": "ping", "params": {}}\n')
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is True
+        snapshot = server.service.registry.snapshot()
+        assert snapshot["server.protocol_errors"] == 1
+
+    def test_closed_server_refuses_new_connections(self):
+        service = GKBMSService()
+        tcp = GKBMSServer(("127.0.0.1", 0), service)
+        tcp.serve_in_thread()
+        TCPClient(tcp.host, tcp.port).close()
+        tcp.close()
+        with pytest.raises((ServerError, OSError)):
+            TCPClient(tcp.host, tcp.port)
+
+
+class TestShellClientMode:
+    def test_connect_tell_ask_disconnect(self, server):
+        shell = GKBMSShell()
+        out = shell.execute(f"connect {server.host} {server.port}")
+        assert "connected" in out and "session" in out
+        out = shell.execute('rtell "TELL Doc IN SimpleClass END"')
+        assert "committed" in out
+        shell.execute('rtell "TELL D1 IN Doc END"')
+        assert shell.execute("rinstances Doc") == "D1"
+        out = shell.execute("rquery in(?x,Doc)")
+        assert "D1" in out
+        out = shell.execute("disconnect")
+        assert "disconnected" in out
+
+    def test_remote_commands_require_connection(self):
+        shell = GKBMSShell()
+        out = shell.execute("rinstances Doc")
+        assert out.startswith("error:") and "not connected" in out
+
+    def test_remote_errors_are_reported_not_raised(self, server):
+        shell = GKBMSShell()
+        shell.execute(f"connect {server.host} {server.port}")
+        out = shell.execute('rtell "NOT A FRAME"')
+        assert out.startswith("error:")
+        shell.execute("disconnect")
+
+    def test_quit_disconnects(self, server):
+        shell = GKBMSShell()
+        shell.execute(f"connect {server.host} {server.port}")
+        assert shell.execute("quit") == "bye"
+        assert shell.client is None
+
+
+class TestSmokeCommand:
+    def test_smoke_gates_and_reports(self, tmp_path):
+        report_path = tmp_path / "smoke.json"
+        code = server_main([
+            "smoke", "--threads", "4", "--ops", "10",
+            "--json", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["failures"] == []
+        assert report["protocol_errors"] == 0
+        assert report["batch_samples"] > 0
+        assert report["load"]["unexpected_errors"] == 0
+        # Group commit: strictly fewer fsyncs than commits.
+        assert report["wal_fsyncs"] < report["committed"]
