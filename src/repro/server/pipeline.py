@@ -18,6 +18,15 @@ this transaction's pinned ``read_epoch``, the commit is refused with
 base* — a rejected commit consumes no proposition identifiers, so a
 single-threaded replay of the accepted commit log reproduces the live
 store exactly.
+
+If the durability scope itself fails (an fsync fault raising
+:class:`~repro.errors.PersistenceError` on batch exit), the "ack means
+durable" promise cannot be kept for anything in that batch: every
+submitter in the batch is failed with a typed
+:class:`~repro.errors.ServerError` and the pipeline is *poisoned* —
+all queued and future submits fail fast instead of building on state
+that may not survive a restart.  Submitters are always woken, fault or
+not; nothing ever hangs on a dead writer thread.
 """
 
 from __future__ import annotations
@@ -95,7 +104,17 @@ class CommitPipeline:
         self._g_queue = metrics.gauge("queue_depth")
         self._h_batch = metrics.histogram("batch_size")
         self._h_latency = metrics.histogram("latency_ms")
+        #: Guards the closed-check-and-enqueue in :meth:`submit` against
+        #: :meth:`close`, so no commit can ever be queued *behind* the
+        #: stop sentinel (it would never be processed).
+        self._submit_lock = threading.Lock()
         self._closed = False
+        #: The durability fault that poisoned the pipeline, if any.
+        self._fault: Optional[BaseException] = None
+        #: Set (before the final queue sweep) when the writer exits, so
+        #: a submitter racing the sweep can fail its own commit instead
+        #: of waiting on a writer that will never run it.
+        self._writer_exited = False
         self._writer = threading.Thread(
             target=self._run, name="gkbms-commit-writer", daemon=True
         )
@@ -121,18 +140,39 @@ class CommitPipeline:
         :class:`~repro.errors.ServerOverloaded`; once enqueued, the
         commit always runs to an answer (the bounded queue bounds the
         wait), so an acknowledged submit is never ambiguous."""
-        if self._closed:
-            raise ServerError("commit pipeline is closed")
         pending = PendingCommit(ops, keys, read_epoch, session_id)
-        try:
-            self._queue.put_nowait(pending)
-        except queue.Full:
-            self._c_shed.inc()
-            raise ServerOverloaded(
-                f"commit queue full ({self._queue.maxsize} pending)"
-            ) from None
+        with self._submit_lock:
+            if self._closed:
+                raise ServerError("commit pipeline is closed")
+            if self._fault is not None:
+                raise ServerError(
+                    f"commit pipeline failed: {self._fault}; "
+                    f"restart the server"
+                )
+            try:
+                self._queue.put_nowait(pending)
+            except queue.Full:
+                self._c_shed.inc()
+                raise ServerOverloaded(
+                    f"commit queue full ({self._queue.maxsize} pending)"
+                ) from None
         self._g_queue.set(self._queue.qsize())
-        pending.done.wait()
+        if self._writer_exited:
+            # We enqueued while the writer was exiting: its final sweep
+            # may already have run, so sweep again ourselves — this
+            # fails (and wakes) our own commit if it was stranded.
+            self._fail_queued(
+                ServerError("commit pipeline writer has stopped")
+            )
+        # Defence in depth: never block forever on an acknowledgement.
+        # The writer wakes every submitter even on a durability fault,
+        # but if it dies anyway, fail loudly instead of hanging.
+        while not pending.done.wait(1.0):
+            if not self._writer.is_alive() and not pending.done.wait(1.0):
+                raise ServerError(
+                    "commit pipeline writer died before acknowledging; "
+                    "commit outcome unknown"
+                )
         if pending.error is not None:
             raise pending.error
         assert pending.result is not None
@@ -140,24 +180,57 @@ class CommitPipeline:
 
     def close(self, timeout: float = 5.0) -> None:
         """Drain outstanding commits and stop the writer thread."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(_STOP)
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._queue.put(_STOP, timeout=timeout)
+        except queue.Full:
+            # A dead writer with a full queue: nothing will ever drain
+            # it; the sweep below fails the stranded commits instead.
+            pass
         self._writer.join(timeout)
+        self._fail_queued(ServerError("commit pipeline is closed"))
 
     # -- writer side -------------------------------------------------------
 
     def _run(self) -> None:
-        stopping = False
-        while not stopping:
-            head = self._queue.get()
-            if head is _STOP:
-                break
-            batch: List[PendingCommit] = [head]
-            stopping = self._fill_batch(batch)
-            self._g_queue.set(self._queue.qsize())
-            self._process(batch)
+        try:
+            stopping = False
+            while not stopping and self._fault is None:
+                head = self._queue.get()
+                if head is _STOP:
+                    break
+                batch: List[PendingCommit] = [head]
+                stopping = self._fill_batch(batch)
+                self._g_queue.set(self._queue.qsize())
+                self._process(batch)
+        finally:
+            # However the writer exits — clean stop, durability fault,
+            # or an unexpected error — never strand a submitter: fail
+            # whatever is still queued so every done.wait() returns.
+            # The flag goes up *before* the sweep: a submitter that
+            # enqueues after the sweep will see it and re-sweep itself.
+            self._writer_exited = True
+            reason = (
+                "commit pipeline stopped before this commit ran"
+                if self._fault is None
+                else f"commit pipeline failed: {self._fault}"
+            )
+            self._fail_queued(ServerError(reason))
+
+    def _fail_queued(self, error: ServerError) -> None:
+        """Fail-and-wake every commit still sitting in the queue."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            item.error = error
+            item.done.set()
 
     def _fill_batch(self, batch: List[PendingCommit]) -> bool:
         """Collect up to ``max_batch`` commits, waiting ``batch_window``
@@ -181,19 +254,40 @@ class CommitPipeline:
         return False
 
     def _process(self, batch: List[PendingCommit]) -> None:
-        with self._tracer.span("server.commit", batch=str(len(batch))):
-            durability = self._wal.batch() if self._wal is not None \
-                else nullcontext()
-            with durability:
-                for pending in batch:
-                    self._process_one(pending)
-            # The batch scope has forced the WAL: everything below is
-            # durable.  Only now may submitters be acknowledged.
-        now = time.monotonic()
-        self._h_batch.observe(len(batch))
-        for pending in batch:
-            self._h_latency.observe((now - pending.enqueued) * 1000.0)
-            pending.done.set()
+        try:
+            with self._tracer.span("server.commit", batch=str(len(batch))):
+                durability = self._wal.batch() if self._wal is not None \
+                    else nullcontext()
+                with durability:
+                    for pending in batch:
+                        self._process_one(pending)
+                # The batch scope has forced the WAL: everything below
+                # is durable.  Only now may submitters be acknowledged
+                # positively.
+        except BaseException as exc:  # noqa: BLE001 - durability fault
+            # The batch's durability scope failed (e.g. an injected
+            # fsync fault): commits applied in this batch are visible in
+            # memory but NOT durable, so none of them may be positively
+            # acknowledged.  Fail the whole batch and poison the
+            # pipeline — "ack means durable" stays true at the price of
+            # refusing all further writes until a restart re-establishes
+            # a known-durable state.
+            self._fault = exc
+            self._c_errors.inc()
+            for pending in batch:
+                if pending.error is None:
+                    pending.result = None
+                    pending.error = ServerError(
+                        f"commit durability failed: {exc}; this commit "
+                        f"may not survive a restart and the pipeline is "
+                        f"stopped"
+                    )
+        finally:
+            now = time.monotonic()
+            self._h_batch.observe(len(batch))
+            for pending in batch:
+                self._h_latency.observe((now - pending.enqueued) * 1000.0)
+                pending.done.set()
 
     def _process_one(self, pending: PendingCommit) -> None:
         try:

@@ -54,6 +54,17 @@ from repro.server.session import Session, SessionManager
 #: one).
 _SESSIONLESS = frozenset({"hello", "ping"})
 
+#: Ops that mutate session state (staged ops, overlay, read epoch).
+#: Admission allows several concurrent requests per session, so these
+#: run under the session's lock for their *whole* duration — a tell
+#: cannot interleave with a commit's snapshot-submit-clear sequence and
+#: be silently dropped, and concurrent commit/abort cannot double-end a
+#: transaction.  Reads deliberately stay outside the lock (they pin an
+#: epoch, not the session).
+_SESSION_SERIAL = frozenset(
+    {"begin", "tell", "untell", "commit", "abort", "staged"}
+)
+
 
 class GKBMSService:
     """Concurrent request handler over one shared ConceptBase."""
@@ -111,7 +122,13 @@ class GKBMSService:
     # ------------------------------------------------------------------
 
     def handle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """One request dict in, one response dict out; never raises."""
+        """One request dict in, one response dict out.
+
+        Never raises for any failure *of the request* — those become
+        typed wire errors.  Shutdown signals (``KeyboardInterrupt``,
+        ``SystemExit``) are deliberately not part of that contract:
+        they propagate so a serving thread can actually be stopped.
+        """
         request_id = frame.get("id") if isinstance(frame, dict) else None
         start = self._clock()
         self._c_requests.inc()
@@ -133,7 +150,7 @@ class GKBMSService:
                 with self._tracer.span("server.execute", op=op):
                     result = self._dispatch(op, session, params)
             return ok_response(request_id, result)
-        except BaseException as exc:  # noqa: BLE001 - total handler
+        except Exception as exc:  # noqa: BLE001 - total handler
             self._c_errors.inc()
             return error_response(request_id, exc)
         finally:
@@ -159,6 +176,10 @@ class GKBMSService:
             raise ProtocolError(f"op {op!r} not implemented")
         if op in _SESSIONLESS:
             return handler(params)
+        if op in _SESSION_SERIAL:
+            assert session is not None
+            with session.lock:
+                return handler(session, params)
         return handler(session, params)
 
     @staticmethod

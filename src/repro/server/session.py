@@ -11,6 +11,14 @@ keys) and the unit an ``abort`` throws away:
 :meth:`~repro.propositions.store.WorkspaceStore.remove_workspace`
 discards it without bumping any global epoch, so an aborted transaction
 leaves no trace in the shared processor's closure caches.
+
+Admission allows several concurrent requests per session, so session
+state needs its own synchronization: every session carries a reentrant
+:attr:`Session.lock`, the staging methods take it themselves, and the
+service additionally holds it across each *whole* session-mutating
+operation — a commit's snapshot-submit-clear sequence is atomic against
+a concurrent ``tell``, so a stage can never slip between the snapshot
+and the clearing ``end_transaction`` and be silently lost.
 """
 
 from __future__ import annotations
@@ -30,12 +38,16 @@ StagedOp = Tuple[str, str]
 class Session:
     """One client's server-side state."""
 
-    __slots__ = ("sid", "read_epoch", "in_flight", "overlay",
+    __slots__ = ("sid", "read_epoch", "in_flight", "overlay", "lock",
                  "_txn_name", "_txn_counter", "_staged_ops")
 
     def __init__(self, sid: str, read_epoch: int,
                  registry: Optional[MetricsRegistry] = None) -> None:
         self.sid = sid
+        #: Serializes this session's mutable state (staged ops, overlay,
+        #: read epoch).  Reentrant so the service can hold it across a
+        #: whole operation while the methods below also take it.
+        self.lock = threading.RLock()
         #: The commit sequence number this session's open transaction
         #: (or last acknowledged commit) read from.
         self.read_epoch = read_epoch
@@ -54,54 +66,61 @@ class Session:
 
     def begin(self, read_epoch: int) -> None:
         """Open a staged transaction pinned to ``read_epoch``."""
-        if self._txn_name is not None:
-            raise SessionError(
-                f"session {self.sid!r} already has an open transaction"
-            )
-        self._txn_counter += 1
-        name = f"txn{self._txn_counter}"
-        self.overlay.add_workspace(name, active=True)
-        self.overlay.set_current(name)
-        self._txn_name = name
-        self._staged_ops = []
-        self.read_epoch = read_epoch
+        with self.lock:
+            if self._txn_name is not None:
+                raise SessionError(
+                    f"session {self.sid!r} already has an open transaction"
+                )
+            self._txn_counter += 1
+            name = f"txn{self._txn_counter}"
+            self.overlay.add_workspace(name, active=True)
+            self.overlay.set_current(name)
+            self._txn_name = name
+            self._staged_ops = []
+            self.read_epoch = read_epoch
 
     def stage(self, kind: str, arg: str, keys: List[str]) -> int:
         """Stage one operation and record its write-set keys in the
         overlay workspace; returns how many ops are now staged."""
-        if self._txn_name is None:
-            raise SessionError(
-                f"session {self.sid!r} has no open transaction to stage into"
-            )
-        self._staged_ops.append((kind, arg))
-        for key in keys:
-            if key not in self.overlay:
-                self.overlay.create(individual(key))
-        return len(self._staged_ops)
+        with self.lock:
+            if self._txn_name is None:
+                raise SessionError(
+                    f"session {self.sid!r} has no open transaction "
+                    f"to stage into"
+                )
+            self._staged_ops.append((kind, arg))
+            for key in keys:
+                if key not in self.overlay:
+                    self.overlay.create(individual(key))
+            return len(self._staged_ops)
 
     def staged_ops(self) -> List[StagedOp]:
         """The staged operations, in staging order."""
-        return list(self._staged_ops)
+        with self.lock:
+            return list(self._staged_ops)
 
     def staged_keys(self) -> List[str]:
         """The write-set: every proposition key the staged ops touch."""
-        if self._txn_name is None:
-            return []
-        return sorted(
-            prop.pid for prop in self.overlay.propositions_in(self._txn_name)
-        )
+        with self.lock:
+            if self._txn_name is None:
+                return []
+            return sorted(
+                prop.pid
+                for prop in self.overlay.propositions_in(self._txn_name)
+            )
 
     def end_transaction(self) -> int:
         """Discard the overlay workspace (after commit or on abort);
         returns how many staged write-set entries were dropped."""
-        if self._txn_name is None:
-            raise SessionError(
-                f"session {self.sid!r} has no open transaction"
-            )
-        dropped = self.overlay.remove_workspace(self._txn_name)
-        self._txn_name = None
-        self._staged_ops = []
-        return dropped
+        with self.lock:
+            if self._txn_name is None:
+                raise SessionError(
+                    f"session {self.sid!r} has no open transaction"
+                )
+            dropped = self.overlay.remove_workspace(self._txn_name)
+            self._txn_name = None
+            self._staged_ops = []
+            return dropped
 
 
 class SessionManager:
@@ -150,8 +169,9 @@ class SessionManager:
                 raise SessionError(f"unknown session {sid!r}")
             self._g_sessions.set(len(self._sessions))
             self._c_closed.inc()
-        if session.in_transaction:
-            session.end_transaction()
+        with session.lock:
+            if session.in_transaction:
+                session.end_transaction()
 
     def close_all(self) -> None:
         with self._lock:
@@ -159,8 +179,9 @@ class SessionManager:
             self._sessions.clear()
             self._g_sessions.set(0)
         for session in sessions:
-            if session.in_transaction:
-                session.end_transaction()
+            with session.lock:
+                if session.in_transaction:
+                    session.end_transaction()
 
     def __len__(self) -> int:
         with self._lock:

@@ -34,13 +34,26 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 break
             if not line:
                 break
-            try:
-                request = decode_frame(line)
-            except ProtocolError as exc:
+            if not line.endswith(b"\n") and len(line) > MAX_FRAME:
+                # readline() hit its size cap mid-line: an oversized
+                # frame.  Consume the rest of the line so the stream
+                # stays framed — otherwise the unread tail would be
+                # parsed as spurious "frames" — then answer with a
+                # typed error.
+                if not self._skip_to_newline():
+                    break
                 self.server.c_protocol_errors.inc()
-                response = error_response(None, exc)
+                response = error_response(None, ProtocolError(
+                    f"frame exceeds {MAX_FRAME} bytes"
+                ))
             else:
-                response = self.server.service.handle(request)
+                try:
+                    request = decode_frame(line)
+                except ProtocolError as exc:
+                    self.server.c_protocol_errors.inc()
+                    response = error_response(None, exc)
+                else:
+                    response = self.server.service.handle(request)
             try:
                 payload = encode_frame(response)
             except (TypeError, ValueError) as exc:
@@ -57,6 +70,19 @@ class _ConnectionHandler(socketserver.StreamRequestHandler):
                 self.wfile.flush()
             except (BrokenPipeError, ConnectionResetError, OSError):
                 break
+
+    def _skip_to_newline(self) -> bool:
+        """Discard input up to the next newline; False if the stream
+        ended (or died) first, so the caller drops the connection."""
+        try:
+            while True:
+                rest = self.rfile.readline(MAX_FRAME + 2)
+                if not rest:
+                    return False
+                if rest.endswith(b"\n"):
+                    return True
+        except (OSError, ValueError):
+            return False
 
 
 class GKBMSServer(socketserver.ThreadingTCPServer):

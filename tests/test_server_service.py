@@ -10,12 +10,14 @@ from repro.conceptbase import ConceptBase
 from repro.errors import (
     CommitConflict,
     DeadlineExceeded,
+    PersistenceError,
     ProtocolError,
     ReproError,
     ServerError,
     ServerOverloaded,
     SessionError,
 )
+from repro.faults import FaultPlan, FaultyIO, WriteFault
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.propositions.processor import PropositionProcessor
@@ -530,6 +532,91 @@ class TestPipeline:
         finally:
             pipeline.close()
 
+    def test_submit_after_close_raises_typed(self):
+        pipeline, _ = self._pipeline(lambda pending: {})
+        pipeline.close()
+        with pytest.raises(ServerError):
+            pipeline.submit([("tell", "x")], [], None, "s1")
+
+
+class _ExplodingBatchWal:
+    """Duck-typed WAL whose batch scope fails on exit — the injected
+    fsync fault the review's durability scenario describes."""
+
+    def batch(self):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        raise PersistenceError("injected fsync failure")
+
+
+class TestPipelineDurabilityFaults:
+    def _pipeline(self, apply, **kw):
+        registry = MetricsRegistry()
+        pipeline = CommitPipeline(
+            apply, registry.namespace("server.commit"),
+            Tracer(enabled=False), **kw
+        )
+        return pipeline, registry
+
+    def test_fault_fails_the_submitter_and_poisons_the_pipeline(self):
+        pipeline, registry = self._pipeline(
+            lambda pending: {}, wal=_ExplodingBatchWal()
+        )
+        try:
+            # The batch-exit fault must surface as a typed error, not a
+            # hang: the commit applied in memory but was never forced.
+            with pytest.raises(ServerError, match="durability"):
+                pipeline.submit([("tell", "a")], [], None, "s1")
+            # Poisoned: later submits fail fast instead of building on
+            # state that may not survive a restart.
+            with pytest.raises(ServerError, match="failed"):
+                pipeline.submit([("tell", "b")], [], None, "s1")
+        finally:
+            pipeline.close()
+        assert registry.snapshot()["server.commit.errors"] == 1
+
+    def test_fault_never_strands_any_submitter(self):
+        gate = threading.Event()
+
+        def apply(pending):
+            gate.wait(5)
+            return {}
+
+        # max_batch=1: the first commit's batch faults and kills the
+        # writer while three more sit in the queue — all four must be
+        # woken with a typed error (none may hang on done.wait()).
+        pipeline, _ = self._pipeline(
+            apply, wal=_ExplodingBatchWal(), max_batch=1
+        )
+        errors = []
+        errors_lock = threading.Lock()
+
+        def submit(i):
+            try:
+                pipeline.submit([("tell", "x")], [], None, f"s{i}")
+            except ServerError as exc:
+                with errors_lock:
+                    errors.append(str(exc))
+
+        threads = [
+            threading.Thread(target=submit, args=(i,)) for i in range(4)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            time.sleep(0.05)  # let all four land in the queue
+            gate.set()
+            for t in threads:
+                t.join(timeout=10)
+            assert not any(t.is_alive() for t in threads)
+            assert len(errors) == 4
+        finally:
+            pipeline.close()
+
 
 class TestWalGroupCommit:
     def test_batch_defers_fsyncs(self, tmp_path):
@@ -568,6 +655,29 @@ class TestWalGroupCommit:
         stats = store.stats.snapshot()
         assert stats["fsyncs"] > baseline
         assert stats["deferred_fsyncs"] == 0
+
+    def test_real_fsync_fault_is_typed_end_to_end(self, tmp_path):
+        class _FsyncFaultIO(FaultyIO):
+            fail_fsyncs = False
+
+            def fsync(self, handle):
+                if self.fail_fsyncs:
+                    raise WriteFault("injected fsync failure")
+                super().fsync(handle)
+
+        io = _FsyncFaultIO(FaultPlan())
+        store = WalStore(str(tmp_path / "kb.wal"), fsync="commit", io=io)
+        service = GKBMSService(ConceptBase(store=store))
+        client = LocalClient(service)
+        client.tell("TELL Doc IN SimpleClass END")
+        io.fail_fsyncs = True
+        # The group-commit fsync fails on batch exit: a typed error,
+        # never a hung writer thread nor an ambiguous acknowledgement.
+        with pytest.raises(ServerError, match="durability"):
+            client.tell("TELL D1 IN Doc END")
+        with pytest.raises(ServerError):
+            client.tell("TELL D2 IN Doc END")
+        service.close()
 
 
 # ----------------------------------------------------------------------
@@ -744,6 +854,71 @@ class TestServiceOps:
 # ----------------------------------------------------------------------
 # Thread-safety of the obs substrate (satellite)
 # ----------------------------------------------------------------------
+
+
+class TestSessionSerialization:
+    @staticmethod
+    def _frame(op, sid=None, **params):
+        frame = {"id": 1, "op": op, "params": params}
+        if sid is not None:
+            frame["session"] = sid
+        return frame
+
+    def test_shutdown_signals_propagate_out_of_handle(self, service):
+        def interrupt(params):
+            raise KeyboardInterrupt()
+
+        service._op_ping = interrupt
+        with pytest.raises(KeyboardInterrupt):
+            service.handle(self._frame("ping"))
+
+    def test_concurrent_tell_never_lost_around_commit(self, service):
+        """A ``tell`` racing another request's commit on the *same*
+        session must land somewhere — staged into the open transaction
+        (and committed with it) or autocommitted — never silently
+        dropped between the commit's snapshot and its clearing
+        ``end_transaction``."""
+        response = service.handle(self._frame("hello"))
+        sid = response["result"]["session"]
+        service.handle(self._frame(
+            "tell", sid, source="TELL Doc IN SimpleClass END"
+        ))
+        rounds = 25
+        barrier = threading.Barrier(2)
+        failures = []
+        failures_lock = threading.Lock()
+
+        def run(op_source):
+            for i in range(rounds):
+                barrier.wait()
+                for frame in op_source(i):
+                    response = service.handle(frame)
+                    if not response["ok"]:
+                        with failures_lock:
+                            failures.append(response["error"])
+
+        def committer(i):
+            yield self._frame("begin", sid)
+            yield self._frame("tell", sid,
+                              source=f"TELL A{i} IN Doc END")
+            yield self._frame("commit", sid)
+
+        def teller(i):
+            yield self._frame("tell", sid,
+                              source=f"TELL B{i} IN Doc END")
+
+        threads = [threading.Thread(target=run, args=(committer,)),
+                   threading.Thread(target=run, args=(teller,))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert failures == []
+        instances = set(service.cb.instances("Doc"))
+        expected = {f"A{i}" for i in range(rounds)} \
+            | {f"B{i}" for i in range(rounds)}
+        assert expected <= instances
 
 
 class TestObsThreadSafety:

@@ -8,6 +8,7 @@ import pytest
 
 from repro.errors import CommitConflict, ServerError
 from repro.server.client import TCPClient
+from repro.server.protocol import MAX_FRAME
 from repro.server.service import GKBMSService
 from repro.server.tcp import GKBMSServer
 from repro.server.__main__ import main as server_main
@@ -80,6 +81,29 @@ class TestTCPTransport:
             assert response["ok"] is True
         snapshot = server.service.registry.snapshot()
         assert snapshot["server.protocol_errors"] == 1
+
+    def test_oversized_frame_resynchronizes_the_stream(self, server):
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as sock:
+            handle = sock.makefile("rwb")
+            oversized = (
+                b'{"id": 1, "op": "ping", "pad": "'
+                + b"x" * (MAX_FRAME + 64) + b'"}\n'
+            )
+            handle.write(oversized)
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            # The unread tail of the oversized line was discarded, so
+            # the next frame parses cleanly instead of desynchronizing
+            # into spurious errors.
+            handle.write(b'{"id": 2, "op": "ping", "params": {}}\n')
+            handle.flush()
+            response = json.loads(handle.readline())
+            assert response["ok"] is True
+            assert response["id"] == 2
 
     def test_closed_server_refuses_new_connections(self):
         service = GKBMSService()
