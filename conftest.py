@@ -3,12 +3,56 @@
 Makes ``src/`` importable even when the package has not been installed
 (useful in offline environments where ``pip install -e .`` cannot fetch
 build dependencies; ``python setup.py develop`` is the offline
-equivalent).
+equivalent), and exposes the concurrency sanitizer to tests:
+
+- running the suite with ``REPRO_LOCKDEP=1`` arms the runtime lockdep
+  sanitizer process-wide (the ``server-smoke`` CI job does this), and a
+  session-end hook fails the run if any lock-order cycle was observed;
+- the ``lockdep_manager`` fixture installs a *fresh* manager for one
+  test regardless of the environment, so targeted tests can assert on
+  exactly the edges and cycles their own scenario produced.
 """
 
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def lockdep_manager():
+    """A fresh LockDep installed for the duration of one test."""
+    from repro.analysis.concurrency import lockdep
+
+    manager = lockdep.LockDep()
+    restore = lockdep.install(manager)
+    try:
+        yield manager
+    finally:
+        restore()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """With ``REPRO_LOCKDEP=1``, a cycle anywhere in the run is a
+    failure even if every individual test passed — that is the point
+    of the sanitizer."""
+    if os.environ.get("REPRO_LOCKDEP", "") in ("", "0"):
+        return
+    from repro.analysis.concurrency import lockdep
+
+    manager = lockdep.manager()
+    if manager is None:
+        return
+    cycles = manager.cycles()
+    if cycles:
+        lines = [" → ".join(c.nodes) + f"  ({c.witness})" for c in cycles]
+        session.config.pluginmanager.get_plugin("terminalreporter").write_line(
+            "lockdep: potential deadlock cycle(s) observed:\n  "
+            + "\n  ".join(lines),
+            red=True,
+        )
+        session.exitstatus = 1

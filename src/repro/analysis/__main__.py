@@ -23,7 +23,8 @@ from typing import List, Tuple
 
 from repro.errors import ReproError
 from repro.analysis.analyzer import ModelAnalyzer
-from repro.analysis.diagnostics import CODES, DiagnosticReport, make
+from repro.analysis.cli import EXIT_UNLOADABLE, emit_report, list_codes
+from repro.analysis.diagnostics import DiagnosticReport, make
 from repro.obs.logging import StreamSink, log, set_sink
 from repro.objects.frame import parse_frames
 
@@ -183,13 +184,10 @@ def main(argv: List[str] | None = None) -> int:
 
 def _run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if args.codes:
-        for code, (severity, description) in sorted(CODES.items()):
-            log("info", f"{code}  {str(severity):7}  {description}",
-                logger="repro.analysis")
-        return 0
+        return list_codes(logger="repro.analysis")
     if not args.paths:
         parser.print_usage(sys.stderr)
-        return 2
+        return EXIT_UNLOADABLE
 
     report = DiagnosticReport()
     for path in args.paths:
@@ -202,15 +200,10 @@ def _run(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
                 report.merge(_analyze_script(text))
         except (OSError, ReproError) as exc:
             log("error", f"{path}: {exc}", logger="repro.analysis")
-            return 2
+            return EXIT_UNLOADABLE
 
-    log("info", report.to_json() if args.json else report.render_text(),
-        logger="repro.analysis")
-    if report.errors():
-        return 1
-    if args.strict and report.warnings():
-        return 1
-    return 0
+    return emit_report(report, as_json=args.json, strict=args.strict,
+                       logger="repro.analysis")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,55 @@
+"""Shared command-line behaviour for the analysis CLIs.
+
+``python -m repro.analysis`` (the CML model lint) and
+``python -m repro.analysis.concurrency`` (the concurrency lint) answer
+with the same contract:
+
+- ``--json`` emits one machine-readable report
+  (:meth:`~repro.analysis.diagnostics.DiagnosticReport.to_json`), plain
+  text otherwise;
+- ``--strict`` *promotes* warnings to error severity before reporting,
+  so the JSON a CI job archives shows exactly what failed it;
+- the exit status is non-zero **only on error-severity findings**
+  (after promotion) — info diagnostics never fail a run, and ``2`` is
+  reserved for inputs that could not be loaded at all.
+
+Both CLIs route their output through :mod:`repro.obs.logging` so that
+importing the modules stays silent (library discipline) while running
+them prints (a CLI's invited output).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import CODES, DiagnosticReport
+from repro.obs.logging import log
+
+#: Exit statuses shared by the analysis CLIs.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_UNLOADABLE = 2
+
+
+def list_codes(prefix: str = "", logger: str = "repro.analysis") -> int:
+    """Print the diagnostic catalogue (``--codes``); returns exit 0."""
+    for code, (severity, description) in sorted(CODES.items()):
+        if prefix and not code.startswith(prefix):
+            continue
+        log("info", f"{code}  {str(severity):7}  {description}",
+            logger=logger)
+    return EXIT_CLEAN
+
+
+def emit_report(report: DiagnosticReport, *, as_json: bool = False,
+                strict: bool = False,
+                logger: str = "repro.analysis") -> int:
+    """Render a report and return the unified exit status.
+
+    Under ``strict`` warnings are promoted to errors first; the status
+    is then :data:`EXIT_FINDINGS` iff error-severity diagnostics remain,
+    :data:`EXIT_CLEAN` otherwise.
+    """
+    if strict:
+        report = report.promote_warnings()
+    log("info", report.to_json() if as_json else report.render_text(),
+        logger=logger)
+    return EXIT_FINDINGS if report.errors() else EXIT_CLEAN

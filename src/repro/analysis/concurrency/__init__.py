@@ -1,0 +1,38 @@
+"""Concurrency sanitizer: static guarded-by lint + runtime lockdep.
+
+Two cooperating passes over the service tier's locking discipline,
+both reporting through the PR 1 diagnostics framework (``CCY0xx``
+codes):
+
+- :mod:`repro.analysis.concurrency.lint` — an AST pass enforcing
+  ``# guarded-by:`` declarations, forbidding blocking calls under
+  critical locks, and checking static lock-acquisition order;
+- :mod:`repro.analysis.concurrency.lockdep` — instrumented lock
+  wrappers recording the runtime acquisition-order graph and reporting
+  cycles as potential deadlocks.
+
+Run the static pass with ``python -m repro.analysis.concurrency``; arm
+the runtime pass with ``REPRO_LOCKDEP=1``.
+"""
+
+from repro.analysis.concurrency.lint import (
+    ConcurrencyLinter,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.concurrency.lockdep import (
+    LockDep,
+    enabled,
+    install,
+    make_condition,
+    make_lock,
+    make_rlock,
+    make_rwlock,
+    manager,
+)
+
+__all__ = [
+    "ConcurrencyLinter", "lint_paths", "lint_source",
+    "LockDep", "enabled", "install", "manager",
+    "make_lock", "make_rlock", "make_condition", "make_rwlock",
+]

@@ -1,0 +1,78 @@
+"""``python -m repro.analysis.concurrency`` — the concurrency lint CLI.
+
+Lints python files (or directories, recursively) for guarded-by
+violations, blocking calls under critical locks and inconsistent lock
+acquisition order.  With no paths it lints the installed ``repro``
+package itself — the form the ``concurrency-lint`` CI job runs:
+
+    python -m repro.analysis.concurrency --strict
+
+Exit status (shared with ``python -m repro.analysis``): 0 clean, 1
+error-severity findings (``--strict`` promotes warnings first), 2 when
+an input path could not be read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List
+
+import repro
+from repro.analysis.cli import EXIT_UNLOADABLE, emit_report, list_codes
+from repro.analysis.concurrency.lint import lint_paths
+from repro.obs.logging import StreamSink, log, set_sink
+
+_LOGGER = "repro.analysis.concurrency"
+
+
+def _default_paths() -> List[str]:
+    """The installed repro package tree (src/repro when run in-tree)."""
+    return [os.path.dirname(os.path.abspath(repro.__file__))]
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.concurrency",
+        description="Static concurrency lint (guarded-by, blocking "
+                    "calls, lock order) for python sources.",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="python files or directories "
+                             "(default: the repro package)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as fatal")
+    parser.add_argument("--codes", action="store_true",
+                        help="list the CCY diagnostic codes and exit")
+    args = parser.parse_args(argv)
+    previous = set_sink(StreamSink())
+    try:
+        return _run(args)
+    finally:
+        set_sink(previous)
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.codes:
+        return list_codes(prefix="CCY", logger=_LOGGER)
+    paths = args.paths or _default_paths()
+    for path in paths:
+        if not os.path.exists(path):
+            log("error", f"{path}: no such file or directory",
+                logger=_LOGGER)
+            return EXIT_UNLOADABLE
+    try:
+        report = lint_paths(paths)
+    except OSError as exc:
+        log("error", str(exc), logger=_LOGGER)
+        return EXIT_UNLOADABLE
+    return emit_report(report, as_json=args.json, strict=args.strict,
+                       logger=_LOGGER)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,568 @@
+"""Static guarded-by / lock-order lint for the service tier.
+
+The PR 1 analyzer makes *model* constraints explicit and checkable;
+this pass applies the same move to the code's own concurrency
+discipline.  Shared mutable attributes declare their synchronization in
+a structured comment, and the lint walks the AST proving every access
+honours the declaration — the python equivalent of Clang's
+``GUARDED_BY`` thread-safety annotations.
+
+**Annotation grammar** (all are ordinary ``#`` line comments)::
+
+    self._readers = 0           # guarded-by: _cond
+    self._seq = 0               # guarded-by: <atomic>
+    self._state = MemoryStore() # guarded-by: external: Service._rwlock
+    self._cache = {}            # guarded-by: <writer>
+
+    def _admissible(self):      # holds: _cond
+    def _process(self):         # runs-on: writer
+
+    self._rwlock = make_rwlock("x")  # lock: critical
+
+    return self._value          # unguarded: benign racy int read
+
+- ``guarded-by: <attr>`` — enforced: every access must sit inside
+  ``with self.<attr>`` (or ``.read_locked()`` / ``.write_locked()``),
+  or in a method declaring ``# holds: <attr>``; writes under a
+  read-side hold are their own violation (CCY002).
+- ``guarded-by: <writer>`` — thread confinement: accesses are legal
+  only in methods marked ``# runs-on: writer`` (and ``__init__``).
+- ``guarded-by: <atomic>`` — a deliberately unsynchronized flag or
+  monotone word; documented, never enforced.
+- ``guarded-by: external: ...`` — synchronized by another object's
+  lock; documented, never enforced (the lint is per-class).
+- ``# lock: critical`` on a lock declaration forbids *blocking calls*
+  (``fsync``, ``queue.put``, socket ``send``/``recv``,
+  ``Condition.wait``, ``sleep``...) anywhere that lock is held
+  (CCY010) — the GKBMS serving lock must never be held across I/O.
+- ``# unguarded: <reason>`` on an access line suppresses enforcement
+  for that line (use sparingly; the reason is the point).
+
+The pass also records every *nested* lock acquisition as a directed
+edge (outer → inner) into a cross-file graph and reports any cycle as
+a statically inconsistent acquisition order (CCY020) — the compile-time
+half of the runtime lockdep sanitizer in
+:mod:`repro.analysis.concurrency.lockdep`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport, SourceSpan, make
+
+#: Callables whose result is a lock-like object when assigned to an
+#: attribute; the mapped kind drives read/write-side and reentrancy
+#: semantics.
+LOCK_FACTORIES = {
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "cond",
+    "ReadWriteLock": "rwlock",
+    "TrackedLock": "lock",
+    "TrackedRLock": "rlock",
+    "TrackedCondition": "cond",
+    "TrackedReadWriteLock": "rwlock",
+    "make_lock": "lock",
+    "make_rlock": "rlock",
+    "make_condition": "cond",
+    "make_rwlock": "rwlock",
+}
+
+#: Method names whose *call* blocks the calling thread.  Deliberately
+#: conservative — dict/str methods sharing these names would drown the
+#: signal (``join`` is omitted for exactly that reason).
+BLOCKING_CALLS = frozenset({
+    "fsync", "sleep", "sendall", "recv", "accept", "connect", "put",
+    "wait", "wait_for", "select",
+})
+
+#: guard spec sentinels
+_WRITER_SPECS = frozenset({"<writer>", "<writer-thread>"})
+_ATOMIC_SPECS = frozenset({"<atomic>", "<unsynchronized>"})
+
+_MARKER = re.compile(
+    r"#\s*(guarded-by|holds|runs-on|lock|unguarded)\s*:\s*(.*?)\s*$"
+)
+
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One field's declared synchronization."""
+
+    kind: str          # "lock" | "writer" | "atomic" | "external"
+    lock: str = ""     # lock attribute name when kind == "lock"
+    raw: str = ""      # the spec text as written
+
+
+@dataclass
+class ClassInfo:
+    """Everything the lint learned about one class."""
+
+    name: str
+    path: str
+    locks: Dict[str, str] = field(default_factory=dict)   # attr -> kind
+    critical: Set[str] = field(default_factory=set)
+    guards: Dict[str, GuardSpec] = field(default_factory=dict)
+    guard_lines: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """One statically observed outer → inner acquisition."""
+
+    outer: str
+    inner: str
+    path: str
+    line: int
+    method: str
+
+
+class _Markers:
+    """Per-line structured comments of one source file."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line: Dict[int, List[Tuple[str, str]]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _MARKER.search(line)
+            if match:
+                self.by_line.setdefault(lineno, []).append(
+                    (match.group(1), match.group(2))
+                )
+
+    def get(self, lineno: int, key: str) -> Optional[str]:
+        for marker, value in self.by_line.get(lineno, ()):
+            if marker == key:
+                return value
+        return None
+
+    def suppressed(self, lineno: int) -> bool:
+        return self.get(lineno, "unguarded") is not None
+
+
+def _parse_guard(text: str) -> Optional[GuardSpec]:
+    text = text.strip()
+    if not text:
+        return None
+    if text.startswith("external:"):
+        return GuardSpec("external", raw=text)
+    if text in _WRITER_SPECS:
+        return GuardSpec("writer", raw=text)
+    if text in _ATOMIC_SPECS:
+        return GuardSpec("atomic", raw=text)
+    name = text[5:] if text.startswith("self.") else text
+    if name.isidentifier():
+        return GuardSpec("lock", lock=name, raw=text)
+    return None
+
+
+def _callee_name(call: ast.AST) -> Optional[str]:
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _self_attr_targets(node: ast.stmt) -> List[Tuple[str, int]]:
+    """``self.X`` assignment targets of one statement, with lines."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    out = []
+    for target in targets:
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            out.append((target.attr, target.lineno))
+    return out
+
+
+def _lockish_name(attr: str) -> bool:
+    lowered = attr.lower()
+    return ("lock" in lowered or "cond" in lowered or "mutex" in lowered
+            or "rwlock" in lowered)
+
+
+def _with_lock(expr: ast.expr,
+               locks: Dict[str, str]) -> Optional[Tuple[str, str, bool]]:
+    """Decode a with-item into ``(lock_name, mode, is_self)``.
+
+    ``mode`` is ``exclusive`` for plain locks/conditions, ``read`` /
+    ``write`` for the ReadWriteLock context helpers.  Non-``self``
+    attributes count only when they *look* like locks (order edges,
+    never guard enforcement).
+    """
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        base, attr = expr.value.id, expr.attr
+        if base == "self":
+            if attr in locks:
+                return attr, "exclusive", True
+            return None
+        if _lockish_name(attr):
+            return f"{base}.{attr}", "exclusive", False
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        method = expr.func.attr
+        if method in ("read_locked", "write_locked"):
+            mode = "read" if method == "read_locked" else "write"
+            owner = expr.func.value
+            if (isinstance(owner, ast.Attribute)
+                    and isinstance(owner.value, ast.Name)):
+                if owner.value.id == "self":
+                    return owner.attr, mode, True
+                return f"{owner.value.id}.{owner.attr}", mode, False
+    return None
+
+
+class _ClassCollector:
+    """First pass over a ClassDef: locks, criticals, guarded fields."""
+
+    def __init__(self, node: ast.ClassDef, path: str,
+                 markers: _Markers) -> None:
+        self.info = ClassInfo(name=node.name, path=path)
+        self.bad_specs: List[Tuple[int, str]] = []
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            value = getattr(stmt, "value", None)
+            kind = LOCK_FACTORIES.get(_callee_name(value) or "")
+            for attr, lineno in _self_attr_targets(stmt):
+                if kind is not None:
+                    self.info.locks[attr] = kind
+                    if markers.get(lineno, "lock") == "critical":
+                        self.info.critical.add(attr)
+                guard_text = markers.get(lineno, "guarded-by")
+                if guard_text is None:
+                    continue
+                spec = _parse_guard(guard_text)
+                if spec is None:
+                    self.bad_specs.append((lineno, guard_text))
+                elif attr not in self.info.guards:
+                    self.info.guards[attr] = spec
+                    self.info.guard_lines[attr] = lineno
+
+
+class _MethodChecker(ast.NodeVisitor):
+    """Second pass: walk one method enforcing guards and collecting
+    lock-order edges.  The hold stack is *lexical*: nested function
+    bodies inherit the holds that surround their definition."""
+
+    def __init__(self, linter: "ConcurrencyLinter", info: ClassInfo,
+                 method: ast.FunctionDef, markers: _Markers) -> None:
+        self.linter = linter
+        self.info = info
+        self.markers = markers
+        self.method = method.name
+        self.exempt = method.name in _EXEMPT_METHODS
+        self.writer_ctx = markers.get(method.lineno, "runs-on") == "writer"
+        self.holds: List[Tuple[str, str]] = []     # (lock name, mode)
+        declared = markers.get(method.lineno, "holds") or ""
+        for token in declared.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name = token[5:] if token.startswith("self.") else token
+            if name.isidentifier():
+                self.holds.append((name, "exclusive"))
+            else:
+                self.linter.report.add(make(
+                    "CCY004",
+                    f"unparsable holds token {token!r}",
+                    subject=f"{info.name}.{method.name}",
+                    span=SourceSpan(line=method.lineno, text=declared),
+                ))
+
+    # -- hold-stack helpers ------------------------------------------------
+
+    def _held_mode(self, lock: str) -> Optional[str]:
+        best: Optional[str] = None
+        for name, mode in self.holds:
+            if name == lock:
+                # the strongest concurrent hold wins
+                if mode in ("exclusive", "write"):
+                    return mode
+                best = mode
+        return best
+
+    def _critical_held(self) -> Optional[str]:
+        for name, _mode in self.holds:
+            if name in self.info.critical:
+                return name
+        return None
+
+    def _qualify(self, lock: str, is_self: bool) -> str:
+        return f"{self.info.name}.{lock}" if is_self else lock
+
+    # -- visitors ----------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        self._enter_with(node.items, node.body, node.lineno)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._enter_with(node.items, node.body, node.lineno)
+
+    def _enter_with(self, items: List[ast.withitem],
+                    body: List[ast.stmt], lineno: int) -> None:
+        pushed = 0
+        for item in items:
+            self.generic_visit(item.context_expr)
+            decoded = _with_lock(item.context_expr, self.info.locks)
+            if decoded is None:
+                continue
+            lock, mode, is_self = decoded
+            inner = self._qualify(lock, is_self)
+            kind = self.info.locks.get(lock, "") if is_self else ""
+            for outer_name, _m in self.holds:
+                outer_q = self._qualify(
+                    outer_name, outer_name in self.info.locks
+                )
+                self.linter.note_edge(OrderEdge(
+                    outer=outer_q, inner=inner, path=self.info.path,
+                    line=lineno, method=f"{self.info.name}.{self.method}",
+                ), reentrant_ok=(outer_q == inner and kind == "rlock"))
+            self.holds.append((lock, mode))
+            pushed += 1
+        for stmt in body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.holds.pop()
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        spec = self.info.guards.get(node.attr)
+        if spec is None or self.exempt:
+            return
+        if spec.kind in ("atomic", "external"):
+            return
+        if self.markers.suppressed(node.lineno):
+            return
+        is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+        subject = f"{self.info.name}.{node.attr}"
+        where = f"{self.info.name}.{self.method}"
+        if spec.kind == "writer":
+            if not self.writer_ctx:
+                self.linter.report.add(make(
+                    "CCY001",
+                    f"writer-confined field {subject} accessed in {where}, "
+                    f"which is not marked '# runs-on: writer'",
+                    subject=subject,
+                    span=SourceSpan(line=node.lineno, text=self.info.path),
+                    hint="mark the method '# runs-on: writer' or guard the "
+                         "field with a lock",
+                ))
+            return
+        mode = self._held_mode(spec.lock)
+        if mode is None:
+            self.linter.report.add(make(
+                "CCY001",
+                f"{subject} is guarded by {spec.lock!r} but {where} "
+                f"accesses it without holding the lock",
+                subject=subject,
+                span=SourceSpan(line=node.lineno, text=self.info.path),
+                hint=f"wrap the access in 'with self.{spec.lock}:' or "
+                     f"declare '# holds: {spec.lock}' on the method",
+            ))
+        elif is_write and mode == "read":
+            self.linter.report.add(make(
+                "CCY002",
+                f"{subject} is written in {where} under only the read side "
+                f"of {spec.lock!r}",
+                subject=subject,
+                span=SourceSpan(line=node.lineno, text=self.info.path),
+                hint="writes need write_locked() (or the exclusive lock)",
+            ))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in BLOCKING_CALLS:
+            return
+        critical = self._critical_held()
+        if critical is None or self.markers.suppressed(node.lineno):
+            return
+        self.linter.report.add(make(
+            "CCY010",
+            f"{self.info.name}.{self.method} calls blocking "
+            f"{node.func.attr}() while holding critical lock "
+            f"{critical!r}",
+            subject=f"{self.info.name}.{critical}",
+            span=SourceSpan(line=node.lineno, text=self.info.path),
+            hint="move the blocking call outside the lock scope",
+        ))
+
+    # Nested defs/lambdas inherit the lexical hold stack; visiting them
+    # is the default generic_visit behaviour, which is what we want.
+
+
+class ConcurrencyLinter:
+    """Cross-file driver: collects classes, checks methods, then closes
+    the lock-order graph and reports cycles."""
+
+    def __init__(self) -> None:
+        self.report = DiagnosticReport()
+        self._edges: Dict[str, Set[str]] = {}
+        self._edge_witness: Dict[Tuple[str, str], OrderEdge] = {}
+        self._classes = 0
+        self._guarded_fields = 0
+
+    # -- lock-order graph --------------------------------------------------
+
+    def note_edge(self, edge: OrderEdge, reentrant_ok: bool = False) -> None:
+        if edge.outer == edge.inner:
+            if reentrant_ok:
+                return
+            key = (edge.outer, edge.inner)
+            if key not in self._edge_witness:
+                self._edge_witness[key] = edge
+                self._edges.setdefault(edge.outer, set()).add(edge.inner)
+            return
+        key = (edge.outer, edge.inner)
+        if key not in self._edge_witness:
+            self._edge_witness[key] = edge
+            self._edges.setdefault(edge.outer, set()).add(edge.inner)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return sorted(self._edge_witness)
+
+    def _cycles(self) -> List[List[str]]:
+        """Elementary cycles of the acquisition graph (DFS, deduped by
+        node set — one report per deadlock shape, not per rotation)."""
+        cycles: List[List[str]] = []
+        seen: Set[frozenset] = set()
+
+        def walk(start: str, node: str, path: List[str],
+                 on_path: Set[str]) -> None:
+            for nxt in sorted(self._edges.get(node, ())):
+                if nxt == start:
+                    key = frozenset(path)
+                    if key not in seen:
+                        seen.add(key)
+                        cycles.append(path + [start])
+                elif nxt not in on_path and nxt > start:
+                    walk(start, nxt, path + [nxt], on_path | {nxt})
+
+        for start in sorted(self._edges):
+            if start in self._edges.get(start, ()):
+                key = frozenset((start,))
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append([start, start])
+                continue
+            walk(start, start, [start], {start})
+        return cycles
+
+    # -- entry points ------------------------------------------------------
+
+    def lint_source(self, source: str, path: str = "<string>") -> None:
+        """Lint one python source text."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.report.add(make(
+                "CCY004", f"{path}: not parseable python: {exc}",
+                subject=path,
+            ))
+            return
+        markers = _Markers(source)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            collector = _ClassCollector(node, path, markers)
+            info = collector.info
+            self._classes += 1
+            self._guarded_fields += len(info.guards)
+            for lineno, text in collector.bad_specs:
+                self.report.add(make(
+                    "CCY004",
+                    f"unparsable guarded-by spec {text!r}",
+                    subject=info.name,
+                    span=SourceSpan(line=lineno, text=path),
+                ))
+            for fname, spec in sorted(info.guards.items()):
+                if spec.kind == "lock" and spec.lock not in info.locks:
+                    self.report.add(make(
+                        "CCY003",
+                        f"{info.name}.{fname} is guarded by {spec.lock!r} "
+                        f"but the class defines no such lock attribute",
+                        subject=f"{info.name}.{fname}",
+                        span=SourceSpan(line=info.guard_lines[fname],
+                                        text=path),
+                    ))
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    checker = _MethodChecker(self, info, stmt, markers)
+                    for inner in stmt.body:
+                        checker.visit(inner)
+
+    def lint_file(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            self.lint_source(handle.read(), path)
+
+    def finish(self) -> DiagnosticReport:
+        """Close the order graph: report cycles, then the summary."""
+        for cycle in self._cycles():
+            witnesses = []
+            for a, b in zip(cycle, cycle[1:]):
+                edge = self._edge_witness.get((a, b))
+                if edge is not None:
+                    witnesses.append(
+                        f"{a}→{b} at {edge.path}:{edge.line} "
+                        f"({edge.method})"
+                    )
+            self.report.add(make(
+                "CCY020",
+                "inconsistent lock order: " + " → ".join(cycle),
+                subject=cycle[0],
+                hint="; ".join(witnesses),
+            ))
+        self.report.add(make(
+            "CCY021",
+            f"lock-order graph: {self._classes} classes, "
+            f"{self._guarded_fields} guarded fields, "
+            f"{len(self._edge_witness)} acquisition edges",
+            subject="summary",
+        ))
+        return self.report
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` paths."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            out.append(path)
+    return sorted(out)
+
+
+def lint_paths(paths: Iterable[str]) -> DiagnosticReport:
+    """Lint files and directories; returns the finished report."""
+    linter = ConcurrencyLinter()
+    for path in iter_python_files(paths):
+        linter.lint_file(path)
+    return linter.finish()
+
+
+def lint_source(source: str, path: str = "<string>") -> DiagnosticReport:
+    """Lint one source text (the unit-test entry point)."""
+    linter = ConcurrencyLinter()
+    linter.lint_source(source, path)
+    return linter.finish()

@@ -1,0 +1,494 @@
+"""Runtime lockdep: acquisition-order tracking for the service tier.
+
+The Linux kernel's lockdep observation: a deadlock needs an
+*inconsistent acquisition order* (thread 1 takes A then B, thread 2
+takes B then A), and the inconsistency is visible on runs that happen
+not to interleave badly.  So instead of waiting for the hang, record
+every ``outer held → inner acquired`` pair into a directed graph and
+report any cycle as a *potential* deadlock the moment its last edge
+appears — even if every individual run completed fine.
+
+:class:`LockDep` is the graph; :class:`TrackedLock` /
+:class:`TrackedRLock` / :class:`TrackedCondition` /
+:class:`TrackedReadWriteLock` are drop-in wrappers that feed it.  The
+``make_*`` factories hand out tracked wrappers when the sanitizer is
+armed (``REPRO_LOCKDEP=1`` in the environment, or :func:`install` from
+a test fixture) and *bare* :mod:`threading` primitives otherwise — the
+disabled path adds zero indirection to lock operations.
+
+Edges are keyed by lock **name** (the class, in lockdep terms), not
+instance: every ``Session.lock`` shares the node
+``server.session.lock``, so an order inversion between two different
+sessions' locks is still a reported cycle.  A reentrant re-acquisition
+of the *same instance* on the same side is skipped (RLock semantics);
+a read→write upgrade attempt on one :class:`ReadWriteLock` instance is
+reported immediately — the writer side waits for readers to drain, so
+upgrading self-deadlocks by construction.
+
+Exported through the PR 4 metrics registry (when one is bound):
+``sanitizer.order_edges`` (gauge), ``sanitizer.lock_cycles`` (counter)
+and per-class held-time histograms ``sanitizer.held_ms.<class>``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import DiagnosticReport, make
+
+# NOTE: repro.server.locks is imported lazily inside the rwlock wrapper
+# and factory: importing it initialises the whole repro.server package,
+# whose modules import *this* module for their lock factories.
+
+__all__ = [
+    "LockDep", "TrackedLock", "TrackedRLock", "TrackedCondition",
+    "TrackedReadWriteLock", "enabled", "install", "manager",
+    "make_lock", "make_rlock", "make_condition", "make_rwlock",
+]
+
+#: Environment switch: any value except ""/"0" arms the sanitizer.
+ENV_FLAG = "REPRO_LOCKDEP"
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """One detected potential deadlock."""
+
+    nodes: Tuple[str, ...]          # cycle path, first node repeated last
+    witness: str                    # which thread closed it, via what
+
+
+class _Held:
+    """One entry of a thread's hold stack."""
+
+    __slots__ = ("node", "instance", "since")
+
+    def __init__(self, node: str, instance: object, since: float) -> None:
+        self.node = node
+        self.instance = instance
+        self.since = since
+
+
+class LockDep:
+    """The acquisition-order graph and its per-thread hold stacks.
+
+    The manager's own mutex is a *bare* :class:`threading.Lock` and its
+    metric objects use bare locks too — the sanitizer must never trip
+    over itself recording itself.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._tls = threading.local()
+        # node -> set of nodes acquired while node was held
+        self._edges: Dict[str, Set[str]] = {}
+        # (outer, inner) -> "thread-name" witness string
+        self._witness: Dict[Tuple[str, str], str] = {}
+        self._cycle_keys: Set[frozenset] = set()
+        self._cycles: List[CycleReport] = []
+        self._g_edges = None
+        self._c_cycles = None
+        self._registry = None
+
+    # -- metrics -----------------------------------------------------------
+
+    def bind_registry(self, registry) -> "LockDep":
+        """Export counts through a :class:`MetricsRegistry`."""
+        with self._mutex:
+            self._registry = registry
+            self._g_edges = registry.gauge("sanitizer.order_edges")
+            self._c_cycles = registry.counter("sanitizer.lock_cycles")
+            self._g_edges.set(len(self._witness))
+            self._c_cycles.set(len(self._cycles))
+        return self
+
+    def _held_histogram(self, node: str):
+        registry = self._registry
+        if registry is None:
+            return None
+        return registry.histogram(
+            "sanitizer.held_ms." + node.replace(":", ".")
+        )
+
+    # -- per-thread hold stack ---------------------------------------------
+
+    def _stack(self) -> List[_Held]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def held_nodes(self) -> List[str]:
+        """The current thread's held lock classes, outermost first."""
+        return [held.node for held in self._stack()]
+
+    # -- acquisition hooks -------------------------------------------------
+
+    def note_acquired(self, name: str, instance: object,
+                      side: str = "") -> None:
+        """Record one successful acquisition by the current thread."""
+        node = f"{name}:{side}" if side else name
+        stack = self._stack()
+        new_edges: List[Tuple[str, str, bool]] = []
+        for held in stack:
+            if held.node == node:
+                # Reentrant re-acquisition (RLock) — never an edge.
+                continue
+            same_instance = held.instance is instance
+            new_edges.append((held.node, node, same_instance))
+        stack.append(_Held(node, instance, time.perf_counter()))
+        if not new_edges:
+            return
+        thread = threading.current_thread().name
+        with self._mutex:
+            for outer, inner, same_instance in new_edges:
+                if (outer, inner) not in self._witness:
+                    self._witness[(outer, inner)] = thread
+                    self._edges.setdefault(outer, set()).add(inner)
+                    if self._g_edges is not None:
+                        self._g_edges.set(len(self._witness))
+                    if same_instance:
+                        # read → write upgrade of one rwlock instance:
+                        # an immediate self-deadlock, not just an edge.
+                        self._record_cycle((outer, inner, outer), thread)
+                    else:
+                        self._close_cycle(outer, inner, thread)
+
+    def note_released(self, name: str, instance: object,
+                      side: str = "") -> None:
+        """Record one release; observes the held-time histogram."""
+        node = f"{name}:{side}" if side else name
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            held = stack[index]
+            if held.instance is instance and held.node == node:
+                del stack[index]
+                histogram = self._held_histogram(node)
+                if histogram is not None:
+                    histogram.observe(
+                        (time.perf_counter() - held.since) * 1000.0
+                    )
+                return
+        # Unmatched release (lock handed between threads): not an order
+        # fact, so not an error — just nothing to pop.
+
+    # -- cycle detection ---------------------------------------------------
+
+    def _close_cycle(self, outer: str, inner: str, thread: str) -> None:
+        """The new edge outer→inner closes a cycle iff inner already
+        reaches outer; called with the mutex held."""
+        path = self._find_path(inner, outer)
+        if path is None:
+            return
+        # path is [inner, ..., outer]; prepending outer closes the ring.
+        self._record_cycle(tuple([outer] + path), thread)
+
+    def _find_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """A node path start..goal through the edge graph, or None."""
+        seen = {start}
+        frontier = [[start]]
+        while frontier:
+            path = frontier.pop()
+            node = path[-1]
+            if node == goal:
+                return path
+            for nxt in sorted(self._edges.get(node, ())):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(path + [nxt])
+        return None
+
+    def _record_cycle(self, nodes: Tuple[str, ...], thread: str) -> None:
+        key = frozenset(nodes)
+        if key in self._cycle_keys:
+            return
+        self._cycle_keys.add(key)
+        witness = (f"edge {nodes[0]}→{nodes[1]} closed by thread "
+                   f"{thread!r}")
+        self._cycles.append(CycleReport(nodes=nodes, witness=witness))
+        if self._c_cycles is not None:
+            self._c_cycles.inc()
+
+    # -- inspection --------------------------------------------------------
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All observed (outer, inner) acquisition pairs, sorted."""
+        with self._mutex:
+            return sorted(self._witness)
+
+    def cycles(self) -> List[CycleReport]:
+        """Every potential deadlock observed so far."""
+        with self._mutex:
+            return list(self._cycles)
+
+    def report(self) -> DiagnosticReport:
+        """The findings as PR 1 diagnostics (CCY020 per cycle + a
+        CCY021 summary line)."""
+        with self._mutex:
+            cycles = list(self._cycles)
+            edge_count = len(self._witness)
+        out = DiagnosticReport()
+        for cycle in cycles:
+            out.add(make(
+                "CCY020",
+                "runtime lock-order cycle: " + " → ".join(cycle.nodes),
+                subject=cycle.nodes[0],
+                hint=cycle.witness,
+            ))
+        out.add(make(
+            "CCY021",
+            f"runtime acquisition graph: {edge_count} edge(s), "
+            f"{len(cycles)} cycle(s)",
+            subject="lockdep",
+        ))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Tracked primitives
+# ---------------------------------------------------------------------------
+
+
+class TrackedLock:
+    """A :class:`threading.Lock` that reports to a :class:`LockDep`."""
+
+    _factory: Callable[[], object] = staticmethod(threading.Lock)
+
+    def __init__(self, manager: LockDep, name: str) -> None:
+        self._manager = manager
+        self.name = name
+        self._lock = self._factory()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._manager.note_acquired(self.name, self)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._manager.note_released(self.name, self)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class TrackedRLock(TrackedLock):
+    """Reentrant variant; re-acquisitions never become order edges."""
+
+    _factory = staticmethod(threading.RLock)
+
+    def locked(self) -> bool:  # RLock has no locked() before 3.12
+        if self._lock.acquire(blocking=False):
+            self._lock.release()
+            return False
+        return True
+
+
+class TrackedCondition:
+    """A :class:`threading.Condition` (own RLock) that reports holds —
+    including the implicit release/re-acquire around :meth:`wait`."""
+
+    def __init__(self, manager: LockDep, name: str) -> None:
+        self._manager = manager
+        self.name = name
+        self._cond = threading.Condition()
+
+    def acquire(self, *args) -> bool:
+        acquired = self._cond.acquire(*args)
+        if acquired:
+            self._manager.note_acquired(self.name, self)
+        return acquired
+
+    def release(self) -> None:
+        self._cond.release()
+        self._manager.note_released(self.name, self)
+
+    def __enter__(self) -> "TrackedCondition":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        # wait drops the lock while sleeping: mirror that in the hold
+        # stack, or every wake would look like a fresh nested acquire.
+        self._manager.note_released(self.name, self)
+        try:
+            return self._cond.wait(timeout)
+        finally:
+            self._manager.note_acquired(self.name, self)
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        result = predicate()
+        while not result:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self.wait(remaining)
+            else:
+                self.wait()
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+    def __repr__(self) -> str:
+        return f"<TrackedCondition {self.name}>"
+
+
+class TrackedReadWriteLock:
+    """A :class:`~repro.server.locks.ReadWriteLock` (by delegation)
+    whose read and write sides are distinct lockdep nodes
+    (``name:read`` / ``name:write``) — so a read→write upgrade attempt
+    is itself a visible order fact."""
+
+    def __init__(self, manager: LockDep, name: str) -> None:
+        from repro.server.locks import ReadWriteLock
+
+        self._manager = manager
+        self.name = name
+        self._lock = ReadWriteLock()
+
+    def acquire_read(self, timeout: Optional[float] = None) -> None:
+        self._lock.acquire_read(timeout)
+        self._manager.note_acquired(self.name, self, side="read")
+
+    def release_read(self) -> None:
+        self._manager.note_released(self.name, self, side="read")
+        self._lock.release_read()
+
+    @contextmanager
+    def read_locked(self,
+                    timeout: Optional[float] = None) -> Iterator[None]:
+        self.acquire_read(timeout)
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    def acquire_write(self, timeout: Optional[float] = None) -> None:
+        self._lock.acquire_write(timeout)
+        self._manager.note_acquired(self.name, self, side="write")
+
+    def release_write(self) -> None:
+        self._manager.note_released(self.name, self, side="write")
+        self._lock.release_write()
+
+    @contextmanager
+    def write_locked(self,
+                     timeout: Optional[float] = None) -> Iterator[None]:
+        self.acquire_write(timeout)
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return f"<TrackedReadWriteLock {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Arming and factories
+# ---------------------------------------------------------------------------
+
+_manager: Optional[LockDep] = None
+_install_mutex = threading.Lock()
+
+
+def _env_armed() -> bool:
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+def install(new_manager: Optional[LockDep]) -> Callable[[], None]:
+    """Install a manager process-wide (``None`` disarms); returns a
+    zero-argument restore callable — the conftest fixture's teardown."""
+    global _manager
+    with _install_mutex:
+        previous = _manager
+        _manager = new_manager
+
+    def restore() -> None:
+        global _manager
+        with _install_mutex:
+            _manager = previous
+
+    return restore
+
+
+def manager() -> Optional[LockDep]:
+    """The active manager: an installed one, else one auto-created on
+    first use when ``REPRO_LOCKDEP`` is set, else ``None``."""
+    global _manager
+    if _manager is not None:
+        return _manager
+    if not _env_armed():
+        return None
+    with _install_mutex:
+        if _manager is None:
+            _manager = LockDep()
+        return _manager
+
+
+def enabled() -> bool:
+    """Is the sanitizer armed right now?"""
+    return manager() is not None
+
+
+def make_lock(name: str):
+    """A mutex: tracked when armed, bare :class:`threading.Lock` not."""
+    active = manager()
+    if active is None:
+        return threading.Lock()
+    return TrackedLock(active, name)
+
+
+def make_rlock(name: str):
+    """A reentrant mutex, tracked when armed."""
+    active = manager()
+    if active is None:
+        return threading.RLock()
+    return TrackedRLock(active, name)
+
+
+def make_condition(name: str):
+    """A condition variable (own RLock), tracked when armed."""
+    active = manager()
+    if active is None:
+        return threading.Condition()
+    return TrackedCondition(active, name)
+
+
+def make_rwlock(name: str):
+    """A reader/writer lock, tracked when armed."""
+    active = manager()
+    if active is None:
+        from repro.server.locks import ReadWriteLock
+
+        return ReadWriteLock()
+    return TrackedReadWriteLock(active, name)

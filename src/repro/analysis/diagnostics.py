@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 
@@ -71,6 +71,22 @@ CODES: Dict[str, Tuple[Severity, str]] = {
                "temporal constraint network is path-inconsistent"),
     "CML041": (Severity.WARNING,
                "link validity extends outside its endpoints' validity"),
+    # -- concurrency lint (CCY0xx) --------------------------------------
+    "CCY001": (Severity.ERROR,
+               "guarded field accessed without holding its declared lock"),
+    "CCY002": (Severity.ERROR,
+               "guarded field written under a read-side (shared) hold"),
+    "CCY003": (Severity.WARNING,
+               "guarded-by names a lock attribute the class never defines"),
+    "CCY004": (Severity.WARNING,
+               "malformed concurrency annotation comment"),
+    "CCY010": (Severity.ERROR,
+               "blocking call while holding a critical (no-blocking) lock"),
+    "CCY020": (Severity.ERROR,
+               "inconsistent lock acquisition order (potential deadlock "
+               "cycle)"),
+    "CCY021": (Severity.INFO,
+               "lock-order summary: acquisition graph statistics"),
 }
 
 
@@ -161,6 +177,20 @@ class DiagnosticReport:
         """Append another report's diagnostics; returns self."""
         self.diagnostics.extend(other.diagnostics)
         return self
+
+    def promote_warnings(self) -> "DiagnosticReport":
+        """A copy with every warning promoted to error severity.
+
+        This is what ``--strict`` means for the analysis CLIs: the exit
+        status still reflects *error-severity findings only*, but under
+        strict a warning *is* one.
+        """
+        promoted = DiagnosticReport()
+        for diagnostic in self.diagnostics:
+            if diagnostic.severity is Severity.WARNING:
+                diagnostic = replace(diagnostic, severity=Severity.ERROR)
+            promoted.add(diagnostic)
+        return promoted
 
     def errors(self) -> List[Diagnostic]:
         """Error-level diagnostics only."""

@@ -149,6 +149,12 @@ class DeadlineExceeded(ServerError):
     committed.  Nothing was applied."""
 
 
+class LockTimeout(ServerError):
+    """A lock acquisition budget expired: the serving lock's writer (or
+    a queue of writers) held it past the caller's deadline.  Nothing was
+    applied; the caller still holds nothing and may retry."""
+
+
 class SessionError(ServerError):
     """Unknown or misused session (bad id, nested begin, commit without
     begin, session cap reached)."""

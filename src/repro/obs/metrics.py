@@ -54,12 +54,16 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0
+        # Metric locks stay *bare* threading primitives deliberately:
+        # the lockdep sanitizer records held times into histograms, so
+        # tracked metric locks would recurse.  They are leaf locks —
+        # nothing is ever acquired under them.
+        self._value = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
     def value(self) -> int:
-        return self._value
+        return self._value  # unguarded: torn reads of one int are benign
 
     def inc(self, amount: int = 1) -> int:
         """Add ``amount``; returns the new value."""
@@ -77,7 +81,7 @@ class Counter:
         self.set(0)
 
     def __repr__(self) -> str:
-        return f"Counter({self.name!r}, {self._value})"
+        return f"Counter({self.name!r}, {self._value})"  # unguarded: debug repr
 
 
 class Gauge:
@@ -88,12 +92,12 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @property
     def value(self) -> float:
-        return self._value
+        return self._value  # unguarded: torn reads of one float are benign
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -110,7 +114,7 @@ class Gauge:
         self.set(0.0)
 
     def __repr__(self) -> str:
-        return f"Gauge({self.name!r}, {self._value})"
+        return f"Gauge({self.name!r}, {self._value})"  # unguarded: debug repr
 
 
 class Histogram:
@@ -131,13 +135,13 @@ class Histogram:
         if reservoir_size < 1:
             raise MetricError(f"histogram {name!r}: reservoir must hold >= 1")
         self.name = name
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
-        self._reservoir: List[float] = []
+        self.count = 0   # guarded-by: _lock
+        self.total = 0.0  # guarded-by: _lock
+        self.min: Optional[float] = None  # guarded-by: _lock
+        self.max: Optional[float] = None  # guarded-by: _lock
+        self._reservoir: List[float] = []  # guarded-by: _lock
         self._size = reservoir_size
-        self._rng = random.Random(name)
+        self._rng = random.Random(name)  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -208,7 +212,7 @@ class Histogram:
             self._rng = random.Random(self.name)
 
     def __repr__(self) -> str:
-        return f"Histogram({self.name!r}, count={self.count})"
+        return f"Histogram({self.name!r}, count={self.count})"  # unguarded: debug repr
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -224,7 +228,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: Dict[str, Any] = {}
+        self._metrics: Dict[str, Any] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, kind: str, factory: Callable[[], Any]):

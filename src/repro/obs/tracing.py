@@ -125,9 +125,12 @@ class Tracer:
         self.clock = clock if clock is not None else time.perf_counter
         self.enabled = enabled
         self.max_spans = max_spans
-        self.spans: List[Span] = []
-        self.dropped = 0
-        self._next_id = 1
+        # A bare leaf lock (like the metric locks): span finish runs
+        # under it from every serving thread and must never feed back
+        # into the sanitizer's own bookkeeping.
+        self.spans: List[Span] = []  # guarded-by: _lock
+        self.dropped = 0  # guarded-by: _lock
+        self._next_id = 1  # guarded-by: _lock
         self._local = threading.local()
         self._lock = threading.Lock()
 

@@ -163,14 +163,18 @@ class WalStore(PropositionStore):
         self._fsync_policy = fsync
         self._io = io if io is not None else REAL_IO
         self.registry = registry if registry is not None else MetricsRegistry()
-        self._state = MemoryStore(registry=self.registry)
-        self._generation = 0
-        self._txn_depth = 0
-        self._log_offset = 0
-        self._handle = None
-        self._records_at_checkpoint = 0
-        self._batch_depth = 0
-        self._force_pending = False
+        # The WAL itself is single-writer: in the service every mutation
+        # arrives on the commit pipeline's writer thread (reads of the
+        # in-memory state go through the serving rwlock above it), so
+        # mutable log state is writer-confined rather than locked.
+        self._state = MemoryStore(registry=self.registry)  # guarded-by: external: GKBMSService._rwlock
+        self._generation = 0            # guarded-by: <writer>
+        self._txn_depth = 0             # guarded-by: <writer>
+        self._log_offset = 0            # guarded-by: <writer>
+        self._handle = None             # guarded-by: <writer>
+        self._records_at_checkpoint = 0  # guarded-by: <writer>
+        self._batch_depth = 0           # guarded-by: <writer>
+        self._force_pending = False     # guarded-by: <writer>
         # Recovery and durability counters live in this store's own
         # registry namespace.  The owning processor surfaces them
         # *read-only* on its ``stats`` view — it no longer adopts the
@@ -211,18 +215,19 @@ class WalStore(PropositionStore):
     @property
     def log_offset(self) -> int:
         """Bytes successfully appended to the log so far."""
-        return self._log_offset
+        return self._log_offset  # unguarded: advisory progress read
 
     @property
     def generation(self) -> int:
         """Checkpoint generation (bumped by every :meth:`checkpoint`)."""
-        return self._generation
+        return self._generation  # unguarded: advisory progress read
 
     @property
     def fsync_policy(self) -> str:
         return self._fsync_policy
 
-    def _append(self, payload: Dict[str, Any], force: bool = False) -> None:
+    def _append(self, payload: Dict[str, Any],  # runs-on: writer
+                force: bool = False) -> None:
         data = encode_record(payload)
         with self.tracer.span("wal.append", op=payload.get("op"),
                               bytes=len(data)):
@@ -259,10 +264,10 @@ class WalStore(PropositionStore):
         """
         return _WalBatch(self)
 
-    def _batch_enter(self) -> None:
+    def _batch_enter(self) -> None:  # runs-on: writer
         self._batch_depth += 1
 
-    def _batch_exit(self) -> None:
+    def _batch_exit(self) -> None:  # runs-on: writer
         self._batch_depth -= 1
         if self._batch_depth == 0:
             if self._force_pending:
@@ -270,7 +275,7 @@ class WalStore(PropositionStore):
                 self._force()
             self._c["group_batches"].inc()
 
-    def _force(self) -> None:
+    def _force(self) -> None:  # runs-on: writer
         with self.tracer.span("wal.fsync"):
             try:
                 self._io.fsync(self._handle)
@@ -280,7 +285,7 @@ class WalStore(PropositionStore):
                 ) from exc
             self._c["fsyncs"].inc()
 
-    def _start_log(self, generation: int) -> None:
+    def _start_log(self, generation: int) -> None:  # runs-on: writer
         """Truncate the log and write a fresh header for ``generation``."""
         if self._handle is not None:
             self._io.close(self._handle)
@@ -387,14 +392,14 @@ class WalStore(PropositionStore):
         else:
             self._c["replayed"].inc()
 
-    def _recover(self) -> None:
+    def _recover(self) -> None:  # runs-on: writer
         with self.tracer.span("wal.recover", path=self._path) as span:
             self._do_recover()
             span.set(replayed=self._c["replayed"].value,
                      truncated_tail=self._c["truncated_tail"].value,
                      generation=self._generation)
 
-    def _do_recover(self) -> None:
+    def _do_recover(self) -> None:  # runs-on: writer
         self._generation = self._load_snapshot()
         if not self._io.exists(self._path):
             self._start_log(self._generation)
@@ -431,7 +436,7 @@ class WalStore(PropositionStore):
     # Checkpoint / compaction
     # ------------------------------------------------------------------
 
-    def checkpoint(self) -> int:
+    def checkpoint(self) -> int:  # runs-on: writer
         """Fold the log into an atomic snapshot; returns records dropped.
 
         Ordering is crash-safe at every step: the previous snapshot is
@@ -464,7 +469,7 @@ class WalStore(PropositionStore):
             self._records_at_checkpoint = self._c["wal_records"].value
         return dropped
 
-    def close(self) -> None:
+    def close(self) -> None:  # runs-on: writer
         """Force and release the log handle."""
         if self._handle is not None:
             if self._fsync_policy != "never":
@@ -476,7 +481,7 @@ class WalStore(PropositionStore):
     # Transaction markers (driven by the proposition processor)
     # ------------------------------------------------------------------
 
-    def txn(self, kind: str) -> None:
+    def txn(self, kind: str) -> None:  # runs-on: writer
         """Record a transaction boundary.
 
         ``begin``/``save`` open a (nested) unit, ``commit``/``release``

@@ -23,6 +23,7 @@ import sys
 import tempfile
 from typing import Any, Dict, Optional
 
+from repro.analysis.concurrency import lockdep
 from repro.conceptbase import ConceptBase
 from repro.obs.logging import StreamSink, log, set_sink
 from repro.obs.metrics import MetricsRegistry
@@ -89,6 +90,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
+    sanitizer = lockdep.manager()  # armed iff REPRO_LOCKDEP is set
     with tempfile.TemporaryDirectory(prefix="gkbms-smoke-") as tmp:
         service = _build_service(args, os.path.join(tmp, "smoke.wal"))
         with GKBMSServer(("127.0.0.1", 0), service) as server:
@@ -124,6 +126,17 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
             f"group commit ineffective: {fsyncs} fsyncs for "
             f"{committed} commits"
         )
+    if sanitizer is not None:
+        cycles = sanitizer.cycles()
+        report["lockdep"] = {
+            "order_edges": len(sanitizer.edges()),
+            "cycles": [" → ".join(c.nodes) for c in cycles],
+        }
+        for cycle in cycles:
+            failures.append(
+                "lockdep cycle: " + " → ".join(cycle.nodes)
+                + f" ({cycle.witness})"
+            )
     report["failures"] = failures
     log("info", json.dumps(report, indent=2, sort_keys=True),
         logger="repro.server")

@@ -20,11 +20,11 @@ the load-shedding behaviour is observable, not inferred.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
+from repro.analysis.concurrency.lockdep import make_condition
 from repro.errors import DeadlineExceeded, ServerOverloaded
 from repro.obs.metrics import Namespace
 from repro.server.session import Session
@@ -39,14 +39,14 @@ class AdmissionController:
                  per_session: int = 4,
                  max_wait: float = 5.0,
                  clock: Optional[Callable[[], float]] = None) -> None:
-        self._cond = threading.Condition()
+        self._cond = make_condition("server.admission.cond")
         self._max_in_flight = max_in_flight
         self._max_waiting = max_waiting
         self._per_session = per_session
         self._max_wait = max_wait
         self._clock = clock if clock is not None else time.monotonic
-        self._in_flight = 0
-        self._waiting = 0
+        self._in_flight = 0   # guarded-by: _cond
+        self._waiting = 0     # guarded-by: _cond
         self._c_admitted = metrics.counter("admitted")
         self._c_shed = metrics.counter("shed")
         self._c_deadline = metrics.counter("deadline_exceeded")
@@ -60,7 +60,7 @@ class AdmissionController:
             return None
         return self._clock() + max(0.0, float(deadline_ms)) / 1000.0
 
-    def _admissible(self, session: Optional[Session]) -> bool:
+    def _admissible(self, session: Optional[Session]) -> bool:  # holds: _cond
         if self._in_flight >= self._max_in_flight:
             return False
         if session is not None and session.in_flight >= self._per_session:

@@ -5,13 +5,23 @@ the commit pipeline's writer thread applies tellings exclusively (one
 writer, no readers).  The implementation is writer-preferring: once a
 writer is waiting, new readers queue behind it, so a steady stream of
 asks can never starve commits.
+
+Both sides take an optional ``timeout`` (seconds): when the budget
+expires before the lock is granted, acquisition raises a typed
+:class:`~repro.errors.LockTimeout` instead of waiting forever — the
+service wires request deadlines through here so a wedged writer cannot
+hang a session past its admission deadline.  A timed-out acquire holds
+nothing.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
+
+from repro.errors import LockTimeout
 
 
 class ReadWriteLock:
@@ -19,16 +29,28 @@ class ReadWriteLock:
 
     def __init__(self) -> None:
         self._cond = threading.Condition()
-        self._readers = 0
-        self._writer = False
-        self._writers_waiting = 0
+        self._readers = 0           # guarded-by: _cond
+        self._writer = False        # guarded-by: _cond
+        self._writers_waiting = 0   # guarded-by: _cond
 
     # -- reader side -------------------------------------------------------
 
-    def acquire_read(self) -> None:
+    def acquire_read(self, timeout: Optional[float] = None) -> None:
+        """Take the shared side; raises :class:`LockTimeout` if the
+        budget expires first (holding nothing)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer or self._writers_waiting:
-                self._cond.wait()
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise LockTimeout(
+                            f"read lock not granted within {timeout:.3f}s "
+                            f"(writer active or queued)"
+                        )
+                    self._cond.wait(remaining)
             self._readers += 1
 
     def release_read(self) -> None:
@@ -38,8 +60,9 @@ class ReadWriteLock:
                 self._cond.notify_all()
 
     @contextmanager
-    def read_locked(self) -> Iterator[None]:
-        self.acquire_read()
+    def read_locked(self,
+                    timeout: Optional[float] = None) -> Iterator[None]:
+        self.acquire_read(timeout)
         try:
             yield
         finally:
@@ -47,15 +70,35 @@ class ReadWriteLock:
 
     # -- writer side -------------------------------------------------------
 
-    def acquire_write(self) -> None:
+    def acquire_write(self, timeout: Optional[float] = None) -> None:
+        """Take the exclusive side; raises :class:`LockTimeout` if the
+        budget expires first (holding nothing)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer or self._readers:
-                    self._cond.wait()
+                    if deadline is None:
+                        self._cond.wait()
+                    else:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise LockTimeout(
+                                f"write lock not granted within "
+                                f"{timeout:.3f}s ({self._readers} readers, "
+                                f"writer={self._writer})"
+                            )
+                        self._cond.wait(remaining)
+                self._writer = True
             finally:
                 self._writers_waiting -= 1
-            self._writer = True
+                # A timed-out writer must re-open the gate: readers park
+                # whenever writers_waiting > 0, so if this was the last
+                # waiting writer and nobody won the lock, wake them to
+                # recheck — otherwise they would sleep on a lock nobody
+                # holds.
+                if not self._writer:
+                    self._cond.notify_all()
 
     def release_write(self) -> None:
         with self._cond:
@@ -63,8 +106,9 @@ class ReadWriteLock:
             self._cond.notify_all()
 
     @contextmanager
-    def write_locked(self) -> Iterator[None]:
-        self.acquire_write()
+    def write_locked(self,
+                     timeout: Optional[float] = None) -> Iterator[None]:
+        self.acquire_write(timeout)
         try:
             yield
         finally:

@@ -37,6 +37,7 @@ import time
 from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.analysis.concurrency.lockdep import make_lock
 from repro.errors import CommitConflict, ServerError, ServerOverloaded
 from repro.obs.metrics import Namespace
 from repro.obs.tracing import Tracer
@@ -89,14 +90,14 @@ class CommitPipeline:
         self._max_batch = max(1, max_batch)
         self._batch_window = max(0.0, batch_window)
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue)
-        self._log_lock = threading.Lock()
+        self._log_lock = make_lock("server.pipeline.log_lock")
         #: Accepted commits, in apply order: (seq, session_id, ops).
         #: Replaying these into a fresh ConceptBase reproduces the live
         #: knowledge base — the oracle the stress tests check against.
-        self._commit_log: List[Tuple[int, str, List[StagedOp]]] = []
+        self._commit_log: List[Tuple[int, str, List[StagedOp]]] = []  # guarded-by: _log_lock
         #: key -> commit seq that last wrote it (writer thread only).
-        self._last_write: Dict[str, int] = {}
-        self._commit_seq = 0
+        self._last_write: Dict[str, int] = {}  # guarded-by: <writer>
+        self._commit_seq = 0  # guarded-by: <writer>
         self._c_committed = metrics.counter("committed")
         self._c_conflicts = metrics.counter("conflicts")
         self._c_errors = metrics.counter("errors")
@@ -107,14 +108,17 @@ class CommitPipeline:
         #: Guards the closed-check-and-enqueue in :meth:`submit` against
         #: :meth:`close`, so no commit can ever be queued *behind* the
         #: stop sentinel (it would never be processed).
-        self._submit_lock = threading.Lock()
-        self._closed = False
+        self._submit_lock = make_lock("server.pipeline.submit_lock")
+        self._closed = False  # guarded-by: _submit_lock
         #: The durability fault that poisoned the pipeline, if any.
-        self._fault: Optional[BaseException] = None
+        #: Written once by the writer, read racily by submitters — a
+        #: late read just means one more commit reaches the queue before
+        #: the final sweep fails it.
+        self._fault: Optional[BaseException] = None  # guarded-by: <atomic>
         #: Set (before the final queue sweep) when the writer exits, so
         #: a submitter racing the sweep can fail its own commit instead
         #: of waiting on a writer that will never run it.
-        self._writer_exited = False
+        self._writer_exited = False  # guarded-by: <atomic>
         self._writer = threading.Thread(
             target=self._run, name="gkbms-commit-writer", daemon=True
         )
@@ -125,7 +129,7 @@ class CommitPipeline:
     @property
     def commit_seq(self) -> int:
         """Sequence number of the latest accepted commit (0 = none)."""
-        return self._commit_seq
+        return self._commit_seq  # unguarded: racy int read of the head is advisory
 
     def commit_log(self) -> List[Tuple[int, str, List[StagedOp]]]:
         """Snapshot of the accepted commit log, in apply order."""
@@ -195,7 +199,7 @@ class CommitPipeline:
 
     # -- writer side -------------------------------------------------------
 
-    def _run(self) -> None:
+    def _run(self) -> None:  # runs-on: writer
         try:
             stopping = False
             while not stopping and self._fault is None:
@@ -232,7 +236,7 @@ class CommitPipeline:
             item.error = error
             item.done.set()
 
-    def _fill_batch(self, batch: List[PendingCommit]) -> bool:
+    def _fill_batch(self, batch: List[PendingCommit]) -> bool:  # runs-on: writer
         """Collect up to ``max_batch`` commits, waiting ``batch_window``
         seconds for stragglers; returns True if the stop sentinel was
         seen while collecting."""
@@ -253,7 +257,7 @@ class CommitPipeline:
             batch.append(item)
         return False
 
-    def _process(self, batch: List[PendingCommit]) -> None:
+    def _process(self, batch: List[PendingCommit]) -> None:  # runs-on: writer
         try:
             with self._tracer.span("server.commit", batch=str(len(batch))):
                 durability = self._wal.batch() if self._wal is not None \
@@ -289,7 +293,7 @@ class CommitPipeline:
                 self._h_latency.observe((now - pending.enqueued) * 1000.0)
                 pending.done.set()
 
-    def _process_one(self, pending: PendingCommit) -> None:
+    def _process_one(self, pending: PendingCommit) -> None:  # runs-on: writer
         try:
             self._validate(pending)
             result = self._apply(pending)
@@ -312,7 +316,7 @@ class CommitPipeline:
         result.setdefault("commit_seq", pending.seq)
         pending.result = result
 
-    def stale_keys(self, keys: List[str],
+    def stale_keys(self, keys: List[str],  # runs-on: writer
                    read_epoch: Optional[int]) -> List[str]:
         """The subset of ``keys`` committed after ``read_epoch`` (the
         conflict witness).  Only meaningful on the writer thread, where
@@ -324,7 +328,7 @@ class CommitPipeline:
             if self._last_write.get(key, 0) > read_epoch
         )
 
-    def _validate(self, pending: PendingCommit) -> None:
+    def _validate(self, pending: PendingCommit) -> None:  # runs-on: writer
         """First-committer-wins: refuse the commit if any declared key
         was written after the transaction's pinned read epoch."""
         stale = self.stale_keys(pending.keys, pending.read_epoch)

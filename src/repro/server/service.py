@@ -22,10 +22,12 @@ to a response dict and never raises — errors become typed wire errors.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import ExitStack
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.concurrency import lockdep
 from repro.conceptbase import ConceptBase
 from repro.errors import (
     CommitConflict,
@@ -40,7 +42,6 @@ from repro.obs.tracing import Tracer
 from repro.objects.frame import parse_frames
 from repro.propositions.wal import WalStore
 from repro.server.admission import AdmissionController
-from repro.server.locks import ReadWriteLock
 from repro.server.pipeline import CommitPipeline, PendingCommit
 from repro.server.protocol import (
     PROTOCOL_VERSION,
@@ -86,7 +87,17 @@ class GKBMSService:
         self.cb = cb
         self.registry = cb.registry
         self._tracer = tracer if tracer is not None else cb.propositions.tracer
-        self._rwlock = ReadWriteLock()
+        #: The serving lock: shared for reads, exclusive for applies.
+        #: Critical: nothing blocking may run under it — fsync happens
+        #: in the pipeline's batch scope *after* the apply releases it.
+        self._rwlock = lockdep.make_rwlock("server.service.rwlock")  # lock: critical
+        self._max_wait = max_wait
+        #: Per-request absolute deadline (admission clock), carried
+        #: thread-locally from handle() to the lock-budget computation.
+        self._deadline = threading.local()
+        sanitizer = lockdep.manager()
+        if sanitizer is not None:
+            sanitizer.bind_registry(cb.registry)
         ns = self.registry.namespace("server")
         self._c_requests = ns.counter("requests")
         self._c_errors = ns.counter("request_errors")
@@ -106,7 +117,7 @@ class GKBMSService:
         )
         #: The commit currently applying on the writer thread — read by
         #: the defence-in-depth validator below.
-        self._applying: Optional[PendingCommit] = None
+        self._applying: Optional[PendingCommit] = None  # guarded-by: _rwlock
         if check_consistency:
             cb.enforce_on_commit()
         # Second line of first-committer-wins defence *inside* the
@@ -142,6 +153,7 @@ class GKBMSService:
             if op not in _SESSIONLESS:
                 session = self.sessions.get(frame.get("session"))
             deadline = self.admission.deadline_from(frame.get("deadline_ms"))
+            self._deadline.value = deadline
             with ExitStack() as stack:
                 with self._tracer.span("server.admit", op=op):
                     stack.enter_context(
@@ -154,11 +166,22 @@ class GKBMSService:
             self._c_errors.inc()
             return error_response(request_id, exc)
         finally:
+            self._deadline.value = None
             self._h_request.observe((self._clock() - start) * 1000.0)
 
     @staticmethod
     def _clock() -> float:
         return time.monotonic()
+
+    def _lock_budget(self) -> float:
+        """Seconds this request may wait for the serving lock: its
+        remaining admission deadline when it carries one, capped at
+        ``max_wait`` — so a wedged writer surfaces as a typed
+        :class:`~repro.errors.LockTimeout`, never an unbounded stall."""
+        deadline = getattr(self._deadline, "value", None)
+        if deadline is None:
+            return self._max_wait
+        return min(self._max_wait, max(0.0, deadline - self._clock()))
 
     def close(self) -> None:
         """Stop the writer thread and drop every session."""
@@ -218,7 +241,7 @@ class GKBMSService:
     def _read(self, fn: Callable[[], Any]) -> Any:
         """Run ``fn`` under the shared lock inside an epoch-pinned read;
         a torn read (epoch moved mid-read) is counted, never silent."""
-        with self._rwlock.read_locked():
+        with self._rwlock.read_locked(self._lock_budget()):
             with self.cb.propositions.read_transaction() as pin:
                 result = fn()
         if pin.consistent is False:
@@ -347,7 +370,7 @@ class GKBMSService:
         # sessions' work.
         capture_tracer = Tracer(enabled=True)
         previous = self._tracer
-        with self._rwlock.write_locked():
+        with self._rwlock.write_locked(self._lock_budget()):
             self.cb.set_tracer(capture_tracer)
             try:
                 report = QueryExplain(
@@ -392,7 +415,7 @@ class GKBMSService:
             "epoch": self.cb.propositions.epoch,
         }
 
-    def _revalidate_applying(self, _created: List[Any]) -> None:
+    def _revalidate_applying(self, _created: List[Any]) -> None:  # holds: _rwlock
         pending = self._applying
         if pending is None or pending.read_epoch is None:
             return

@@ -23,9 +23,9 @@ and the clearing ``end_transaction`` and be silently lost.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.concurrency.lockdep import make_lock, make_rlock
 from repro.errors import SessionError
 from repro.obs.metrics import MetricsRegistry, Namespace
 from repro.propositions.proposition import individual
@@ -47,21 +47,21 @@ class Session:
         #: Serializes this session's mutable state (staged ops, overlay,
         #: read epoch).  Reentrant so the service can hold it across a
         #: whole operation while the methods below also take it.
-        self.lock = threading.RLock()
+        self.lock = make_rlock("server.session.lock")
         #: The commit sequence number this session's open transaction
         #: (or last acknowledged commit) read from.
-        self.read_epoch = read_epoch
+        self.read_epoch = read_epoch  # guarded-by: lock
         #: Requests currently executing for this session (admission cap).
-        self.in_flight = 0
-        self.overlay = WorkspaceStore(registry=registry)
-        self._txn_name: Optional[str] = None
-        self._txn_counter = 0
-        self._staged_ops: List[StagedOp] = []
+        self.in_flight = 0  # guarded-by: external: AdmissionController._cond
+        self.overlay = WorkspaceStore(registry=registry)  # guarded-by: lock
+        self._txn_name: Optional[str] = None  # guarded-by: lock
+        self._txn_counter = 0  # guarded-by: lock
+        self._staged_ops: List[StagedOp] = []  # guarded-by: lock
 
     # -- transaction staging ----------------------------------------------
 
     @property
-    def in_transaction(self) -> bool:
+    def in_transaction(self) -> bool:  # holds: lock
         return self._txn_name is not None
 
     def begin(self, read_epoch: int) -> None:
@@ -128,10 +128,10 @@ class SessionManager:
 
     def __init__(self, metrics: Namespace, max_sessions: int = 64,
                  registry: Optional[MetricsRegistry] = None) -> None:
-        self._lock = threading.Lock()
-        self._sessions: Dict[str, Session] = {}
+        self._lock = make_lock("server.sessions.lock")
+        self._sessions: Dict[str, Session] = {}  # guarded-by: _lock
         self._max_sessions = max_sessions
-        self._next_sid = 1
+        self._next_sid = 1  # guarded-by: _lock
         self._overlay_registry = registry
         self._g_sessions = metrics.gauge("sessions")
         self._c_opened = metrics.counter("sessions_opened")

@@ -1,0 +1,436 @@
+"""PR 6 — the static concurrency lint (guarded-by + lock order).
+
+Exercises every diagnostic the pass can raise against small synthetic
+sources, the suppression and ``# holds:`` markers, the CLI contract it
+shares with ``python -m repro.analysis``, and — the acceptance gate —
+that the annotated repo tree itself lints clean under ``--strict``.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.analysis.concurrency.__main__ import main as ccy_main
+from repro.analysis.concurrency.lint import (
+    ConcurrencyLinter,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.diagnostics import Severity
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# guarded-by enforcement (CCY001 / CCY002)
+# ---------------------------------------------------------------------------
+
+class TestGuardedBy:
+    def test_unlocked_access_is_ccy001(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0  # guarded-by: _lock\n"
+            "    def peek(self):\n"
+            "        return self._count\n"
+        )
+        found = report.by_code("CCY001")
+        assert len(found) == 1
+        assert found[0].subject == "S._count"
+        assert found[0].severity is Severity.ERROR
+
+    def test_with_block_access_is_clean(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0  # guarded-by: _lock\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 1\n"
+        )
+        assert not report.errors()
+
+    def test_init_is_exempt(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0  # guarded-by: _lock\n"
+            "        self._count += 1\n"
+        )
+        assert not report.errors()
+
+    def test_holds_marker_satisfies_the_guard(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0  # guarded-by: _lock\n"
+            "    def _bump_locked(self):  # holds: _lock\n"
+            "        self._count += 1\n"
+        )
+        assert not report.errors()
+
+    def test_write_under_read_side_is_ccy002(self):
+        report = lint_source(
+            "from repro.analysis.concurrency.lockdep import make_rwlock\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._rw = make_rwlock('s.rw')\n"
+            "        self._state = {}  # guarded-by: _rw\n"
+            "    def read(self):\n"
+            "        with self._rw.read_locked():\n"
+            "            return dict(self._state)\n"
+            "    def corrupt(self):\n"
+            "        with self._rw.read_locked():\n"
+            "            self._state = {}\n"
+        )
+        assert not report.by_code("CCY001")
+        found = report.by_code("CCY002")
+        assert len(found) == 1
+        assert found[0].subject == "S._state"
+
+    def test_write_locked_permits_the_write(self):
+        report = lint_source(
+            "from repro.analysis.concurrency.lockdep import make_rwlock\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._rw = make_rwlock('s.rw')\n"
+            "        self._state = {}  # guarded-by: _rw\n"
+            "    def replace(self):\n"
+            "        with self._rw.write_locked():\n"
+            "            self._state = {}\n"
+        )
+        assert not report.errors()
+
+    def test_writer_confinement_violation(self):
+        report = lint_source(
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._seq = 0  # guarded-by: <writer>\n"
+            "    def _run(self):  # runs-on: writer\n"
+            "        self._seq += 1\n"
+            "    def poke(self):\n"
+            "        self._seq += 1\n"
+        )
+        found = report.by_code("CCY001")
+        assert len(found) == 1
+        assert "S.poke" in found[0].message
+
+    def test_atomic_and_external_are_documented_not_enforced(self):
+        report = lint_source(
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._flag = False  # guarded-by: <atomic>\n"
+            "        self._st = {}  # guarded-by: external: Other._lock\n"
+            "    def poke(self):\n"
+            "        self._flag = True\n"
+            "        return self._st\n"
+        )
+        assert not report.errors()
+
+    def test_unguarded_marker_suppresses_one_line(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0  # guarded-by: _lock\n"
+            "    def peek(self):\n"
+            "        return self._count  # unguarded: racy read is advisory\n"
+            "    def leak(self):\n"
+            "        return self._count\n"
+        )
+        found = report.by_code("CCY001")
+        assert len(found) == 1
+        assert "S.leak" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# annotation hygiene (CCY003 / CCY004)
+# ---------------------------------------------------------------------------
+
+class TestAnnotations:
+    def test_unknown_lock_attribute_is_ccy003_warning(self):
+        report = lint_source(
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._count = 0  # guarded-by: _nonexistent\n"
+        )
+        found = report.by_code("CCY003")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert not report.errors()
+
+    def test_malformed_spec_is_ccy004(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._count = 0  # guarded-by: not an identifier!\n"
+        )
+        assert len(report.by_code("CCY004")) == 1
+
+    def test_unparsable_holds_token_is_ccy004(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self):  # holds: two words\n"
+            "        pass\n"
+        )
+        assert len(report.by_code("CCY004")) == 1
+
+    def test_syntax_error_input_is_ccy004_not_a_crash(self):
+        report = lint_source("def broken(:\n")
+        assert len(report.by_code("CCY004")) == 1
+
+    def test_strict_promotion_turns_warnings_fatal(self):
+        report = lint_source(
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._count = 0  # guarded-by: _nonexistent\n"
+        )
+        assert not report.errors()
+        promoted = report.promote_warnings()
+        assert promoted.errors()
+
+
+# ---------------------------------------------------------------------------
+# blocking calls under a critical lock (CCY010)
+# ---------------------------------------------------------------------------
+
+class TestCriticalLocks:
+    SOURCE = (
+        "import os, threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()  # lock: critical\n"
+        "    def flush(self, fd):\n"
+        "        with self._lock:\n"
+        "            os.fsync(fd)\n"
+        "    def flush_outside(self, fd):\n"
+        "        with self._lock:\n"
+        "            pass\n"
+        "        os.fsync(fd)\n"
+    )
+
+    def test_fsync_under_critical_lock_is_ccy010(self):
+        report = lint_source(self.SOURCE)
+        found = report.by_code("CCY010")
+        assert len(found) == 1
+        assert "S.flush " in found[0].message + " "
+        assert found[0].subject == "S._lock"
+
+    def test_non_critical_lock_permits_blocking_calls(self):
+        report = lint_source(self.SOURCE.replace("  # lock: critical", ""))
+        assert not report.by_code("CCY010")
+
+
+# ---------------------------------------------------------------------------
+# static lock-order cycles (CCY020)
+# ---------------------------------------------------------------------------
+
+class TestLockOrder:
+    def test_abba_across_methods_is_ccy020(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "    def ab(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def ba(self):\n"
+            "        with self._b:\n"
+            "            with self._a:\n"
+            "                pass\n"
+        )
+        found = report.by_code("CCY020")
+        assert len(found) == 1
+        assert "S._a" in found[0].message and "S._b" in found[0].message
+        # the hint carries the witness sites for both edges
+        assert "S.ab" in found[0].hint and "S.ba" in found[0].hint
+
+    def test_consistent_order_is_clean(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "    def ab(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+            "    def ab_again(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+        )
+        assert not report.by_code("CCY020")
+
+    def test_cross_file_cycle_is_detected(self):
+        linter = ConcurrencyLinter()
+        linter.lint_source(
+            "import threading\n"
+            "class P:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "    def f(self, other):\n"
+            "        with self._a:\n"
+            "            with other.q_lock:\n"
+            "                pass\n",
+            path="p.py",
+        )
+        linter.lint_source(
+            "import threading\n"
+            "class Q:\n"
+            "    def __init__(self):\n"
+            "        self.q_lock = threading.Lock()\n"
+            "    def g(self, p):\n"
+            "        with self.q_lock:\n"
+            "            with p.a_lock:\n"
+            "                pass\n",
+            path="q.py",
+        )
+        # P._a -> other.q_lock and Q.q_lock -> p.a_lock never unify (the
+        # lint is name-based and conservative), so no false cycle here…
+        assert not linter.finish().by_code("CCY020")
+
+    def test_rlock_reacquisition_is_not_a_self_cycle(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            with self._lock:\n"
+            "                pass\n"
+        )
+        assert not report.by_code("CCY020")
+
+    def test_plain_lock_reacquisition_is_a_self_cycle(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            with self._lock:\n"
+            "                pass\n"
+        )
+        assert len(report.by_code("CCY020")) == 1
+
+    def test_summary_line_reports_graph_size(self):
+        report = lint_source(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "        self._x = 0  # guarded-by: _a\n"
+            "    def ab(self):\n"
+            "        with self._a:\n"
+            "            with self._b:\n"
+            "                pass\n"
+        )
+        summary = report.by_code("CCY021")
+        assert len(summary) == 1
+        assert "1 classes" in summary[0].message
+        assert "1 guarded fields" in summary[0].message
+        assert "1 acquisition edges" in summary[0].message
+
+
+# ---------------------------------------------------------------------------
+# the acceptance gate: the annotated repo tree lints clean
+# ---------------------------------------------------------------------------
+
+class TestRepoTree:
+    def test_src_repro_lints_clean_in_strict_mode(self):
+        pkg = os.path.dirname(os.path.abspath(repro.__file__))
+        report = lint_paths([pkg]).promote_warnings()
+        assert not report.errors(), report.render_text()
+
+    def test_src_repro_declares_guarded_fields(self):
+        pkg = os.path.dirname(os.path.abspath(repro.__file__))
+        summary = lint_paths([pkg]).by_code("CCY021")[0]
+        # the service tier carries real annotations, not a token one
+        fields = int(summary.message.split("guarded fields")[0]
+                     .rsplit(",", 1)[1].strip())
+        assert fields >= 20
+
+
+# ---------------------------------------------------------------------------
+# CLI contract (shared with python -m repro.analysis)
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    @pytest.fixture
+    def dirty_tree(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0  # guarded-by: _lock\n"
+            "        self._m = 0  # guarded-by: _ghost\n"
+            "    def peek(self):\n"
+            "        return self._n\n"
+        )
+        return tmp_path
+
+    def test_findings_exit_1(self, dirty_tree, capsys):
+        assert ccy_main([str(dirty_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "CCY001" in out and "CCY003" in out
+
+    def test_clean_tree_exits_0(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert ccy_main([str(tmp_path)]) == 0
+
+    def test_warning_only_exits_0_until_strict(self, tmp_path):
+        warn = tmp_path / "warn.py"
+        warn.write_text(
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._n = 0  # guarded-by: _ghost\n"
+        )
+        assert ccy_main([str(warn)]) == 0
+        assert ccy_main(["--strict", str(warn)]) == 1
+
+    def test_json_output_is_machine_readable(self, dirty_tree, capsys):
+        ccy_main(["--json", str(dirty_tree)])
+        payload = json.loads(capsys.readouterr().out)
+        assert {"CCY001", "CCY003"} <= {d["code"]
+                                        for d in payload["diagnostics"]}
+
+    def test_missing_path_exits_2(self):
+        assert ccy_main(["/nonexistent/file.py"]) == 2
+
+    def test_codes_listing_is_ccy_only(self, capsys):
+        assert ccy_main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "CCY001" in out and "CCY020" in out
+        assert "CML001" not in out
+
+    def test_default_paths_lint_the_repro_package(self, capsys):
+        assert ccy_main(["--strict"]) == 0
+        assert "lock-order graph" in capsys.readouterr().out

@@ -1,0 +1,408 @@
+"""PR 6 — the runtime lockdep sanitizer and timed ReadWriteLock.
+
+Three layers:
+
+- :class:`LockDep` as a pure graph (ABBA detection without any real
+  deadlock, read→write upgrade, reentrancy, install/restore isolation);
+- the tracked primitives and the :class:`ReadWriteLock` ``timeout``
+  contract (typed :class:`LockTimeout`, the timed-out-writer
+  ``notify_all`` regression, service deadline wiring);
+- the ISSUE acceptance run: the seeded 8-thread server stress under
+  the sanitizer, asserting **zero** cycles and live metric export.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import lockdep
+from repro.analysis.concurrency.lockdep import (
+    LockDep,
+    TrackedCondition,
+    TrackedLock,
+    TrackedRLock,
+    TrackedReadWriteLock,
+)
+from repro.errors import LockTimeout, ServerError
+from repro.obs.metrics import MetricsRegistry
+from repro.scenario.workload import ConcurrentLoadGenerator
+from repro.server.client import LocalClient
+from repro.server.locks import ReadWriteLock
+from repro.server.protocol import exception_for
+from repro.server.service import GKBMSService
+
+THREADS = 8
+OPS_PER_THREAD = 30
+
+
+@pytest.fixture
+def disarmed(monkeypatch):
+    """Force the sanitizer off regardless of CI's REPRO_LOCKDEP."""
+    monkeypatch.setenv(lockdep.ENV_FLAG, "0")
+    restore = lockdep.install(None)
+    yield
+    restore()
+
+
+# ---------------------------------------------------------------------------
+# the graph: ABBA without a hang
+# ---------------------------------------------------------------------------
+
+class TestCycleDetection:
+    def test_abba_is_reported_without_deadlocking(self, lockdep_manager):
+        """The point of lockdep: both orders run *sequentially* — no real
+        deadlock ever happens — yet the inversion is still reported."""
+        a = TrackedLock(lockdep_manager, "test.a")
+        b = TrackedLock(lockdep_manager, "test.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        cycles = lockdep_manager.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0].nodes) == {"test.a", "test.b"}
+        assert "closed by thread" in cycles[0].witness
+
+    def test_abba_report_renders_ccy020(self, lockdep_manager):
+        a = TrackedLock(lockdep_manager, "test.a")
+        b = TrackedLock(lockdep_manager, "test.b")
+        with a, b:
+            pass
+        with b, a:
+            pass
+        report = lockdep_manager.report()
+        assert len(report.by_code("CCY020")) == 1
+        assert "1 cycle(s)" in report.by_code("CCY021")[0].message
+        assert report.errors()
+
+    def test_consistent_order_stays_clean(self, lockdep_manager):
+        a = TrackedLock(lockdep_manager, "test.a")
+        b = TrackedLock(lockdep_manager, "test.b")
+        for _ in range(3):
+            with a, b:
+                pass
+        assert lockdep_manager.cycles() == []
+        assert lockdep_manager.edges() == [("test.a", "test.b")]
+
+    def test_three_lock_ring_is_one_cycle(self, lockdep_manager):
+        a = TrackedLock(lockdep_manager, "t.a")
+        b = TrackedLock(lockdep_manager, "t.b")
+        c = TrackedLock(lockdep_manager, "t.c")
+        with a, b:
+            pass
+        with b, c:
+            pass
+        with c, a:
+            pass
+        cycles = lockdep_manager.cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0].nodes) == {"t.a", "t.b", "t.c"}
+
+    def test_duplicate_inversions_report_once(self, lockdep_manager):
+        a = TrackedLock(lockdep_manager, "test.a")
+        b = TrackedLock(lockdep_manager, "test.b")
+        for _ in range(3):
+            with a, b:
+                pass
+            with b, a:
+                pass
+        assert len(lockdep_manager.cycles()) == 1
+
+    def test_edges_are_keyed_by_class_not_instance(self, lockdep_manager):
+        """Two *different* instances of the same lock class inverted
+        against a peer still close the cycle — the lockdep move."""
+        s1 = TrackedLock(lockdep_manager, "session.lock")
+        s2 = TrackedLock(lockdep_manager, "session.lock")
+        p = TrackedLock(lockdep_manager, "pipeline.lock")
+        with s1, p:
+            pass
+        with p, s2:
+            pass
+        assert len(lockdep_manager.cycles()) == 1
+
+    def test_rlock_reentrancy_is_not_an_edge(self, lockdep_manager):
+        r = TrackedRLock(lockdep_manager, "test.r")
+        with r:
+            with r:
+                assert lockdep_manager.held_nodes() == ["test.r", "test.r"]
+        assert lockdep_manager.edges() == []
+        assert lockdep_manager.cycles() == []
+
+    def test_read_write_upgrade_is_an_immediate_cycle(self, lockdep_manager):
+        """A thread that *could* hold both sides of one rwlock instance
+        has found a self-deadlock; the graph flags it on the second
+        acquisition, no path search needed."""
+        instance = object()
+        lockdep_manager.note_acquired("svc.rw", instance, side="read")
+        lockdep_manager.note_acquired("svc.rw", instance, side="write")
+        cycles = lockdep_manager.cycles()
+        assert len(cycles) == 1
+        assert cycles[0].nodes == ("svc.rw:read", "svc.rw:write", "svc.rw:read")
+
+    def test_unmatched_release_is_a_noop(self, lockdep_manager):
+        lockdep_manager.note_released("never.acquired", object())
+        assert lockdep_manager.held_nodes() == []
+
+
+# ---------------------------------------------------------------------------
+# tracked primitives
+# ---------------------------------------------------------------------------
+
+class TestTrackedPrimitives:
+    def test_tracked_lock_is_a_working_mutex(self, lockdep_manager):
+        lock = TrackedLock(lockdep_manager, "t.l")
+        assert lock.acquire()
+        assert lock.locked()
+        assert not lock.acquire(blocking=False)
+        lock.release()
+        assert not lock.locked()
+        assert lockdep_manager.held_nodes() == []
+
+    def test_condition_wait_drops_the_hold(self, lockdep_manager):
+        cond = TrackedCondition(lockdep_manager, "t.c")
+        with cond:
+            assert lockdep_manager.held_nodes() == ["t.c"]
+            assert cond.wait(timeout=0.01) is False
+            # wait released and re-acquired: still exactly one hold,
+            # and the round-trip must not fabricate a self-edge.
+            assert lockdep_manager.held_nodes() == ["t.c"]
+        assert lockdep_manager.edges() == []
+
+    def test_condition_wait_for_predicate(self, lockdep_manager):
+        cond = TrackedCondition(lockdep_manager, "t.c")
+        box = {"ready": False}
+
+        def flip():
+            with cond:
+                box["ready"] = True
+                cond.notify_all()
+
+        with cond:
+            threading.Thread(target=flip).start()
+            assert cond.wait_for(lambda: box["ready"], timeout=2.0)
+
+    def test_tracked_rwlock_sides_are_distinct_nodes(self, lockdep_manager):
+        rw = TrackedReadWriteLock(lockdep_manager, "t.rw")
+        with rw.read_locked():
+            assert lockdep_manager.held_nodes() == ["t.rw:read"]
+        with rw.write_locked():
+            assert lockdep_manager.held_nodes() == ["t.rw:write"]
+        assert lockdep_manager.held_nodes() == []
+
+    def test_tracked_rwlock_timeout_does_not_leak_a_hold(self,
+                                                         lockdep_manager):
+        rw = TrackedReadWriteLock(lockdep_manager, "t.rw")
+        with rw.read_locked():
+            with pytest.raises(LockTimeout):
+                rw.acquire_write(timeout=0.02)
+            # the failed acquisition recorded nothing
+            assert lockdep_manager.held_nodes() == ["t.rw:read"]
+
+
+# ---------------------------------------------------------------------------
+# arming, factories, isolation
+# ---------------------------------------------------------------------------
+
+class TestArming:
+    def test_factories_hand_out_bare_primitives_when_disarmed(self, disarmed):
+        assert not lockdep.enabled()
+        assert isinstance(lockdep.make_lock("x"), type(threading.Lock()))
+        assert isinstance(lockdep.make_rlock("x"), type(threading.RLock()))
+        assert isinstance(lockdep.make_condition("x"), threading.Condition)
+        assert isinstance(lockdep.make_rwlock("x"), ReadWriteLock)
+
+    def test_factories_hand_out_tracked_wrappers_when_armed(
+            self, lockdep_manager):
+        assert lockdep.enabled()
+        assert isinstance(lockdep.make_lock("x"), TrackedLock)
+        assert isinstance(lockdep.make_rlock("x"), TrackedRLock)
+        assert isinstance(lockdep.make_condition("x"), TrackedCondition)
+        assert isinstance(lockdep.make_rwlock("x"), TrackedReadWriteLock)
+
+    def test_install_restore_isolates_findings(self, disarmed):
+        """Cycles seeded into a fixture-installed manager never leak to
+        the manager active outside it — why the deliberate ABBA tests
+        above cannot trip the session-wide REPRO_LOCKDEP gate."""
+        outer = LockDep()
+        restore_outer = lockdep.install(outer)
+        try:
+            inner = LockDep()
+            restore_inner = lockdep.install(inner)
+            try:
+                assert lockdep.manager() is inner
+                a = TrackedLock(inner, "iso.a")
+                b = TrackedLock(inner, "iso.b")
+                with a, b:
+                    pass
+                with b, a:
+                    pass
+                assert len(inner.cycles()) == 1
+            finally:
+                restore_inner()
+            assert lockdep.manager() is outer
+            assert outer.cycles() == []
+        finally:
+            restore_outer()
+
+
+# ---------------------------------------------------------------------------
+# ReadWriteLock timeouts (satellite: typed LockTimeout)
+# ---------------------------------------------------------------------------
+
+class TestReadWriteLockTimeout:
+    def _hold_write(self, rw):
+        """A thread parked on the write side until told to let go."""
+        held = threading.Event()
+        done = threading.Event()
+
+        def writer():
+            with rw.write_locked():
+                held.set()
+                done.wait(5.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert held.wait(5.0)
+        return done, thread
+
+    def test_reader_times_out_while_writer_holds(self):
+        rw = ReadWriteLock()
+        done, thread = self._hold_write(rw)
+        try:
+            with pytest.raises(LockTimeout):
+                rw.acquire_read(timeout=0.05)
+        finally:
+            done.set()
+            thread.join()
+        # and once the writer is gone the same call succeeds
+        rw.acquire_read(timeout=0.5)
+        rw.release_read()
+
+    def test_writer_times_out_while_reader_holds(self):
+        rw = ReadWriteLock()
+        rw.acquire_read()
+        try:
+            with pytest.raises(LockTimeout):
+                rw.acquire_write(timeout=0.05)
+        finally:
+            rw.release_read()
+        rw.acquire_write(timeout=0.5)
+        rw.release_write()
+
+    def test_timed_out_writer_reopens_the_gate_for_readers(self):
+        """Writer preference parks new readers behind a waiting writer;
+        when that writer gives up on its deadline, queued readers must
+        be woken — a missed notify here deadlocks readers forever."""
+        rw = ReadWriteLock()
+        rw.acquire_read()
+        outcome = {}
+
+        def impatient_writer():
+            try:
+                rw.acquire_write(timeout=0.1)
+            except LockTimeout:
+                outcome["timed_out"] = True
+
+        thread = threading.Thread(target=impatient_writer)
+        thread.start()
+        thread.join(5.0)
+        assert outcome.get("timed_out")
+        # the write side is clear again: a second reader gets straight in
+        rw.acquire_read(timeout=0.5)
+        rw.release_read()
+        rw.release_read()
+
+    def test_zero_timeout_fails_fast_only_under_contention(self):
+        rw = ReadWriteLock()
+        rw.acquire_read(timeout=0.0)   # uncontended: instant success
+        with pytest.raises(LockTimeout):
+            rw.acquire_write(timeout=0.0)
+        rw.release_read()
+
+    def test_lock_timeout_is_a_typed_server_error(self):
+        assert issubclass(LockTimeout, ServerError)
+        rebuilt = exception_for({"type": "LockTimeout", "message": "budget"})
+        assert isinstance(rebuilt, LockTimeout)
+
+
+class TestServiceDeadlineWiring:
+    def test_wedged_writer_surfaces_as_lock_timeout(self):
+        """A request deadline bounds the serving-lock wait: with the
+        write side wedged, a read with a 50 ms budget raises the typed
+        error instead of stalling for the full ``max_wait``."""
+        service = GKBMSService(batch_window=0.002)
+        try:
+            client = LocalClient(service)
+            client.hello()
+            client.tell("TELL Doc IN SimpleClass END")
+            service._rwlock.acquire_write()
+            try:
+                with pytest.raises(LockTimeout):
+                    client.ask("Known(Doc)", deadline_ms=50)
+            finally:
+                service._rwlock.release_write()
+            assert client.ask("Known(Doc)", deadline_ms=2000)
+        finally:
+            service.close()
+
+
+# ---------------------------------------------------------------------------
+# the acceptance run: 8-thread stress under the sanitizer
+# ---------------------------------------------------------------------------
+
+class TestStressUnderSanitizer:
+    def test_seeded_stress_has_zero_cycles(self, lockdep_manager):
+        # the service is built *inside* the armed window so every lock
+        # its constructor creates is a tracked wrapper
+        service = GKBMSService(batch_window=0.002)
+        try:
+            stats = ConcurrentLoadGenerator(
+                client_factory=lambda: LocalClient(service),
+                threads=THREADS,
+                ops_per_thread=OPS_PER_THREAD,
+                seed=42,
+            ).run()
+        finally:
+            service.close()
+        assert stats.unexpected_errors == 0
+        assert lockdep_manager.cycles() == []
+        assert len(lockdep_manager.edges()) >= 1
+        report = lockdep_manager.report()
+        assert not report.by_code("CCY020")
+        assert len(report.by_code("CCY021")) == 1
+
+    def test_sanitizer_metrics_export_through_the_registry(
+            self, lockdep_manager):
+        service = GKBMSService(batch_window=0.002)
+        try:
+            ConcurrentLoadGenerator(
+                client_factory=lambda: LocalClient(service),
+                threads=4,
+                ops_per_thread=10,
+                seed=7,
+            ).run()
+            snapshot = service.registry.snapshot("sanitizer.")
+        finally:
+            service.close()
+        assert snapshot["sanitizer.lock_cycles"] == 0
+        assert snapshot["sanitizer.order_edges"] >= 1
+        held = [name for name in snapshot
+                if name.startswith("sanitizer.held_ms.")]
+        assert held, "held-time histograms should be recorded"
+        assert all(snapshot[name]["count"] > 0 for name in held)
+
+    def test_bind_registry_backfills_existing_counts(self):
+        manager = LockDep()
+        a = TrackedLock(manager, "t.a")
+        b = TrackedLock(manager, "t.b")
+        with a, b:
+            pass
+        with b, a:
+            pass
+        registry = MetricsRegistry()
+        manager.bind_registry(registry)
+        snapshot = registry.snapshot("sanitizer.")
+        assert snapshot["sanitizer.order_edges"] == 2
+        assert snapshot["sanitizer.lock_cycles"] == 1
