@@ -8,7 +8,9 @@ Subcommands:
   CI ``obs-smoke`` job runs this and then ``check``\\ s the artifact.
 - ``check``  — gate a trace file: parse must be clean and each required
   subsystem must have a non-zero span count.  Non-zero exit on failure.
-- ``dump``   — render a trace file as span trees + subsystem counts.
+- ``dump``   — render a trace file as span trees + subsystem counts;
+  with ``--metrics`` also the closure-cache pathology block
+  (hit/miss/invalidation/delta-applied census) of a snapshot.
 - ``diff``   — per-counter deltas between two metric snapshots.
 """
 
@@ -143,6 +145,49 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _counter(snapshot: Dict[str, object], name: str) -> int:
+    value = snapshot.get(name, 0)
+    if isinstance(value, dict):
+        return int(value.get("count", 0))
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
+def closure_cache_report(snapshot: Dict[str, object]) -> List[str]:
+    """Render the closure-cache pathology block of a metric snapshot.
+
+    The hit/miss/invalidation/delta-applied census makes the cache
+    regime legible at a glance: invalidations rebuilding whole closure
+    families versus deltas patching them in place (the PR 2 headline
+    ratio — e.g. 538 isa expansions cached vs 702 uncached — shows up
+    here as the hit rate; PR 7's maintenance shows up as deltas
+    replacing invalidations).
+    """
+    hits = _counter(snapshot, "proposition.closure_hits")
+    misses = _counter(snapshot, "proposition.closure_misses")
+    total = hits + misses
+    lines = ["-- closure cache --",
+             f"  hits = {hits}  misses = {misses}"
+             + (f"  hit_rate = {hits / total:.2f}" if total else ""),
+             f"  invalidations = "
+             f"{_counter(snapshot, 'proposition.closure_invalidations')}"
+             f"  delta_applied = "
+             f"{_counter(snapshot, 'proposition.closure_delta_applied')}"
+             f"  delta_evictions = "
+             f"{_counter(snapshot, 'proposition.closure_delta_evictions')}",
+             f"  isa_expansions = "
+             f"{_counter(snapshot, 'proposition.isa_expansions')}",
+             "-- idb maintenance --",
+             f"  delta_applies = {_counter(snapshot, 'deduction.delta_applies')}"
+             f"  delta_fallbacks = "
+             f"{_counter(snapshot, 'deduction.delta_fallbacks')}"
+             f"  rule_firings = {_counter(snapshot, 'deduction.rule_firings')}",
+             f"  rederivations = "
+             f"{_counter(snapshot, 'deduction.rederivations')}"
+             f"  overdeletions = "
+             f"{_counter(snapshot, 'deduction.overdeletions')}"]
+    return lines
+
+
 def _cmd_dump(args: argparse.Namespace) -> int:
     try:
         records = load_jsonl(args.trace)
@@ -151,6 +196,14 @@ def _cmd_dump(args: argparse.Namespace) -> int:
         return 1
     log("info", render_tree(span_tree(records), max_depth=args.max_depth),
         logger="repro.obs")
+    if args.metrics:
+        try:
+            snapshot = load_snapshot(args.metrics)
+        except OSError as exc:
+            log("error", f"FAIL: {exc}", logger="repro.obs")
+            return 1
+        log("info", "\n".join(closure_cache_report(snapshot)),
+            logger="repro.obs")
     return 0
 
 
@@ -194,6 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
     dump = sub.add_parser("dump", help="render a trace file")
     dump.add_argument("trace")
     dump.add_argument("--max-depth", type=int, default=12)
+    dump.add_argument("--metrics", default=None,
+                      help="metric snapshot to render the closure-cache"
+                           " pathology block from")
     dump.set_defaults(fn=_cmd_dump)
 
     diff = sub.add_parser("diff", help="diff two metric snapshots")

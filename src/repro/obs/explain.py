@@ -86,6 +86,13 @@ class ExplainReport:
         ``closure_spans`` counts actual closure *computations* (cache
         misses open spans; hits do not), so ``closure_hits`` moving
         while ``closure_spans`` stays 0 is a fully cache-served query.
+
+        Cache *pathology* is the invalidation/delta split:
+        ``closure_invalidations`` is rebuild-the-world churn (an epoch
+        bump emptied a family), ``closure_delta_applied`` is in-place
+        maintenance that kept the family warm.  A mutation-heavy
+        workload whose invalidations dwarf its delta applications is
+        throwing derived state away instead of patching it.
         """
         hits = self.delta("proposition.closure_hits")
         misses = self.delta("proposition.closure_misses")
@@ -95,6 +102,15 @@ class ExplainReport:
             "closure_misses": misses,
             "cache_hit_rate": (hits / total) if total else None,
             "closure_spans": len(self.spans_named("proposition.closure")),
+            "closure_invalidations":
+                self.delta("proposition.closure_invalidations"),
+            "closure_delta_applied":
+                self.delta("proposition.closure_delta_applied"),
+            "closure_delta_evictions":
+                self.delta("proposition.closure_delta_evictions"),
+            "idb_delta_applies": self.delta("deduction.delta_applies"),
+            "idb_delta_fallbacks": self.delta("deduction.delta_fallbacks"),
+            "rule_firings": self.delta("deduction.rule_firings"),
             "isa_expansions": self.delta("proposition.isa_expansions"),
             "join_probes": self.delta("deduction.join_probes"),
             "index_probes": self.delta("deduction.index_probes"),

@@ -181,6 +181,7 @@ class PropositionProcessor:
         axiom_base: Optional[AxiomBase] = None,
         bootstrap: bool = True,
         optimise: bool = True,
+        incremental: bool = True,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -195,6 +196,10 @@ class PropositionProcessor:
         self._instanceof_epoch = 0
         self._attribute_epoch = 0
         self._optimise = optimise
+        # Delta-maintain closure caches on tell/retract instead of
+        # letting the moved sub-epoch invalidate them wholesale.
+        self._incremental = incremental
+        self._in_undo = False
         # Structural performance counters live in this instance's own
         # registry namespace — never a dict shared with (or adopted
         # from) the store, so two processors on one store count
@@ -207,6 +212,8 @@ class PropositionProcessor:
         self._c_closure_hits = counter("closure_hits")
         self._c_closure_misses = counter("closure_misses")
         self._c_closure_invalidations = counter("closure_invalidations")
+        self._c_closure_delta_applied = counter("closure_delta_applied")
+        self._c_closure_delta_evictions = counter("closure_delta_evictions")
         self._c_isa_expansions = counter("isa_expansions")
         self._c_tells = counter("tells")
         self._c_retracts = counter("retracts")
@@ -265,14 +272,25 @@ class PropositionProcessor:
     def _bump(self) -> None:
         self._epoch += 1
 
-    def _note_change(self, prop: Proposition) -> None:
+    def _note_change(self, prop: Proposition, op: str = "create") -> None:
         """Record which invalidation class a created/deleted/clipped
         proposition falls into.  Individuals never affect closures (the
         only membership they change, ``x in store``, is always checked
         live), so only links bump the fine-grained sub-epochs.  The one
         exception: an individual *named* ``isa``/``instanceof`` matches
         the reserved-label retrieval patterns, so it is classified by
-        its label like a link would be."""
+        its label like a link would be.
+
+        On the optimised incremental path the bumped sub-epoch no longer
+        dooms the dependent closure caches: every cache that was valid
+        immediately before the change has its stamp advanced *first*
+        (so nested closure queries during maintenance stay hot) and its
+        table then delta-updated in place from the single changed link —
+        a BFS from the new edge on tell, a targeted eviction / DRed-style
+        shrink on retract.  Only caches that were already stale, and the
+        genuinely non-incremental mutations (reserved-name individuals,
+        savepoint rollback — see :meth:`_restore_epochs`), fall back to
+        the epoch-invalidation machinery."""
         if prop.is_individual:
             if prop.label == ISA:
                 self._isa_epoch += 1
@@ -280,11 +298,246 @@ class PropositionProcessor:
                 self._instanceof_epoch += 1
             return
         if prop.is_isa:
-            self._isa_epoch += 1
+            kind = "isa"
         elif prop.is_instanceof:
+            kind = "instanceof"
+        else:
+            kind = "attribute"
+        incremental = (
+            self._optimise and self._incremental and not self._in_undo
+        )
+        pre: Optional[Dict[str, Tuple[int, ...]]] = None
+        if incremental:
+            pre = {family: self._stamp(family) for family in self._caches}
+        if kind == "isa":
+            self._isa_epoch += 1
+        elif kind == "instanceof":
             self._instanceof_epoch += 1
         else:
             self._attribute_epoch += 1
+        if not incremental:
+            return
+        assert pre is not None
+        fresh: Set[str] = set()
+        for family, cache in self._caches.items():
+            post = self._stamp(family)
+            if post == pre[family]:
+                continue  # family independent of this link kind
+            if cache.stamp == pre[family]:
+                # Valid before the change: advance the stamp before any
+                # table surgery, so closure queries issued *during*
+                # maintenance revalidate instead of clearing the table
+                # we are updating.
+                cache.stamp = post
+                fresh.add(family)
+        if fresh:
+            self._apply_closure_delta(kind, op, prop, fresh)
+
+    # ------------------------------------------------------------------
+    # Closure-cache delta maintenance
+    # ------------------------------------------------------------------
+
+    def _apply_closure_delta(self, kind: str, op: str,
+                             prop: Proposition, fresh: Set[str]) -> None:
+        """Fold one changed link into every still-valid closure cache.
+
+        ``fresh`` names the families whose stamps were just advanced;
+        only their tables are touched.  Set-valued families are extended
+        in place on tell and shrunk/evicted on retract; the
+        order-sensitive ``attribute_classes`` family is always evicted
+        per affected key (an in-place append could diverge from the
+        iteration order a fresh compute would produce).  Clips keep
+        every name-set cache (validity intervals are invisible to them)
+        and only evict attribute tuples, which embed the clipped
+        proposition object."""
+        applied = 0
+        evicted = 0
+        source, label, destination = prop.source, prop.label, prop.destination
+        caches = self._caches
+        if kind == "attribute":
+            # Only attribute_classes depends on the attribute sub-epoch,
+            # and create/delete/clip all invalidate the same keys.
+            if "attribute_classes" in fresh:
+                evicted += self._evict_attribute_keys(source, label)
+        elif kind == "isa" and op == "create":
+            if "generalizations" in fresh and caches["generalizations"].table:
+                table = caches["generalizations"].table
+                gain = {destination} | set(
+                    self._isa_closure(destination, down=False)
+                )
+                for key, value in list(table.items()):
+                    if key == source or source in value:
+                        table[key] = frozenset((value | gain) - {key})
+                        applied += 1
+            if "specializations" in fresh and caches["specializations"].table:
+                table = caches["specializations"].table
+                gain = {source} | set(self._isa_closure(source, down=True))
+                for key, value in list(table.items()):
+                    if key == destination or destination in value:
+                        table[key] = frozenset((value | gain) - {key})
+                        applied += 1
+            if "classes_of" in fresh and caches["classes_of"].table:
+                table = caches["classes_of"].table
+                if source == "Proposition":
+                    # Every cached set contains the universal class, so
+                    # membership no longer witnesses reachability.
+                    evicted += len(table)
+                    table.clear()
+                else:
+                    gain = {destination} | set(
+                        self._isa_closure(destination, down=False)
+                    )
+                    for key, value in list(table.items()):
+                        if source in value:
+                            table[key] = frozenset(value | gain)
+                            applied += 1
+            if "instances_of" in fresh and caches["instances_of"].table:
+                table = caches["instances_of"].table
+                gain = self.instances_of(source)
+                for key, value in list(table.items()):
+                    cls, direct = key
+                    if direct:
+                        continue  # direct extensions ignore isa edges
+                    if destination == cls or destination in self.specializations(cls):
+                        table[key] = frozenset(value | gain)
+                        applied += 1
+            if "is_class" in fresh:
+                evicted += self._drop_false_classhood()
+            if "attribute_classes" in fresh:
+                # Classes reaching the new edge's source now inherit the
+                # target's attributes, whatever their labels.
+                evicted += self._evict_attribute_keys(source, None,
+                                                      any_label=True)
+        elif kind == "isa" and op == "delete":
+            if "generalizations" in fresh and caches["generalizations"].table:
+                table = caches["generalizations"].table
+                for key, value in list(table.items()):
+                    if (key == source or source in value) and destination in value:
+                        del table[key]
+                        evicted += 1
+            if "specializations" in fresh and caches["specializations"].table:
+                table = caches["specializations"].table
+                for key, value in list(table.items()):
+                    if (key == destination or destination in value) and source in value:
+                        del table[key]
+                        evicted += 1
+            if "classes_of" in fresh and caches["classes_of"].table:
+                table = caches["classes_of"].table
+                for key, value in list(table.items()):
+                    if source in value and destination in value:
+                        del table[key]
+                        evicted += 1
+            if "instances_of" in fresh and caches["instances_of"].table:
+                table = caches["instances_of"].table
+                for key, value in list(table.items()):
+                    cls, direct = key
+                    if direct:
+                        continue
+                    if destination == cls or destination in self.specializations(cls):
+                        del table[key]
+                        evicted += 1
+            if "is_class" in fresh and caches["is_class"].table:
+                # Classhood can only flip off when the lost reachability
+                # (the edge target and its ancestors) included one of the
+                # class-defining kernel classes.
+                lost = {destination} | self.generalizations(destination)
+                if lost & {"Class", "Attribute", "MetaClass", "MetametaClass"}:
+                    table = caches["is_class"].table
+                    evicted += len(table)
+                    table.clear()
+            if "attribute_classes" in fresh:
+                evicted += self._evict_attribute_keys(source, None,
+                                                      any_label=True)
+        elif kind == "instanceof" and op == "create":
+            if "classes_of" in fresh and caches["classes_of"].table:
+                table = caches["classes_of"].table
+                value = table.get(source)
+                if value is not None:
+                    gain = {destination} | set(
+                        self._isa_closure(destination, down=False)
+                    )
+                    table[source] = frozenset(value | gain)
+                    applied += 1
+            if "instances_of" in fresh and caches["instances_of"].table:
+                table = caches["instances_of"].table
+                for key, value in list(table.items()):
+                    cls, direct = key
+                    if direct:
+                        if cls == destination:
+                            table[key] = frozenset(value | {source})
+                            applied += 1
+                    elif destination == cls or destination in self.specializations(cls):
+                        table[key] = frozenset(value | {source})
+                        applied += 1
+            if "is_class" in fresh:
+                evicted += self._drop_false_classhood()
+        elif kind == "instanceof" and op == "delete":
+            if "classes_of" in fresh and caches["classes_of"].table:
+                if caches["classes_of"].table.pop(source, None) is not None:
+                    evicted += 1
+            if "instances_of" in fresh and caches["instances_of"].table:
+                table = caches["instances_of"].table
+                remaining = {
+                    p.destination
+                    for p in self.store.retrieve(
+                        Pattern(source=source, label=INSTANCEOF)
+                    )
+                }
+                for key, value in list(table.items()):
+                    cls, direct = key
+                    if source not in value:
+                        continue
+                    if direct:
+                        if cls == destination and destination not in remaining:
+                            table[key] = frozenset(value - {source})
+                            applied += 1
+                    elif destination == cls or destination in self.specializations(cls):
+                        if not (remaining & self.specializations(cls)):
+                            table[key] = frozenset(value - {source})
+                            applied += 1
+            if "is_class" in fresh and caches["is_class"].table:
+                table = caches["is_class"].table
+                if table.pop(source, None) is not None:
+                    evicted += 1
+                for meta in self.store.retrieve(
+                    Pattern(label=INSTANCEOF, destination=source)
+                ):
+                    if table.pop(meta.source, None) is not None:
+                        evicted += 1
+        # isa/instanceof clips change validity intervals only, which the
+        # name-set closures never read: stamps advanced, tables kept.
+        if applied:
+            self._c_closure_delta_applied.inc(applied)
+        if evicted:
+            self._c_closure_delta_evictions.inc(evicted)
+
+    def _evict_attribute_keys(self, source: str, label: Optional[str],
+                              any_label: bool = False) -> int:
+        """Evict ``attribute_classes`` keys that can see an attribute
+        link leaving ``source`` (directly or by inheritance).  With
+        ``any_label`` every label is affected — the isa-change case,
+        where inherited attributes of all labels move at once."""
+        table = self._caches["attribute_classes"].table
+        if not table:
+            return 0
+        evicted = 0
+        for key in list(table):
+            cls, wanted = key
+            if not any_label and wanted is not None and wanted != label:
+                continue
+            if cls == source or source in self.generalizations(cls):
+                del table[key]
+                evicted += 1
+        return evicted
+
+    def _drop_false_classhood(self) -> int:
+        """New isa/instanceof edges are monotone for classhood: cached
+        ``True`` verdicts stay, cached ``False`` verdicts may flip."""
+        table = self._caches["is_class"].table
+        stale = [key for key, value in table.items() if not value]
+        for key in stale:
+            del table[key]
+        return len(stale)
 
     # Which sub-epochs each closure family depends on.  All stamps fold
     # in the store's visibility epoch: workspace activation changes the
@@ -400,23 +653,30 @@ class PropositionProcessor:
 
     def _undo(self, telling: Telling) -> None:
         """Physically reverse a telling's mutations (newest first), then
-        restore the fine-grained epoch counters it bumped."""
-        for op in reversed(telling.ops):
-            kind = op[0]
-            if kind == "create":
-                prop = op[1]
-                if prop.pid in self.store:
-                    self.store.delete(prop.pid)
-                    self._note_change(prop)
-            elif kind == "delete":
-                prop = op[1]
-                if prop.pid not in self.store:
-                    self.store.create(prop)
-                    self._note_change(prop)
-            else:  # clip
-                old = op[1]
-                self.store.replace(old)
-                self._note_change(old)
+        restore the fine-grained epoch counters it bumped.  Rollback is
+        one of the genuinely non-incremental mutations: the undo loop
+        suppresses per-link cache maintenance (``_in_undo``) and lets
+        :meth:`_restore_epochs` clear exactly the moved families."""
+        self._in_undo = True
+        try:
+            for op in reversed(telling.ops):
+                kind = op[0]
+                if kind == "create":
+                    prop = op[1]
+                    if prop.pid in self.store:
+                        self.store.delete(prop.pid)
+                        self._note_change(prop, op="delete")
+                elif kind == "delete":
+                    prop = op[1]
+                    if prop.pid not in self.store:
+                        self.store.create(prop)
+                        self._note_change(prop)
+                else:  # clip
+                    old = op[1]
+                    self.store.replace(old)
+                    self._note_change(old, op="clip")
+        finally:
+            self._in_undo = False
         if telling._epochs is not None:
             self._restore_epochs(telling._epochs)
         self._bump()
@@ -641,7 +901,7 @@ class PropositionProcessor:
                 current = min(remaining)
             prop = props[current]
             removed.append(self.store.delete(current))
-            self._note_change(prop)
+            self._note_change(prop, op="delete")
             if self._tellings:
                 self._tellings[-1].record_delete(prop)
             remaining.discard(current)
@@ -665,7 +925,7 @@ class PropositionProcessor:
         updated = prop.with_time(clipped)
         with self.tracer.span("proposition.clip", pid=pid):
             self.store.replace(updated)
-            self._note_change(updated)
+            self._note_change(updated, op="clip")
             self._c_clips.inc()
             if self._tellings:
                 self._tellings[-1].record_clip(prop, updated)

@@ -86,7 +86,10 @@ class TestInvalidationEdges:
         assert proc.stats["closure_hits"] > baseline["closure_hits"]
 
     def test_instanceof_tell_preserves_isa_cache_but_not_classes(self):
-        proc = PropositionProcessor()
+        """Without incremental maintenance (the PR 2 baseline) an
+        instanceof tell rebuilds the classification families while the
+        isa family stays warm."""
+        proc = PropositionProcessor(incremental=False)
         proc.define_class("A")
         proc.tell_individual("x")
         proc.generalizations("A")          # warm isa family
@@ -100,6 +103,21 @@ class TestInvalidationEdges:
         assert proc.stats["closure_hits"] > hits
         # ... while the classification family was rebuilt.
         assert proc.stats["closure_invalidations"] > invalidations
+
+    def test_instanceof_tell_delta_maintains_classes(self):
+        """With incremental maintenance (the default) the same tell
+        updates the classification caches in place: correct answers,
+        zero invalidations, delta counters moving instead."""
+        proc = PropositionProcessor()
+        proc.define_class("A")
+        proc.tell_individual("x")
+        proc.generalizations("A")
+        proc.classes_of("x")
+        invalidations = proc.stats["closure_invalidations"]
+        proc.tell_instanceof("x", "A")
+        assert "A" in proc.classes_of("x")
+        assert proc.stats["closure_invalidations"] == invalidations
+        assert proc.stats["closure_delta_applied"] > 0
 
     def test_clip_validity_invalidates(self):
         proc = PropositionProcessor()

@@ -1,0 +1,121 @@
+"""``Database.discard``: index- and snapshot-consistent deletion.
+
+Before PR 7 the deduction database was insert-only (``add``/``merge``);
+DRed-style maintenance needs physical deletion that keeps every lazily
+built argument-position index and the cached ``rows()`` snapshot
+consistent.  These regressions stand alone — they do not involve the
+maintenance layer on top.
+"""
+
+from repro.deduction.seminaive import Database
+
+
+class TestDiscardBasics:
+    def test_discard_present_row(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        assert db.discard("edge", ("a", "b")) is True
+        assert not db.contains("edge", ("a", "b"))
+        assert db.rows("edge") == frozenset()
+        assert len(db) == 0
+
+    def test_discard_absent_row_is_noop(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        assert db.discard("edge", ("a", "c")) is False
+        assert db.discard("missing", ("a",)) is False
+        assert db.contains("edge", ("a", "b"))
+        assert len(db) == 1
+
+    def test_discard_then_readd(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        assert db.discard("edge", ("a", "b"))
+        assert db.add("edge", ("a", "b")) is True
+        assert db.contains("edge", ("a", "b"))
+
+    def test_predicate_disappears_when_emptied(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        db.discard("edge", ("a", "b"))
+        assert "edge" not in db.predicates()
+
+
+class TestDiscardIndexConsistency:
+    def test_built_index_loses_the_row(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        db.add("edge", ("a", "c"))
+        index = db.index("edge", (0,))
+        assert {row for row in index[("a",)]} == {("a", "b"), ("a", "c")}
+        db.discard("edge", ("a", "b"))
+        index = db.index("edge", (0,))
+        assert list(index[("a",)]) == [("a", "c")]
+
+    def test_emptied_bucket_is_pruned(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        db.index("edge", (0,))
+        db.index("edge", (1,))
+        db.discard("edge", ("a", "b"))
+        assert ("a",) not in db.index("edge", (0,))
+        assert ("b",) not in db.index("edge", (1,))
+
+    def test_multi_position_indexes_all_updated(self):
+        db = Database()
+        rows = [("a", "b", "c"), ("a", "b", "d"), ("x", "b", "c")]
+        for row in rows:
+            db.add("fact", row)
+        db.index("fact", (0,))
+        db.index("fact", (0, 1))
+        db.index("fact", (2,))
+        db.discard("fact", ("a", "b", "c"))
+        assert list(db.index("fact", (0, 1))[("a", "b")]) == [("a", "b", "d")]
+        assert list(db.index("fact", (2,))[("c",)]) == [("x", "b", "c")]
+        assert len(db.index("fact", (0,))[("a",)]) == 1
+
+    def test_mixed_arity_rows_skip_short_indexes(self):
+        # An index on position 2 never filed a 2-tuple; discarding the
+        # 2-tuple must not touch (or crash on) that index.
+        db = Database()
+        db.add("fact", ("a", "b"))
+        db.add("fact", ("a", "b", "c"))
+        db.index("fact", (2,))
+        assert db.discard("fact", ("a", "b"))
+        assert list(db.index("fact", (2,))[("c",)]) == [("a", "b", "c")]
+
+    def test_index_built_after_discard_is_correct(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        db.add("edge", ("c", "d"))
+        db.discard("edge", ("a", "b"))
+        index = db.index("edge", (0,))
+        assert ("a",) not in index
+        assert list(index[("c",)]) == [("c", "d")]
+
+
+class TestDiscardSnapshotConsistency:
+    def test_frozen_snapshot_invalidated(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        before = db.rows("edge")
+        db.discard("edge", ("a", "b"))
+        after = db.rows("edge")
+        assert before == frozenset({("a", "b")})  # old snapshot unchanged
+        assert after == frozenset()
+
+    def test_copy_unaffected_by_discard(self):
+        db = Database()
+        db.add("edge", ("a", "b"))
+        clone = db.copy()
+        db.discard("edge", ("a", "b"))
+        assert clone.contains("edge", ("a", "b"))
+
+    def test_interleaved_add_discard_rows(self):
+        db = Database()
+        for i in range(20):
+            db.add("n", (i,))
+        for i in range(0, 20, 2):
+            assert db.discard("n", (i,))
+        assert db.rows("n") == frozenset((i,) for i in range(1, 20, 2))
+        assert len(db) == 10

@@ -414,6 +414,31 @@ class TestQueryExplain:
         assert len(rounds) >= 2
         assert report.delta("deduction.materialisations") == 1
 
+    def test_explain_surfaces_cache_pathology_split(self):
+        """The headline separates rebuild churn (invalidations) from
+        in-place maintenance (delta applications): the same mutation
+        workload shows deltas on the incremental processor and
+        invalidations on the ablation."""
+        observed = {}
+        for incremental in (True, False):
+            proc = PropositionProcessor(incremental=incremental)
+            proc.define_class("Person")
+            proc.tell_individual("ann")
+            proc.classes_of("ann")           # warm the family
+            explain = QueryExplain(proc.registry)
+            with explain.capture("mutate") as report:
+                proc.tell_instanceof("ann", "Person")
+                proc.classes_of("ann")
+            observed[incremental] = report.headline()
+        assert observed[True]["closure_delta_applied"] > 0
+        assert observed[True]["closure_invalidations"] == 0
+        assert observed[False]["closure_invalidations"] > 0
+        assert observed[False]["closure_delta_applied"] == 0
+        rendered_keys = ("closure_delta_applied", "closure_invalidations")
+        assert any(key in QueryExplain(
+            PropositionProcessor().registry
+        ).explain(lambda: None).headline() for key in rendered_keys)
+
     def test_facade_explain_accessor(self):
         from repro.conceptbase import ConceptBase
 
@@ -459,6 +484,12 @@ class TestObsCli:
 
         assert main(["dump", trace]) == 0
         assert "wal.recover" in capsys.readouterr().out
+
+        assert main(["dump", trace, "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "closure cache" in out
+        assert "delta_applied" in out
+        assert "idb maintenance" in out
 
         # diff a snapshot against itself: all deltas zero, prints nothing
         assert main(["diff", metrics, metrics]) == 0

@@ -284,6 +284,29 @@ class TestOverlayDiscard:
         finally:
             service.close()
 
+    def test_commit_apply_delta_maintains_closure_caches(self):
+        """A committed tell reaches the shared base through the delta
+        hooks: the classification caches other sessions warmed are
+        patched in place (answers move, invalidations do not)."""
+        service = GKBMSService()
+        try:
+            client = LocalClient(service)
+            client.tell("TELL Doc IN SimpleClass END")
+            client.tell("TELL D1 IN Doc END")
+            client.instances("Doc")  # warm the closure caches
+            before = service.registry.snapshot()
+            client.begin()
+            client.tell("TELL D2 IN Doc END")
+            client.commit()
+            assert client.instances("Doc") == ["D1", "D2"]
+            after = service.registry.snapshot()
+            assert (after["proposition.closure_invalidations"]
+                    == before["proposition.closure_invalidations"])
+            assert (after["proposition.closure_delta_applied"]
+                    > before["proposition.closure_delta_applied"])
+        finally:
+            service.close()
+
 
 # ----------------------------------------------------------------------
 # Admission control
