@@ -144,6 +144,28 @@ class ServerOverloaded(ServerError):
     queue or commit queue is full.  Retry later; nothing was applied."""
 
 
+class ServerRestarting(ServerError):
+    """The service is recovering from a durability fault (the supervisor
+    is reopening the store and rebuilding state).  Retryable: nothing
+    this request asked for was applied, and a write re-submitted with
+    its idempotency token applies exactly once even if the original
+    attempt reached the commit log before the fault."""
+
+
+class ServerReadOnly(ServerError):
+    """The supervisor exhausted its restart budget (a crash loop) and
+    degraded the service to read-only instead of flapping.  Reads still
+    work against the last recovered state; writes are refused until an
+    operator intervenes."""
+
+
+class ConnectionLost(ServerError):
+    """The client's transport died mid-request: connection refused,
+    reset, closed, or a per-request socket timeout expired.  The request
+    outcome is unknown — safe to retry only for reads or for writes
+    carrying an idempotency token."""
+
+
 class DeadlineExceeded(ServerError):
     """The request's deadline passed before it could be admitted or
     committed.  Nothing was applied."""

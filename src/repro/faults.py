@@ -63,8 +63,16 @@ class FaultPlan:
     torn_writes: bool = True
     #: Raise a clean :class:`WriteFault` at this op instead of writing.
     fail_write_at: Optional[int] = None
+    #: Fail every fsync from this op on (EIO-style broken disk): the
+    #: targeted way to fault a *durability boundary* — group-commit
+    #: batches defer fsyncs to batch exit, so an arbitrary
+    #: ``fail_write_at`` usually lands on an append instead.
+    fail_fsyncs_from: Optional[int] = None
     #: Make every fsync a silent no-op (the lying-disk scenario).
     lying_fsyncs: bool = False
+    #: Start lying about fsync only from this op on (``None`` = honest
+    #: unless ``lying_fsyncs``): the disk that degrades mid-run.
+    lying_fsyncs_from: Optional[int] = None
     #: Seed for the torn-prefix lengths; same plan -> same bytes on disk.
     seed: int = 0
 
@@ -75,6 +83,16 @@ class FaultPlan:
         if self.fail_write_at is not None and op == self.fail_write_at:
             return "fail"
         return "ok"
+
+    def lies_at(self, op: int) -> bool:
+        """Whether the fsync with this op index silently lies."""
+        if self.lying_fsyncs:
+            return True
+        return self.lying_fsyncs_from is not None and op >= self.lying_fsyncs_from
+
+    def fsync_fails_at(self, op: int) -> bool:
+        """Whether the fsync with this op index raises cleanly."""
+        return self.fail_fsyncs_from is not None and op >= self.fail_fsyncs_from
 
 
 @dataclass
@@ -153,10 +171,10 @@ class FaultyIO(FileIO):
         action = self._tick()
         if action == "crash":
             raise CrashPoint(f"crashed during fsync (op {self.ops})")
-        if action == "fail":
+        if action == "fail" or self.plan.fsync_fails_at(self.ops):
             self.counters["failed_writes"] += 1
             raise WriteFault(f"injected fsync failure (op {self.ops})")
-        if self.plan.lying_fsyncs:
+        if self.plan.lies_at(self.ops):
             self.counters["lied_fsyncs"] += 1
             return
         self.counters["fsyncs"] += 1

@@ -20,7 +20,17 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.gkbms import GKBMS
-from repro.errors import CommitConflict, DeadlineExceeded, ReproError, ServerOverloaded
+from repro.errors import (
+    CommitConflict,
+    ConnectionLost,
+    DeadlineExceeded,
+    ReproError,
+    ServerOverloaded,
+    ServerReadOnly,
+    ServerRestarting,
+    SessionError,
+)
+from repro.faults import CrashPoint
 
 STRATEGIES = {
     "DecMoveDown": "MoveDownMapper",
@@ -212,6 +222,11 @@ class LoadStats:
     deadline_exceeded: int = 0
     expected_rejections: int = 0
     unexpected_errors: int = 0
+    #: Ops cut short by an injected fault (tolerant mode): the service
+    #: restarting, degraded read-only, a dropped connection, a session
+    #: lost across a recovery.  Chaos runs count these separately so
+    #: "unexpected" still gates at zero.
+    interrupted: int = 0
     latencies_ms: List[float] = field(default_factory=list)
     duration_s: float = 0.0
 
@@ -223,6 +238,7 @@ class LoadStats:
         self.deadline_exceeded += other.deadline_exceeded
         self.expected_rejections += other.expected_rejections
         self.unexpected_errors += other.unexpected_errors
+        self.interrupted += other.interrupted
         self.latencies_ms.extend(other.latencies_ms)
 
     @property
@@ -247,6 +263,7 @@ class LoadStats:
             "deadline_exceeded": self.deadline_exceeded,
             "expected_rejections": self.expected_rejections,
             "unexpected_errors": self.unexpected_errors,
+            "interrupted": self.interrupted,
             "duration_s": round(self.duration_s, 6),
             "throughput_rps": round(self.throughput, 3),
         }
@@ -280,6 +297,13 @@ class ConcurrentLoadGenerator:
     transaction_ratio: float = 0.5
     hot_keys: int = 4
     class_name: str = "LoadObject"
+    #: Chaos mode: the service may be killed, restarted or degraded
+    #: mid-run, so fault-shaped failures (restarting, read-only, lost
+    #: connections, sessions invalidated by a recovery) count as
+    #: ``interrupted`` instead of ``unexpected_errors`` — and a
+    #: simulated process death reaching a worker ends that worker's op
+    #: instead of tearing the whole generator down.
+    tolerant: bool = False
 
     def prime(self, client: Any) -> None:
         """Create the class and hot objects every worker touches."""
@@ -293,8 +317,20 @@ class ConcurrentLoadGenerator:
             primer = self.client_factory()
             try:
                 self.prime(primer)
+            except BaseException as exc:  # noqa: BLE001 - chaos only
+                # In tolerant mode the fault may land while priming;
+                # the workers still run (and count their own
+                # interruptions).  Anywhere else, priming must work.
+                if not (self.tolerant
+                        and isinstance(exc, (ReproError, OSError,
+                                             CrashPoint))):
+                    raise
             finally:
-                primer.close()
+                try:
+                    primer.close()
+                except CrashPoint:
+                    if not self.tolerant:
+                        raise
         per_worker = [LoadStats() for _ in range(self.threads)]
         barrier = threading.Barrier(self.threads + 1)
         workers = [
@@ -358,10 +394,31 @@ class ConcurrentLoadGenerator:
         except DeadlineExceeded:
             stats.deadline_exceeded += 1
             stats.expected_rejections += 1
+        except (ServerRestarting, ServerReadOnly,
+                ConnectionLost, SessionError):
+            if self.tolerant:
+                stats.interrupted += 1
+            else:
+                stats.unexpected_errors += 1
+        except CrashPoint:
+            # The simulated process death leaked to this caller (e.g.
+            # an in-process client racing the kill).  In chaos mode the
+            # worker plays a client of a dead server: count and carry
+            # on.  Outside chaos there is no legitimate source — let it
+            # kill the run like the SIGKILL it models.
+            if not self.tolerant:
+                raise
+            stats.interrupted += 1
         except ReproError:
-            stats.unexpected_errors += 1
+            if self.tolerant:
+                stats.interrupted += 1
+            else:
+                stats.unexpected_errors += 1
         except Exception:
-            stats.unexpected_errors += 1
+            if self.tolerant:
+                stats.interrupted += 1
+            else:
+                stats.unexpected_errors += 1
 
     def _transaction_op(self, client: Any, rng: random.Random, wid: int,
                         n: int, stats: LoadStats) -> None:

@@ -29,8 +29,12 @@ Everything reports into the PR 4 observability substrate under the
 ``server.*`` metrics namespace and ``server.*`` spans.
 """
 
-from repro.server.client import LocalClient, TCPClient
+from repro.server.client import LocalClient, RetryPolicy, TCPClient
 from repro.server.service import GKBMSService
+from repro.server.supervisor import ServiceSupervisor
 from repro.server.tcp import GKBMSServer
 
-__all__ = ["GKBMSService", "GKBMSServer", "LocalClient", "TCPClient"]
+__all__ = [
+    "GKBMSService", "GKBMSServer", "LocalClient", "RetryPolicy",
+    "ServiceSupervisor", "TCPClient",
+]

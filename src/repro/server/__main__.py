@@ -19,8 +19,10 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
 import tempfile
+import threading
 from typing import Any, Dict, Optional
 
 from repro.analysis.concurrency import lockdep
@@ -31,6 +33,7 @@ from repro.propositions.wal import WalStore
 from repro.scenario.workload import ConcurrentLoadGenerator
 from repro.server.client import TCPClient
 from repro.server.service import GKBMSService
+from repro.server.supervisor import ServiceSupervisor
 from repro.server.tcp import GKBMSServer
 
 
@@ -50,18 +53,56 @@ def _build_service(args: argparse.Namespace,
     )
 
 
+def _install_drain_handlers(server: GKBMSServer) -> threading.Event:
+    """SIGTERM/SIGINT → graceful drain: stop accepting, flush the
+    pipeline behind a final checkpoint, close the WAL.
+
+    ``shutdown()`` blocks until ``serve_forever`` returns, and the
+    signal handler runs *on* the serving thread — calling it directly
+    would deadlock, so the handler hands the drain to a helper thread
+    and returns immediately."""
+    draining = threading.Event()
+
+    def _drain(signum: int, _frame: Any) -> None:
+        if draining.is_set():
+            return  # second signal while already draining: ignore
+        draining.set()
+        log("info", f"signal {signum}: draining (stop accepting, flush "
+            f"pipeline, final checkpoint, close WAL)",
+            logger="repro.server")
+        # shutdown() only *unblocks* serve_forever; the main thread then
+        # runs the actual drain, so process exit cannot cut it short.
+        threading.Thread(
+            target=server.shutdown, name="gkbms-drain", daemon=True
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    return draining
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     service = _build_service(args, args.wal)
+    supervisor = None
+    if args.supervise:
+        supervisor = ServiceSupervisor(service)
     server = GKBMSServer((args.host, args.port), service)
+    draining = _install_drain_handlers(server)
     log("info", f"GKBMS serving on {server.host}:{server.port} "
-        f"(wal={args.wal or 'none'}, batch={args.max_batch})",
+        f"(wal={args.wal or 'none'}, batch={args.max_batch}, "
+        f"supervised={supervisor is not None})",
         logger="repro.server")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.close()
+        if draining.is_set():
+            server.server_close()
+            service.drain()
+            log("info", "drained; exiting", logger="repro.server")
+        else:
+            server.close()
     return 0
 
 
@@ -93,6 +134,8 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     sanitizer = lockdep.manager()  # armed iff REPRO_LOCKDEP is set
     with tempfile.TemporaryDirectory(prefix="gkbms-smoke-") as tmp:
         service = _build_service(args, os.path.join(tmp, "smoke.wal"))
+        if args.supervise:
+            ServiceSupervisor(service)
         with GKBMSServer(("127.0.0.1", 0), service) as server:
             server.serve_in_thread()
             load = _run_load(server.host, server.port, args)
@@ -158,6 +201,10 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         help="admission cap on concurrent requests")
     parser.add_argument("--check-consistency", action="store_true",
                         help="enforce constraints at commit")
+    parser.add_argument("--supervise", action="store_true",
+                        help="attach a ServiceSupervisor: restart "
+                             "through WAL recovery on durability "
+                             "faults instead of refusing all writes")
 
 
 def _add_load_options(parser: argparse.ArgumentParser) -> None:

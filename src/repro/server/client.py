@@ -1,4 +1,4 @@
-"""Clients: the same API in-process and over TCP.
+"""Clients: the same API in-process and over TCP, with safe retries.
 
 :class:`LocalClient` talks to a :class:`~repro.server.service.GKBMSService`
 in the same process; :class:`TCPClient` talks to a
@@ -11,24 +11,98 @@ result fails in the unit tests, not in production).
 Typed errors survive the wire: a refused commit raises
 :class:`~repro.errors.CommitConflict` from either client, a shed
 request raises :class:`~repro.errors.ServerOverloaded`, and so on.
+
+**Retries.**  Give a client a :class:`RetryPolicy` and transient typed
+failures — :class:`~repro.errors.ServerOverloaded` (shed),
+:class:`~repro.errors.ServerRestarting` (supervised recovery in
+progress) and :class:`~repro.errors.ConnectionLost` (socket died or
+timed out) — are retried with capped, seeded-jittered exponential
+backoff.  Reads are always safe to retry.  Writes are retried only
+because the client stamps each logical write with a fresh
+**idempotency token**: the server remembers acked results by token, so
+a retry whose original attempt actually committed collects the
+original result (marked ``idempotent: true``) instead of applying
+twice.  ``ConnectionLost`` is the ambiguous case retries exist for —
+the request may or may not have been applied — and the token is what
+resolves the ambiguity.
+
+After a connection loss the :class:`TCPClient` reconnects and opens a
+*fresh* session before retrying.  A retried autocommit ``tell``/
+``untell`` carries its ops in the request, so it lands cleanly on the
+new session.  A retried transactional ``commit`` either finds its
+token (the original acked — result returned) or fails with a typed
+:class:`~repro.errors.SessionError` (the staging died with the old
+session and the commit definitively did not apply) — never silently
+half-applies.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.errors import ProtocolError, ReproError, ServerError
+from repro.errors import (
+    ConnectionLost,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    ServerOverloaded,
+    ServerRestarting,
+)
 from repro.server.protocol import decode_frame, encode_frame, exception_for
+
+#: Ops whose effect mutates the shared base — retried only with a token.
+_WRITE_OPS = frozenset({"tell", "untell", "commit"})
+
+#: The transient, typed failures a RetryPolicy may re-submit after.
+RETRYABLE = (ServerOverloaded, ServerRestarting, ConnectionLost)
+
+
+class RetryPolicy:
+    """Capped, seeded-jittered exponential backoff for client retries.
+
+    ``max_attempts`` counts the first try: the default 4 means one
+    request plus up to three retries.  Delays grow ``base * 2**n`` up
+    to ``cap``, each scaled by a seeded jitter in ``[0.5, 1.0)`` so a
+    thundering herd of identical clients decorrelates deterministically
+    per seed.
+    """
+
+    def __init__(self, max_attempts: int = 4,
+                 base: float = 0.02, cap: float = 1.0,
+                 seed: int = 0, sleep=time.sleep) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        #: Observability for tests and benches: total retries issued.
+        self.retries = 0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        raw = min(self.cap, self.base * (2 ** (attempt - 1)))
+        return raw * (0.5 + self._rng.random() / 2.0)
+
+    def pause(self, attempt: int) -> None:
+        self.retries += 1
+        self._sleep(self.delay(attempt))
 
 
 class _BaseClient:
     """Request numbering, session bookkeeping, typed error raising."""
 
-    def __init__(self, deadline_ms: Optional[float] = None) -> None:
+    def __init__(self, deadline_ms: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         #: Default per-request deadline budget (ms); ``None`` = none.
         self.deadline_ms = deadline_ms
+        self.retry = retry
         self._req_id = 0
         self._session: Optional[str] = None
 
@@ -36,15 +110,59 @@ class _BaseClient:
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         raise NotImplementedError
 
+    def _recover_transport(self) -> None:
+        """Re-establish the transport before a retry (reconnect and
+        re-handshake for sockets; nothing in process)."""
+
     @property
     def session(self) -> Optional[str]:
         return self._session
 
+    @staticmethod
+    def _new_token() -> str:
+        """A fresh idempotency token for one logical write."""
+        return uuid.uuid4().hex
+
     def _call(self, op: str, params: Optional[Dict[str, Any]] = None,
               deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        params = dict(params) if params else {}
+        if self.retry is not None and op in _WRITE_OPS \
+                and "token" not in params:
+            # One token per logical write, shared by all its attempts:
+            # this is what makes the retry loop below safe for writes.
+            params["token"] = self._new_token()
+        attempt = 1
+        while True:
+            try:
+                return self._call_once(op, params, deadline_ms)
+            except RETRYABLE as exc:
+                if not self._can_retry(op, params, attempt):
+                    raise
+                self.retry.pause(attempt)  # type: ignore[union-attr]
+                attempt += 1
+                if isinstance(exc, ConnectionLost):
+                    try:
+                        self._recover_transport()
+                    except ConnectionLost:
+                        # Still unreachable; the next attempt surfaces
+                        # it (and burns an attempt, as it should).
+                        pass
+
+    def _can_retry(self, op: str, params: Dict[str, Any],
+                   attempt: int) -> bool:
+        if self.retry is None or attempt >= self.retry.max_attempts:
+            return False
+        if op == "bye":
+            return False  # best-effort farewell; never worth a wait
+        if op in _WRITE_OPS and "token" not in params:
+            return False  # an untokened write retry could double-apply
+        return True
+
+    def _call_once(self, op: str, params: Dict[str, Any],
+                   deadline_ms: Optional[float]) -> Dict[str, Any]:
         self._req_id += 1
         payload: Dict[str, Any] = {
-            "id": self._req_id, "op": op, "params": params or {},
+            "id": self._req_id, "op": op, "params": params,
         }
         if op not in ("hello", "ping"):
             if self._session is None:
@@ -130,6 +248,16 @@ class _BaseClient:
     def commit(self, **kw: Any) -> Dict[str, Any]:
         return self._call("commit", **kw)
 
+    def commit_with_token(self, token: str, **kw: Any) -> Dict[str, Any]:
+        """Commit under an explicit idempotency token.
+
+        The recovery tool for a lost ack: if a previous commit carrying
+        ``token`` was acknowledged, this returns its recorded result
+        (``idempotent: true``) even from a brand-new session; if it
+        never applied, this behaves exactly like :meth:`commit` for the
+        current transaction."""
+        return self._call("commit", {"token": token}, **kw)
+
     def abort(self, **kw: Any) -> Dict[str, Any]:
         return self._call("abort", **kw)
 
@@ -176,8 +304,9 @@ class LocalClient(_BaseClient):
 
     def __init__(self, service: Any,
                  deadline_ms: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
                  auto_hello: bool = True) -> None:
-        super().__init__(deadline_ms=deadline_ms)
+        super().__init__(deadline_ms=deadline_ms, retry=retry)
         self._service = service
         if auto_hello:
             self.hello()
@@ -191,33 +320,130 @@ class LocalClient(_BaseClient):
 
 
 class TCPClient(_BaseClient):
-    """Socket client for ``python -m repro.server``."""
+    """Socket client for ``python -m repro.server``.
+
+    Every request is bounded: connecting waits at most
+    ``connect_timeout`` seconds, and each request waits at most its
+    deadline budget (``deadline_ms`` plus grace, when one is set) or
+    ``timeout`` seconds for the response — a dead or hung server
+    surfaces as a typed :class:`~repro.errors.ConnectionLost`, never an
+    unbounded ``recv``.  A timeout poisons the stream (a late response
+    would desynchronize request ids), so the socket is closed and the
+    next retry reconnects with a fresh session.
+    """
+
+    #: Seconds added to deadline_ms for the per-request socket timeout:
+    #: the deadline governs server-side admission + execution; the wire
+    #: needs a little longer before the client declares the link dead.
+    DEADLINE_GRACE = 1.0
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8731,
                  deadline_ms: Optional[float] = None,
                  timeout: float = 30.0,
+                 connect_timeout: float = 5.0,
+                 retry: Optional[RetryPolicy] = None,
                  auto_hello: bool = True) -> None:
-        super().__init__(deadline_ms=deadline_ms)
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        super().__init__(deadline_ms=deadline_ms, retry=retry)
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self._file: Any = None
+        self._connect()
         if auto_hello:
             self.hello()
 
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            raise ConnectionLost(
+                f"connect to {self._host}:{self._port} failed: {exc}"
+            ) from exc
+        self._sock.settimeout(self._timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _drop_connection(self) -> None:
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        try:
+            if file is not None:
+                file.close()
+        except OSError:
+            pass
+        try:
+            if sock is not None:
+                sock.close()
+        except OSError:
+            pass
+
+    def _request_timeout(self, payload: Dict[str, Any]) -> float:
+        budget = payload.get("deadline_ms")
+        if budget is not None:
+            return budget / 1000.0 + self.DEADLINE_GRACE
+        return self._timeout
+
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        self._file.write(encode_frame(payload))
-        self._file.flush()
-        line = self._file.readline()
+        if self._sock is None:
+            raise ConnectionLost(
+                f"not connected to {self._host}:{self._port}"
+            )
+        self._sock.settimeout(self._request_timeout(payload))
+        try:
+            self._file.write(encode_frame(payload))
+            self._file.flush()
+            line = self._file.readline()
+        except socket.timeout as exc:
+            self._drop_connection()
+            raise ConnectionLost(
+                f"request {payload.get('op')!r} timed out after "
+                f"{self._request_timeout(payload):.1f}s; connection dropped"
+            ) from exc
+        except OSError as exc:
+            self._drop_connection()
+            raise ConnectionLost(
+                f"connection to {self._host}:{self._port} failed: {exc}"
+            ) from exc
         if not line:
-            raise ServerError("server closed the connection")
+            self._drop_connection()
+            raise ConnectionLost("server closed the connection")
         return decode_frame(line)
+
+    def _recover_transport(self) -> None:
+        """Reconnect and open a fresh session (the old one may be gone
+        with the old connection; the retried request re-binds to the
+        new one — idempotency tokens, not session identity, carry write
+        dedup across the gap)."""
+        self._drop_connection()
+        self._connect()
+        # Raw handshake, not self.hello(): the retrying _call must not
+        # re-enter itself through the recovery path.
+        self._req_id += 1
+        response = self._request(
+            {"id": self._req_id, "op": "hello", "params": {}}
+        )
+        if response.get("ok"):
+            result = response.get("result") or {}
+            self._session = str(result.get("session"))
+        else:
+            error = response.get("error")
+            raise exception_for(error if isinstance(error, dict) else {})
 
     def close(self) -> None:
         try:
-            self.bye()
+            if self._sock is not None:
+                self.bye()
         except (ReproError, OSError):
             pass
         finally:
-            try:
-                self._file.close()
-            finally:
-                self._sock.close()
+            self._drop_connection()
+
+
+__all__ = ["LocalClient", "RetryPolicy", "TCPClient", "RETRYABLE"]

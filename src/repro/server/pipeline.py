@@ -19,14 +19,37 @@ base* — a rejected commit consumes no proposition identifiers, so a
 single-threaded replay of the accepted commit log reproduces the live
 store exactly.
 
+**Acked vs applied.**  A commit is *applied* when its operations have
+mutated the in-memory base and been appended to the WAL; it is *acked*
+only once the batch's durability scope (the group fsync) has succeeded
+and the submitter has been woken with a result.  The pipeline tracks
+both: :meth:`commit_log` is the applied log (the oracle the stress
+tests replay), :attr:`acked_seq` is the sequence number of the last
+commit whose durability was confirmed, and :attr:`durable_offset` is
+the WAL byte offset covered by the last successful fsync — the exact
+boundary a supervised restart truncates back to, so a commit that was
+applied but never acknowledged can never resurrect after recovery.
+
+**Idempotency tokens.**  A submit may carry a client-generated token.
+Tokens of acked commits are remembered with their results: re-submitting
+the same token returns the recorded result without re-applying, which is
+what makes client-side retries of writes safe across connection loss and
+supervised restarts.  Tokens are validated against the accepted commit
+log, so only commits that actually acked dedupe — a token whose commit
+died unacknowledged in a faulted batch is forgotten by recovery (its
+effects were truncated away with it) and the retry applies exactly once.
+
 If the durability scope itself fails (an fsync fault raising
 :class:`~repro.errors.PersistenceError` on batch exit), the "ack means
 durable" promise cannot be kept for anything in that batch: every
-submitter in the batch is failed with a typed
-:class:`~repro.errors.ServerError` and the pipeline is *poisoned* —
-all queued and future submits fail fast instead of building on state
-that may not survive a restart.  Submitters are always woken, fault or
-not; nothing ever hangs on a dead writer thread.
+submitter in the batch is failed with a typed error and the pipeline is
+*poisoned* — all queued and future submits fail fast instead of
+building on state that may not survive a restart.  When a supervisor is
+attached (:attr:`recoverable`), those errors are the retryable
+:class:`~repro.errors.ServerRestarting`; without one they remain plain
+:class:`~repro.errors.ServerError` ("restart the server").  Submitters
+are always woken, fault or not; nothing ever hangs on a dead writer
+thread.
 """
 
 from __future__ import annotations
@@ -38,7 +61,12 @@ from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.concurrency.lockdep import make_lock
-from repro.errors import CommitConflict, ServerError, ServerOverloaded
+from repro.errors import (
+    CommitConflict,
+    ServerError,
+    ServerOverloaded,
+    ServerRestarting,
+)
 from repro.obs.metrics import Namespace
 from repro.obs.tracing import Tracer
 from repro.propositions.wal import WalStore
@@ -53,15 +81,22 @@ ApplyFn = Callable[["PendingCommit"], Dict[str, Any]]
 
 _STOP = object()
 
+#: Acked idempotency-token results kept before the oldest are evicted
+#: (a retry arriving more than this many commits late re-applies; with
+#: client retry windows of seconds and eviction by commit count, that
+#: would take a pathological client).
+MAX_TOKEN_RESULTS = 4096
+
 
 class PendingCommit:
     """One session's commit, in flight through the pipeline."""
 
-    __slots__ = ("ops", "keys", "read_epoch", "session_id",
+    __slots__ = ("ops", "keys", "read_epoch", "session_id", "token",
                  "enqueued", "done", "result", "error", "seq")
 
     def __init__(self, ops: List[StagedOp], keys: List[str],
-                 read_epoch: Optional[int], session_id: str) -> None:
+                 read_epoch: Optional[int], session_id: str,
+                 token: Optional[str] = None) -> None:
         self.ops = ops
         self.keys = keys
         #: Commit sequence number the transaction read from; ``None``
@@ -69,6 +104,8 @@ class PendingCommit:
         #: conflict (there is nothing stale to protect).
         self.read_epoch = read_epoch
         self.session_id = session_id
+        #: Client-generated idempotency token (``None`` = not retried).
+        self.token = token
         self.enqueued = time.monotonic()
         self.done = threading.Event()
         self.result: Optional[Dict[str, Any]] = None
@@ -83,7 +120,8 @@ class CommitPipeline:
                  wal: Optional[WalStore] = None,
                  max_batch: int = 8,
                  batch_window: float = 0.0,
-                 max_queue: int = 128) -> None:
+                 max_queue: int = 128,
+                 state: Optional[Dict[str, Any]] = None) -> None:
         self._apply = apply
         self._tracer = tracer
         self._wal = wal
@@ -91,20 +129,50 @@ class CommitPipeline:
         self._batch_window = max(0.0, batch_window)
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=max_queue)
         self._log_lock = make_lock("server.pipeline.log_lock")
-        #: Accepted commits, in apply order: (seq, session_id, ops).
+        #: Applied commits, in apply order: (seq, session_id, ops).
         #: Replaying these into a fresh ConceptBase reproduces the live
         #: knowledge base — the oracle the stress tests check against.
         self._commit_log: List[Tuple[int, str, List[StagedOp]]] = []  # guarded-by: _log_lock
+        #: token -> result of the *acked* commit it named.  Retried
+        #: submits return this instead of re-applying.
+        self._token_results: Dict[str, Dict[str, Any]] = {}  # guarded-by: _log_lock
+        #: Sequence number of the last commit whose batch fsync
+        #: succeeded (everything at or below is durable and acked).
+        self._acked_seq = 0  # guarded-by: _log_lock
+        #: token -> seq for every *applied* commit, acked or not —
+        #: the writer's own double-apply guard within a poisoned era.
+        self._applied_tokens: Dict[str, int] = {}  # guarded-by: <writer>
         #: key -> commit seq that last wrote it (writer thread only).
         self._last_write: Dict[str, int] = {}  # guarded-by: <writer>
         self._commit_seq = 0  # guarded-by: <writer>
+        #: WAL byte offset covered by the last successful group fsync —
+        #: a supervised restart truncates the log back to exactly here.
+        self._durable_offset: Optional[int] = (
+            getattr(wal, "log_offset", None)
+        )  # guarded-by: <atomic>
+        if state:
+            self._commit_seq = int(state.get("commit_seq", 0))
+            self._acked_seq = int(state.get("acked_seq", self._commit_seq))
+            self._last_write = dict(state.get("last_write", {}))
+            self._commit_log = list(state.get("commit_log", []))
+            self._token_results = dict(state.get("token_results", {}))
+            self._applied_tokens = {
+                token: 0 for token in self._token_results
+            }
         self._c_committed = metrics.counter("committed")
         self._c_conflicts = metrics.counter("conflicts")
         self._c_errors = metrics.counter("errors")
         self._c_shed = metrics.counter("shed")
+        self._c_idempotent = metrics.counter("idempotent_hits")
         self._g_queue = metrics.gauge("queue_depth")
         self._h_batch = metrics.histogram("batch_size")
         self._h_latency = metrics.histogram("latency_ms")
+        #: True once a supervisor owns this pipeline's failure mode:
+        #: poison errors become the retryable ServerRestarting.
+        self.recoverable = False  # guarded-by: <atomic>
+        #: Called once, from the writer thread, when a durability fault
+        #: poisons the pipeline (the supervisor's wake-up call).
+        self._fault_listener: Optional[Callable[[BaseException], None]] = None
         #: Guards the closed-check-and-enqueue in :meth:`submit` against
         #: :meth:`close`, so no commit can ever be queued *behind* the
         #: stop sentinel (it would never be processed).
@@ -128,31 +196,122 @@ class CommitPipeline:
 
     @property
     def commit_seq(self) -> int:
-        """Sequence number of the latest accepted commit (0 = none)."""
+        """Sequence number of the latest applied commit (0 = none)."""
         return self._commit_seq  # unguarded: racy int read of the head is advisory
 
+    @property
+    def acked_seq(self) -> int:
+        """Sequence number of the latest durably acknowledged commit."""
+        with self._log_lock:
+            return self._acked_seq
+
+    @property
+    def durable_offset(self) -> Optional[int]:
+        """WAL offset of the last confirmed fsync (``None`` = no WAL)."""
+        return self._durable_offset  # unguarded: advisory watermark read
+
+    def mark_durable(self, offset: Optional[int]) -> None:
+        """Reset the durable watermark after an out-of-band durability
+        event — a checkpoint rewrites the log under a new generation, so
+        byte offsets restart and the old watermark would point into a
+        log that no longer exists."""
+        self._durable_offset = offset
+
+    @property
+    def fault(self) -> Optional[BaseException]:
+        """The durability fault that poisoned the pipeline, if any."""
+        return self._fault  # unguarded: written once before poisoning
+
+    @property
+    def poisoned(self) -> bool:
+        return self._fault is not None
+
+    def set_fault_listener(
+        self, listener: Optional[Callable[[BaseException], None]]
+    ) -> None:
+        """Register the supervisor's poison callback (also marks the
+        pipeline recoverable, switching poison errors to the retryable
+        :class:`~repro.errors.ServerRestarting`)."""
+        self._fault_listener = listener
+        self.recoverable = listener is not None
+
     def commit_log(self) -> List[Tuple[int, str, List[StagedOp]]]:
-        """Snapshot of the accepted commit log, in apply order."""
+        """Snapshot of the applied commit log, in apply order."""
         with self._log_lock:
             return list(self._commit_log)
 
+    def acked_log(self) -> List[Tuple[int, str, List[StagedOp]]]:
+        """The durably acknowledged prefix of the commit log."""
+        with self._log_lock:
+            return [
+                entry for entry in self._commit_log
+                if entry[0] <= self._acked_seq
+            ]
+
+    def token_result(self, token: Optional[str]) -> Optional[Dict[str, Any]]:
+        """The recorded result of the acked commit named by ``token``,
+        or ``None`` — the server-side idempotency check."""
+        if token is None:
+            return None
+        with self._log_lock:
+            result = self._token_results.get(token)
+            return dict(result) if result is not None else None
+
+    def export_state(self) -> Dict[str, Any]:
+        """Everything a successor pipeline needs to continue this one's
+        era after a supervised restart: the monotonic sequence head, the
+        conflict watermarks, and the *acked* commit log with its token
+        results.  Applied-but-unacked commits are deliberately absent —
+        the restart truncates their WAL records, so their tokens must
+        re-apply."""
+        with self._log_lock:
+            return {
+                # the two writer-confined maps are safe here: export runs
+                # only after close() has joined the writer thread
+                "commit_seq": self._commit_seq,  # unguarded: writer joined
+                "acked_seq": self._acked_seq,
+                "last_write": dict(self._last_write),  # unguarded: writer joined
+                "commit_log": [
+                    entry for entry in self._commit_log
+                    if entry[0] <= self._acked_seq
+                ],
+                "token_results": {
+                    token: dict(result)
+                    for token, result in self._token_results.items()
+                },
+            }
+
+    def _poison_error(self, prefix: str) -> ServerError:
+        if self.recoverable:
+            return ServerRestarting(
+                f"{prefix}: {self._fault}; the supervisor is restarting "
+                f"the service — retry (idempotency tokens apply exactly "
+                f"once)"
+            )
+        return ServerError(f"{prefix}: {self._fault}; restart the server")
+
     def submit(self, ops: List[StagedOp], keys: List[str],
-               read_epoch: Optional[int], session_id: str) -> Dict[str, Any]:
+               read_epoch: Optional[int], session_id: str,
+               token: Optional[str] = None) -> Dict[str, Any]:
         """Enqueue one commit and block until it is durable (or refused).
 
         A full queue sheds immediately with
         :class:`~repro.errors.ServerOverloaded`; once enqueued, the
         commit always runs to an answer (the bounded queue bounds the
-        wait), so an acknowledged submit is never ambiguous."""
-        pending = PendingCommit(ops, keys, read_epoch, session_id)
+        wait), so an acknowledged submit is never ambiguous.  A token
+        that already acked returns its recorded result without touching
+        the queue."""
+        cached = self.token_result(token)
+        if cached is not None:
+            self._c_idempotent.inc()
+            cached["idempotent"] = True
+            return cached
+        pending = PendingCommit(ops, keys, read_epoch, session_id, token)
         with self._submit_lock:
             if self._closed:
                 raise ServerError("commit pipeline is closed")
             if self._fault is not None:
-                raise ServerError(
-                    f"commit pipeline failed: {self._fault}; "
-                    f"restart the server"
-                )
+                raise self._poison_error("commit pipeline failed")
             try:
                 self._queue.put_nowait(pending)
             except queue.Full:
@@ -217,12 +376,14 @@ class CommitPipeline:
             # The flag goes up *before* the sweep: a submitter that
             # enqueues after the sweep will see it and re-sweep itself.
             self._writer_exited = True
-            reason = (
-                "commit pipeline stopped before this commit ran"
-                if self._fault is None
-                else f"commit pipeline failed: {self._fault}"
-            )
-            self._fail_queued(ServerError(reason))
+            reason: ServerError
+            if self._fault is None:
+                reason = ServerError(
+                    "commit pipeline stopped before this commit ran"
+                )
+            else:
+                reason = self._poison_error("commit pipeline failed")
+            self._fail_queued(reason)
 
     def _fail_queued(self, error: ServerError) -> None:
         """Fail-and-wake every commit still sitting in the queue."""
@@ -258,6 +419,7 @@ class CommitPipeline:
         return False
 
     def _process(self, batch: List[PendingCommit]) -> None:  # runs-on: writer
+        fault: Optional[BaseException] = None
         try:
             with self._tracer.span("server.commit", batch=str(len(batch))):
                 durability = self._wal.batch() if self._wal is not None \
@@ -268,6 +430,7 @@ class CommitPipeline:
                 # The batch scope has forced the WAL: everything below
                 # is durable.  Only now may submitters be acknowledged
                 # positively.
+            self._ack_batch(batch)
         except BaseException as exc:  # noqa: BLE001 - durability fault
             # The batch's durability scope failed (e.g. an injected
             # fsync fault): commits applied in this batch are visible in
@@ -275,29 +438,80 @@ class CommitPipeline:
             # acknowledged.  Fail the whole batch and poison the
             # pipeline — "ack means durable" stays true at the price of
             # refusing all further writes until a restart re-establishes
-            # a known-durable state.
+            # a known-durable state (the supervisor's job when one is
+            # attached; it truncates the WAL back to durable_offset, so
+            # these commits cannot resurrect half-acked).
             self._fault = exc
+            fault = exc
             self._c_errors.inc()
             for pending in batch:
                 if pending.error is None:
                     pending.result = None
-                    pending.error = ServerError(
-                        f"commit durability failed: {exc}; this commit "
-                        f"may not survive a restart and the pipeline is "
-                        f"stopped"
-                    )
+                    if self.recoverable:
+                        pending.error = ServerRestarting(
+                            f"commit durability failed: {exc}; the commit "
+                            f"was rolled back by the supervised restart — "
+                            f"retry with the same idempotency token"
+                        )
+                    else:
+                        pending.error = ServerError(
+                            f"commit durability failed: {exc}; this commit "
+                            f"may not survive a restart and the pipeline is "
+                            f"stopped"
+                        )
         finally:
             now = time.monotonic()
             self._h_batch.observe(len(batch))
             for pending in batch:
                 self._h_latency.observe((now - pending.enqueued) * 1000.0)
                 pending.done.set()
+            if fault is not None and self._fault_listener is not None:
+                self._fault_listener(fault)
+
+    def _ack_batch(self, batch: List[PendingCommit]) -> None:  # runs-on: writer
+        """Advance the acked/durable watermarks and bind tokens — only
+        ever called after the batch's durability scope succeeded."""
+        if self._wal is not None:
+            self._durable_offset = getattr(self._wal, "log_offset", None)
+        accepted = [p for p in batch if p.seq is not None]
+        if not accepted:
+            return
+        with self._log_lock:
+            self._acked_seq = max(self._acked_seq,
+                                  max(p.seq for p in accepted))
+            for pending in accepted:
+                if pending.token is not None and pending.result is not None:
+                    self._token_results[pending.token] = dict(pending.result)
+            while len(self._token_results) > MAX_TOKEN_RESULTS:
+                # dicts iterate in insertion order: drop the oldest ack.
+                self._token_results.pop(next(iter(self._token_results)))
 
     def _process_one(self, pending: PendingCommit) -> None:  # runs-on: writer
+        if pending.token is not None \
+                and pending.token in self._applied_tokens:
+            # Double-apply guard for a token already applied this era
+            # (e.g. two racing retries landing in adjacent batches).
+            cached = self.token_result(pending.token)
+            if cached is not None:
+                cached["idempotent"] = True
+                self._c_idempotent.inc()
+                pending.result = cached
+            else:
+                pending.error = ServerError(
+                    f"idempotency token {pending.token!r} is already in "
+                    f"flight; its outcome is not yet durable — retry"
+                )
+            return
         try:
             self._validate(pending)
             result = self._apply(pending)
-        except BaseException as exc:  # noqa: BLE001 - relayed to submitter
+        except Exception as exc:  # noqa: BLE001 - relayed to submitter
+            # Clean failures (conflict, consistency, a rolled-back IO
+            # error) are this commit's problem alone.  BaseException —
+            # a simulated process death mid-apply — deliberately falls
+            # through to _process: the in-memory base can no longer be
+            # trusted, so the whole pipeline must poison, not just this
+            # submitter.
             if isinstance(exc, CommitConflict):
                 self._c_conflicts.inc()
             else:
@@ -308,6 +522,8 @@ class CommitPipeline:
         pending.seq = self._commit_seq
         for key in pending.keys:
             self._last_write[key] = pending.seq
+        if pending.token is not None:
+            self._applied_tokens[pending.token] = pending.seq
         with self._log_lock:
             self._commit_log.append(
                 (pending.seq, pending.session_id, list(pending.ops))

@@ -15,6 +15,14 @@ Request frame::
 except ``hello``/``ping``; ``deadline_ms`` is an optional *relative*
 budget for admission + execution.
 
+Write ops (``tell``/``untell``/``commit``) accept an optional
+``params.token`` — a client-generated idempotency token.  The server
+remembers the result of every *acknowledged* commit by token, so a
+client that lost the ack (dropped connection, supervised restart) can
+re-submit the same token and collect the original result instead of
+applying twice.  Tokens must be unique per logical write; reusing one
+returns the first write's result forever after.
+
 Response frame::
 
     {"id": 7, "ok": true, "result": {...}}

@@ -34,6 +34,8 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     ServerError,
+    ServerReadOnly,
+    ServerRestarting,
     SessionError,
 )
 from repro.obs.explain import QueryExplain
@@ -65,6 +67,10 @@ _SESSIONLESS = frozenset({"hello", "ping"})
 _SESSION_SERIAL = frozenset(
     {"begin", "tell", "untell", "commit", "abort", "staged"}
 )
+
+#: Ops that mutate the shared knowledge base — refused in read-only
+#: degrade (everything else still serves from the recovered state).
+_WRITE_OPS = frozenset({"tell", "untell", "commit"})
 
 
 class GKBMSService:
@@ -108,6 +114,22 @@ class GKBMSService:
             ns, max_in_flight=max_in_flight, max_waiting=max_waiting,
             per_session=per_session, max_wait=max_wait,
         )
+        self._ns = ns
+        #: Pipeline sizing, remembered so a supervised restart rebuilds
+        #: the successor pipeline with identical shape.
+        self._pipeline_conf = dict(
+            max_batch=max_batch, batch_window=batch_window,
+            max_queue=max_queue,
+        )
+        self._check_consistency = check_consistency
+        #: ``serving`` | ``restarting`` | ``read_only`` — the restart
+        #: state machine.  Written by the supervisor path, read racily
+        #: at dispatch (a late read just means one more request reaches
+        #: the poisoned pipeline and fails typed there).
+        self._status = "serving"  # guarded-by: <atomic>
+        #: The supervisor's poison callback, re-attached to every
+        #: successor pipeline a restart builds.
+        self._fault_listener: Optional[Callable[[BaseException], None]] = None
         store = cb.propositions.store
         self.pipeline = CommitPipeline(
             self._apply_commit, ns.namespace("commit"), self._tracer,
@@ -197,6 +219,17 @@ class GKBMSService:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise ProtocolError(f"op {op!r} not implemented")
+        status = self._status
+        if status == "restarting" and op != "ping":
+            raise ServerRestarting(
+                "service is restarting after a durability fault; "
+                "retry shortly (idempotency tokens apply exactly once)"
+            )
+        if status == "read_only" and op in _WRITE_OPS:
+            raise ServerReadOnly(
+                "service degraded to read-only after repeated restart "
+                "failures; writes are refused until operator intervention"
+            )
         if op in _SESSIONLESS:
             return handler(params)
         if op in _SESSION_SERIAL:
@@ -211,6 +244,18 @@ class GKBMSService:
         if not isinstance(value, str) or not value.strip():
             raise ProtocolError(f"param {name!r} must be a non-empty string")
         return value
+
+    @staticmethod
+    def _opt_token(params: Dict[str, Any]) -> Optional[str]:
+        """The optional client-generated idempotency token."""
+        token = params.get("token")
+        if token is None:
+            return None
+        if not isinstance(token, str) or not token.strip():
+            raise ProtocolError(
+                "param 'token' must be a non-empty string when given"
+            )
+        return token
 
     # -- sessionless -------------------------------------------------------
 
@@ -292,22 +337,24 @@ class GKBMSService:
     def _op_tell(self, session: Session,
                  params: Dict[str, Any]) -> Dict[str, Any]:
         source = self._param(params, "source")
+        token = self._opt_token(params)
         keys = [frame.name for frame in parse_frames(source)]
         if session.in_transaction:
             staged = session.stage("tell", source, keys)
             return {"staged": staged}
         return self.pipeline.submit(
-            [("tell", source)], keys, None, session.sid
+            [("tell", source)], keys, None, session.sid, token=token
         )
 
     def _op_untell(self, session: Session,
                    params: Dict[str, Any]) -> Dict[str, Any]:
         name = self._param(params, "name")
+        token = self._opt_token(params)
         if session.in_transaction:
             staged = session.stage("untell", name, [name])
             return {"staged": staged}
         return self.pipeline.submit(
-            [("untell", name)], [name], None, session.sid
+            [("untell", name)], [name], None, session.sid, token=token
         )
 
     # -- transactions ------------------------------------------------------
@@ -326,6 +373,19 @@ class GKBMSService:
 
     def _op_commit(self, session: Session,
                    params: Dict[str, Any]) -> Dict[str, Any]:
+        token = self._opt_token(params)
+        # The idempotency check comes BEFORE the open-transaction check:
+        # a retried commit often arrives on a *new* session (the client
+        # reconnected after a drop or restart), which naturally has no
+        # open transaction — if the original attempt acked, the retry
+        # must collect that result, not a SessionError.
+        cached = self.pipeline.token_result(token)
+        if cached is not None:
+            cached["idempotent"] = True
+            if session.in_transaction:
+                session.end_transaction()
+                session.read_epoch = self.pipeline.commit_seq
+            return cached
         if not session.in_transaction:
             raise SessionError(
                 f"session {session.sid!r} has no open transaction to commit"
@@ -337,7 +397,7 @@ class GKBMSService:
                 return {"created": 0, "retracted": 0, "empty": True,
                         "commit_seq": self.pipeline.commit_seq}
             return self.pipeline.submit(
-                ops, keys, session.read_epoch, session.sid
+                ops, keys, session.read_epoch, session.sid, token=token
             )
         finally:
             # Commit ends the transaction either way: a refused commit
@@ -392,6 +452,8 @@ class GKBMSService:
 
     def _apply_commit(self, pending: PendingCommit) -> Dict[str, Any]:
         """Apply one accepted commit (writer thread, exclusive lock)."""
+        if pending.ops and pending.ops[0][0] == "checkpoint":
+            return self._apply_checkpoint()
         created = 0
         retracted = 0
         with self._rwlock.write_locked():
@@ -415,6 +477,27 @@ class GKBMSService:
             "epoch": self.cb.propositions.epoch,
         }
 
+    def _apply_checkpoint(self) -> Dict[str, Any]:
+        """Fold the WAL into a snapshot, on the writer thread.
+
+        Checkpoints ride the commit pipeline as a special op, so they
+        serialize with commit applies and run exactly where the store's
+        writer-confined state lives.  A checkpoint inside a group batch
+        is still crash-safe: records already applied in the batch are
+        covered by the (fsynced-on-write) snapshot, and records after it
+        land in the fresh log that the batch's deferred force covers.
+        """
+        store = self.cb.propositions.store
+        if not isinstance(store, WalStore):
+            return {"checkpoint": False, "dropped": 0}
+        with self._rwlock.write_locked():
+            dropped = store.checkpoint()
+        # The checkpoint itself is durable (atomic, fsynced), so the
+        # fresh log head is a confirmed durability boundary.
+        self.pipeline.mark_durable(store.log_offset)
+        return {"checkpoint": True, "dropped": dropped,
+                "generation": store.generation}
+
     def _revalidate_applying(self, _created: List[Any]) -> None:  # holds: _rwlock
         pending = self._applying
         if pending is None or pending.read_epoch is None:
@@ -425,6 +508,87 @@ class GKBMSService:
                 f"write-set keys {', '.join(stale)} changed under "
                 f"read epoch {pending.read_epoch} during apply"
             )
+
+    # ------------------------------------------------------------------
+    # Checkpoint, drain, supervised restart
+    # ------------------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """``serving`` | ``restarting`` | ``read_only``."""
+        return self._status
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Fold the WAL into a snapshot via the commit pipeline (so the
+        checkpoint serializes with in-flight commits).  No-op result on
+        a memory-backed service."""
+        return self.pipeline.submit(
+            [("checkpoint", "")], [], None, "__system__"
+        )
+
+    def drain(self) -> None:
+        """Graceful shutdown: flush the pipeline behind a final
+        checkpoint, stop the writer, drop sessions, close the WAL.
+
+        The transport stops accepting first (its job); anything still
+        queued commits ahead of the checkpoint.  A poisoned pipeline has
+        nothing flushable — its queue was already failed — so the
+        checkpoint is skipped and the store closed as-is."""
+        try:
+            self.checkpoint()
+        except ServerError:
+            pass
+        self.pipeline.close()
+        self.sessions.close_all()
+        store = self.cb.propositions.store
+        if isinstance(store, WalStore):
+            store.close()
+
+    def set_fault_listener(
+        self, listener: Optional[Callable[[BaseException], None]]
+    ) -> None:
+        """Attach the supervisor's poison callback (survives restarts:
+        every successor pipeline is wired with it too)."""
+        self._fault_listener = listener
+        self.pipeline.set_fault_listener(listener)
+
+    def begin_restart(self) -> None:
+        """Quiesce for a supervised restart: refuse new work with the
+        retryable :class:`~repro.errors.ServerRestarting` and fail every
+        open transaction's staging (their pinned epochs cannot survive
+        the rebuild)."""
+        self._status = "restarting"
+        self.sessions.invalidate_transactions()
+
+    def degrade_read_only(self) -> None:
+        """Crash-loop last resort: serve reads from the last recovered
+        state, refuse writes, stop flapping."""
+        self._status = "read_only"
+
+    def complete_restart(self, cb: ConceptBase,
+                         state: Dict[str, Any]) -> None:
+        """Swap in the recovered knowledge base and a successor pipeline
+        seeded with the predecessor's exported (acked-only) state, then
+        resume serving.
+
+        The swap holds the write side of the serving lock, so no read
+        can observe a half-replaced pair; the old pipeline must already
+        be closed by the caller (the supervisor)."""
+        with self._rwlock.write_locked():
+            self.cb = cb
+            store = cb.propositions.store
+            self.pipeline = CommitPipeline(
+                self._apply_commit, self._ns.namespace("commit"),
+                self._tracer,
+                wal=store if isinstance(store, WalStore) else None,
+                state=state, **self._pipeline_conf,
+            )
+            if self._fault_listener is not None:
+                self.pipeline.set_fault_listener(self._fault_listener)
+            if self._check_consistency:
+                cb.enforce_on_commit()
+            cb.propositions.add_commit_validator(self._revalidate_applying)
+        self._status = "serving"
 
     # ------------------------------------------------------------------
 

@@ -173,6 +173,24 @@ class SessionManager:
             if session.in_transaction:
                 session.end_transaction()
 
+    def invalidate_transactions(self) -> int:
+        """Discard every open transaction's staged overlay; returns how
+        many were dropped.  A supervised restart calls this while
+        quiescing: epochs pinned against the pre-fault head cannot be
+        honoured across the rebuild, so in-flight transactions fail
+        (typed, retryable) rather than committing against the wrong
+        history.  The sessions themselves survive — each client's next
+        ``begin`` re-pins against the recovered head."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        dropped = 0
+        for session in sessions:
+            with session.lock:
+                if session.in_transaction:
+                    session.end_transaction()
+                    dropped += 1
+        return dropped
+
     def close_all(self) -> None:
         with self._lock:
             sessions = list(self._sessions.values())

@@ -121,6 +121,18 @@ class GKBMSServer(socketserver.ThreadingTCPServer):
         self.server_close()
         self.service.close()
 
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, then let the service
+        flush its pipeline behind a final checkpoint and close the WAL
+        cleanly — the SIGTERM path, as opposed to dying mid-batch.
+
+        ``shutdown()`` blocks until ``serve_forever`` returns, so it
+        must be reached from a different thread than the serving loop
+        (the signal handler in ``__main__`` spawns one)."""
+        self.shutdown()
+        self.server_close()
+        self.service.drain()
+
     def __enter__(self) -> "GKBMSServer":
         return self
 

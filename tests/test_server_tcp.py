@@ -2,16 +2,23 @@
 everything over real sockets on an ephemeral port."""
 
 import json
+import signal
 import socket
+import threading
 
 import pytest
 
-from repro.errors import CommitConflict, ServerError
-from repro.server.client import TCPClient
+from repro.conceptbase import ConceptBase
+from repro.errors import CommitConflict, ConnectionLost, ServerError
+from repro.faults import FaultPlan, FaultyIO
+from repro.obs.metrics import MetricsRegistry
+from repro.propositions.wal import WalStore
+from repro.server.client import RetryPolicy, TCPClient
 from repro.server.protocol import MAX_FRAME
 from repro.server.service import GKBMSService
+from repro.server.supervisor import ServiceSupervisor
 from repro.server.tcp import GKBMSServer
-from repro.server.__main__ import main as server_main
+from repro.server.__main__ import _install_drain_handlers, main as server_main
 from repro.shell import GKBMSShell
 
 
@@ -113,6 +120,206 @@ class TestTCPTransport:
         tcp.close()
         with pytest.raises((ServerError, OSError)):
             TCPClient(tcp.host, tcp.port)
+
+
+class TestTCPClientResilience:
+    """Timeouts, reconnects and retries on the socket client."""
+
+    def test_connect_refused_raises_connection_lost(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listens here any more
+        with pytest.raises(ConnectionLost):
+            TCPClient("127.0.0.1", port, connect_timeout=1.0)
+
+    def test_request_timeout_drops_the_connection(self):
+        """A server that accepts but never answers must surface as a
+        typed ConnectionLost within the timeout, not a hung recv."""
+        stall = socket.socket()
+        stall.bind(("127.0.0.1", 0))
+        stall.listen(1)
+        try:
+            client = TCPClient(
+                "127.0.0.1", stall.getsockname()[1],
+                timeout=0.2, auto_hello=False,
+            )
+            with pytest.raises(ConnectionLost):
+                client.ping()
+            # The stream is poisoned (a late response would answer the
+            # wrong request), so the socket must be gone.
+            assert client._sock is None
+        finally:
+            stall.close()
+
+    def test_deadline_budget_bounds_the_socket_wait(self, server):
+        client = TCPClient(server.host, server.port, deadline_ms=250.0)
+        assert client._request_timeout({"deadline_ms": 250.0}) == \
+            pytest.approx(0.25 + TCPClient.DEADLINE_GRACE)
+        assert client._request_timeout({}) == pytest.approx(30.0)
+        assert client.ping()["pong"] is True  # budget generous enough
+        client.close()
+
+    def test_reconnect_on_retry_gets_fresh_session(self, server):
+        client = TCPClient(
+            server.host, server.port,
+            retry=RetryPolicy(seed=3, sleep=lambda _s: None),
+        )
+        client.tell("TELL Doc IN SimpleClass END")
+        old_session = client.session
+        client._drop_connection()  # the link dies under us
+        assert client.instances("Doc") == []  # retried transparently
+        assert client.retry.retries >= 1
+        assert client.session is not None
+        assert client.session != old_session
+        client.close()
+
+    def test_retry_exhaustion_surfaces_connection_lost(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        policy = RetryPolicy(max_attempts=2, seed=0, sleep=lambda _s: None)
+        with pytest.raises(ConnectionLost):
+            TCPClient("127.0.0.1", port, connect_timeout=0.5, retry=policy)
+
+    def test_dropped_write_retries_idempotently(self, server):
+        """The ambiguous case: the tell was applied but its ack died
+        with the connection — the tokened retry must not double-apply."""
+        client = TCPClient(
+            server.host, server.port,
+            retry=RetryPolicy(seed=5, sleep=lambda _s: None),
+        )
+        client.tell("TELL Doc IN SimpleClass END")
+        token = "tcp-ambiguous-1"
+        client._req_id += 1
+        frame = {
+            "id": client._req_id, "op": "tell", "session": client.session,
+            "params": {"source": "TELL D1 IN Doc END", "token": token},
+        }
+        from repro.server.protocol import encode_frame
+        client._file.write(encode_frame(frame))
+        client._file.flush()
+        client._drop_connection()  # vanish before reading the ack
+        # Wait for the orphaned tell to commit server-side.
+        deadline = 50
+        while server.service.pipeline.token_result(token) is None \
+                and deadline > 0:
+            threading.Event().wait(0.02)
+            deadline -= 1
+        client._recover_transport()
+        result = client._call("tell", {
+            "source": "TELL D1 IN Doc END", "token": token,
+        })
+        assert result.get("idempotent") is True
+        assert client.instances("Doc") == ["D1"]
+        client.close()
+
+
+class TestSupervisedRecoveryOverTCP:
+    """Pipeline poison → supervisor restart, end-to-end over a socket."""
+
+    def test_fsync_fault_recovers_and_client_retries(self, tmp_path):
+        plan = FaultPlan(seed=11)
+        io = FaultyIO(plan)
+        registry = MetricsRegistry()
+        store = WalStore(str(tmp_path / "tcp.wal"), fsync="commit",
+                         io=io, registry=registry)
+        service = GKBMSService(ConceptBase(store=store, registry=registry))
+        supervisor = ServiceSupervisor(
+            service, backoff_base=0.001, backoff_cap=0.01, seed=11
+        )
+        with GKBMSServer(("127.0.0.1", 0), service) as tcp:
+            tcp.serve_in_thread()
+            client = TCPClient(
+                tcp.host, tcp.port,
+                retry=RetryPolicy(seed=11, base=0.001, cap=0.01),
+            )
+            client.tell("TELL Doc IN SimpleClass END")
+            client.tell("TELL Before IN Doc END")
+            # Break every fsync from here: the next commit poisons the
+            # pipeline; the supervisor restarts through WAL replay and
+            # the client's tokened retry lands on the recovered service.
+            plan.fail_fsyncs_from = io.ops + 1
+            result = client.tell("TELL After IN Doc END")
+            supervisor.join()
+            assert result["created"] >= 1
+            assert client.retry.retries >= 1
+            assert service.status == "serving"
+            # A second connection sees both writes, exactly once.
+            checker = TCPClient(tcp.host, tcp.port)
+            assert checker.instances("Doc") == ["After", "Before"]
+            checker.close()
+            applied = [
+                entry for entry in service.pipeline.commit_log()
+                if any("After" in arg for _k, arg in entry[2])
+            ]
+            assert len(applied) == 1
+            snapshot = registry.snapshot("server.supervisor")
+            assert snapshot["server.supervisor.recoveries"] >= 1
+            assert snapshot["server.supervisor.mttr_ms"]["count"] >= 1
+            client.close()
+
+
+class TestGracefulDrain:
+    """SIGTERM/SIGINT → stop accepting, flush, checkpoint, close WAL."""
+
+    def _wal_server(self, tmp_path):
+        registry = MetricsRegistry()
+        store = WalStore(str(tmp_path / "drain.wal"), fsync="commit",
+                         registry=registry)
+        service = GKBMSService(ConceptBase(store=store, registry=registry))
+        return store, service, GKBMSServer(("127.0.0.1", 0), service)
+
+    def test_drain_checkpoints_and_closes_cleanly(self, tmp_path):
+        store, service, tcp = self._wal_server(tmp_path)
+        tcp.serve_in_thread()
+        client = TCPClient(tcp.host, tcp.port)
+        client.tell("TELL Doc IN SimpleClass END")
+        client.tell("TELL D1 IN Doc END")
+        client.close()
+        tcp.drain()
+        with pytest.raises((ServerError, OSError)):
+            TCPClient(tcp.host, tcp.port, connect_timeout=1.0)
+        # The final checkpoint folded the log into the snapshot: a
+        # clean reopen replays zero records and sees everything.
+        recovered = WalStore(str(tmp_path / "drain.wal"), fsync="commit",
+                             registry=MetricsRegistry())
+        assert recovered.stats.get("replayed", 0) == 0
+        processor_rows = recovered.rows()
+        recovered.close()
+        assert any("Doc" in row for row in processor_rows)
+
+    def test_signal_handler_drains_without_deadlock(self, tmp_path):
+        """The installed handler runs on the main thread while
+        serve_forever runs elsewhere — exactly the __main__ topology."""
+        store, service, tcp = self._wal_server(tmp_path)
+        previous_term = signal.getsignal(signal.SIGTERM)
+        previous_int = signal.getsignal(signal.SIGINT)
+        try:
+            draining = _install_drain_handlers(tcp)
+            serving = tcp.serve_in_thread()
+            client = TCPClient(tcp.host, tcp.port)
+            client.tell("TELL Doc IN SimpleClass END")
+            client.close()
+            handler = signal.getsignal(signal.SIGTERM)
+            handler(signal.SIGTERM, None)
+            assert draining.is_set()
+            handler(signal.SIGTERM, None)  # second signal: ignored
+            serving.join(timeout=10.0)
+            assert not serving.is_alive(), "serve_forever did not unblock"
+            # __main__'s finally block: the main thread finishes the
+            # drain after the loop exits, so exit cannot cut it short.
+            tcp.server_close()
+            service.drain()
+        finally:
+            signal.signal(signal.SIGTERM, previous_term)
+            signal.signal(signal.SIGINT, previous_int)
+        recovered = WalStore(str(tmp_path / "drain.wal"), fsync="commit",
+                             registry=MetricsRegistry())
+        rows = recovered.rows()
+        recovered.close()
+        assert any("Doc" in row for row in rows)
 
 
 class TestShellClientMode:
