@@ -1,0 +1,337 @@
+"""Perf-11 — the asyncio pipelined transport (PR 9).
+
+Three gated claims about the async plane, measured over real sockets:
+
+- **Connection scale**: one event loop sustains 1k+ simultaneously
+  open, hello'd sessions and keeps answering on every one of them —
+  the thread-per-connection server would need 1k+ OS threads for the
+  same shape.
+- **Pipelined throughput**: protocol v2 (many requests in flight on
+  one connection, multiplexing independent sessions) beats the
+  threaded single-request baseline by >= 1.5x at equal offered load on
+  a write workload, because in-flight writes land in the *same* group
+  commit window instead of each paying it alone.  p99 latency under
+  the pipelined load is recorded.
+- **Integrity under stress**: the mixed concurrent workload driven by
+  pipelined clients shows zero torn reads and a final state equal to
+  the single-threaded oracle replay, and the chaos ``client_drop``
+  kind on the async transport loses zero acked commits and applies the
+  retried token exactly once.
+
+Wall timings land in BENCH_PR9.json next to the structural counters;
+the counters (batch sizes, pause counts, ratios scaled to integers)
+are the machine-independent trajectory.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.conceptbase import ConceptBase
+from repro.obs.metrics import MetricsRegistry
+from repro.propositions.wal import WalStore
+from repro.scenario.chaos import ChaosHarness
+from repro.scenario.workload import ConcurrentLoadGenerator
+from repro.server.client import PipelinedTCPClient, TCPClient
+from repro.server.protocol import PROTOCOL_VERSION
+from repro.server.service import GKBMSService
+from repro.server.tcp import AsyncGKBMSServer, GKBMSServer
+
+#: Simultaneously open connections the scale gate must sustain.
+CONNS = 1100
+#: Connections pinged per chunk — below the admission envelope, so
+#: every response is a pong, not a typed shed.
+CHUNK = 32
+#: Offered load for the pipelined-vs-lockstep comparison.
+TELLS = 400
+#: Sessions multiplexed over the one pipelined connection (writes are
+#: session-serial by design, so pipelining wins by interleaving
+#: *independent* sessions' writes into shared commit batches).
+SESSIONS = 16
+#: In-flight window for the pipelined client.
+WINDOW = 48
+
+
+def _service(**kw):
+    conf = dict(batch_window=0.002, per_session=8, max_sessions=64)
+    conf.update(kw)
+    return GKBMSService(**conf)
+
+
+# ---------------------------------------------------------------------------
+# Gate 1: 1k+ concurrent connections on one event loop
+# ---------------------------------------------------------------------------
+
+def test_perf_thousand_connections(perf_counters, registry_metrics):
+    service = _service(max_sessions=CONNS + 64)
+    server = AsyncGKBMSServer(("127.0.0.1", 0), service)
+    server.serve_in_thread()
+    socks, files = [], []
+    try:
+        t0 = time.perf_counter()
+        for _ in range(CONNS):
+            sock = socket.create_connection(
+                ("127.0.0.1", server.port), timeout=30
+            )
+            sock.settimeout(30)
+            socks.append(sock)
+            files.append(sock.makefile("rb"))
+        connect_s = time.perf_counter() - t0
+
+        # hello everyone (chunked under the admission envelope)
+        t0 = time.perf_counter()
+        sessions = 0
+        for start in range(0, CONNS, CHUNK):
+            chunk = list(range(start, min(start + CHUNK, CONNS)))
+            for i in chunk:
+                socks[i].sendall(
+                    b'{"id": 0, "op": "hello", '
+                    b'"params": {"protocol": 2}}\n'
+                )
+            for i in chunk:
+                response = json.loads(files[i].readline())
+                assert response["ok"] is True, response
+                assert response["result"]["protocol"] == PROTOCOL_VERSION
+                sessions += 1
+        hello_s = time.perf_counter() - t0
+        assert sessions == CONNS
+
+        # with every connection open and hello'd, the loop still
+        # answers on all of them — three full sweeps
+        snapshot = service.registry.snapshot()
+        assert snapshot["server.async.open_connections"] == CONNS
+        t0 = time.perf_counter()
+        rounds = 3
+        for _ in range(rounds):
+            for start in range(0, CONNS, CHUNK):
+                chunk = list(range(start, min(start + CHUNK, CONNS)))
+                for i in chunk:
+                    socks[i].sendall(
+                        b'{"id": 1, "op": "ping", "params": {}}\n'
+                    )
+                for i in chunk:
+                    response = json.loads(files[i].readline())
+                    assert response["ok"] is True, response
+        sweep_s = (time.perf_counter() - t0) / rounds
+        snapshot = service.registry.snapshot()
+        assert snapshot["server.async.open_connections"] == CONNS
+        assert snapshot["server.connections"] == CONNS
+
+        perf_counters(
+            concurrent_connections=CONNS,
+            connect_ms=int(connect_s * 1000),
+            hello_ms=int(hello_s * 1000),
+            sweep_ms=int(sweep_s * 1000),
+            sweep_rps=int(CONNS / sweep_s),
+        )
+        registry_metrics(service.registry, prefix="server")
+    finally:
+        for sock in socks:
+            sock.close()
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# Gate 2: pipelined throughput vs the threaded single-request baseline
+# ---------------------------------------------------------------------------
+
+def _lockstep_tells(port, n):
+    client = TCPClient("127.0.0.1", port)
+    client.tell("TELL Doc IN SimpleClass END")
+    t0 = time.perf_counter()
+    for i in range(n):
+        client.tell(f"TELL L{i} IN Doc END")
+    elapsed = time.perf_counter() - t0
+    client.close()
+    return n / elapsed
+
+
+def _pipelined_tells(port, n):
+    client = PipelinedTCPClient("127.0.0.1", port)
+    client.tell("TELL Doc IN SimpleClass END")
+    sessions = [client.session]
+    for _ in range(SESSIONS - 1):
+        reply = client.submit("hello", {"protocol": PROTOCOL_VERSION})
+        sessions.append(reply.result(30.0)["session"])
+    latencies = []
+
+    def settle(entry):
+        started, reply = entry
+        reply.wait(30.0)
+        latencies.append(time.perf_counter() - started)
+
+    t0 = time.perf_counter()
+    outstanding = []
+    for i in range(n):
+        outstanding.append((time.perf_counter(), client.submit(
+            "tell", {"source": f"TELL P{i} IN Doc END"},
+            session=sessions[i % len(sessions)],
+        )))
+        if len(outstanding) >= WINDOW:
+            settle(outstanding.pop(0))
+    while outstanding:
+        settle(outstanding.pop(0))
+    elapsed = time.perf_counter() - t0
+    client.close()
+    latencies.sort()
+    return n / elapsed, latencies
+
+
+def test_perf_pipelined_beats_lockstep(perf_counters, registry_metrics):
+    threaded_service = _service()
+    threaded = GKBMSServer(("127.0.0.1", 0), threaded_service)
+    threaded.serve_in_thread()
+    try:
+        lockstep_rps = _lockstep_tells(threaded.port, TELLS)
+    finally:
+        threaded.close()
+
+    async_service = _service()
+    pipelined_server = AsyncGKBMSServer(("127.0.0.1", 0), async_service)
+    pipelined_server.serve_in_thread()
+    try:
+        pipelined_rps, latencies = _pipelined_tells(
+            pipelined_server.port, TELLS
+        )
+        snapshot = async_service.registry.snapshot()
+    finally:
+        pipelined_server.close()
+
+    ratio = pipelined_rps / lockstep_rps
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[max(0, int(len(latencies) * 0.99) - 1)]
+    batch = snapshot["server.commit.batch_size"]
+
+    # The gate: equal offered load (TELLS autocommit writes), >= 1.5x.
+    assert ratio >= 1.5, (
+        f"pipelined {pipelined_rps:.0f} rps vs lockstep "
+        f"{lockstep_rps:.0f} rps = {ratio:.2f}x, need >= 1.5x"
+    )
+    # The mechanism: in-flight writes shared commit batches.
+    assert batch["mean"] > 1.5
+    assert snapshot["server.torn_reads"] == 0
+
+    perf_counters(
+        lockstep_rps=int(lockstep_rps),
+        pipelined_rps=int(pipelined_rps),
+        speedup_ratio_milli=int(ratio * 1000),
+        pipelined_p50_us=int(p50 * 1e6),
+        pipelined_p99_us=int(p99 * 1e6),
+        commit_batch_mean_milli=int(batch["mean"] * 1000),
+        backpressure_pauses=int(
+            snapshot.get("server.async.pauses", 0)
+        ),
+    )
+    registry_metrics(async_service.registry, prefix="server")
+
+
+@pytest.mark.parametrize("window", [1, 16, WINDOW])
+def test_perf_pipelined_window_sweep(benchmark, window):
+    """Wall-clock sweep of the in-flight window (window=1 is lockstep
+    shape over the v2 protocol)."""
+
+    def load():
+        service = _service()
+        server = AsyncGKBMSServer(("127.0.0.1", 0), service)
+        server.serve_in_thread()
+        try:
+            client = PipelinedTCPClient("127.0.0.1", server.port)
+            client.tell("TELL Doc IN SimpleClass END")
+            sessions = [client.session]
+            for _ in range(min(window, SESSIONS) - 1):
+                reply = client.submit(
+                    "hello", {"protocol": PROTOCOL_VERSION}
+                )
+                sessions.append(reply.result(30.0)["session"])
+            outstanding = []
+            for i in range(120):
+                outstanding.append(client.submit(
+                    "tell", {"source": f"TELL W{i} IN Doc END"},
+                    session=sessions[i % len(sessions)],
+                ))
+                if len(outstanding) >= window:
+                    outstanding.pop(0).wait(30.0)
+            for reply in outstanding:
+                reply.wait(30.0)
+            client.close()
+        finally:
+            server.close()
+
+    benchmark(load)
+
+
+# ---------------------------------------------------------------------------
+# Gate 3: integrity under concurrent pipelined load and chaos
+# ---------------------------------------------------------------------------
+
+def test_async_load_meets_acceptance(tmp_path, perf_counters,
+                                     registry_metrics):
+    """The mixed workload over pipelined clients against a WAL-backed
+    async server: no errors, no torn reads, oracle-equal final state."""
+    registry = MetricsRegistry()
+    store = WalStore(str(tmp_path / "async.wal"), fsync="commit",
+                     registry=registry)
+    service = GKBMSService(ConceptBase(store=store, registry=registry),
+                           batch_window=0.002)
+    server = AsyncGKBMSServer(("127.0.0.1", 0), service)
+    server.serve_in_thread()
+    try:
+        generator = ConcurrentLoadGenerator(
+            client_factory=lambda: PipelinedTCPClient(
+                "127.0.0.1", server.port
+            ),
+            threads=8, ops_per_thread=30, seed=7,
+        )
+        stats = generator.run()
+        snapshot = service.registry.snapshot()
+        log = service.pipeline.commit_log()
+        live_rows = service.cb.propositions.store.rows()
+    finally:
+        server.close()
+
+    assert stats.unexpected_errors == 0
+    assert snapshot["server.torn_reads"] == 0
+    assert snapshot["server.protocol_errors"] == 0
+
+    oracle = ConceptBase()
+    for _seq, _sid, ops in log:
+        with oracle.transaction():
+            for kind, arg in ops:
+                if kind == "tell":
+                    oracle.tell(arg)
+                else:
+                    oracle.untell(arg)
+    assert oracle.propositions.store.rows() == live_rows
+
+    latency = stats.latency_summary()
+    perf_counters(
+        async_requests=stats.requests,
+        async_commits=int(snapshot["server.commit.committed"]),
+        async_conflicts=stats.conflicts,
+        async_throughput_rps=int(stats.throughput),
+        async_latency_p50_us=int(latency["p50_ms"] * 1000),
+        async_latency_p99_us=int(latency["p99_ms"] * 1000),
+    )
+    registry_metrics(registry, prefix="server")
+    registry_metrics(registry, prefix="wal")
+
+
+def test_chaos_client_drop_async_loses_nothing(tmp_path, perf_counters):
+    """The PR 8 chaos kind on the new transport: a client vanishing
+    mid-commit costs zero acked commits and the tokened retry applies
+    exactly once."""
+    harness = ChaosHarness(
+        str(tmp_path / "chaos.wal"), "client_drop", seed=9,
+        threads=4, ops_per_thread=10, transport="async",
+    )
+    report = harness.run()
+    assert report.exactly_once is True
+    assert report.rows_equal is True
+    assert report.lost_acked == 0
+    perf_counters(
+        chaos_acked_commits=report.acked_commits,
+        chaos_lost_acked=report.lost_acked,
+        chaos_exactly_once=int(bool(report.exactly_once)),
+    )

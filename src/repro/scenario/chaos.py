@@ -63,11 +63,16 @@ from repro.faults import FaultPlan, FaultyIO
 from repro.obs.metrics import MetricsRegistry
 from repro.propositions.wal import WalStore
 from repro.scenario.workload import ConcurrentLoadGenerator, LoadStats
-from repro.server.client import LocalClient, RetryPolicy, TCPClient
+from repro.server.client import (
+    LocalClient,
+    PipelinedTCPClient,
+    RetryPolicy,
+    TCPClient,
+)
 from repro.server.protocol import encode_frame
 from repro.server.service import GKBMSService
 from repro.server.supervisor import ServiceSupervisor
-from repro.server.tcp import GKBMSServer
+from repro.server.tcp import AsyncGKBMSServer, GKBMSServer
 
 #: The server-level fault matrix (≥5 kinds; CI shards sweep seeds).
 FAULT_KINDS = (
@@ -277,10 +282,14 @@ class ChaosHarness:
                  ops_per_thread: int = 12,
                  supervised: bool = False,
                  trigger_after: Optional[int] = None,
-                 fsync: str = "commit") -> None:
+                 fsync: str = "commit",
+                 transport: str = "threaded") -> None:
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}; "
                              f"choose from {FAULT_KINDS}")
+        if transport not in ("threaded", "async"):
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"choose 'threaded' or 'async'")
         self.wal_path = wal_path
         self.kind = kind
         self.seed = seed
@@ -288,6 +297,10 @@ class ChaosHarness:
         self.ops_per_thread = ops_per_thread
         self.supervised = supervised
         self.fsync = fsync
+        #: TCP transport for the ``client_drop`` kind: ``"threaded"``
+        #: (thread per connection) or ``"async"`` (the asyncio
+        #: pipelined plane, driven by protocol-v2 clients).
+        self.transport = transport
         # str hash() is salted per process; index() keeps seeds stable
         self._rng = Random(seed * 7919 + FAULT_KINDS.index(kind))
         #: inject once this many commits have been accepted
@@ -440,11 +453,15 @@ class ChaosHarness:
                          registry=registry)
         cb = ConceptBase(store=store, registry=registry)
         service = GKBMSService(cb, batch_window=0.002)
-        with GKBMSServer(("127.0.0.1", 0), service) as server:
+        server_cls = (AsyncGKBMSServer if self.transport == "async"
+                      else GKBMSServer)
+        load_cls = (PipelinedTCPClient if self.transport == "async"
+                    else TCPClient)
+        with server_cls(("127.0.0.1", 0), service) as server:
             server.serve_in_thread()
             host, port = server.host, server.port
             generator = ConcurrentLoadGenerator(
-                client_factory=lambda: TCPClient(
+                client_factory=lambda: load_cls(
                     host, port,
                     retry=RetryPolicy(seed=self.seed, base=0.005, cap=0.05),
                 ),

@@ -31,10 +31,10 @@ from repro.obs.logging import StreamSink, log, set_sink
 from repro.obs.metrics import MetricsRegistry
 from repro.propositions.wal import WalStore
 from repro.scenario.workload import ConcurrentLoadGenerator
-from repro.server.client import TCPClient
+from repro.server.client import PipelinedTCPClient, TCPClient
 from repro.server.service import GKBMSService
 from repro.server.supervisor import ServiceSupervisor
-from repro.server.tcp import GKBMSServer
+from repro.server.tcp import AsyncGKBMSServer, GKBMSServer
 
 
 def _build_service(args: argparse.Namespace,
@@ -53,7 +53,18 @@ def _build_service(args: argparse.Namespace,
     )
 
 
-def _install_drain_handlers(server: GKBMSServer) -> threading.Event:
+def _make_server(args: argparse.Namespace, address: Any,
+                 service: GKBMSService) -> Any:
+    """Pick the transport: asyncio pipelined (``--async``) or the
+    threaded lockstep original.  Both expose the same surface, so
+    everything downstream — drain handlers, smoke, loadgen — is
+    transport-blind."""
+    if getattr(args, "use_async", False):
+        return AsyncGKBMSServer(address, service)
+    return GKBMSServer(address, service)
+
+
+def _install_drain_handlers(server: Any) -> threading.Event:
     """SIGTERM/SIGINT → graceful drain: stop accepting, flush the
     pipeline behind a final checkpoint, close the WAL.
 
@@ -86,11 +97,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     supervisor = None
     if args.supervise:
         supervisor = ServiceSupervisor(service)
-    server = GKBMSServer((args.host, args.port), service)
+    server = _make_server(args, (args.host, args.port), service)
     draining = _install_drain_handlers(server)
     log("info", f"GKBMS serving on {server.host}:{server.port} "
         f"(wal={args.wal or 'none'}, batch={args.max_batch}, "
-        f"supervised={supervisor is not None})",
+        f"supervised={supervisor is not None}, "
+        f"transport={'asyncio' if args.use_async else 'threaded'})",
         logger="repro.server")
     try:
         server.serve_forever()
@@ -108,8 +120,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _run_load(host: str, port: int,
               args: argparse.Namespace) -> Dict[str, Any]:
+    # Against the async server, drive protocol v2 so the smoke
+    # exercises the pipelined plane end to end.
+    client_cls = (PipelinedTCPClient if getattr(args, "use_async", False)
+                  else TCPClient)
     generator = ConcurrentLoadGenerator(
-        client_factory=lambda: TCPClient(host, port),
+        client_factory=lambda: client_cls(host, port),
         threads=args.threads,
         ops_per_thread=args.ops,
         seed=args.seed,
@@ -136,7 +152,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         service = _build_service(args, os.path.join(tmp, "smoke.wal"))
         if args.supervise:
             ServiceSupervisor(service)
-        with GKBMSServer(("127.0.0.1", 0), service) as server:
+        with _make_server(args, ("127.0.0.1", 0), service) as server:
             server.serve_in_thread()
             load = _run_load(server.host, server.port, args)
             snapshot = service.registry.snapshot()
@@ -205,6 +221,10 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         help="attach a ServiceSupervisor: restart "
                              "through WAL recovery on durability "
                              "faults instead of refusing all writes")
+    parser.add_argument("--async", dest="use_async", action="store_true",
+                        help="serve on the asyncio pipelined transport "
+                             "(protocol v2) instead of a thread per "
+                             "connection")
 
 
 def _add_load_options(parser: argparse.ArgumentParser) -> None:

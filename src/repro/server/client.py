@@ -40,11 +40,13 @@ from __future__ import annotations
 
 import random
 import socket
+import threading
 import time
 import uuid
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.analysis.concurrency.lockdep import make_lock
 from repro.errors import (
     ConnectionLost,
     ProtocolError,
@@ -53,7 +55,12 @@ from repro.errors import (
     ServerOverloaded,
     ServerRestarting,
 )
-from repro.server.protocol import decode_frame, encode_frame, exception_for
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    exception_for,
+)
 
 #: Ops whose effect mutates the shared base — retried only with a token.
 _WRITE_OPS = frozenset({"tell", "untell", "commit"})
@@ -446,4 +453,244 @@ class TCPClient(_BaseClient):
             self._drop_connection()
 
 
-__all__ = ["LocalClient", "RetryPolicy", "TCPClient", "RETRYABLE"]
+class PendingReply:
+    """One in-flight pipelined request: a handle to wait on.
+
+    Resolved by the client's reader thread when the response frame with
+    the matching ``id`` arrives (possibly out of order), or failed with
+    :class:`~repro.errors.ConnectionLost` when the transport dies with
+    the request still outstanding."""
+
+    def __init__(self, request_id: Any) -> None:
+        self.request_id = request_id
+        self._done = threading.Event()
+        self._response: Optional[Dict[str, Any]] = None  # guarded-by: external: reader thread, published via _done
+        self._error: Optional[Exception] = None  # guarded-by: external: reader thread, published via _done
+
+    def _resolve(self, response: Dict[str, Any]) -> None:
+        self._response = response
+        self._done.set()
+
+    def _fail(self, exc: Exception) -> None:
+        if not self._done.is_set():
+            self._error = exc
+            self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The raw response frame; raises typed on transport failure or
+        timeout (the request may still execute server-side — exactly
+        the ambiguity idempotency tokens exist for)."""
+        if not self._done.wait(timeout):
+            raise ConnectionLost(
+                f"pipelined request {self.request_id!r} timed out"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._response is not None
+        return self._response
+
+    def result(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """The unwrapped ``result`` dict; wire errors re-raise typed."""
+        response = self.wait(timeout)
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error")
+        raise exception_for(error if isinstance(error, dict) else {})
+
+
+class PipelinedTCPClient(TCPClient):
+    """Protocol v2 client: many requests in flight on one connection.
+
+    :meth:`submit` writes a request and returns a :class:`PendingReply`
+    immediately; a background reader thread matches response frames to
+    replies by ``id``, so responses may arrive in any order.  The
+    blocking :class:`_BaseClient` API (``tell``/``ask``/...) still
+    works — each call is submit-then-wait — and is what the retry
+    policy wraps, so pipelined and lockstep clients share recovery
+    semantics.  All client methods are safe to call from multiple
+    threads; one socket multiplexes them all.
+
+    ``hello`` negotiates protocol v2; against an older (v1-only) server
+    the grant comes back 1 and :attr:`protocol` records it — the client
+    still functions, it just cannot assume out-of-order delivery.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8731,
+                 deadline_ms: Optional[float] = None,
+                 timeout: float = 30.0,
+                 connect_timeout: float = 5.0,
+                 retry: Optional[RetryPolicy] = None,
+                 auto_hello: bool = True) -> None:
+        #: Serializes request-id allocation, the pending map, and frame
+        #: writes (so two submitters never interleave bytes).
+        self._lock = make_lock("server.client.pipeline")
+        self._pending: Dict[Any, PendingReply] = {}  # guarded-by: _lock
+        self._broken = False  # guarded-by: _lock
+        self._rfile: Any = None
+        #: Protocol version the server granted in ``hello`` (1 until
+        #: the handshake completes).
+        self.protocol = 1
+        super().__init__(host=host, port=port, deadline_ms=deadline_ms,
+                         timeout=timeout, connect_timeout=connect_timeout,
+                         retry=retry, auto_hello=auto_hello)
+
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> None:
+        super()._connect()
+        # The reader thread owns blocking reads; per-request bounds come
+        # from PendingReply.wait, not a socket timeout (which would
+        # poison idle pipelined connections).
+        assert self._sock is not None
+        self._sock.settimeout(None)
+        self._rfile = self._sock.makefile("rb")
+        with self._lock:
+            self._broken = False
+        reader = threading.Thread(
+            target=self._read_loop, args=(self._rfile,),
+            name="gkbms-pipelined-reader", daemon=True,
+        )
+        reader.start()
+
+    def _drop_connection(self) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._broken = True
+        # Wake the reader thread (blocked in recv) with EOF.  It owns
+        # closing its file object — closing a buffered reader from
+        # here would deadlock on the buffer lock the blocked read
+        # holds.
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        self._rfile = None
+        super()._drop_connection()
+        for reply in pending:
+            reply._fail(ConnectionLost(
+                "connection dropped with requests in flight"
+            ))
+
+    def _read_loop(self, rfile: Any) -> None:
+        """Reader thread: match response frames to pending replies."""
+        while True:
+            try:
+                line = rfile.readline()
+            except (OSError, ValueError):
+                break
+            if not line or not line.endswith(b"\n"):
+                break
+            try:
+                response = decode_frame(line)
+            except ProtocolError:
+                break  # stream desynchronized; poison the connection
+            with self._lock:
+                reply = self._pending.pop(response.get("id"), None)
+            if reply is not None:
+                reply._resolve(response)
+            # An unmatched id is a reply whose waiter already gave up
+            # (timed out) — discard; nothing downstream depends on it.
+        try:
+            rfile.close()
+        except OSError:
+            pass
+        self._connection_broken(rfile)
+
+    def _connection_broken(self, rfile: Any) -> None:
+        with self._lock:
+            current = self._rfile is rfile
+            pending: List[PendingReply] = []
+            if current:
+                self._broken = True
+                pending = list(self._pending.values())
+                self._pending.clear()
+        for reply in pending:
+            reply._fail(ConnectionLost("server closed the connection"))
+
+    # -- pipelining --------------------------------------------------------
+
+    def submit(self, op: str, params: Optional[Dict[str, Any]] = None,
+               deadline_ms: Optional[float] = None,
+               session: Optional[str] = None) -> PendingReply:
+        """Write one request without waiting; returns its handle.
+
+        ``session`` defaults to the client's own; pass one explicitly
+        to multiplex several sessions over this connection."""
+        params = dict(params) if params else {}
+        sid = session if session is not None else self._session
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        with self._lock:
+            if self._sock is None or self._broken:
+                raise ConnectionLost(
+                    f"not connected to {self._host}:{self._port}"
+                )
+            self._req_id += 1
+            payload: Dict[str, Any] = {
+                "id": self._req_id, "op": op, "params": params,
+            }
+            if op not in ("hello", "ping"):
+                if sid is None:
+                    raise ServerError("no session: call hello() first")
+                payload["session"] = sid
+            if budget is not None:
+                payload["deadline_ms"] = budget
+            reply = PendingReply(payload["id"])
+            self._pending[payload["id"]] = reply
+            try:
+                self._file.write(encode_frame(payload))
+                self._file.flush()
+            except OSError as exc:
+                self._pending.pop(payload["id"], None)
+                raise ConnectionLost(
+                    f"connection to {self._host}:{self._port} failed: {exc}"
+                ) from exc
+        return reply
+
+    def _call_once(self, op: str, params: Dict[str, Any],
+                   deadline_ms: Optional[float]) -> Dict[str, Any]:
+        # The blocking API is submit-then-wait; id allocation, the
+        # response-id match, and the write all happen under the
+        # pipeline lock inside submit().
+        budget = deadline_ms if deadline_ms is not None else self.deadline_ms
+        timeout = (budget / 1000.0 + self.DEADLINE_GRACE
+                   if budget is not None else self._timeout)
+        reply = self.submit(op, params, deadline_ms=deadline_ms)
+        try:
+            return reply.result(timeout)
+        except ConnectionLost:
+            with self._lock:
+                self._pending.pop(reply.request_id, None)
+            raise
+
+    # -- session -----------------------------------------------------------
+
+    def hello(self) -> str:
+        result = self._call("hello", {"protocol": PROTOCOL_VERSION})
+        self._session = str(result["session"])
+        self.protocol = int(result.get("protocol", 1))
+        return self._session
+
+    def _recover_transport(self) -> None:
+        self._drop_connection()
+        self._connect()
+        reply = self.submit("hello", {"protocol": PROTOCOL_VERSION})
+        result = reply.result(self._timeout)
+        self._session = str(result.get("session"))
+        self.protocol = int(result.get("protocol", 1))
+
+
+__all__ = [
+    "LocalClient",
+    "PendingReply",
+    "PipelinedTCPClient",
+    "RetryPolicy",
+    "TCPClient",
+    "RETRYABLE",
+]

@@ -13,7 +13,20 @@ Request frame::
 
 ``id`` is echoed back verbatim; ``session`` is required for everything
 except ``hello``/``ping``; ``deadline_ms`` is an optional *relative*
-budget for admission + execution.
+budget for admission + execution (a finite, non-boolean number — JSON
+technically admits ``true`` and ``NaN``/``Infinity`` here, but both
+would poison the deadline arithmetic, so validation refuses them).
+
+**Versions.**  Protocol v1 is lockstep: one request, one response, in
+order.  Protocol v2 makes the ``id`` a first-class correlation key —
+a client may *pipeline* many requests on one connection and the server
+may answer them out of order; reusing an id while it is still in
+flight on the same connection is a typed :class:`ProtocolError`.  The
+version is negotiated in ``hello``: the client sends
+``params.protocol`` (the highest version it speaks, default 1) and the
+server grants ``min(requested, PROTOCOL_VERSION)`` in the response —
+so a v1 client that never sends ``params.protocol`` keeps exact
+lockstep semantics against every server, old or new.
 
 Write ops (``tell``/``untell``/``commit``) accept an optional
 ``params.token`` — a client-generated idempotency token.  The server
@@ -38,12 +51,14 @@ server.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, Optional, Type
 
 from repro import errors as _errors
 from repro.errors import ProtocolError, ReproError
 
-PROTOCOL_VERSION = 1
+#: Highest protocol version this codebase speaks (see module docstring).
+PROTOCOL_VERSION = 2
 
 #: Frames above this are refused before parsing (a corrupt length is
 #: indistinguishable from a hostile one).
@@ -90,9 +105,32 @@ def validate_request(frame: Dict[str, Any]) -> Dict[str, Any]:
     if not isinstance(params, dict):
         raise ProtocolError("'params' must be a JSON object")
     deadline = frame.get("deadline_ms")
-    if deadline is not None and not isinstance(deadline, (int, float)):
-        raise ProtocolError("'deadline_ms' must be a number")
+    if deadline is not None:
+        # bool is an int subclass, so `deadline_ms: true` would slip
+        # through an isinstance check and compute a 1ms budget; and
+        # Python's json module happily parses NaN/Infinity, either of
+        # which poisons every deadline comparison downstream.
+        if isinstance(deadline, bool) \
+                or not isinstance(deadline, (int, float)):
+            raise ProtocolError("'deadline_ms' must be a number")
+        if not math.isfinite(deadline):
+            raise ProtocolError("'deadline_ms' must be finite")
     return frame
+
+
+def negotiate_protocol(params: Dict[str, Any]) -> int:
+    """The protocol version granted to a ``hello`` carrying ``params``.
+
+    Clients request the highest version they speak via
+    ``params.protocol`` (absent = 1, the lockstep original); the grant
+    is ``min(requested, PROTOCOL_VERSION)``, so both sides always agree
+    on a version both implement."""
+    requested = params.get("protocol", 1)
+    if isinstance(requested, bool) or not isinstance(requested, int):
+        raise ProtocolError("'protocol' must be an integer version")
+    if requested < 1:
+        raise ProtocolError(f"unsupported protocol version {requested}")
+    return min(requested, PROTOCOL_VERSION)
 
 
 def ok_response(request_id: Any, result: Dict[str, Any]) -> Dict[str, Any]:

@@ -46,8 +46,8 @@ from repro.propositions.wal import WalStore
 from repro.server.admission import AdmissionController
 from repro.server.pipeline import CommitPipeline, PendingCommit
 from repro.server.protocol import (
-    PROTOCOL_VERSION,
     error_response,
+    negotiate_protocol,
     ok_response,
     validate_request,
 )
@@ -154,13 +154,23 @@ class GKBMSService:
     # Request entry
     # ------------------------------------------------------------------
 
-    def handle(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+    def handle(self, frame: Dict[str, Any], *,
+               admitted: bool = False,
+               deadline: Optional[float] = None) -> Dict[str, Any]:
         """One request dict in, one response dict out.
 
         Never raises for any failure *of the request* — those become
         typed wire errors.  Shutdown signals (``KeyboardInterrupt``,
         ``SystemExit``) are deliberately not part of that contract:
         they propagate so a serving thread can actually be stopped.
+
+        ``admitted=True`` is the asyncio transport's contract: it
+        already holds an admission slot for this request (taken via
+        :meth:`AdmissionController.try_admit` on the event loop, so no
+        executor thread ever blocks in admission) and releases it when
+        the call returns.  ``deadline`` carries the absolute admission
+        deadline computed *at frame receipt*, so time parked behind
+        backpressure still counts against the request's budget.
         """
         request_id = frame.get("id") if isinstance(frame, dict) else None
         start = self._clock()
@@ -174,13 +184,17 @@ class GKBMSService:
             session: Optional[Session] = None
             if op not in _SESSIONLESS:
                 session = self.sessions.get(frame.get("session"))
-            deadline = self.admission.deadline_from(frame.get("deadline_ms"))
+            if deadline is None:
+                deadline = self.admission.deadline_from(
+                    frame.get("deadline_ms")
+                )
             self._deadline.value = deadline
             with ExitStack() as stack:
-                with self._tracer.span("server.admit", op=op):
-                    stack.enter_context(
-                        self.admission.admit(session, deadline)
-                    )
+                if not admitted:
+                    with self._tracer.span("server.admit", op=op):
+                        stack.enter_context(
+                            self.admission.admit(session, deadline)
+                        )
                 with self._tracer.span("server.execute", op=op):
                     result = self._dispatch(op, session, params)
             return ok_response(request_id, result)
@@ -190,6 +204,15 @@ class GKBMSService:
         finally:
             self._deadline.value = None
             self._h_request.observe((self._clock() - start) * 1000.0)
+
+    def reject(self, request_id: Any, exc: Exception) -> Dict[str, Any]:
+        """Shape (and count) a request the transport refused before
+        :meth:`handle` — an async admission shed, a duplicate pipeline
+        id, an expired deadline.  Keeps ``server.requests`` /
+        ``server.request_errors`` coherent across transports."""
+        self._c_requests.inc()
+        self._c_errors.inc()
+        return error_response(request_id, exc)
 
     @staticmethod
     def _clock() -> float:
@@ -260,10 +283,16 @@ class GKBMSService:
     # -- sessionless -------------------------------------------------------
 
     def _op_hello(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        # Version negotiation happens before the session opens, so a
+        # bad `protocol` param costs nothing.  The granted version is
+        # a *permission*: v2 lets the transport answer this client out
+        # of order; the lockstep threaded transport trivially satisfies
+        # it by never having two requests of one connection in flight.
+        protocol = negotiate_protocol(params)
         session = self.sessions.open(self.pipeline.commit_seq)
         return {
             "session": session.sid,
-            "protocol": PROTOCOL_VERSION,
+            "protocol": protocol,
             "commit_seq": self.pipeline.commit_seq,
         }
 

@@ -73,6 +73,51 @@ class TestProtocol:
         with pytest.raises(ProtocolError):
             protocol.validate_request({"op": "ping", "deadline_ms": "soon"})
 
+    def test_deadline_bool_refused(self):
+        # Regression: bool is an int subclass, so `deadline_ms: true`
+        # slipped through the numeric check and computed a 1ms budget.
+        with pytest.raises(ProtocolError):
+            protocol.validate_request({"op": "ping", "deadline_ms": True})
+
+    def test_deadline_non_finite_refused(self):
+        # Regression: Python's json parses NaN/Infinity, either of
+        # which poisons every deadline comparison downstream.
+        for poison in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ProtocolError):
+                protocol.validate_request(
+                    {"op": "ping", "deadline_ms": poison}
+                )
+
+    def test_poison_deadlines_refused_in_process(self):
+        # The LocalClient transport round-trips the wire encoding, so
+        # this covers the same frames a socket would deliver.
+        service = GKBMSService()
+        try:
+            for poison in (True, float("nan"), float("inf")):
+                response = service.handle(
+                    {"id": 1, "op": "ping", "params": {},
+                     "deadline_ms": poison}
+                )
+                assert response["ok"] is False
+                assert response["error"]["type"] == "ProtocolError"
+        finally:
+            service.close()
+
+    def test_negotiate_protocol_grants_min(self):
+        assert protocol.negotiate_protocol({}) == 1
+        assert protocol.negotiate_protocol({"protocol": 1}) == 1
+        assert protocol.negotiate_protocol({"protocol": 2}) == 2
+        # A future client never gets more than we speak.
+        assert (protocol.negotiate_protocol({"protocol": 99})
+                == protocol.PROTOCOL_VERSION)
+
+    def test_negotiate_protocol_refuses_junk(self):
+        for junk in ({"protocol": 0}, {"protocol": -1},
+                     {"protocol": "2"}, {"protocol": True},
+                     {"protocol": 2.0}):
+            with pytest.raises(ProtocolError):
+                protocol.negotiate_protocol(junk)
+
     def test_error_response_keeps_typed_name(self):
         response = protocol.error_response(9, CommitConflict("stale"))
         assert response["error"]["type"] == "CommitConflict"
@@ -363,6 +408,57 @@ class TestAdmission:
                 pass
         release.set()
         t.join(timeout=5)
+
+    def test_deadline_rechecked_on_wakeup(self):
+        """Regression: a queued waiter whose deadline expired just
+        before a slot freed was admitted anyway (the wait loop exited
+        on admissibility without re-checking the clock) and burned
+        worker time on an answer nobody was waiting for."""
+        now = [0.0]
+        registry = MetricsRegistry()
+        admission = AdmissionController(
+            registry.namespace("server"), max_in_flight=1, max_waiting=4,
+            max_wait=60.0, clock=lambda: now[0],
+        )
+        deadline = admission.deadline_from(10_000)  # expires at t=10
+        occupied = threading.Event()
+        proceed = threading.Event()
+
+        def occupant():
+            with admission.admit():
+                occupied.set()
+                proceed.wait(5)
+                # Expire the waiter's deadline *before* releasing the
+                # slot: the release is the only wakeup, so the waiter
+                # observes an open slot and a dead budget at once.
+                now[0] = 20.0
+
+        t = threading.Thread(target=occupant)
+        t.start()
+        assert occupied.wait(5)
+
+        outcome = {}
+
+        def waiter():
+            try:
+                with admission.admit(deadline=deadline):
+                    outcome["admitted"] = True
+            except DeadlineExceeded:
+                outcome["refused"] = True
+
+        w = threading.Thread(target=waiter)
+        w.start()
+        give_up = 100
+        while admission._waiting == 0 and give_up > 0:
+            time.sleep(0.005)
+            give_up -= 1
+        assert admission._waiting == 1
+        proceed.set()
+        t.join(timeout=5)
+        w.join(timeout=5)
+        assert outcome == {"refused": True}
+        snapshot = registry.snapshot()
+        assert snapshot["server.deadline_exceeded"] == 1
 
     def test_bounded_wait_sheds_without_deadline(self):
         admission = AdmissionController(

@@ -112,6 +112,44 @@ class TestTCPTransport:
             assert response["ok"] is True
             assert response["id"] == 2
 
+    def test_truncated_final_frame_is_dropped(self, server):
+        """Regression: a final *unterminated* line at EOF that fit
+        under MAX_FRAME was decoded and executed as a complete frame —
+        a request truncated by a dying client must be dropped."""
+        before = server.service.registry.snapshot()
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as sock:
+            # A frame that would execute if (wrongly) parsed, cut off
+            # by the client dying before the newline.
+            sock.sendall(b'{"id": 1, "op": "ping", "params": {}}')
+            sock.shutdown(socket.SHUT_WR)
+            sock.settimeout(10)
+            assert sock.recv(4096) == b""  # EOF back, no response
+        after = server.service.registry.snapshot()
+        assert after.get("server.truncated_frames", 0) \
+            == before.get("server.truncated_frames", 0) + 1
+        # The fragment was never executed.
+        assert after.get("server.requests", 0) \
+            == before.get("server.requests", 0)
+
+    def test_poison_deadline_refused_over_the_wire(self, server):
+        """Regression companion: `deadline_ms: true` and NaN must be
+        refused by validation, not fed to the deadline arithmetic."""
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as sock:
+            handle = sock.makefile("rwb")
+            for raw in (b'{"id": 1, "op": "ping", "params": {}, '
+                        b'"deadline_ms": true}\n',
+                        b'{"id": 2, "op": "ping", "params": {}, '
+                        b'"deadline_ms": NaN}\n'):
+                handle.write(raw)
+                handle.flush()
+                response = json.loads(handle.readline())
+                assert response["ok"] is False
+                assert response["error"]["type"] == "ProtocolError"
+
     def test_closed_server_refuses_new_connections(self):
         service = GKBMSService()
         tcp = GKBMSServer(("127.0.0.1", 0), service)
