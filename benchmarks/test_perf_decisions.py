@@ -1,0 +1,107 @@
+"""Perf-12 — selective backtracking on a served decision history (PR 10).
+
+The point of keeping the justification graph (section 3.3.3): undoing
+a design decision should cost what the decision and its transitive
+consequents cost, not what the whole history cost.  Gated claims over
+a 200-decision served history:
+
+- **Selective beats rebuild**: backtracking a mid-history decision
+  re-applies >= 3x fewer propositions than a from-scratch rebuild of
+  the surviving history would replay.
+- **And is exact**: the post-backtrack base is bit-identical
+  (canonical ``rows()``) to an oracle base where the condemned
+  decisions never executed at all.
+
+Counters (propositions re-applied, rebuild size, the ratio scaled to
+an integer) land in the BENCH json as the machine-independent
+trajectory; the ``decisions.*`` registry metrics ride along.
+"""
+
+from repro.server.client import LocalClient
+from repro.server.service import GKBMSService
+
+#: History length for the Perf-12 gates.
+DECISIONS = 200
+#: Selective backtrack must re-apply >= RATIO x fewer propositions
+#: than a from-scratch rebuild of the surviving history.
+RATIO = 3.0
+#: Mid-history backtrack target; its from-to chain segment (chains
+#: break every 4 decisions) makes the condemned subtree 3 decisions.
+TARGET = f"d{DECISIONS // 2 - 2}"
+
+
+def _grow_history(client, count):
+    """Bare-individual decides (pid == name, so oracle comparison is
+    bit-exact) chained into length-4 from-to segments — so a
+    mid-history backtrack condemns a real subtree, not just itself."""
+    for n in range(count):
+        spec = {"tell": [f"TELL Obj{n} END"]}
+        if n % 4:
+            spec["inputs"] = {"src": f"Obj{n - 1}"}
+        client.decide(f"Dec{n % 6}",
+                      kind=("mapping", "refinement", "choice")[n % 3],
+                      **spec)
+
+
+def _rebuild_survivors(history, condemned):
+    """The from-scratch alternative: replay every surviving decision
+    into a fresh service; returns (service, propositions replayed)."""
+    service = GKBMSService(batch_window=0.0)
+    oracle = LocalClient(service)
+    replayed = 0
+    for entry in history["decisions"]:
+        if entry["did"] in condemned:
+            continue
+        result = oracle.decide(
+            entry["decision_class"],
+            tell=[f"TELL {name} END" for name in entry["outputs"]],
+            inputs=entry["inputs"], kind=entry["kind"],
+        )
+        replayed += result["told"] + result["untold"]
+    return service, oracle, replayed
+
+
+def test_backtrack_replays_fewer_propositions_than_rebuild(
+        perf_counters, registry_metrics):
+    service = GKBMSService(batch_window=0.0)
+    client = LocalClient(service)
+    _grow_history(client, DECISIONS)
+    report = client.backtrack(TARGET)
+    condemned = set(report["retracted"])
+    assert 3 <= len(condemned) < DECISIONS // 4
+
+    history = client.history()
+    oracle_service, oracle, rebuild_props = \
+        _rebuild_survivors(history, condemned)
+
+    reapplied = report["reapplied"]
+    assert reapplied * RATIO <= rebuild_props, (
+        f"selective backtrack touched {reapplied} propositions; "
+        f"a rebuild replays {rebuild_props} — ratio below {RATIO}x"
+    )
+    perf_counters(
+        history_decisions=DECISIONS,
+        condemned_decisions=len(condemned),
+        backtrack_reapplied=reapplied,
+        rebuild_replayed=rebuild_props,
+        selectivity_ratio_x100=int(100 * rebuild_props / max(reapplied, 1)),
+    )
+    registry_metrics(service.cb.registry, prefix="decisions")
+    client.close()
+    oracle.close()
+
+
+def test_backtrack_state_identical_to_oracle(perf_counters):
+    service = GKBMSService(batch_window=0.0)
+    client = LocalClient(service)
+    _grow_history(client, DECISIONS)
+    report = client.backtrack(TARGET)
+    condemned = set(report["retracted"])
+    oracle_service, oracle, _ = \
+        _rebuild_survivors(client.history(), condemned)
+    live_rows = service.cb.propositions.store.rows()
+    oracle_rows = oracle_service.cb.propositions.store.rows()
+    assert live_rows == oracle_rows
+    perf_counters(surviving_propositions=len(live_rows))
+    client.close()
+    oracle.close()

@@ -1,0 +1,117 @@
+"""Decision histories over the wire: section 4's associative-key story.
+
+The meeting scenario (:mod:`repro.scenario.meeting`) replays section
+2.1 *inside* one GKBMS process.  This walkthrough replays the same
+story against the **served** decision-history engine: every design
+decision goes over the wire as a ``decide`` op, lands in the durable
+ledger, and the fig 2-4 retraction is a served ``backtrack`` — the
+decision and its transitive consequents fall together, the rest of the
+design stands.
+
+1. the conceptual schema is told outright (facts, not decisions);
+2. move-down mapping, normalisation and the associative-key choice are
+   recorded as ``decide`` ops (kind mapping / refinement / choice);
+3. ``history`` shows the ledger and the justification graph;
+4. ``Minutes`` arrives — the key assumption breaks — and ``backtrack``
+   selectively retracts the key choice;
+5. ``replay`` reports whether the retracted choice would still apply;
+6. ``versions`` derives the version/configuration structure (fig 3-4)
+   from the surviving ledger.
+
+Run:  PYTHONPATH=src python examples/decision_history.py
+"""
+
+from repro.server.client import LocalClient
+from repro.server.service import GKBMSService
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    service = GKBMSService()
+    client = LocalClient(service)
+
+    # -- the conceptual design (told, not decided) ---------------------
+    client.tell("TELL TDL_EntityClass IN SimpleClass END")
+    client.tell("TELL DBPL_Rel IN SimpleClass END")
+    client.tell("TELL Papers IN TDL_EntityClass END")
+    client.tell("TELL Invitations IN TDL_EntityClass ISA Papers END")
+
+    banner("fig 2-2: decide the move-down mapping (kind=mapping)")
+    d1 = client.decide(
+        "DecMoveDown",
+        kind="mapping",
+        tool="MoveDownMapper",
+        inputs={"hierarchy": "Papers"},
+        tell=["TELL InvitationRel IN DBPL_Rel END"],
+        rationale="leaves only: Invitations is the single concrete class",
+    )
+    print("recorded", d1["did"], "->", d1["outputs"])
+
+    banner("fig 2-3a: decide the normalisation (kind=refinement)")
+    d2 = client.decide(
+        "DecNormalize",
+        kind="refinement",
+        tool="Normalizer",
+        inputs={"rel": "InvitationRel"},
+        tell=[
+            "TELL InvitationRel2 IN DBPL_Rel END",
+            "TELL InvReceivRel IN DBPL_Rel END",
+        ],
+        rationale="receiver is set-valued: split it out",
+    )
+    print("recorded", d2["did"], "->", d2["outputs"])
+
+    banner("fig 2-3b: decide the associative key (kind=choice)")
+    d3 = client.decide(
+        "DecKeySubstitution",
+        kind="choice",
+        tool="KeySubstituter",
+        inputs={"rel": "InvitationRel2"},
+        tell=["TELL InvitationRel2~assockey IN DBPL_Rel END"],
+        rationale="key (date, author): only invitations are papers",
+    )
+    print("recorded", d3["did"], "->", d3["outputs"])
+
+    banner("the ledger and its justification graph")
+    history = client.history()
+    for entry in history["decisions"]:
+        print(f"  {entry['did']}: {entry['decision_class']:<22}"
+              f" kind={entry['kind']:<10} status={entry['status']}")
+    for edge in history["edges"]:
+        print(f"  {edge['from']} -> {edge['to']}  ({edge['reason']})")
+
+    banner("fig 2-4: Minutes arrives; the key assumption breaks")
+    client.tell("TELL Minutes IN TDL_EntityClass ISA Papers END")
+    report = client.backtrack(d3["did"])
+    print("backtracked", report["did"], "retracted:", report["retracted"],
+          f"({report['reapplied']} proposition(s) touched)")
+
+    banner("replay: would the key choice still apply?")
+    outcome = client.replay(d3["did"])
+    print("applicable:", outcome["applicable"])
+    for drift in outcome["drift"]:
+        print("  drift:", drift)
+
+    banner("fig 3-4: versions derived from the surviving ledger")
+    versions = client.versions()
+    for base, variants in sorted(versions["versions"].items()):
+        names = ", ".join(
+            f"{v['name']}{'' if v['active'] else ' (retracted)'}"
+            for v in variants
+        )
+        print(f"  {base}: {names}")
+    for edge in versions["alternatives"]:
+        state = "active" if edge["active"] else "retracted"
+        print(f"  choice {edge['decision']} ({state}): "
+              f"{edge['from']} -> {edge['to']}")
+
+    client.close()
+
+
+if __name__ == "__main__":
+    main()

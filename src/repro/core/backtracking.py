@@ -96,19 +96,33 @@ class Backtracker:
     def _undo(self, record: DecisionRecord, report: BacktrackReport) -> None:
         tick = self.gkbms.tick()
         tool = self.engine.tools.get(record.tool) if record.tool else None
-        if tool is not None and tool.undo is not None:
-            tool.undo(self.gkbms, record)
-        else:
-            self._default_undo(record)
         proc = self.gkbms.processor
-        for name in record.all_outputs():
-            if proc.exists(name):
-                removed = proc.retract(name)
-                report.retracted_objects.extend(p.pid for p in removed)
+        # Undoing a decision is itself a transaction, exactly like
+        # executing one (section 3.2): the tool's undo, the retraction
+        # of produced objects and the record's status flip commit or
+        # roll back together.  A tool undo that mutates halfway and
+        # then raises must not leave a half-backtracked base behind a
+        # record still marked "done".
+        artefact_snapshot = self.gkbms.snapshot_artifacts()
+        retracted_pids: List[str] = []
+        try:
+            with proc.telling():
+                if tool is not None and tool.undo is not None:
+                    tool.undo(self.gkbms, record)
+                else:
+                    self._default_undo(record)
+                for name in record.all_outputs():
+                    if proc.exists(name):
+                        removed = proc.retract(name)
+                        retracted_pids.extend(p.pid for p in removed)
+                if proc.exists(record.did):
+                    proc.tell_instanceof(record.did, "RetractedDecision")
+        except Exception:
+            self.gkbms.restore_artifacts(artefact_snapshot)
+            raise
         record.status = "retracted"
         record.retracted_at = tick
-        if proc.exists(record.did):
-            proc.tell_instanceof(record.did, "RetractedDecision")
+        report.retracted_objects.extend(retracted_pids)
         report.retracted_decisions.append(record.did)
 
     def _default_undo(self, record: DecisionRecord) -> None:

@@ -1,0 +1,21 @@
+"""The served decision-history subsystem (ROADMAP item 2, §2.1/§3.3).
+
+A durable, crash-recoverable decision ledger riding the WAL, a
+justification graph for selective backtracking, replay drift tests and
+version/configuration derivation — exposed over the wire as the
+``decide`` / ``backtrack`` / ``replay`` / ``history`` / ``versions``
+ops.
+"""
+
+from repro.decisions.engine import DecisionHistory, decide_keys
+from repro.decisions.graph import JustificationGraph
+from repro.decisions.ledger import DecisionLedger, KINDS, LedgerRecord
+
+__all__ = [
+    "DecisionHistory",
+    "DecisionLedger",
+    "JustificationGraph",
+    "KINDS",
+    "LedgerRecord",
+    "decide_keys",
+]

@@ -1,0 +1,98 @@
+"""The justification graph: which later decisions a decision justifies.
+
+Backtracking a decision must also retract its *transitive
+consequences* — every later decision that read what it wrote (§3.3.3).
+This module derives those consequence edges from the ledger alone:
+
+- **FROM/TO links** — a later decision whose input objects intersect an
+  earlier decision's outputs consumed its products;
+- **BY links** — an explicit parent reference;
+- **write-set overlap** — a later decision whose referenced ids
+  (deleted/clipped pids, endpoints of created links, inputs) intersect
+  the earlier decision's created ids built directly on its telling.
+
+Edges always point forward in time (earlier ``tick`` to later), so the
+graph is a DAG by construction and ``consequents`` is a plain BFS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.decisions.ledger import LedgerRecord
+
+
+class JustificationGraph:
+    """Consequence edges over a snapshot of ledger records."""
+
+    def __init__(self, records: Iterable[LedgerRecord]) -> None:
+        self.records: List[LedgerRecord] = sorted(records,
+                                                  key=lambda r: r.tick)
+        #: did -> {consequent did -> reason}, direct edges only.
+        self.edges: Dict[str, Dict[str, str]] = {
+            record.did: {} for record in self.records
+        }
+        self._build()
+
+    def _build(self) -> None:
+        created = {r.did: set(r.created_ids()) for r in self.records}
+        referenced = {r.did: set(r.referenced_ids()) for r in self.records}
+        inputs = {r.did: set(r.inputs.values()) for r in self.records}
+        outputs = {r.did: set(r.outputs) for r in self.records}
+        for i, earlier in enumerate(self.records):
+            targets = self.edges[earlier.did]
+            for later in self.records[i + 1:]:
+                if earlier.did in later.parents:
+                    targets[later.did] = "by"
+                elif inputs[later.did] & outputs[earlier.did]:
+                    targets[later.did] = "from-to"
+                elif referenced[later.did] & created[earlier.did]:
+                    targets[later.did] = "write-set"
+        return
+
+    @property
+    def node_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self.edges.values())
+
+    def edge_list(self) -> List[Dict[str, str]]:
+        """Stable wire form of the direct edges."""
+        out: List[Dict[str, str]] = []
+        for source in sorted(self.edges):
+            for target in sorted(self.edges[source]):
+                out.append({
+                    "from": source,
+                    "to": target,
+                    "reason": self.edges[source][target],
+                })
+        return out
+
+    def consequents(self, did: str,
+                    active_only: bool = True) -> Set[str]:
+        """Transitive consequents of ``did`` (``did`` itself excluded).
+
+        With ``active_only`` (the backtracking traversal) retracted
+        decisions neither appear in the result nor transmit
+        consequence — their effects are already gone."""
+        active = {r.did for r in self.records
+                  if r.is_active or not active_only}
+        seen: Set[str] = set()
+        frontier = [did]
+        while frontier:
+            current = frontier.pop()
+            for target in self.edges.get(current, ()):
+                if target in active and target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def justification_of(self, did: str) -> List[Tuple[str, str]]:
+        """Direct justifiers of ``did``: ``(earlier did, reason)``."""
+        out = []
+        for source, targets in self.edges.items():
+            if did in targets:
+                out.append((source, targets[did]))
+        return sorted(out)

@@ -1,0 +1,209 @@
+"""The immutable, serializable decision ledger (§2.1/§3.3).
+
+Every served design decision becomes one :class:`LedgerRecord`: the
+decision class, the tool, the input/output design objects, the *exact*
+proposition ids told, untold and clipped, the serialized delta those
+ids summarize, obligations, parent links and a logical timestamp.
+Records are append-only — selective backtracking never removes one, it
+marks it ``retracted`` and appends a retraction event to the same WAL,
+so the full decision history (including the paths not taken) survives
+any crash and is reconstructible from the log alone.
+
+The in-memory ledger is a thin typed view over exactly what
+:class:`~repro.propositions.wal.WalStore` persists in its
+``decision_log``; :meth:`LedgerRecord.to_json` /
+:meth:`LedgerRecord.from_json` round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import DecisionError
+
+#: Decision kinds with derivation semantics (§3.3): ``mapping``
+#: decisions produce vertical configurations, ``refinement`` horizontal
+#: ones, ``choice`` decisions open version alternatives.
+KINDS = ("mapping", "refinement", "choice", "other")
+
+
+@dataclass
+class LedgerRecord:
+    """One durable decision: provenance plus its serialized delta."""
+
+    did: str
+    tick: int
+    decision_class: str
+    kind: str = "other"
+    tool: Optional[str] = None
+    #: role -> design-object name (the FROM links).
+    inputs: Dict[str, str] = field(default_factory=dict)
+    #: design objects this decision created (the TO links).
+    outputs: List[str] = field(default_factory=list)
+    #: explicit BY/parent links to earlier decisions.
+    parents: List[str] = field(default_factory=list)
+    rationale: str = ""
+    obligations: List[str] = field(default_factory=list)
+    #: exact proposition ids created / deleted / clipped.
+    told: List[str] = field(default_factory=list)
+    untold: List[str] = field(default_factory=list)
+    clipped: List[str] = field(default_factory=list)
+    #: the serialized delta, in apply order:
+    #: ``["create", prop] | ["delete", prop] | ["clip", old, new]``.
+    delta: List[List[Any]] = field(default_factory=list)
+    status: str = "done"
+    retracted_tick: Optional[int] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.status == "done"
+
+    def created_ids(self) -> List[str]:
+        """Every id this decision brought into existence (pids told
+        plus named outputs) — the write set the justification graph
+        overlaps against."""
+        out = list(self.told)
+        out.extend(name for name in self.outputs if name not in out)
+        return out
+
+    def referenced_ids(self) -> List[str]:
+        """Every id this decision *read or touched*: input objects,
+        deleted/clipped pids, and the endpoints of created links."""
+        refs: List[str] = list(self.inputs.values())
+        refs.extend(self.untold)
+        refs.extend(self.clipped)
+        for op in self.delta:
+            if op[0] == "create":
+                prop = op[1]
+                for endpoint in (prop.get("source"), prop.get("destination")):
+                    if endpoint and endpoint != prop.get("pid"):
+                        refs.append(endpoint)
+        return refs
+
+    def summary(self) -> Dict[str, Any]:
+        """The wire shape ``history`` returns (delta elided to counts)."""
+        return {
+            "did": self.did,
+            "tick": self.tick,
+            "decision_class": self.decision_class,
+            "kind": self.kind,
+            "tool": self.tool,
+            "inputs": dict(self.inputs),
+            "outputs": list(self.outputs),
+            "parents": list(self.parents),
+            "rationale": self.rationale,
+            "obligations": list(self.obligations),
+            "told": len(self.told),
+            "untold": len(self.untold),
+            "clipped": len(self.clipped),
+            "status": self.status,
+            "retracted_tick": self.retracted_tick,
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Lossless, JSON-able form — exactly what rides the WAL."""
+        return {
+            "did": self.did,
+            "tick": self.tick,
+            "decision_class": self.decision_class,
+            "kind": self.kind,
+            "tool": self.tool,
+            "inputs": dict(self.inputs),
+            "outputs": list(self.outputs),
+            "parents": list(self.parents),
+            "rationale": self.rationale,
+            "obligations": list(self.obligations),
+            "told": list(self.told),
+            "untold": list(self.untold),
+            "clipped": list(self.clipped),
+            "delta": [list(op) for op in self.delta],
+            "status": self.status,
+            "retracted_tick": self.retracted_tick,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "LedgerRecord":
+        if not isinstance(data, dict) or "did" not in data:
+            raise DecisionError(f"bad serialized decision record: {data!r}")
+        return cls(
+            did=str(data["did"]),
+            tick=int(data.get("tick", 0)),
+            decision_class=str(data.get("decision_class", "")),
+            kind=str(data.get("kind", "other")),
+            tool=data.get("tool"),
+            inputs=dict(data.get("inputs") or {}),
+            outputs=list(data.get("outputs") or []),
+            parents=list(data.get("parents") or []),
+            rationale=str(data.get("rationale", "")),
+            obligations=list(data.get("obligations") or []),
+            told=list(data.get("told") or []),
+            untold=list(data.get("untold") or []),
+            clipped=list(data.get("clipped") or []),
+            delta=[list(op) for op in data.get("delta") or []],
+            status=str(data.get("status", "done")),
+            retracted_tick=data.get("retracted_tick"),
+        )
+
+
+class DecisionLedger:
+    """Append-only record list with deterministic ids and ticks.
+
+    ``did``s are ``d1, d2, ...`` by append order and ticks advance by
+    one per ledger event (decide or backtrack), so replaying the same
+    accepted history — from the commit log or the WAL — reproduces the
+    same ids, which is what makes the ledger itself the oracle.
+    """
+
+    def __init__(self) -> None:
+        # All mutation happens on the service's commit-writer thread;
+        # reads run under the serving rwlock above it.
+        self.records: List[LedgerRecord] = []  # guarded-by: external: GKBMSService._rwlock
+        self.by_did: Dict[str, LedgerRecord] = {}  # guarded-by: external: GKBMSService._rwlock
+        self._events = 0  # guarded-by: <writer>
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[LedgerRecord]:
+        return iter(self.records)
+
+    def next_did(self) -> str:
+        return f"d{len(self.records) + 1}"
+
+    def next_tick(self) -> int:  # runs-on: writer
+        self._events += 1
+        return self._events
+
+    def get(self, did: str) -> LedgerRecord:
+        record = self.by_did.get(did)
+        if record is None:
+            raise DecisionError(f"unknown decision {did!r}")
+        return record
+
+    def append(self, record: LedgerRecord) -> None:  # runs-on: writer
+        if record.did in self.by_did:
+            raise DecisionError(f"duplicate decision id {record.did!r}")
+        self.records.append(record)
+        self.by_did[record.did] = record
+        self._events = max(self._events, record.tick,
+                           record.retracted_tick or 0)
+
+    def mark_retracted(self, did: str, tick: int) -> None:  # runs-on: writer
+        record = self.get(did)
+        record.status = "retracted"
+        record.retracted_tick = tick
+        self._events = max(self._events, tick)
+
+    def active(self) -> List[LedgerRecord]:
+        return [record for record in self.records if record.is_active]
+
+    @classmethod
+    def from_wire_log(cls, decision_log: List[Dict[str, Any]]
+                      ) -> "DecisionLedger":
+        """Rebuild the typed ledger from a recovered
+        :attr:`~repro.propositions.wal.WalStore.decision_log`."""
+        ledger = cls()
+        for item in decision_log:
+            ledger.append(LedgerRecord.from_json(item))
+        return ledger

@@ -932,6 +932,21 @@ class PropositionProcessor:
             self._bump()
         return updated
 
+    def replace_proposition(self, prop: Proposition) -> Proposition:
+        """Swap the stored proposition with ``prop``'s pid for ``prop``,
+        through the same delta-maintenance path as :meth:`clip_validity`
+        — the inverse operation backtracking needs to restore a clipped
+        validity interval without invalidating warm closure caches."""
+        old = self.store.get(prop.pid)
+        with self.tracer.span("proposition.clip", pid=prop.pid):
+            self.store.replace(prop)
+            self._note_change(prop, op="clip")
+            self._c_clips.inc()
+            if self._tellings:
+                self._tellings[-1].record_clip(old, prop)
+            self._bump()
+        return old
+
     # ------------------------------------------------------------------
     # Retrieval: stored, inherited, deduced
     # ------------------------------------------------------------------

@@ -17,6 +17,14 @@ payload, then the payload (canonical JSON).  Payloads are one of::
     {"op": "delete", "pid": "..."}
     {"op": "clip",   "prop": {...}}            # replace (validity clip)
     {"op": "txn",    "kind": "begin|commit|abort|save|release|rollback"}
+    {"op": "decision", "record": {...}}        # decision-ledger entry
+    {"op": "decision_retract", "did": "...", "tick": T}
+
+The two ``decision`` payloads carry the decision-history subsystem
+(:mod:`repro.decisions`): a ledger record is appended *inside* the
+transaction that applied its proposition delta, so recovery's
+transaction buffering makes record-plus-delta atomic — a decision is
+either durable together with its consequences or discarded with them.
 
 **Recovery.**  Opening a store loads the newest *valid* snapshot (the
 current one, else the previous — both checksummed envelopes written
@@ -185,6 +193,11 @@ class WalStore(PropositionStore):
         self._c = {name: self._metrics.counter(name) for name in self.COUNTERS}
         #: Dict-compatible view over the ``wal.*`` counters.
         self.stats: StatsView = StatsView(self._metrics)
+        #: The durable decision ledger, in append order (dicts as they
+        #: appeared on the log; :mod:`repro.decisions` rebuilds its
+        #: typed ledger from exactly this list after recovery).
+        self.decision_log: List[Dict[str, Any]] = []  # guarded-by: <writer>
+        self._decision_index: Dict[str, Dict[str, Any]] = {}  # guarded-by: <writer>
         self._recover()
 
     @property
@@ -319,6 +332,9 @@ class WalStore(PropositionStore):
                 generation = int(payload["generation"])
                 props = [proposition_from_json(item)
                          for item in payload["propositions"]]
+                # Older snapshots predate the decision ledger.
+                decisions = [dict(item)
+                             for item in payload.get("decisions") or []]
             except (KeyError, TypeError, ValueError, PropositionError):
                 self._c["checksum_failures"].inc()
                 continue
@@ -326,6 +342,8 @@ class WalStore(PropositionStore):
                 self._c["snapshot_fallbacks"].inc()
             for prop in props:
                 self._state.create(prop)
+            for item in decisions:
+                self._remember_decision(item)
             return generation
         return 0
 
@@ -341,6 +359,10 @@ class WalStore(PropositionStore):
             prop = proposition_from_json(record["prop"])
             self._state.delete(prop.pid)
             self._state.create(prop)
+        elif op == "decision":
+            self._remember_decision(dict(record["record"]))
+        elif op == "decision_retract":
+            self._mark_decision_retracted(record["did"], record.get("tick"))
         else:
             raise PropositionError(f"unknown WAL op {op!r}")
 
@@ -391,6 +413,62 @@ class WalStore(PropositionStore):
             self._c["replay_errors"].inc()
         else:
             self._c["replayed"].inc()
+
+    # ------------------------------------------------------------------
+    # The decision ledger (repro.decisions rides the same log)
+    # ------------------------------------------------------------------
+
+    def _remember_decision(self, record: Dict[str, Any]) -> None:  # runs-on: writer
+        did = record.get("did")
+        existing = self._decision_index.get(did) if did is not None else None
+        if existing is not None:
+            # Replaying a log on top of a snapshot that already holds
+            # the record: the log copy wins (it is at least as new).
+            existing.update(record)
+            return
+        self.decision_log.append(record)
+        if did is not None:
+            self._decision_index[did] = record
+
+    def _mark_decision_retracted(self, did: str, tick: Any) -> None:  # runs-on: writer
+        record = self._decision_index.get(did)
+        if record is None:
+            raise PropositionError(
+                f"decision_retract for unknown decision {did!r}"
+            )
+        record["status"] = "retracted"
+        record["retracted_tick"] = tick
+
+    def append_decision(self, record: Dict[str, Any]) -> None:  # runs-on: writer
+        """Log one decision-ledger record (JSON-serializable dict).
+
+        Called *inside* the transaction that applied the decision's
+        proposition delta, so the txn buffering in :meth:`_replay` makes
+        the pair atomic across a crash."""
+        self._append({"op": "decision", "record": record})
+        self._remember_decision(dict(record))
+
+    def append_decision_retract(self, did: str, tick: Any) -> None:  # runs-on: writer
+        """Log a decision retraction (selective backtracking)."""
+        self._append({"op": "decision_retract", "did": did, "tick": tick})
+        self._mark_decision_retracted(did, tick)
+
+    def rollback_decision(self, did: str) -> None:  # runs-on: writer
+        """Drop an in-memory ledger entry whose enclosing transaction
+        aborted — the log's abort marker already discards the logged
+        record on replay, this re-aligns the live copy."""
+        record = self._decision_index.pop(did, None)
+        if record is not None:
+            self.decision_log.remove(record)
+
+    def rollback_decision_retract(self, did: str) -> None:  # runs-on: writer
+        """Undo an in-memory retraction mark after its transaction
+        aborted (only active decisions can be marked, so the prior
+        state is always ``done``)."""
+        record = self._decision_index.get(did)
+        if record is not None:
+            record["status"] = "done"
+            record["retracted_tick"] = None
 
     def _recover(self) -> None:  # runs-on: writer
         with self.tracer.span("wal.recover", path=self._path) as span:
@@ -454,6 +532,7 @@ class WalStore(PropositionStore):
                 "propositions": [
                     json.loads(row) for row in self.rows()
                 ],
+                "decisions": [dict(item) for item in self.decision_log],
             }
             try:
                 if self._io.exists(self.snapshot_path):

@@ -164,6 +164,27 @@ class PowerCutIO(FaultyIO):
 # ----------------------------------------------------------------------
 
 
+def _apply_logged_ops(cb: ConceptBase, decisions, ops) -> None:
+    """Apply one accepted commit's ops to the replay base.
+
+    Decision ops go through the same :class:`DecisionHistory` code path
+    the service used, bound to the replay base — dids and ticks are
+    deterministic functions of the op sequence, so the replay yields
+    the identical ledger."""
+    kind0 = ops[0][0] if ops else None
+    if kind0 == "decide":
+        decisions.apply_decide(ops[0][1])
+    elif kind0 == "backtrack":
+        decisions.apply_backtrack(ops[0][1])
+    else:
+        with cb.transaction():
+            for kind, arg in ops:
+                if kind == "tell":
+                    cb.tell(arg)
+                elif kind == "untell":
+                    cb.untell(arg)
+
+
 def replay_commit_log(
     commit_log: List[Tuple[int, str, List[Tuple[str, str]]]]
 ) -> ConceptBase:
@@ -172,16 +193,14 @@ def replay_commit_log(
     Single-threaded replay of the accepted log is the service tier's
     correctness oracle: the pipeline refuses conflicting commits
     *before* apply, so the log is exactly the history that executed."""
+    from repro.decisions import DecisionHistory
+
     cb = ConceptBase()
+    decisions = DecisionHistory(cb)
     for _seq, _sid, ops in commit_log:
         if ops and ops[0][0] == "checkpoint":
             continue  # durability housekeeping; no logical effect
-        with cb.transaction():
-            for kind, arg in ops:
-                if kind == "tell":
-                    cb.tell(arg)
-                elif kind == "untell":
-                    cb.untell(arg)
+        _apply_logged_ops(cb, decisions, ops)
     return cb
 
 
@@ -195,7 +214,10 @@ def oracle_prefix(
     A fully-recovered store yields ``k == len(acked_log)``; a lying
     disk yields some smaller ``k`` (quantified loss); ``None`` means
     the recovered state is not any accepted history at all."""
+    from repro.decisions import DecisionHistory
+
     cb = ConceptBase()
+    decisions = DecisionHistory(cb)
     match: Optional[int] = None
     if rows == cb.propositions.store.rows():
         match = 0
@@ -204,12 +226,7 @@ def oracle_prefix(
             if match == index:
                 match = index + 1
             continue
-        with cb.transaction():
-            for kind, arg in ops:
-                if kind == "tell":
-                    cb.tell(arg)
-                elif kind == "untell":
-                    cb.untell(arg)
+        _apply_logged_ops(cb, decisions, ops)
         if rows == cb.propositions.store.rows():
             match = index + 1
     return match
@@ -283,7 +300,8 @@ class ChaosHarness:
                  supervised: bool = False,
                  trigger_after: Optional[int] = None,
                  fsync: str = "commit",
-                 transport: str = "threaded") -> None:
+                 transport: str = "threaded",
+                 decision_ratio: float = 0.25) -> None:
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}; "
                              f"choose from {FAULT_KINDS}")
@@ -297,6 +315,10 @@ class ChaosHarness:
         self.ops_per_thread = ops_per_thread
         self.supervised = supervised
         self.fsync = fsync
+        #: fraction of load ops that drive the decision ledger, so every
+        #: fault lands under decide/backtrack traffic too and the oracle
+        #: proves no acked decision is ever lost
+        self.decision_ratio = decision_ratio
         #: TCP transport for the ``client_drop`` kind: ``"threaded"``
         #: (thread per connection) or ``"async"`` (the asyncio
         #: pipelined plane, driven by protocol-v2 clients).
@@ -342,6 +364,7 @@ class ChaosHarness:
             ),
             threads=self.threads, ops_per_thread=self.ops_per_thread,
             seed=self.seed, tolerant=True,
+            decision_ratio=self.decision_ratio,
         )
         load_box: Dict[str, LoadStats] = {}
         loader = threading.Thread(
@@ -467,6 +490,7 @@ class ChaosHarness:
                 ),
                 threads=self.threads, ops_per_thread=self.ops_per_thread,
                 seed=self.seed, tolerant=True,
+                decision_ratio=self.decision_ratio,
             )
             load_box: Dict[str, LoadStats] = {}
             loader = threading.Thread(

@@ -297,6 +297,11 @@ class ConcurrentLoadGenerator:
     transaction_ratio: float = 0.5
     hot_keys: int = 4
     class_name: str = "LoadObject"
+    #: Fraction of ops that drive the decision ledger instead: mostly
+    #: ``decide`` (telling one fresh object under a seeded decision
+    #: class), sometimes ``backtrack`` of one of the worker's own
+    #: earlier decisions.
+    decision_ratio: float = 0.0
     #: Chaos mode: the service may be killed, restarted or degraded
     #: mid-run, so fault-shaped failures (restarting, read-only, lost
     #: connections, sessions invalidated by a recovery) count as
@@ -304,6 +309,11 @@ class ConcurrentLoadGenerator:
     #: simulated process death reaching a worker ends that worker's op
     #: instead of tearing the whole generator down.
     tolerant: bool = False
+
+    def __post_init__(self) -> None:
+        # worker-private did lists for decision traffic; each worker
+        # only touches its own wid key
+        self._own_dids: Dict[int, List[str]] = {}
 
     def prime(self, client: Any) -> None:
         """Create the class and hot objects every worker touches."""
@@ -376,6 +386,9 @@ class ConcurrentLoadGenerator:
     def _one_op(self, client: Any, rng: random.Random, wid: int,
                 n: int, stats: LoadStats) -> None:
         try:
+            if self.decision_ratio and rng.random() < self.decision_ratio:
+                self._decision_op(client, rng, wid, n, stats)
+                return
             if rng.random() >= self.write_ratio:
                 self._timed(stats, lambda: client.instances(self.class_name))
                 return
@@ -419,6 +432,29 @@ class ConcurrentLoadGenerator:
                 stats.interrupted += 1
             else:
                 stats.unexpected_errors += 1
+
+    def _decision_op(self, client: Any, rng: random.Random, wid: int,
+                     n: int, stats: LoadStats) -> None:
+        """Decision-ledger traffic.  Worker-private did lists keep
+        backtracks well-formed — a did is claimed at most once, so the
+        only refusals are fault-shaped (lost acks, recovering servers),
+        which the taxonomy in :meth:`_one_op` already classifies."""
+        own = self._own_dids.setdefault(wid, [])
+        if own and rng.random() < 0.3:
+            did = own.pop(rng.randrange(len(own)))
+            self._timed(stats, lambda: client.backtrack(did))
+            stats.commits += 1
+            return
+        kind = rng.choice(("mapping", "refinement", "choice", "other"))
+        result = self._timed(stats, lambda: client.decide(
+            f"Load{kind.capitalize()}Dec",
+            tell=[f"TELL D{wid}x{n} IN {self.class_name} END"],
+            inputs={"base": f"Hot{rng.randrange(self.hot_keys)}"},
+            kind=kind,
+            rationale=f"load worker {wid} op {n}",
+        ))
+        own.append(result["did"])
+        stats.commits += 1
 
     def _transaction_op(self, client: Any, rng: random.Random, wid: int,
                         n: int, stats: LoadStats) -> None:

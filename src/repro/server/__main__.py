@@ -131,6 +131,7 @@ def _run_load(host: str, port: int,
         seed=args.seed,
         write_ratio=args.write_ratio,
         transaction_ratio=args.txn_ratio,
+        decision_ratio=args.decision_ratio,
     )
     return generator.run().to_json()
 
@@ -169,11 +170,16 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         "wal_fsyncs": fsyncs,
         "wal_group_batches": snapshot.get("wal.group_batches", 0),
         "protocol_errors": protocol_errors,
+        "decisions_recorded": snapshot.get("decisions.recorded", 0),
+        "decisions_backtracked": snapshot.get("decisions.backtracked", 0),
     }
     failures = []
     if load["unexpected_errors"]:
         failures.append(f"{load['unexpected_errors']} unexpected "
                         f"request errors")
+    if args.decision_ratio and not report["decisions_recorded"]:
+        failures.append("decision traffic requested but "
+                        "decisions.recorded stayed 0")
     if protocol_errors:
         failures.append(f"{protocol_errors} protocol errors")
     if not batch.get("count"):
@@ -234,6 +240,9 @@ def _add_load_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--write-ratio", type=float, default=0.5)
     parser.add_argument("--txn-ratio", type=float, default=0.5)
+    parser.add_argument("--decision-ratio", type=float, default=0.0,
+                        help="fraction of ops driving the decision "
+                             "ledger (decide/backtrack)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the run report as JSON")
 

@@ -63,7 +63,7 @@ from repro.server.protocol import (
 )
 
 #: Ops whose effect mutates the shared base — retried only with a token.
-_WRITE_OPS = frozenset({"tell", "untell", "commit"})
+_WRITE_OPS = frozenset({"tell", "untell", "commit", "decide", "backtrack"})
 
 #: The transient, typed failures a RetryPolicy may re-submit after.
 RETRYABLE = (ServerOverloaded, ServerRestarting, ConnectionLost)
@@ -243,6 +243,53 @@ class _BaseClient:
     def explain(self, text: str, kind: str = "query",
                 **kw: Any) -> Dict[str, Any]:
         return self._call("explain", {"kind": kind, "text": text}, **kw)
+
+    # -- decisions ---------------------------------------------------------
+
+    def decide(self, decision_class: str, *,
+               tell: Optional[List[str]] = None,
+               untell: Optional[List[str]] = None,
+               inputs: Optional[Dict[str, str]] = None,
+               kind: str = "other",
+               tool: Optional[str] = None,
+               parents: Optional[List[str]] = None,
+               rationale: str = "",
+               obligations: Optional[List[str]] = None,
+               **kw: Any) -> Dict[str, Any]:
+        """Record one design decision: its tells/untells apply as one
+        commit and a durable ledger record rides the same transaction."""
+        params: Dict[str, Any] = {
+            "decision_class": decision_class,
+            "kind": kind,
+            "tell": list(tell or []),
+            "untell": list(untell or []),
+            "inputs": dict(inputs or {}),
+            "parents": list(parents or []),
+            "rationale": rationale,
+            "obligations": list(obligations or []),
+        }
+        if tool is not None:
+            params["tool"] = tool
+        return self._call("decide", params, **kw)
+
+    def backtrack(self, did: str, **kw: Any) -> Dict[str, Any]:
+        """Retract a decision and its transitive consequents."""
+        return self._call("backtrack", {"did": did}, **kw)
+
+    def replay(self, did: str, **kw: Any) -> Dict[str, Any]:
+        """Re-applicability test of a recorded decision (drift report)."""
+        return self._call("replay", {"did": did}, **kw)
+
+    def history(self, include_retracted: bool = True,
+                **kw: Any) -> Dict[str, Any]:
+        """The decision ledger plus justification-graph edges."""
+        return self._call(
+            "history", {"include_retracted": include_retracted}, **kw
+        )
+
+    def versions(self, **kw: Any) -> Dict[str, Any]:
+        """Versions/configurations derived from the decision ledger."""
+        return self._call("versions", **kw)
 
     # -- transactions ------------------------------------------------------
 

@@ -69,8 +69,51 @@ OPS = (
     "hello", "bye", "ping",
     "tell", "untell", "ask", "ask_all", "query", "instances", "frame",
     "begin", "commit", "abort", "staged",
+    "decide", "backtrack", "replay", "history", "versions",
     "explain", "stats", "summary",
 )
+
+#: One-line summaries for the README op table; every op MUST have one
+#: (``render_op_table`` below regenerates the table, and a test holds
+#: the README to its output, so the docs cannot drift from this tuple).
+OP_SUMMARIES = {
+    "hello": "open a session (negotiates the protocol version)",
+    "bye": "close a session",
+    "ping": "liveness probe (sessionless)",
+    "tell": "assert a frame (autocommit, or staged inside begin)",
+    "untell": "retract an object and everything referencing it",
+    "ask": "evaluate a closed assertion",
+    "ask_all": "witnesses of an exists-quantified assertion",
+    "query": "fact-level query through the prover, rules included",
+    "instances": "the extent of a class (optionally as-of a time)",
+    "frame": "the frame grouped around one object",
+    "begin": "open a snapshot-pinned transaction",
+    "commit": "submit the staged ops (idempotency token supported)",
+    "abort": "discard the staged ops",
+    "staged": "inspect the session's staged ops",
+    "decide": "record a design decision (tells/untells + ledger entry)",
+    "backtrack": "retract a decision and its transitive consequents",
+    "replay": "re-applicability test of a decision; reports drift",
+    "history": "the decision ledger plus justification-graph edges",
+    "versions": "versions/configurations derived from the ledger",
+    "explain": "per-query counter attribution",
+    "stats": "registry metrics snapshot",
+    "summary": "census of the proposition base",
+}
+
+
+def render_op_table() -> str:
+    """The README's protocol op table, regenerated from :data:`OPS`.
+
+    >>> len(OPS) == len(OP_SUMMARIES)
+    True
+    >>> print(render_op_table().splitlines()[2])
+    | `hello` | open a session (negotiates the protocol version) |
+    """
+    lines = ["| op | summary |", "| --- | --- |"]
+    for op in OPS:
+        lines.append(f"| `{op}` | {OP_SUMMARIES[op]} |")
+    return "\n".join(lines)
 
 
 def encode_frame(payload: Dict[str, Any]) -> bytes:

@@ -22,6 +22,7 @@ to a response dict and never raises — errors become typed wire errors.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from contextlib import ExitStack
@@ -29,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.concurrency import lockdep
 from repro.conceptbase import ConceptBase
+from repro.decisions import DecisionHistory, decide_keys
 from repro.errors import (
     CommitConflict,
     ProtocolError,
@@ -65,12 +67,13 @@ _SESSIONLESS = frozenset({"hello", "ping"})
 #: transaction.  Reads deliberately stay outside the lock (they pin an
 #: epoch, not the session).
 _SESSION_SERIAL = frozenset(
-    {"begin", "tell", "untell", "commit", "abort", "staged"}
+    {"begin", "tell", "untell", "commit", "abort", "staged",
+     "decide", "backtrack"}
 )
 
 #: Ops that mutate the shared knowledge base — refused in read-only
 #: degrade (everything else still serves from the recovered state).
-_WRITE_OPS = frozenset({"tell", "untell", "commit"})
+_WRITE_OPS = frozenset({"tell", "untell", "commit", "decide", "backtrack"})
 
 
 class GKBMSService:
@@ -140,6 +143,10 @@ class GKBMSService:
         #: The commit currently applying on the writer thread — read by
         #: the defence-in-depth validator below.
         self._applying: Optional[PendingCommit] = None  # guarded-by: _rwlock
+        #: The decision-history engine: its ledger is mutated only in
+        #: ``_apply_commit`` (writer thread, write lock held) and read
+        #: through ``_read`` — the same discipline as the base itself.
+        self.decisions = DecisionHistory(cb, tracer=self._tracer)
         if check_consistency:
             cb.enforce_on_commit()
         # Second line of first-committer-wins defence *inside* the
@@ -386,6 +393,63 @@ class GKBMSService:
             [("untell", name)], [name], None, session.sid, token=token
         )
 
+    # -- decisions ---------------------------------------------------------
+
+    def _op_decide(self, session: Session,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+        token = self._opt_token(params)
+        if session.in_transaction:
+            raise SessionError(
+                "decide is its own transaction; commit or abort the open "
+                "one first"
+            )
+        spec = {key: value for key, value in params.items()
+                if key != "token"}
+        if not isinstance(spec.get("decision_class"), str) \
+                or not spec["decision_class"].strip():
+            raise ProtocolError(
+                "param 'decision_class' must be a non-empty string"
+            )
+        arg = json.dumps(spec, sort_keys=True)
+        return self.pipeline.submit(
+            [("decide", arg)], decide_keys(spec), None, session.sid,
+            token=token,
+        )
+
+    def _op_backtrack(self, session: Session,
+                      params: Dict[str, Any]) -> Dict[str, Any]:
+        did = self._param(params, "did")
+        token = self._opt_token(params)
+        if session.in_transaction:
+            raise SessionError(
+                "backtrack is its own transaction; commit or abort the "
+                "open one first"
+            )
+        arg = json.dumps({"did": did}, sort_keys=True)
+        return self.pipeline.submit(
+            [("backtrack", arg)], [], None, session.sid, token=token
+        )
+
+    def _op_replay(self, session: Session,
+                   params: Dict[str, Any]) -> Dict[str, Any]:
+        did = self._param(params, "did")
+        return self._read(lambda: self.decisions.replay(did))
+
+    def _op_history(self, session: Session,
+                    params: Dict[str, Any]) -> Dict[str, Any]:
+        include_retracted = params.get("include_retracted", True)
+        if not isinstance(include_retracted, bool):
+            raise ProtocolError(
+                "param 'include_retracted' must be a boolean"
+            )
+        return self._read(
+            lambda: self.decisions.history(include_retracted)
+        )
+
+    def _op_versions(self, session: Session,
+                     params: Dict[str, Any]) -> Dict[str, Any]:
+        return self._read(self.decisions.versions)
+
     # -- transactions ------------------------------------------------------
 
     def _op_begin(self, session: Session,
@@ -483,6 +547,8 @@ class GKBMSService:
         """Apply one accepted commit (writer thread, exclusive lock)."""
         if pending.ops and pending.ops[0][0] == "checkpoint":
             return self._apply_checkpoint()
+        if pending.ops and pending.ops[0][0] in ("decide", "backtrack"):
+            return self._apply_decision(pending)
         created = 0
         retracted = 0
         with self._rwlock.write_locked():
@@ -505,6 +571,24 @@ class GKBMSService:
             "retracted": retracted,
             "epoch": self.cb.propositions.epoch,
         }
+
+    def _apply_decision(self, pending: PendingCommit) -> Dict[str, Any]:
+        """Apply one decide/backtrack op: the decision engine manages
+        its own ConceptBase transaction (ledger record and proposition
+        delta must share one WAL transaction), so this just provides
+        the write lock and conflict bookkeeping around it."""
+        kind, arg = pending.ops[0]
+        with self._rwlock.write_locked():
+            self._applying = pending
+            try:
+                if kind == "decide":
+                    result = self.decisions.apply_decide(arg)
+                else:
+                    result = self.decisions.apply_backtrack(arg)
+            finally:
+                self._applying = None
+        result["epoch"] = self.cb.propositions.epoch
+        return result
 
     def _apply_checkpoint(self) -> Dict[str, Any]:
         """Fold the WAL into a snapshot, on the writer thread.
@@ -617,6 +701,10 @@ class GKBMSService:
             if self._check_consistency:
                 cb.enforce_on_commit()
             cb.propositions.add_commit_validator(self._revalidate_applying)
+            # The recovered store's decision_log *is* the ledger: the
+            # successor engine rebuilds from it, so every acked decision
+            # survives the restart exactly like every acked tell.
+            self.decisions = DecisionHistory(cb, tracer=self._tracer)
         self._status = "serving"
 
     # ------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.core.decisions import DecisionClass
+from repro.core.tools import ToolSpec
 from repro.errors import BacktrackError
 from repro.scenario import MeetingScenario
 
@@ -145,6 +147,79 @@ class TestSelectiveBacktracking:
                 {"paperkey": "m1", "date": "d", "author": "a", "recorder": "s"}
             )
         assert len(db.rows("ConsInvitation")) == 1
+
+
+class TestAtomicUndo:
+    """Undoing one decision is a transaction (regression: the undo used
+    to run outside any telling, so a tool undo that mutated halfway and
+    then raised left a half-backtracked base behind a record still
+    marked ``done``)."""
+
+    @pytest.fixture
+    def flaky(self, fig_2_3):
+        gkbms = fig_2_3.gkbms
+
+        def flaky_apply(g, inputs, params):
+            g.processor.tell_individual("FlakyRel", in_class="DBPL_Rel")
+            return {"result": ["FlakyRel"]}
+
+        def flaky_undo(g, record):
+            # partial damage before dying: a knowledge-base retraction
+            # and an artefact-store removal, both of which must roll
+            # back with the failure
+            g.processor.retract("InvitationRel")
+            g.module.remove("InvReceivRel")
+            raise RuntimeError("tool undo crashed halfway")
+
+        gkbms.tools.register(ToolSpec(
+            name="FlakyTool", automation="automatic",
+            apply=flaky_apply, undo=flaky_undo,
+        ))
+        gkbms.decisions.register(DecisionClass(
+            name="FlakyDec",
+            inputs=(("source", "DBPL_Rel"),),
+            outputs=(("result", "DBPL_Rel"),),
+            tools=("FlakyTool",),
+        ))
+        record = gkbms.execute(
+            "FlakyDec", {"source": "InvitationRel2"}, tool="FlakyTool",
+        )
+        return fig_2_3, record
+
+    def test_failing_undo_leaves_no_trace(self, flaky):
+        scenario, record = flaky
+        gkbms = scenario.gkbms
+        before_rows = gkbms.processor.store.rows()
+        before_relations = set(gkbms.module.relations)
+        with pytest.raises(RuntimeError):
+            gkbms.backtracker.retract(record.did)
+        # bit-identical knowledge base, untouched artefact store
+        assert gkbms.processor.store.rows() == before_rows
+        assert set(gkbms.module.relations) == before_relations
+        assert gkbms.processor.exists("FlakyRel")
+        # ... and the record still says what is true: not retracted
+        assert record.status == "done"
+        assert record.retracted_at is None
+
+    def test_failing_undo_keeps_decision_retractable(self, flaky):
+        """After the failure nothing is half-done, so a later retract
+        attempt fails identically instead of tripping over debris."""
+        scenario, record = flaky
+        gkbms = scenario.gkbms
+        with pytest.raises(RuntimeError):
+            gkbms.backtracker.retract(record.did)
+        with pytest.raises(RuntimeError):
+            gkbms.backtracker.retract(record.did)
+        assert record.status == "done"
+
+    def test_successful_undo_still_reports_objects(self, fig_2_3):
+        """The local-collection refactor must not change what a normal
+        retract reports."""
+        gkbms = fig_2_3.gkbms
+        keys_did = fig_2_3.records["keys"].did
+        report = gkbms.backtracker.retract(keys_did)
+        assert report.retracted_decisions == [keys_did]
+        assert report.retracted_objects  # pids actually removed
 
 
 class TestReplay:

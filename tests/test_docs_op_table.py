@@ -1,0 +1,28 @@
+"""The README's wire-protocol op table is generated, not hand-kept.
+
+``repro.server.protocol.render_op_table()`` is the single source of
+truth: it is derived from the ``OPS`` registry (so a new op without a
+summary fails at import), and this test pins the README copy to the
+rendered output — add an op, re-render, paste, or this fails.
+"""
+
+import os
+
+from repro.server.protocol import OPS, OP_SUMMARIES, render_op_table
+
+README = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                      "README.md")
+
+
+def test_readme_contains_the_rendered_op_table():
+    with open(README, encoding="utf-8") as handle:
+        readme = handle.read()
+    assert render_op_table() in readme
+
+
+def test_every_op_has_exactly_one_summary():
+    assert set(OPS) == set(OP_SUMMARIES)
+    assert len(OPS) == len(set(OPS))
+    table = render_op_table()
+    for op in OPS:
+        assert f"| `{op}` |" in table

@@ -1,0 +1,25 @@
+"""Gate for ``examples/decision_history.py`` — the walkthrough must
+keep running end to end and keep showing the section-4 story: the
+associative-key choice recorded over the wire, selectively backtracked,
+still re-applicable, and visible as a retracted alternative version."""
+
+from examples.decision_history import main
+
+
+def test_walkthrough_runs_and_tells_the_fig_2_4_story(capsys):
+    main()
+    out = capsys.readouterr().out
+    # the three decisions land in the ledger with their kinds
+    assert "d1: DecMoveDown" in out
+    assert "d2: DecNormalize" in out
+    assert "d3: DecKeySubstitution" in out
+    # the justification graph chains them
+    assert "d1 -> d2  (from-to)" in out
+    assert "d2 -> d3  (from-to)" in out
+    # fig 2-4: only the key choice falls
+    assert "backtracked d3 retracted: ['d3']" in out
+    # the retracted choice would still apply (revision support)
+    assert "applicable: True" in out
+    # fig 3-4: the key variant shows as a retracted alternative version
+    assert "InvitationRel2~assockey (retracted)" in out
+    assert "choice d3 (retracted)" in out
